@@ -1,0 +1,173 @@
+// Command de-node runs a proof-of-authority blockchain cluster hosting
+// the DistExchange application, sealing blocks at a fixed interval and
+// exposing a small HTTP status/query API.
+//
+// Usage:
+//
+//	de-node [-validators 3] [-interval 1s] [-http :8545]
+//
+// Endpoints:
+//
+//	GET /status              cluster height, gas totals, oracle stats
+//	GET /resources           the DE App resource index (JSON)
+//	GET /violations?iri=...  violations recorded for a resource
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/contract"
+	"repro/internal/cryptoutil"
+	"repro/internal/distexchange"
+	"repro/internal/tee"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "de-node:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("de-node", flag.ContinueOnError)
+	validators := fs.Int("validators", 3, "number of authority nodes")
+	interval := fs.Duration("interval", time.Second, "block interval")
+	httpAddr := fs.String("http", ":8545", "HTTP API listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *validators < 1 {
+		return fmt.Errorf("validators must be >= 1")
+	}
+
+	manufacturer, err := tee.NewManufacturer("tee-manufacturer")
+	if err != nil {
+		return err
+	}
+	runtime := contract.NewRuntime()
+	deAddr := runtime.Deploy(distexchange.ContractName, distexchange.New(distexchange.Config{
+		ManufacturerCAKey: manufacturer.CAPublicBytes(),
+		ManufacturerCA:    manufacturer.CAAddress(),
+	}))
+
+	keys := make([]*cryptoutil.KeyPair, *validators)
+	auths := make([]cryptoutil.Address, *validators)
+	for i := range *validators {
+		keys[i] = cryptoutil.MustGenerateKey()
+		auths[i] = keys[i].Address()
+	}
+	genesis := time.Now()
+	nodes := make([]*chain.Node, *validators)
+	for i := range *validators {
+		nodes[i], err = chain.NewNode(chain.Config{
+			Key:         keys[i],
+			Authorities: auths,
+			Executor:    runtime,
+			GenesisTime: genesis,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	network, err := chain.NewNetwork(nodes...)
+	if err != nil {
+		return err
+	}
+
+	log.Printf("DE App deployed at %s on a %d-validator PoA cluster", deAddr, *validators)
+	for i, a := range auths {
+		log.Printf("  validator %d: %s", i, a.Short())
+	}
+
+	// Background sealing loop.
+	stop := make(chan struct{})
+	go func() {
+		ticker := time.NewTicker(*interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				block, err := network.SealNext()
+				if err != nil {
+					log.Printf("seal: %v", err)
+					continue
+				}
+				if len(block.Txs) > 0 {
+					log.Printf("block %d: %d txs, %d gas", block.Header.Number, len(block.Txs), block.GasUsed())
+				}
+			}
+		}
+	}()
+	defer close(stop)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
+		head := nodes[0].Head()
+		writeJSON(w, map[string]any{
+			"height":     head.Header.Number,
+			"headHash":   head.Hash().String(),
+			"validators": len(nodes),
+			"deApp":      deAddr.String(),
+			"totalGas":   nodes[0].Costs().TotalSpent(),
+			"stateKeys":  nodes[0].State().Len(),
+		})
+	})
+	mux.HandleFunc("GET /resources", func(w http.ResponseWriter, r *http.Request) {
+		args, _ := json.Marshal(distexchange.ListResourcesArgs{})
+		out, err := nodes[0].Query(deAddr, "listResources", args)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(out)
+	})
+	mux.HandleFunc("GET /violations", func(w http.ResponseWriter, r *http.Request) {
+		iri := r.URL.Query().Get("iri")
+		if iri == "" {
+			http.Error(w, "missing iri query parameter", http.StatusBadRequest)
+			return
+		}
+		args, _ := json.Marshal(distexchange.GetViolationsArgs{ResourceIRI: iri})
+		out, err := nodes[0].Query(deAddr, "getViolations", args)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(out)
+	})
+
+	srv := &http.Server{Addr: *httpAddr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("HTTP API on %s (GET /status, /resources, /violations?iri=...)", *httpAddr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	select {
+	case <-sig:
+		log.Println("shutting down")
+		return srv.Close()
+	case err := <-errCh:
+		return err
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunRejectsBadValidatorCount(t *testing.T) {
+	if err := run([]string{"-validators", "0"}); err == nil {
+		t.Fatal("zero validators accepted")
+	}
+}
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,69 @@
+// Command solid-server runs a standalone Solid pod server with Web Access
+// Control, the storage substrate of the usage-control architecture.
+//
+// Usage:
+//
+//	solid-server [-addr :8080] [-owner https://alice.example/profile#me]
+//
+// The server starts with an empty pod whose root ACL grants the owner
+// full control, registers the owner's signing key in the agent directory,
+// and prints the key so a client (e.g. internal/solid.Client) can
+// authenticate. A public demo resource is seeded under /public/hello.txt.
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/simclock"
+	"repro/internal/solid"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "solid-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("solid-server", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	owner := fs.String("owner", "https://alice.example/profile#me", "pod owner WebID")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ownerKey, err := cryptoutil.GenerateKey(nil)
+	if err != nil {
+		return err
+	}
+	ownerID := solid.WebID(*owner)
+
+	dir := solid.NewMapDirectory()
+	dir.Register(ownerID, ownerKey.PublicBytes())
+
+	pod := solid.NewPod(ownerID, "http://localhost"+*addr)
+	now := time.Now()
+	if err := pod.Put(ownerID, "/public/hello.txt", "text/plain",
+		[]byte("hello from a Solid pod with usage control\n"), now); err != nil {
+		return err
+	}
+	acl := solid.NewACL(ownerID, "/public/")
+	acl.GrantPublic("world", "/public/", true, solid.ModeRead)
+	if err := pod.SetACL(ownerID, "/public/", acl); err != nil {
+		return err
+	}
+
+	server := solid.NewServer(pod, dir, simclock.Real{}, nil)
+	log.Printf("pod owner:      %s", ownerID)
+	log.Printf("owner key (hex): %s", hex.EncodeToString(ownerKey.PublicBytes()))
+	log.Printf("serving pod on  %s (try GET /public/hello.txt)", *addr)
+	return http.ListenAndServe(*addr, server)
+}

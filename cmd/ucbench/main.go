@@ -1,0 +1,82 @@
+// Command ucbench regenerates the experiment tables of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	ucbench [-exp e1,e5,e9|all] [-quick]
+//
+// Each experiment boots a fresh in-process deployment of the full
+// architecture (blockchain + DE App + pods + TEEs + oracles + market) and
+// prints one table.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ucbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ucbench", flag.ContinueOnError)
+	expFlag := fs.String("exp", "all", "comma-separated experiments (e1..e11, ablations) or 'all'")
+	quick := fs.Bool("quick", false, "shrink sweep sizes for a fast run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	h := &core.Harness{Quick: *quick}
+	experiments := map[string]func() *core.Table{
+		"e1":        h.E1PodInitiation,
+		"e2":        h.E2ResourceInitiation,
+		"e3":        h.E3ResourceIndexing,
+		"e4":        h.E4ResourceAccess,
+		"e5":        h.E5PolicyModification,
+		"e6":        h.E6PolicyMonitoring,
+		"e7":        h.E7LocalVsRemote,
+		"e8":        h.E8Security,
+		"e9":        h.E9Gas,
+		"e10":       h.E10Overhead,
+		"e11":       h.E11Remuneration,
+		"e12":       h.E12Robustness,
+		"ablations": nil, // expanded below
+	}
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "ablations"}
+
+	var selected []string
+	if *expFlag == "all" {
+		selected = order
+	} else {
+		for _, name := range strings.Split(*expFlag, ",") {
+			name = strings.TrimSpace(strings.ToLower(name))
+			if name == "" {
+				continue
+			}
+			if _, ok := experiments[name]; !ok {
+				return fmt.Errorf("unknown experiment %q (have %s)", name, strings.Join(order, ", "))
+			}
+			selected = append(selected, name)
+		}
+	}
+	if len(selected) == 0 {
+		return fmt.Errorf("no experiments selected")
+	}
+
+	for _, name := range selected {
+		if name == "ablations" {
+			fmt.Println(h.AblationBlockInterval())
+			fmt.Println(h.AblationOracleFanout())
+			continue
+		}
+		fmt.Println(experiments[name]())
+	}
+	return nil
+}

@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestRunSelectsExperiments(t *testing.T) {
+	// A cheap experiment in quick mode exercises flag parsing, dispatch,
+	// and table printing end to end.
+	if err := run([]string{"-quick", "-exp", "e8"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "e99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunRejectsEmptySelection(t *testing.T) {
+	if err := run([]string{"-exp", ","}); err == nil {
+		t.Fatal("empty selection accepted")
+	}
+}
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

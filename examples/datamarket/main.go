@@ -1,0 +1,165 @@
+// Datamarket replays the paper's Section II motivating scenario end to
+// end: Alice and Bob trade datasets through the decentralized data
+// market, usage policies travel with the data, both later tighten their
+// policies, and the TEEs execute the resulting obligations.
+//
+//	go run ./examples/datamarket
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func step(format string, args ...any) { fmt.Printf("-- "+format+"\n", args...) }
+
+func run() error {
+	ctx := context.Background()
+	d, err := core.NewDeployment(core.Config{Validators: 3})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+
+	// "Alice and Bob sign up for a new decentralized data market service"
+	alice, err := d.NewOwner("alice")
+	if err != nil {
+		return err
+	}
+	bob, err := d.NewOwner("bob")
+	if err != nil {
+		return err
+	}
+	if err := alice.InitializePod(ctx, nil); err != nil {
+		return err
+	}
+	if err := bob.InitializePod(ctx, nil); err != nil {
+		return err
+	}
+	step("pods initialized on a 3-validator chain (Fig. 2-1)")
+
+	// "Bob's dataset contains medical data to be used only for medical
+	// purposes."
+	if err := bob.AddResource("/medical/ds1.ttl", "text/turtle",
+		[]byte("@prefix ex: <http://e/> .\nex:patient42 ex:hasCondition ex:c1 .")); err != nil {
+		return err
+	}
+	medicalPol := bob.NewPolicy("/medical/ds1.ttl")
+	medicalPol.AllowedPurposes = []policy.Purpose{policy.PurposeMedicalResearch}
+	medicalIRI, err := bob.Publish(ctx, "/medical/ds1.ttl", "medical dataset", medicalPol)
+	if err != nil {
+		return err
+	}
+
+	// "Alice's dataset contains internet-browsing datasets, which must be
+	// deleted one month after their storage."
+	if err := alice.AddResource("/web/browsing.csv", "text/csv",
+		[]byte("url,ts\nexample.org,1696800000\n")); err != nil {
+		return err
+	}
+	browsingPol := alice.NewPolicy("/web/browsing.csv")
+	browsingPol.MaxRetention = 30 * 24 * time.Hour
+	browsingIRI, err := alice.Publish(ctx, "/web/browsing.csv", "internet browsing dataset", browsingPol)
+	if err != nil {
+		return err
+	}
+	step("resources published with usage policies (Fig. 2-2)")
+	step("  %s", medicalPol.Summary())
+	step("  %s", browsingPol.Summary())
+
+	// "Alice is a researcher in the healthcare domain." / "Bob, a web
+	// data analyst."
+	aliceResearcher, err := d.NewConsumer("alice-researcher", policy.PurposeMedicalResearch)
+	if err != nil {
+		return err
+	}
+	bobAnalyst, err := d.NewConsumer("bob-analyst", policy.PurposeWebAnalytics)
+	if err != nil {
+		return err
+	}
+	if err := bob.Grant(ctx, aliceResearcher, "/medical/ds1.ttl", policy.PurposeMedicalResearch); err != nil {
+		return err
+	}
+	if err := alice.Grant(ctx, bobAnalyst, "/web/browsing.csv", policy.PurposeWebAnalytics); err != nil {
+		return err
+	}
+
+	// Resource indexing + access with market-fee certificates
+	// (Fig. 2-3/2-4).
+	if err := aliceResearcher.Access(ctx, medicalIRI); err != nil {
+		return err
+	}
+	if err := bobAnalyst.Access(ctx, browsingIRI); err != nil {
+		return err
+	}
+	step("cross-access complete: fee paid, certificate checked, copies in TEEs (Fig. 2-3/2-4)")
+
+	if _, err := aliceResearcher.Use(medicalIRI, policy.ActionUse); err != nil {
+		return err
+	}
+	if _, err := bobAnalyst.Use(browsingIRI, policy.ActionUse); err != nil {
+		return err
+	}
+	step("both consumers use their local copies under policy control")
+
+	// "Alice asks the market service to check that the usage policy ... is
+	// being adhered to." (Fig. 2-6)
+	evidence, violations, err := alice.Monitor(ctx, "/web/browsing.csv")
+	if err != nil {
+		return err
+	}
+	step("monitoring round: %d evidence reports, %d violations (Fig. 2-6)", len(evidence), len(violations))
+
+	// "After two days, Alice changes the maximum storage time ... to one
+	// week. In the meantime, Bob modifies the allowed purpose ... to
+	// academic pursuits." (Fig. 2-5)
+	d.Clock.Advance(48 * time.Hour)
+	aliceV2 := alice.NewPolicy("/web/browsing.csv")
+	aliceV2.Version = 2
+	aliceV2.MaxRetention = 7 * 24 * time.Hour
+	if err := alice.ModifyPolicy(ctx, "/web/browsing.csv", aliceV2); err != nil {
+		return err
+	}
+	bobV2 := bob.NewPolicy("/medical/ds1.ttl")
+	bobV2.Version = 2
+	bobV2.AllowedPurposes = []policy.Purpose{policy.PurposeAcademic}
+	if err := bob.ModifyPolicy(ctx, "/medical/ds1.ttl", bobV2); err != nil {
+		return err
+	}
+	if err := bobAnalyst.WaitPolicyVersion(browsingIRI, 2, 5*time.Second); err != nil {
+		return err
+	}
+	if err := aliceResearcher.WaitPolicyVersion(medicalIRI, 2, 5*time.Second); err != nil {
+		return err
+	}
+	step("policy updates propagated through the push-out oracle (Fig. 2-5)")
+
+	// "Alice's data are erased from Bob's device after the new expiry
+	// time lapses."
+	d.Clock.Advance(5*24*time.Hour + time.Minute)
+	if bobAnalyst.App.Holds(browsingIRI) {
+		return fmt.Errorf("browsing data survived the shortened retention")
+	}
+	step("day 7: Alice's data erased from Bob's device")
+
+	// Alice's medical-research purpose is no longer allowed under Bob's
+	// academic-only policy, so her use is revoked.
+	if _, err := aliceResearcher.Use(medicalIRI, policy.ActionUse); err != nil {
+		step("Alice's researcher app: %v", err)
+	}
+
+	fmt.Println()
+	fmt.Println(core.ChainStats(d))
+	return nil
+}

@@ -1,0 +1,112 @@
+// Monitoring demonstrates the Fig. 2(6) policy monitoring process with
+// failure injection: three consumer devices hold copies of a dataset, one
+// turns rogue (stops executing deletion obligations) and one goes
+// offline. The DE App's monitoring detects both: a retention violation
+// backed by signed evidence, and an unresponsive-device violation.
+//
+//	go run ./examples/monitoring
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/distexchange"
+	"repro/internal/policy"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+	d, err := core.NewDeployment(core.Config{MonitoringGrace: 500 * time.Millisecond})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+
+	owner, err := d.NewOwner("owner")
+	if err != nil {
+		return err
+	}
+	if err := owner.InitializePod(ctx, nil); err != nil {
+		return err
+	}
+	if err := owner.AddResource("/data/survey.csv", "text/csv", []byte("q,a\n1,yes\n")); err != nil {
+		return err
+	}
+	pol := owner.NewPolicy("/data/survey.csv")
+	pol.MaxRetention = 14 * 24 * time.Hour
+	pol.NotifyOnUse = true
+	iri, err := owner.Publish(ctx, "/data/survey.csv", "survey responses", pol)
+	if err != nil {
+		return err
+	}
+	fmt.Println("published:", pol.Summary())
+
+	var consumers []*core.Consumer
+	for i := range 3 {
+		c, err := d.NewConsumer(fmt.Sprintf("device%d", i), policy.PurposeWebAnalytics)
+		if err != nil {
+			return err
+		}
+		if err := owner.Grant(ctx, c, "/data/survey.csv", policy.PurposeWebAnalytics); err != nil {
+			return err
+		}
+		if err := c.Access(ctx, iri); err != nil {
+			return err
+		}
+		if _, err := c.Use(iri, policy.ActionUse); err != nil {
+			return err
+		}
+		consumers = append(consumers, c)
+	}
+	fmt.Println("3 devices hold policy-controlled copies")
+
+	// Round 1: everyone compliant.
+	evidence, violations, err := owner.Monitor(ctx, "/data/survey.csv")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("round 1: %d evidence reports, %d violations\n", len(evidence), len(violations))
+
+	// Failure injection: device 1 turns rogue, device 2 goes offline.
+	consumers[1].App.SetRogue(true)
+	d.PullIn().UnregisterSource(consumers[2].Device.Address())
+	fmt.Println("injected: device1 stops deleting, device2 goes offline")
+
+	// 15 days later the retention deadline has passed. Honest device 0
+	// deleted its copy; rogue device 1 still holds it.
+	d.Clock.Advance(15 * 24 * time.Hour)
+	fmt.Printf("after 15 days: device0 holds=%t device1 holds=%t\n",
+		consumers[0].App.Holds(iri), consumers[1].App.Holds(iri))
+
+	evidence, violations, err = owner.Monitor(ctx, "/data/survey.csv")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("round 2: %d evidence reports, %d violations\n", len(evidence), len(violations))
+	for _, v := range violations {
+		fmt.Printf("  violation: kind=%s device=%s round=%d\n", v.Kind, v.Device.Short(), v.Round)
+	}
+
+	// The owner revokes the rogue device's grant.
+	for _, v := range violations {
+		if v.Kind == distexchange.ViolationRetention {
+			if _, err := owner.Manager.DE().RevokeGrant(ctx, distexchange.RevokeGrantArgs{
+				ResourceIRI: iri, Device: v.Device,
+			}); err != nil {
+				return err
+			}
+			fmt.Printf("  grant revoked for %s\n", v.Device.Short())
+		}
+	}
+	return nil
+}

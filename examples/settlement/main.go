@@ -1,0 +1,89 @@
+// Settlement demonstrates the paper's §V-4 economic mechanism (future
+// work): the data market redistributes access-fee revenue to data owners
+// proportionally to the accesses their resources received, keeping a
+// margin for itself.
+//
+//	go run ./examples/settlement
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+	d, err := core.NewDeployment(core.Config{})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+
+	// Three owners publish one dataset each.
+	type seller struct {
+		owner *core.Owner
+		iri   string
+	}
+	var sellers []seller
+	for i, name := range []string{"alice", "bob", "carol"} {
+		o, err := d.NewOwner(name)
+		if err != nil {
+			return err
+		}
+		if err := o.InitializePod(ctx, nil); err != nil {
+			return err
+		}
+		path := "/data/set.csv"
+		if err := o.AddResource(path, "text/csv", []byte(fmt.Sprintf("dataset %d", i))); err != nil {
+			return err
+		}
+		iri, err := o.Publish(ctx, path, name+"'s dataset", nil)
+		if err != nil {
+			return err
+		}
+		sellers = append(sellers, seller{owner: o, iri: iri})
+	}
+
+	// Demand is skewed: alice 5 accesses, bob 3, carol 1.
+	demand := []int{5, 3, 1}
+	idx := 0
+	for i, n := range demand {
+		for range n {
+			c, err := d.NewConsumer(fmt.Sprintf("buyer%d", idx), policy.PurposeAny)
+			if err != nil {
+				return err
+			}
+			idx++
+			if err := sellers[i].owner.Grant(ctx, c, "/data/set.csv", policy.PurposeAny); err != nil {
+				return err
+			}
+			if err := c.Access(ctx, sellers[i].iri); err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Printf("period complete: %d paid accesses, %d fee units of revenue\n",
+		d.Market.Payments(), d.Market.Revenue())
+
+	// Settle with a 10% market margin.
+	payouts, err := d.Market.Settle(10)
+	if err != nil {
+		return err
+	}
+	fmt.Println("settlement (10% market margin):")
+	for _, p := range payouts {
+		fmt.Printf("  %-42s accesses=%d payout=%d\n", p.OwnerWebID, p.Accesses, p.Amount)
+	}
+	fmt.Printf("market retains %d fee units (margin + rounding)\n", d.Market.Revenue())
+	return nil
+}

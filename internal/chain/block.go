@@ -1,0 +1,103 @@
+package chain
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cryptoutil"
+)
+
+// Header carries the consensus-relevant fields of a block.
+type Header struct {
+	// Number is the block height; the genesis block is 0.
+	Number uint64
+	// ParentHash links to the previous block.
+	ParentHash cryptoutil.Hash
+	// Time is the proposer-declared block timestamp.
+	Time time.Time
+	// Proposer is the authority that produced the block.
+	Proposer cryptoutil.Address
+	// TxRoot commits to the block's transactions.
+	TxRoot cryptoutil.Hash
+	// ReceiptRoot commits to the execution outcomes.
+	ReceiptRoot cryptoutil.Hash
+	// StateRoot commits to the post-execution state.
+	StateRoot cryptoutil.Hash
+	// Signature is the proposer's signature over the header content.
+	Signature []byte
+}
+
+// SigningBytes returns the deterministic encoding covered by the proposer
+// signature.
+func (h *Header) SigningBytes() []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "header|%d|%s|%d|%s|%s|%s|%s",
+		h.Number, h.ParentHash, h.Time.UnixNano(), h.Proposer, h.TxRoot, h.ReceiptRoot, h.StateRoot)
+	return []byte(b.String())
+}
+
+// Hash returns the block hash (header content plus signature).
+func (h *Header) Hash() cryptoutil.Hash {
+	return cryptoutil.HashOf(h.SigningBytes(), h.Signature)
+}
+
+// Block is a header plus its transactions and receipts.
+type Block struct {
+	Header   Header
+	Txs      []*Tx
+	Receipts []*Receipt
+}
+
+// Hash returns the block hash.
+func (b *Block) Hash() cryptoutil.Hash { return b.Header.Hash() }
+
+// GasUsed returns the total gas consumed by the block's transactions.
+func (b *Block) GasUsed() uint64 {
+	var total uint64
+	for _, r := range b.Receipts {
+		total += r.GasUsed
+	}
+	return total
+}
+
+// merkleRoot computes a binary Merkle root over the leaves. An empty leaf
+// set hashes to the hash of the empty string, and odd levels promote the
+// last node unchanged.
+func merkleRoot(leaves []cryptoutil.Hash) cryptoutil.Hash {
+	if len(leaves) == 0 {
+		return cryptoutil.HashOf(nil)
+	}
+	level := make([]cryptoutil.Hash, len(leaves))
+	copy(level, leaves)
+	for len(level) > 1 {
+		next := make([]cryptoutil.Hash, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			if i+1 == len(level) {
+				next = append(next, level[i])
+				continue
+			}
+			next = append(next, cryptoutil.HashOf(level[i][:], level[i+1][:]))
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// txRoot commits to a transaction list.
+func txRoot(txs []*Tx) cryptoutil.Hash {
+	leaves := make([]cryptoutil.Hash, len(txs))
+	for i, tx := range txs {
+		leaves[i] = tx.Hash()
+	}
+	return merkleRoot(leaves)
+}
+
+// receiptRoot commits to a receipt list.
+func receiptRoot(receipts []*Receipt) cryptoutil.Hash {
+	leaves := make([]cryptoutil.Hash, len(receipts))
+	for i, r := range receipts {
+		leaves[i] = r.Digest()
+	}
+	return merkleRoot(leaves)
+}

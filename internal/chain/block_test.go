@@ -1,0 +1,107 @@
+package chain
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cryptoutil"
+)
+
+func TestHeaderSigningBytesCoverAllFields(t *testing.T) {
+	base := Header{
+		Number:      7,
+		ParentHash:  cryptoutil.HashOf([]byte("parent")),
+		Time:        chainEpoch,
+		Proposer:    cryptoutil.MustGenerateKey().Address(),
+		TxRoot:      cryptoutil.HashOf([]byte("txs")),
+		ReceiptRoot: cryptoutil.HashOf([]byte("receipts")),
+		StateRoot:   cryptoutil.HashOf([]byte("state")),
+	}
+	mutations := []func(*Header){
+		func(h *Header) { h.Number++ },
+		func(h *Header) { h.ParentHash = cryptoutil.HashOf([]byte("other")) },
+		func(h *Header) { h.Time = h.Time.Add(time.Nanosecond) },
+		func(h *Header) { h.Proposer = cryptoutil.MustGenerateKey().Address() },
+		func(h *Header) { h.TxRoot = cryptoutil.HashOf([]byte("other")) },
+		func(h *Header) { h.ReceiptRoot = cryptoutil.HashOf([]byte("other")) },
+		func(h *Header) { h.StateRoot = cryptoutil.HashOf([]byte("other")) },
+	}
+	baseBytes := string(base.SigningBytes())
+	for i, mutate := range mutations {
+		m := base
+		mutate(&m)
+		if string(m.SigningBytes()) == baseBytes {
+			t.Errorf("mutation %d not covered by SigningBytes", i)
+		}
+	}
+}
+
+func TestBlockHashIncludesSignature(t *testing.T) {
+	h := Header{Number: 1, Time: chainEpoch}
+	h1 := h
+	h1.Signature = []byte{1}
+	h2 := h
+	h2.Signature = []byte{2}
+	if h1.Hash() == h2.Hash() {
+		t.Fatal("block hash ignores the signature")
+	}
+}
+
+func TestBlockGasUsed(t *testing.T) {
+	b := &Block{Receipts: []*Receipt{{GasUsed: 10}, {GasUsed: 32}}}
+	if b.GasUsed() != 42 {
+		t.Fatalf("GasUsed = %d", b.GasUsed())
+	}
+}
+
+func TestTxSigningBytesCoverAllFields(t *testing.T) {
+	key := cryptoutil.MustGenerateKey()
+	base := &Tx{
+		Nonce:     1,
+		From:      key.Address(),
+		SenderKey: key.PublicBytes(),
+		Contract:  testContractAddr(),
+		Method:    "set",
+		Args:      []byte(`{"k":"v"}`),
+		GasLimit:  1000,
+	}
+	mutations := []func(*Tx){
+		func(tx *Tx) { tx.Nonce++ },
+		func(tx *Tx) { tx.From = cryptoutil.MustGenerateKey().Address() },
+		func(tx *Tx) { tx.SenderKey = []byte{1} },
+		func(tx *Tx) { tx.Contract = cryptoutil.Address{9} },
+		func(tx *Tx) { tx.Method = "other" },
+		func(tx *Tx) { tx.Args = []byte(`{}`) },
+		func(tx *Tx) { tx.GasLimit++ },
+	}
+	baseBytes := string(base.SigningBytes())
+	for i, mutate := range mutations {
+		m := *base
+		mutate(&m)
+		if string(m.SigningBytes()) == baseBytes {
+			t.Errorf("mutation %d not covered by SigningBytes", i)
+		}
+	}
+}
+
+func TestReceiptDigestCoversEvents(t *testing.T) {
+	r1 := &Receipt{TxHash: cryptoutil.HashOf([]byte("tx")), Status: StatusOK, GasUsed: 5}
+	r2 := &Receipt{TxHash: cryptoutil.HashOf([]byte("tx")), Status: StatusOK, GasUsed: 5,
+		Events: []Event{{Topic: "Set", Key: "k", Data: []byte("v")}}}
+	if r1.Digest() == r2.Digest() {
+		t.Fatal("receipt digest ignores events")
+	}
+	r3 := &Receipt{TxHash: r1.TxHash, Status: StatusReverted, GasUsed: 5, Err: "boom"}
+	if r1.Digest() == r3.Digest() {
+		t.Fatal("receipt digest ignores status/error")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if StatusOK.String() != "ok" || StatusReverted.String() != "reverted" {
+		t.Fatal("unexpected status names")
+	}
+	if Status(9).String() == "" {
+		t.Fatal("unknown status should render")
+	}
+}

@@ -1,0 +1,126 @@
+package chain
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/simclock"
+)
+
+// testExecutor is a minimal Executor for chain tests. It supports:
+//
+//	"set"   {key, value}: writes value under "<contract>/<key>", emits "Set".
+//	"fail"  {}          : reverts with GasTxBase consumed.
+//	"burn"  {amount}    : charges amount gas (tests out-of-gas handling).
+//	"get"   {key}       : query-only read returning {"value": ...}.
+type testExecutor struct{}
+
+type setArgs struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+type burnArgs struct {
+	Amount uint64 `json:"amount"`
+}
+
+func (testExecutor) ExecuteTx(st *State, tx *Tx, bctx BlockContext) *Receipt {
+	meter := NewGasMeter(tx.GasLimit)
+	r := &Receipt{Status: StatusOK}
+	charge := func(amount uint64) bool {
+		if err := meter.Charge(amount); err != nil {
+			r.Status = StatusReverted
+			r.Err = err.Error()
+			r.GasUsed = meter.Used()
+			return false
+		}
+		return true
+	}
+	if !charge(GasTxBase + uint64(len(tx.Args))*GasPerArgByte) {
+		return r
+	}
+	switch tx.Method {
+	case "set":
+		var args setArgs
+		if err := json.Unmarshal(tx.Args, &args); err != nil {
+			r.Status = StatusReverted
+			r.Err = err.Error()
+			r.GasUsed = meter.Used()
+			return r
+		}
+		if !charge(GasStorageSet + uint64(len(args.Value))*GasStoragePerByte) {
+			return r
+		}
+		st.Set(tx.Contract.String()+"/"+args.Key, []byte(args.Value))
+		r.Events = append(r.Events, Event{
+			Contract: tx.Contract, Topic: "Set", Key: args.Key, Data: []byte(args.Value),
+		})
+	case "fail":
+		r.Status = StatusReverted
+		r.Err = "deliberate failure"
+	case "burn":
+		var args burnArgs
+		_ = json.Unmarshal(tx.Args, &args)
+		if !charge(args.Amount) {
+			return r
+		}
+	default:
+		r.Status = StatusReverted
+		r.Err = fmt.Sprintf("unknown method %q", tx.Method)
+	}
+	r.GasUsed = meter.Used()
+	return r
+}
+
+func (testExecutor) Query(st *State, contract cryptoutil.Address, method string, args []byte, bctx BlockContext) ([]byte, error) {
+	if method != "get" {
+		return nil, fmt.Errorf("unknown query %q", method)
+	}
+	var a setArgs
+	if err := json.Unmarshal(args, &a); err != nil {
+		return nil, err
+	}
+	v, ok := st.Get(contract.String() + "/" + a.Key)
+	if !ok {
+		return nil, fmt.Errorf("key %q not found", a.Key)
+	}
+	return json.Marshal(map[string]string{"value": string(v)})
+}
+
+var chainEpoch = time.Date(2023, 10, 9, 0, 0, 0, 0, time.UTC)
+
+// newTestNode builds a single-authority node with a simulated clock.
+func newTestNode(tb interface{ Fatal(...any) }) (*Node, *cryptoutil.KeyPair, *simclock.Sim) {
+	key := cryptoutil.MustGenerateKey()
+	clk := simclock.NewSim(chainEpoch)
+	node, err := NewNode(Config{
+		Key:         key,
+		Authorities: []cryptoutil.Address{key.Address()},
+		Executor:    testExecutor{},
+		Clock:       clk,
+		GenesisTime: chainEpoch,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return node, key, clk
+}
+
+// mustTx builds a signed "set" transaction.
+func mustTx(tb interface{ Fatal(...any) }, key *cryptoutil.KeyPair, nonce uint64, contract cryptoutil.Address, k, v string) *Tx {
+	tx, err := NewTx(key, nonce, contract, "set", setArgs{Key: k, Value: v}, 200_000)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return tx
+}
+
+// testContractAddr is an arbitrary contract address for tests.
+func testContractAddr() cryptoutil.Address {
+	var a cryptoutil.Address
+	copy(a[:], strings.Repeat("c", cryptoutil.AddressLen))
+	return a
+}

@@ -1,0 +1,148 @@
+package chain
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/cryptoutil"
+)
+
+// Gas schedule. The constants mirror the structure (not the magnitudes) of
+// Ethereum's: a base cost per transaction, per-byte costs for calldata,
+// storage writes priced far above reads, and event emission priced per
+// byte. The affordability experiment (E9) reports costs in these units.
+const (
+	// GasTxBase is charged for any transaction.
+	GasTxBase uint64 = 21_000
+	// GasPerArgByte is charged per byte of calldata.
+	GasPerArgByte uint64 = 16
+	// GasStorageSet is charged per storage write plus per byte written.
+	GasStorageSet     uint64 = 5_000
+	GasStoragePerByte uint64 = 20
+	// GasStorageGet is charged per storage read.
+	GasStorageGet uint64 = 200
+	// GasStorageDelete is charged per storage delete.
+	GasStorageDelete uint64 = 1_000
+	// GasEventBase is charged per emitted event plus per payload byte.
+	GasEventBase    uint64 = 375
+	GasEventPerByte uint64 = 8
+)
+
+// ErrOutOfGas reverts a transaction whose gas limit is exhausted.
+var ErrOutOfGas = errors.New("chain: out of gas")
+
+// GasMeter tracks gas consumption against a limit.
+type GasMeter struct {
+	limit uint64
+	used  uint64
+}
+
+// NewGasMeter returns a meter with the given limit.
+func NewGasMeter(limit uint64) *GasMeter {
+	return &GasMeter{limit: limit}
+}
+
+// Charge consumes amount gas, returning ErrOutOfGas if the limit would be
+// exceeded (the meter is then pinned at the limit: all gas is consumed).
+func (m *GasMeter) Charge(amount uint64) error {
+	if m.used+amount > m.limit || m.used+amount < m.used {
+		m.used = m.limit
+		return fmt.Errorf("%w: limit %d", ErrOutOfGas, m.limit)
+	}
+	m.used += amount
+	return nil
+}
+
+// Used returns the gas consumed so far.
+func (m *GasMeter) Used() uint64 { return m.used }
+
+// Remaining returns the gas left before the limit.
+func (m *GasMeter) Remaining() uint64 { return m.limit - m.used }
+
+// CostLedger accumulates per-address gas expenditure across the chain's
+// lifetime. It backs the affordability analysis: "resorting to a public
+// blockchain, users ... would make a payment to interact with the
+// blockchain metadata through transactions" (Section V-4).
+type CostLedger struct {
+	mu    sync.Mutex
+	spent map[cryptoutil.Address]uint64
+	byOp  map[string]opStats
+}
+
+type opStats struct {
+	Count    uint64
+	TotalGas uint64
+}
+
+// OpCost reports aggregate gas statistics for one contract method.
+type OpCost struct {
+	Method   string
+	Count    uint64
+	TotalGas uint64
+}
+
+// AvgGas returns the mean gas per invocation.
+func (o OpCost) AvgGas() uint64 {
+	if o.Count == 0 {
+		return 0
+	}
+	return o.TotalGas / o.Count
+}
+
+// NewCostLedger returns an empty ledger.
+func NewCostLedger() *CostLedger {
+	return &CostLedger{
+		spent: make(map[cryptoutil.Address]uint64),
+		byOp:  make(map[string]opStats),
+	}
+}
+
+// Record notes that addr spent gas on method.
+func (l *CostLedger) Record(addr cryptoutil.Address, method string, gas uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.spent[addr] += gas
+	s := l.byOp[method]
+	s.Count++
+	s.TotalGas += gas
+	l.byOp[method] = s
+}
+
+// SpentBy returns the total gas spent by addr.
+func (l *CostLedger) SpentBy(addr cryptoutil.Address) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.spent[addr]
+}
+
+// TotalSpent returns the gas spent across all addresses.
+func (l *CostLedger) TotalSpent() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var total uint64
+	for _, v := range l.spent {
+		total += v
+	}
+	return total
+}
+
+// ByOperation returns per-method aggregate costs, sorted by method name.
+func (l *CostLedger) ByOperation() []OpCost {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]OpCost, 0, len(l.byOp))
+	for m, s := range l.byOp {
+		out = append(out, OpCost{Method: m, Count: s.Count, TotalGas: s.TotalGas})
+	}
+	sortOpCosts(out)
+	return out
+}
+
+func sortOpCosts(ops []OpCost) {
+	for i := 1; i < len(ops); i++ {
+		for j := i; j > 0 && ops[j].Method < ops[j-1].Method; j-- {
+			ops[j], ops[j-1] = ops[j-1], ops[j]
+		}
+	}
+}

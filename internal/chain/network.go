@@ -1,0 +1,338 @@
+package chain
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/cryptoutil"
+)
+
+// Block validation errors.
+var (
+	ErrBadParent      = errors.New("chain: block parent hash mismatch")
+	ErrBadNumber      = errors.New("chain: block number not sequential")
+	ErrWrongProposer  = errors.New("chain: block proposer out of turn")
+	ErrBadHeaderSig   = errors.New("chain: invalid header signature")
+	ErrBadTxInBlock   = errors.New("chain: invalid transaction in block")
+	ErrBadTxRoot      = errors.New("chain: tx root mismatch")
+	ErrBadReceiptRoot = errors.New("chain: receipt root mismatch")
+	ErrBadStateRoot   = errors.New("chain: state root mismatch")
+	ErrBadTimestamp   = errors.New("chain: block timestamp not after parent")
+)
+
+// ApplyBlock validates a block sealed by another authority and, if valid,
+// applies it to this node's ledger and state. Validation re-executes every
+// transaction on a clone of the current state and compares the resulting
+// roots, so a proposer cannot smuggle in an incorrect state transition —
+// this realizes the paper's claim that "the correctness of the executed
+// code is validated by the consensus mechanism of the blockchain".
+func (n *Node) ApplyBlock(block *Block, proposerKey []byte) error {
+	n.sealMu.Lock()
+	defer n.sealMu.Unlock()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+
+	parent := n.blocks[len(n.blocks)-1]
+	h := block.Header
+	if h.Number != parent.Header.Number+1 {
+		return fmt.Errorf("%w: got %d, want %d", ErrBadNumber, h.Number, parent.Header.Number+1)
+	}
+	if h.ParentHash != parent.Hash() {
+		return ErrBadParent
+	}
+	if !h.Time.After(parent.Header.Time) {
+		return ErrBadTimestamp
+	}
+	// Clique-style proof of authority: the in-turn authority is preferred
+	// by the network layer, but any member of the authority set may seal a
+	// block (this is what keeps the chain live when the in-turn proposer
+	// is down). Non-authorities are always rejected.
+	if !n.isAuthority(h.Proposer) {
+		return fmt.Errorf("%w: %s is not an authority", ErrWrongProposer, h.Proposer)
+	}
+	if err := cryptoutil.VerifyWithAddress(h.Proposer, proposerKey, h.SigningBytes(), h.Signature); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadHeaderSig, err)
+	}
+	for _, tx := range block.Txs {
+		if err := tx.VerifySignature(); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadTxInBlock, err)
+		}
+	}
+	if got := txRoot(block.Txs); got != h.TxRoot {
+		return ErrBadTxRoot
+	}
+
+	// Re-execute on a clone and compare roots before touching real state.
+	replica := n.state.Clone()
+	bctx := BlockContext{Number: h.Number, Time: h.Time}
+	receipts := replayTxs(n.executor, replica, block.Txs, bctx)
+	if got := receiptRoot(receipts); got != h.ReceiptRoot {
+		return ErrBadReceiptRoot
+	}
+	if got := replica.Root(); got != h.StateRoot {
+		return ErrBadStateRoot
+	}
+
+	// Valid: replay on the real state and commit.
+	committed := replayTxs(n.executor, n.state, block.Txs, bctx)
+	for _, tx := range block.Txs {
+		n.nonces[tx.From] = tx.Nonce + 1
+		n.removeFromMempoolLocked(tx.Hash())
+	}
+	for i, tx := range block.Txs {
+		n.costs.Record(tx.From, tx.Method, committed[i].GasUsed)
+	}
+	applied := &Block{Header: h, Txs: block.Txs, Receipts: committed}
+	n.commitLocked(applied)
+	return nil
+}
+
+// replayTxs executes txs against st, producing receipts with block-local
+// event indexes, mirroring Node.executeAll but against an explicit state.
+func replayTxs(ex Executor, st *State, txs []*Tx, bctx BlockContext) []*Receipt {
+	receipts := make([]*Receipt, 0, len(txs))
+	eventIndex := 0
+	for _, tx := range txs {
+		checkpoint := st.Checkpoint()
+		receipt := ex.ExecuteTx(st, tx, bctx)
+		if receipt.Status != StatusOK {
+			st.RevertTo(checkpoint)
+			receipt.Events = nil
+		}
+		receipt.TxHash = tx.Hash()
+		receipt.BlockNumber = bctx.Number
+		for i := range receipt.Events {
+			receipt.Events[i].BlockNumber = bctx.Number
+			receipt.Events[i].TxHash = receipt.TxHash
+			receipt.Events[i].Index = eventIndex
+			eventIndex++
+		}
+		receipts = append(receipts, receipt)
+	}
+	st.DiscardJournal()
+	return receipts
+}
+
+func (n *Node) removeFromMempoolLocked(txHash cryptoutil.Hash) {
+	for i, tx := range n.mempool {
+		if tx.Hash() == txHash {
+			n.mempool = append(n.mempool[:i], n.mempool[i+1:]...)
+			return
+		}
+	}
+}
+
+// Network is an in-process cluster of authority nodes. The node whose turn
+// it is seals; the network then broadcasts the block to every other node,
+// which validates and applies it. This models the paper's availability
+// argument: any node can serve reads, and the cluster survives the loss of
+// individual nodes.
+type Network struct {
+	mu    sync.Mutex
+	nodes []*Node
+	keys  map[cryptoutil.Address][]byte // authority address -> public key bytes
+	down  map[cryptoutil.Address]bool
+}
+
+// NewNetwork groups nodes into a cluster. All nodes must share the same
+// authority set and genesis.
+func NewNetwork(nodes ...*Node) (*Network, error) {
+	if len(nodes) == 0 {
+		return nil, errors.New("chain: empty network")
+	}
+	keys := make(map[cryptoutil.Address][]byte, len(nodes))
+	for _, n := range nodes {
+		keys[n.Address()] = n.key.PublicBytes()
+	}
+	return &Network{nodes: nodes, keys: keys, down: make(map[cryptoutil.Address]bool)}, nil
+}
+
+// Nodes returns the cluster members.
+func (net *Network) Nodes() []*Node {
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	return append([]*Node(nil), net.nodes...)
+}
+
+// SetDown marks a node as failed (true) or recovered (false). Failed nodes
+// neither seal nor receive broadcasts.
+func (net *Network) SetDown(addr cryptoutil.Address, down bool) {
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	net.down[addr] = down
+}
+
+// SealNext asks the in-turn authority to seal the next block and
+// broadcasts the result to every live node. If the in-turn authority is
+// down, the next live authority in rotation order takes over out of turn
+// (clique-style), so the cluster stays live as long as one authority
+// remains — the paper's availability property.
+func (net *Network) SealNext() (*Block, error) {
+	net.mu.Lock()
+	nodes := append([]*Node(nil), net.nodes...)
+	down := make(map[cryptoutil.Address]bool, len(net.down))
+	for k, v := range net.down {
+		down[k] = v
+	}
+	net.mu.Unlock()
+
+	if len(nodes) == 0 {
+		return nil, errors.New("chain: empty network")
+	}
+	// Pick a live reference node to read the current height.
+	var ref *Node
+	for _, n := range nodes {
+		if !down[n.Address()] {
+			ref = n
+			break
+		}
+	}
+	if ref == nil {
+		return nil, ErrProposerDown
+	}
+	height := ref.Height() + 1
+	inTurn := ref.proposerFor(height)
+
+	byAddr := make(map[cryptoutil.Address]*Node, len(nodes))
+	order := make([]cryptoutil.Address, 0, len(nodes))
+	for _, n := range nodes {
+		byAddr[n.Address()] = n
+		order = append(order, n.Address())
+	}
+	// Rotate the candidate order so the in-turn authority goes first.
+	start := 0
+	for i, a := range order {
+		if a == inTurn {
+			start = i
+			break
+		}
+	}
+
+	var block *Block
+	var proposerAddr cryptoutil.Address
+	for i := range order {
+		addr := order[(start+i)%len(order)]
+		node := byAddr[addr]
+		if down[addr] {
+			continue
+		}
+		var err error
+		if addr == inTurn {
+			block, err = node.Seal()
+		} else {
+			block, err = node.SealOutOfTurn()
+		}
+		if err != nil {
+			return nil, err
+		}
+		proposerAddr = addr
+		break
+	}
+	if block == nil {
+		return nil, ErrProposerDown
+	}
+
+	proposerKey := net.keys[proposerAddr]
+	for _, n := range nodes {
+		if n.Address() == proposerAddr || down[n.Address()] {
+			continue
+		}
+		if err := n.ApplyBlock(block, proposerKey); err != nil {
+			return nil, fmt.Errorf("chain: node %s rejected block %d: %w", n.Address().Short(), block.Header.Number, err)
+		}
+	}
+	return block, nil
+}
+
+// ErrProposerDown reports that no live authority could seal.
+var ErrProposerDown = errors.New("chain: no live proposer")
+
+// SyncFrom catches this node up to a peer by fetching and validating the
+// peer's blocks above the local height. It returns the number of blocks
+// applied. This is how a recovered node rejoins the cluster after
+// downtime (the §V-2 availability story).
+func (n *Node) SyncFrom(peer *Node, peerKeys map[cryptoutil.Address][]byte) (int, error) {
+	applied := 0
+	for {
+		next := n.Height() + 1
+		block := peer.BlockByNumber(next)
+		if block == nil {
+			return applied, nil
+		}
+		proposerKey, ok := peerKeys[block.Header.Proposer]
+		if !ok {
+			return applied, fmt.Errorf("chain: no key for proposer %s at height %d",
+				block.Header.Proposer.Short(), next)
+		}
+		if err := n.ApplyBlock(block, proposerKey); err != nil {
+			return applied, fmt.Errorf("chain: sync height %d: %w", next, err)
+		}
+		applied++
+	}
+}
+
+// AuthorityKeys returns the network's proposer-address → public-key map,
+// as needed by Node.SyncFrom.
+func (net *Network) AuthorityKeys() map[cryptoutil.Address][]byte {
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	out := make(map[cryptoutil.Address][]byte, len(net.keys))
+	for a, k := range net.keys {
+		out[a] = append([]byte(nil), k...)
+	}
+	return out
+}
+
+// Recover marks a node as live again and syncs it from the first live
+// peer, returning the number of blocks caught up.
+func (net *Network) Recover(addr cryptoutil.Address) (int, error) {
+	net.mu.Lock()
+	net.down[addr] = false
+	var target, donor *Node
+	for _, n := range net.nodes {
+		if n.Address() == addr {
+			target = n
+		} else if !net.down[n.Address()] && donor == nil {
+			donor = n
+		}
+	}
+	net.mu.Unlock()
+	if target == nil {
+		return 0, fmt.Errorf("chain: %s is not a cluster member", addr.Short())
+	}
+	if donor == nil {
+		return 0, nil // nothing to sync from
+	}
+	return target.SyncFrom(donor, net.AuthorityKeys())
+}
+
+// SubmitEverywhere submits a transaction to every live node's mempool so
+// that whichever node seals next includes it.
+func (net *Network) SubmitEverywhere(tx *Tx) (cryptoutil.Hash, error) {
+	net.mu.Lock()
+	nodes := append([]*Node(nil), net.nodes...)
+	down := make(map[cryptoutil.Address]bool, len(net.down))
+	for k, v := range net.down {
+		down[k] = v
+	}
+	net.mu.Unlock()
+
+	var hash cryptoutil.Hash
+	var submitted bool
+	for _, n := range nodes {
+		if down[n.Address()] {
+			continue
+		}
+		h, err := n.SubmitTx(tx)
+		if err != nil {
+			return cryptoutil.Hash{}, err
+		}
+		hash = h
+		submitted = true
+	}
+	if !submitted {
+		return cryptoutil.Hash{}, errors.New("chain: no live node accepted the transaction")
+	}
+	return hash, nil
+}

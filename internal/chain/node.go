@@ -1,0 +1,456 @@
+package chain
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/simclock"
+)
+
+// BlockContext exposes block-level environment data to contract execution.
+type BlockContext struct {
+	// Number is the block height being executed.
+	Number uint64
+	// Time is the block timestamp. Contracts must use it (never the wall
+	// clock) so that every node executes deterministically.
+	Time time.Time
+}
+
+// Executor runs transactions against state. It is implemented by the
+// contract runtime (package contract); the indirection keeps the chain
+// package free of contract semantics, as an EVM is pluggable in a real
+// node.
+type Executor interface {
+	// ExecuteTx runs a state-mutating transaction and returns its receipt.
+	// On a revert, the executor must leave the state untouched (the node
+	// additionally guards with a checkpoint).
+	ExecuteTx(st *State, tx *Tx, bctx BlockContext) *Receipt
+	// Query runs a read-only method with no transaction and no gas
+	// accounting. It must not mutate state.
+	Query(st *State, contract cryptoutil.Address, method string, args []byte, bctx BlockContext) ([]byte, error)
+}
+
+// Config configures a Node.
+type Config struct {
+	// Key is this node's authority key.
+	Key *cryptoutil.KeyPair
+	// Authorities is the proof-of-authority proposer set, in rotation
+	// order. It must contain the node's own address for the node to
+	// propose blocks.
+	Authorities []cryptoutil.Address
+	// Executor executes transactions.
+	Executor Executor
+	// Clock supplies block timestamps; defaults to the real clock.
+	Clock simclock.Clock
+	// GenesisTime is the timestamp of block 0.
+	GenesisTime time.Time
+	// MaxTxsPerBlock caps block size; defaults to 1024.
+	MaxTxsPerBlock int
+}
+
+// Node is a proof-of-authority blockchain node: it holds the ledger and
+// state, accepts transactions into a mempool, seals blocks when it is its
+// turn, validates and applies blocks sealed by other authorities, and
+// serves read-only queries and event subscriptions.
+type Node struct {
+	key         *cryptoutil.KeyPair
+	authorities []cryptoutil.Address
+	executor    Executor
+	clock       simclock.Clock
+	maxTxs      int
+
+	mu      sync.RWMutex
+	state   *State
+	blocks  []*Block
+	mempool []*Tx
+	nonces  map[cryptoutil.Address]uint64
+	waiters map[cryptoutil.Hash][]chan *Receipt
+
+	feed  *eventFeed
+	costs *CostLedger
+
+	sealMu      sync.Mutex
+	stopSealing func()
+}
+
+// Node construction and submission errors.
+var (
+	ErrNoAuthorities = errors.New("chain: empty authority set")
+	ErrBadNonce      = errors.New("chain: bad nonce")
+	ErrNotOurTurn    = errors.New("chain: not this node's turn to propose")
+)
+
+// NewNode creates a node with a genesis block.
+func NewNode(cfg Config) (*Node, error) {
+	if len(cfg.Authorities) == 0 {
+		return nil, ErrNoAuthorities
+	}
+	if cfg.Key == nil {
+		return nil, errors.New("chain: missing node key")
+	}
+	if cfg.Executor == nil {
+		return nil, errors.New("chain: missing executor")
+	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = simclock.Real{}
+	}
+	maxTxs := cfg.MaxTxsPerBlock
+	if maxTxs <= 0 {
+		maxTxs = 1024
+	}
+	n := &Node{
+		key:         cfg.Key,
+		authorities: append([]cryptoutil.Address(nil), cfg.Authorities...),
+		executor:    cfg.Executor,
+		clock:       clk,
+		maxTxs:      maxTxs,
+		state:       NewState(),
+		nonces:      make(map[cryptoutil.Address]uint64),
+		waiters:     make(map[cryptoutil.Hash][]chan *Receipt),
+		feed:        newEventFeed(),
+		costs:       NewCostLedger(),
+	}
+	genesis := &Block{Header: Header{
+		Number:      0,
+		Time:        cfg.GenesisTime,
+		TxRoot:      txRoot(nil),
+		ReceiptRoot: receiptRoot(nil),
+		StateRoot:   n.state.Root(),
+	}}
+	n.blocks = []*Block{genesis}
+	return n, nil
+}
+
+// Address returns the node's authority address.
+func (n *Node) Address() cryptoutil.Address { return n.key.Address() }
+
+// Height returns the latest block number.
+func (n *Node) Height() uint64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.blocks[len(n.blocks)-1].Header.Number
+}
+
+// Head returns the latest block.
+func (n *Node) Head() *Block {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.blocks[len(n.blocks)-1]
+}
+
+// BlockByNumber returns a block by height, or nil if out of range.
+func (n *Node) BlockByNumber(num uint64) *Block {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if num >= uint64(len(n.blocks)) {
+		return nil
+	}
+	return n.blocks[num]
+}
+
+// NonceFor returns the next nonce for an address (committed plus pending).
+func (n *Node) NonceFor(addr cryptoutil.Address) uint64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	nonce := n.nonces[addr]
+	for _, tx := range n.mempool {
+		if tx.From == addr {
+			nonce++
+		}
+	}
+	return nonce
+}
+
+// SubmitTx verifies and enqueues a transaction, returning its hash.
+func (n *Node) SubmitTx(tx *Tx) (cryptoutil.Hash, error) {
+	if err := tx.VerifySignature(); err != nil {
+		return cryptoutil.Hash{}, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	expected := n.nonces[tx.From]
+	for _, pending := range n.mempool {
+		if pending.From == tx.From {
+			expected++
+		}
+	}
+	if tx.Nonce != expected {
+		return cryptoutil.Hash{}, fmt.Errorf("%w: got %d, want %d", ErrBadNonce, tx.Nonce, expected)
+	}
+	n.mempool = append(n.mempool, tx)
+	return tx.Hash(), nil
+}
+
+// PendingTxs returns the number of mempool transactions.
+func (n *Node) PendingTxs() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.mempool)
+}
+
+// proposerFor returns the authority whose turn it is at the given height.
+func (n *Node) proposerFor(number uint64) cryptoutil.Address {
+	return n.authorities[number%uint64(len(n.authorities))]
+}
+
+// isAuthority reports whether addr belongs to the authority set.
+func (n *Node) isAuthority(addr cryptoutil.Address) bool {
+	for _, a := range n.authorities {
+		if a == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// Seal produces, signs, and applies the next block from the mempool. It
+// returns the sealed block (possibly empty of transactions). It fails with
+// ErrNotOurTurn when another authority should propose at this height; use
+// SealOutOfTurn to take over for a failed in-turn authority (clique-style,
+// where any authority may propose but the in-turn one is preferred).
+func (n *Node) Seal() (*Block, error) { return n.seal(false) }
+
+// SealOutOfTurn seals even when another authority is scheduled. The block
+// remains valid for the cluster because validation requires only set
+// membership (see ApplyBlock).
+func (n *Node) SealOutOfTurn() (*Block, error) { return n.seal(true) }
+
+func (n *Node) seal(force bool) (*Block, error) {
+	n.sealMu.Lock()
+	defer n.sealMu.Unlock()
+
+	n.mu.Lock()
+	parent := n.blocks[len(n.blocks)-1]
+	number := parent.Header.Number + 1
+	if !force && n.proposerFor(number) != n.key.Address() {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("%w: height %d belongs to %s", ErrNotOurTurn, number, n.proposerFor(number))
+	}
+	take := len(n.mempool)
+	if take > n.maxTxs {
+		take = n.maxTxs
+	}
+	txs := n.mempool[:take]
+	n.mempool = append([]*Tx(nil), n.mempool[take:]...)
+
+	bctx := BlockContext{Number: number, Time: n.clock.Now()}
+	if !bctx.Time.After(parent.Header.Time) {
+		// Guarantee strictly monotone block timestamps even under a
+		// stalled simulated clock.
+		bctx.Time = parent.Header.Time.Add(time.Nanosecond)
+	}
+
+	receipts := n.executeAll(txs, bctx)
+	header := Header{
+		Number:      number,
+		ParentHash:  parent.Hash(),
+		Time:        bctx.Time,
+		Proposer:    n.key.Address(),
+		TxRoot:      txRoot(txs),
+		ReceiptRoot: receiptRoot(receipts),
+		StateRoot:   n.state.Root(),
+	}
+	sig, err := n.key.Sign(header.SigningBytes())
+	if err != nil {
+		n.mu.Unlock()
+		return nil, err
+	}
+	header.Signature = sig
+	block := &Block{Header: header, Txs: txs, Receipts: receipts}
+	n.commitLocked(block)
+	n.mu.Unlock()
+	return block, nil
+}
+
+// executeAll runs txs against the node state, producing receipts; it must
+// be called with n.mu held.
+func (n *Node) executeAll(txs []*Tx, bctx BlockContext) []*Receipt {
+	receipts := make([]*Receipt, 0, len(txs))
+	eventIndex := 0
+	for _, tx := range txs {
+		checkpoint := n.state.Checkpoint()
+		receipt := n.executor.ExecuteTx(n.state, tx, bctx)
+		if receipt.Status != StatusOK {
+			n.state.RevertTo(checkpoint)
+			receipt.Events = nil
+		}
+		receipt.TxHash = tx.Hash()
+		receipt.BlockNumber = bctx.Number
+		for i := range receipt.Events {
+			receipt.Events[i].BlockNumber = bctx.Number
+			receipt.Events[i].TxHash = receipt.TxHash
+			receipt.Events[i].Index = eventIndex
+			eventIndex++
+		}
+		n.nonces[tx.From] = tx.Nonce + 1
+		n.costs.Record(tx.From, tx.Method, receipt.GasUsed)
+		receipts = append(receipts, receipt)
+	}
+	return receipts
+}
+
+// commitLocked appends a fully formed block, publishes its events, and
+// wakes receipt waiters. n.mu must be held.
+func (n *Node) commitLocked(block *Block) {
+	n.blocks = append(n.blocks, block)
+	n.state.DiscardJournal()
+	var events []Event
+	for _, r := range block.Receipts {
+		events = append(events, r.Events...)
+		if chans, ok := n.waiters[r.TxHash]; ok {
+			for _, ch := range chans {
+				ch <- r
+				close(ch)
+			}
+			delete(n.waiters, r.TxHash)
+		}
+	}
+	if len(events) > 0 {
+		n.feed.publish(events)
+	}
+}
+
+// WaitForReceipt blocks until the transaction is included in a block or
+// the context is done. If the receipt is already available it returns
+// immediately.
+func (n *Node) WaitForReceipt(ctx context.Context, txHash cryptoutil.Hash) (*Receipt, error) {
+	n.mu.Lock()
+	if r := n.findReceiptLocked(txHash); r != nil {
+		n.mu.Unlock()
+		return r, nil
+	}
+	ch := make(chan *Receipt, 1)
+	n.waiters[txHash] = append(n.waiters[txHash], ch)
+	n.mu.Unlock()
+
+	select {
+	case r := <-ch:
+		return r, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Receipt returns the receipt for a transaction if it has been included.
+func (n *Node) Receipt(txHash cryptoutil.Hash) *Receipt {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.findReceiptLocked(txHash)
+}
+
+func (n *Node) findReceiptLocked(txHash cryptoutil.Hash) *Receipt {
+	for i := len(n.blocks) - 1; i >= 0; i-- {
+		for _, r := range n.blocks[i].Receipts {
+			if r.TxHash == txHash {
+				return r
+			}
+		}
+	}
+	return nil
+}
+
+// Query serves a read-only contract call against the current state. This
+// is the on-chain half of the pull-out oracle pattern.
+func (n *Node) Query(contract cryptoutil.Address, method string, args []byte) ([]byte, error) {
+	n.mu.RLock()
+	head := n.blocks[len(n.blocks)-1]
+	bctx := BlockContext{Number: head.Header.Number, Time: head.Header.Time}
+	st := n.state
+	n.mu.RUnlock()
+	return n.executor.Query(st, contract, method, args, bctx)
+}
+
+// SubscribeEvents returns a subscription delivering committed events that
+// match the filter.
+func (n *Node) SubscribeEvents(filter EventFilter, buffer int) *Subscription {
+	return n.feed.subscribe(filter, buffer)
+}
+
+// EventsDropped reports events lost to slow subscribers.
+func (n *Node) EventsDropped() uint64 { return n.feed.Dropped() }
+
+// Events returns committed events matching the filter, scanning the
+// ledger. It serves pull-in oracle reads and test assertions.
+func (n *Node) Events(filter EventFilter) []Event {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	var out []Event
+	for _, b := range n.blocks {
+		for _, r := range b.Receipts {
+			for _, ev := range r.Events {
+				if filter.Matches(&ev) {
+					out = append(out, ev)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Costs returns the node's gas cost ledger.
+func (n *Node) Costs() *CostLedger { return n.costs }
+
+// State returns the node's state store. Contracts deployed on the
+// executor share it; external callers must treat it as read-only.
+func (n *Node) State() *State {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.state
+}
+
+// StartSealing begins background block production at the given interval.
+// Calling it twice stops the previous loop. Stop with StopSealing.
+func (n *Node) StartSealing(interval time.Duration) {
+	n.StopSealing()
+	var cancelled bool
+	var mu sync.Mutex
+	var schedule func()
+	var cancelTimer func()
+	schedule = func() {
+		cancelTimer = n.clock.AfterFunc(interval, func() {
+			mu.Lock()
+			if cancelled {
+				mu.Unlock()
+				return
+			}
+			mu.Unlock()
+			// Ignore ErrNotOurTurn: another authority proposes.
+			_, _ = n.Seal()
+			mu.Lock()
+			if !cancelled {
+				schedule()
+			}
+			mu.Unlock()
+		})
+	}
+	mu.Lock()
+	schedule()
+	mu.Unlock()
+	n.sealMu.Lock()
+	n.stopSealing = func() {
+		mu.Lock()
+		cancelled = true
+		stop := cancelTimer
+		mu.Unlock()
+		if stop != nil {
+			stop()
+		}
+	}
+	n.sealMu.Unlock()
+}
+
+// StopSealing halts background block production.
+func (n *Node) StopSealing() {
+	n.sealMu.Lock()
+	stop := n.stopSealing
+	n.stopSealing = nil
+	n.sealMu.Unlock()
+	if stop != nil {
+		stop()
+	}
+}

@@ -1,0 +1,179 @@
+package chain
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/cryptoutil"
+)
+
+// State is the journaled key-value store that contracts execute against.
+//
+// Keys are namespaced strings (by convention "<contract-addr>/<bucket>/<key>").
+// A journal records every mutation so that the effects of a reverted
+// transaction can be rolled back without copying the whole store. State is
+// safe for concurrent readers; writers are serialized by the node's block
+// production, but the internal lock keeps direct use safe too.
+type State struct {
+	mu      sync.RWMutex
+	data    map[string][]byte
+	journal []journalEntry
+	// root is the incrementally maintained state commitment: the XOR of
+	// H(key, value) over all entries (a multiset hash). Because map keys
+	// are unique, every leaf appears at most once, so any single
+	// insertion, deletion or value change flips the root. XOR updates
+	// make Root O(1) instead of O(n·log n) per block, which keeps block
+	// sealing linear as the ledger grows; the trade-off (weaker
+	// collision resistance than a Merkle trie against adversarially
+	// crafted key/value sets) is acceptable for this simulator and is
+	// called out in DESIGN.md.
+	root cryptoutil.Hash
+}
+
+// leafHash commits to one key/value pair.
+func leafHash(key string, value []byte) cryptoutil.Hash {
+	return cryptoutil.HashOf([]byte(key), value)
+}
+
+// xorHash folds h into root in place.
+func xorHash(root *cryptoutil.Hash, h cryptoutil.Hash) {
+	for i := range root {
+		root[i] ^= h[i]
+	}
+}
+
+type journalEntry struct {
+	key     string
+	prior   []byte
+	existed bool
+}
+
+// NewState returns an empty state.
+func NewState() *State {
+	return &State{data: make(map[string][]byte)}
+}
+
+// Get returns the value for key and whether it exists. The returned slice
+// is a copy.
+func (s *State) Get(key string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.data[key]
+	if !ok {
+		return nil, false
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, true
+}
+
+// Set stores a copy of value under key.
+func (s *State) Set(key string, value []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prior, existed := s.data[key]
+	s.journal = append(s.journal, journalEntry{key: key, prior: prior, existed: existed})
+	if existed {
+		xorHash(&s.root, leafHash(key, prior))
+	}
+	cp := make([]byte, len(value))
+	copy(cp, value)
+	s.data[key] = cp
+	xorHash(&s.root, leafHash(key, cp))
+}
+
+// Delete removes key.
+func (s *State) Delete(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prior, existed := s.data[key]
+	if !existed {
+		return
+	}
+	s.journal = append(s.journal, journalEntry{key: key, prior: prior, existed: true})
+	xorHash(&s.root, leafHash(key, prior))
+	delete(s.data, key)
+}
+
+// Keys returns the keys with the given prefix, sorted.
+func (s *State) Keys(prefix string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	for k := range s.data {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of stored keys.
+func (s *State) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// Checkpoint marks the current journal position; RevertTo undoes every
+// mutation made after it.
+func (s *State) Checkpoint() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.journal)
+}
+
+// RevertTo rolls the state back to a checkpoint previously returned by
+// Checkpoint.
+func (s *State) RevertTo(checkpoint int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := len(s.journal) - 1; i >= checkpoint; i-- {
+		e := s.journal[i]
+		if cur, ok := s.data[e.key]; ok {
+			xorHash(&s.root, leafHash(e.key, cur))
+		}
+		if e.existed {
+			s.data[e.key] = e.prior
+			xorHash(&s.root, leafHash(e.key, e.prior))
+		} else {
+			delete(s.data, e.key)
+		}
+	}
+	s.journal = s.journal[:checkpoint]
+}
+
+// DiscardJournal forgets rollback information (called after a block
+// commits; mutations become permanent).
+func (s *State) DiscardJournal() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.journal = s.journal[:0]
+}
+
+// Root returns the deterministic state commitment (see the root field for
+// the construction). It is O(1): the commitment is maintained
+// incrementally by every mutation.
+func (s *State) Root() cryptoutil.Hash {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.root
+}
+
+// Clone returns a deep copy of the state with an empty journal. Clones are
+// how validator nodes re-execute proposed blocks without disturbing their
+// committed state.
+func (s *State) Clone() *State {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c := NewState()
+	for k, v := range s.data {
+		cp := make([]byte, len(v))
+		copy(cp, v)
+		c.data[k] = cp
+	}
+	c.root = s.root
+	return c
+}

@@ -1,0 +1,278 @@
+package chain
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cryptoutil"
+)
+
+func TestStateGetSetDelete(t *testing.T) {
+	st := NewState()
+	if _, ok := st.Get("missing"); ok {
+		t.Fatal("Get on empty state returned ok")
+	}
+	st.Set("a", []byte("1"))
+	v, ok := st.Get("a")
+	if !ok || string(v) != "1" {
+		t.Fatalf("Get = %q, %t", v, ok)
+	}
+	st.Set("a", []byte("2"))
+	v, _ = st.Get("a")
+	if string(v) != "2" {
+		t.Fatal("overwrite failed")
+	}
+	st.Delete("a")
+	if _, ok := st.Get("a"); ok {
+		t.Fatal("Delete failed")
+	}
+	st.Delete("a") // idempotent
+	if st.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", st.Len())
+	}
+}
+
+func TestStateCopiesValues(t *testing.T) {
+	st := NewState()
+	in := []byte("abc")
+	st.Set("k", in)
+	in[0] = 'X'
+	out, _ := st.Get("k")
+	if string(out) != "abc" {
+		t.Fatal("Set did not copy the input")
+	}
+	out[0] = 'Y'
+	again, _ := st.Get("k")
+	if string(again) != "abc" {
+		t.Fatal("Get did not copy the output")
+	}
+}
+
+func TestStateKeysPrefix(t *testing.T) {
+	st := NewState()
+	st.Set("pods/alice", []byte("1"))
+	st.Set("pods/bob", []byte("2"))
+	st.Set("resources/r1", []byte("3"))
+	keys := st.Keys("pods/")
+	if len(keys) != 2 || keys[0] != "pods/alice" || keys[1] != "pods/bob" {
+		t.Fatalf("Keys = %v", keys)
+	}
+	if len(st.Keys("zzz")) != 0 {
+		t.Fatal("prefix miss should return empty")
+	}
+}
+
+func TestStateRevert(t *testing.T) {
+	st := NewState()
+	st.Set("a", []byte("1"))
+	st.DiscardJournal()
+
+	cp := st.Checkpoint()
+	st.Set("a", []byte("2")) // overwrite
+	st.Set("b", []byte("3")) // create
+	st.Delete("a")           // delete overwritten key
+	st.RevertTo(cp)
+
+	v, ok := st.Get("a")
+	if !ok || string(v) != "1" {
+		t.Fatalf("a = %q, %t; want original value restored", v, ok)
+	}
+	if _, ok := st.Get("b"); ok {
+		t.Fatal("created key survived revert")
+	}
+}
+
+func TestStateNestedCheckpoints(t *testing.T) {
+	st := NewState()
+	st.Set("x", []byte("0"))
+	cp1 := st.Checkpoint()
+	st.Set("x", []byte("1"))
+	cp2 := st.Checkpoint()
+	st.Set("x", []byte("2"))
+	st.RevertTo(cp2)
+	if v, _ := st.Get("x"); string(v) != "1" {
+		t.Fatalf("x = %s after inner revert, want 1", v)
+	}
+	st.RevertTo(cp1)
+	if v, _ := st.Get("x"); string(v) != "0" {
+		t.Fatalf("x = %s after outer revert, want 0", v)
+	}
+}
+
+func TestStateRootDeterministicAndSensitive(t *testing.T) {
+	a := NewState()
+	b := NewState()
+	// Insert in different orders.
+	a.Set("k1", []byte("v1"))
+	a.Set("k2", []byte("v2"))
+	b.Set("k2", []byte("v2"))
+	b.Set("k1", []byte("v1"))
+	if a.Root() != b.Root() {
+		t.Fatal("root depends on insertion order")
+	}
+	b.Set("k3", []byte("v3"))
+	if a.Root() == b.Root() {
+		t.Fatal("root insensitive to extra key")
+	}
+	b.Delete("k3")
+	if a.Root() != b.Root() {
+		t.Fatal("root did not return after delete")
+	}
+	b.Set("k1", []byte("OTHER"))
+	if a.Root() == b.Root() {
+		t.Fatal("root insensitive to value change")
+	}
+}
+
+func TestStateClone(t *testing.T) {
+	st := NewState()
+	st.Set("k", []byte("v"))
+	c := st.Clone()
+	if c.Root() != st.Root() {
+		t.Fatal("clone root differs")
+	}
+	c.Set("k", []byte("mutated"))
+	if v, _ := st.Get("k"); string(v) != "v" {
+		t.Fatal("clone mutation leaked into original")
+	}
+}
+
+// TestStateRevertProperty: applying any mutation sequence after a
+// checkpoint and reverting restores the exact root.
+func TestStateRevertProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		st := NewState()
+		st.Set("seed", []byte("value"))
+		st.DiscardJournal()
+		before := st.Root()
+		cp := st.Checkpoint()
+		for i, op := range ops {
+			key := fmt.Sprintf("k%d", op%8)
+			switch op % 3 {
+			case 0:
+				st.Set(key, []byte{op, byte(i)})
+			case 1:
+				st.Set("seed", []byte{op})
+			case 2:
+				st.Delete(key)
+			}
+		}
+		st.RevertTo(cp)
+		return st.Root() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// recomputeRoot derives the multiset commitment from scratch through the
+// public API, for cross-checking the incremental root.
+func recomputeRoot(st *State) cryptoutil.Hash {
+	var root cryptoutil.Hash
+	for _, k := range st.Keys("") {
+		v, _ := st.Get(k)
+		leaf := leafHash(k, v)
+		for i := range root {
+			root[i] ^= leaf[i]
+		}
+	}
+	return root
+}
+
+// TestStateRootIncrementalMatchesRecomputation: after any random sequence
+// of sets, deletes, checkpoints and reverts, the O(1) incremental root
+// equals the full recomputation.
+func TestStateRootIncrementalMatchesRecomputation(t *testing.T) {
+	f := func(ops []uint16) bool {
+		st := NewState()
+		var checkpoints []int
+		for i, op := range ops {
+			key := fmt.Sprintf("k%d", op%16)
+			switch op % 5 {
+			case 0, 1:
+				st.Set(key, []byte{byte(op), byte(i)})
+			case 2:
+				st.Delete(key)
+			case 3:
+				checkpoints = append(checkpoints, st.Checkpoint())
+			case 4:
+				if len(checkpoints) > 0 {
+					st.RevertTo(checkpoints[len(checkpoints)-1])
+					checkpoints = checkpoints[:len(checkpoints)-1]
+				}
+			}
+		}
+		return st.Root() == recomputeRoot(st)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGasMeter(t *testing.T) {
+	m := NewGasMeter(100)
+	if err := m.Charge(60); err != nil {
+		t.Fatal(err)
+	}
+	if m.Used() != 60 || m.Remaining() != 40 {
+		t.Fatalf("used=%d remaining=%d", m.Used(), m.Remaining())
+	}
+	if err := m.Charge(41); err == nil {
+		t.Fatal("over-limit charge accepted")
+	}
+	if m.Used() != 100 {
+		t.Fatalf("out-of-gas should pin used to limit, got %d", m.Used())
+	}
+}
+
+func TestGasMeterOverflow(t *testing.T) {
+	m := NewGasMeter(^uint64(0))
+	if err := m.Charge(^uint64(0) - 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Charge(^uint64(0)); err == nil {
+		t.Fatal("overflowing charge accepted")
+	}
+}
+
+func TestCostLedger(t *testing.T) {
+	l := NewCostLedger()
+	var a1, a2 [20]byte
+	a2[0] = 1
+	l.Record(a1, "registerPod", 100)
+	l.Record(a1, "registerPod", 200)
+	l.Record(a2, "addResource", 50)
+	if got := l.SpentBy(a1); got != 300 {
+		t.Fatalf("SpentBy = %d, want 300", got)
+	}
+	if got := l.TotalSpent(); got != 350 {
+		t.Fatalf("TotalSpent = %d, want 350", got)
+	}
+	ops := l.ByOperation()
+	if len(ops) != 2 || ops[0].Method != "addResource" || ops[1].AvgGas() != 150 {
+		t.Fatalf("ByOperation = %+v", ops)
+	}
+}
+
+func TestMerkleRoot(t *testing.T) {
+	empty := merkleRoot(nil)
+	if empty.IsZero() {
+		t.Fatal("empty merkle root should be a defined non-zero digest")
+	}
+	h1 := merkleRoot([]cryptoutil.Hash{hashOfByte(1)})
+	h12 := merkleRoot([]cryptoutil.Hash{hashOfByte(1), hashOfByte(2)})
+	h21 := merkleRoot([]cryptoutil.Hash{hashOfByte(2), hashOfByte(1)})
+	if h1 == h12 || h12 == h21 {
+		t.Fatal("merkle root not order/content sensitive")
+	}
+	// Odd leaf count exercises promotion.
+	h123 := merkleRoot([]cryptoutil.Hash{hashOfByte(1), hashOfByte(2), hashOfByte(3)})
+	if h123 == h12 {
+		t.Fatal("odd-leaf root collides with even-leaf root")
+	}
+}
+
+func hashOfByte(b byte) cryptoutil.Hash {
+	return cryptoutil.HashOf([]byte{b})
+}

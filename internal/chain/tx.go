@@ -1,0 +1,157 @@
+// Package chain implements the blockchain substrate of the usage-control
+// architecture: ECDSA-signed transactions, a mempool, proof-of-authority
+// block production, a journaled key-value state with deterministic state
+// roots, receipts, topic-filterable event logs with subscriptions, and a
+// gas schedule used by the affordability experiments.
+//
+// The package replaces the public blockchain the paper assumes. It keeps
+// the same interface contract — submit a signed transaction, have it
+// validated and ordered into a block by consensus among authorities,
+// observe its receipt and emitted events — without requiring a live
+// network. Contract execution is delegated to an Executor (implemented by
+// package contract), mirroring how an EVM is a pluggable component of a
+// node.
+package chain
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/cryptoutil"
+)
+
+// Tx is a signed state-mutating transaction addressed to a contract.
+type Tx struct {
+	// Nonce orders transactions per sender and prevents replay.
+	Nonce uint64 `json:"nonce"`
+	// From is the sender address.
+	From cryptoutil.Address `json:"from"`
+	// SenderKey is the sender's public key (uncompressed point); the
+	// address must be derivable from it.
+	SenderKey []byte `json:"senderKey"`
+	// Contract is the target contract address.
+	Contract cryptoutil.Address `json:"contract"`
+	// Method is the contract method to invoke.
+	Method string `json:"method"`
+	// Args is the JSON-encoded argument object for the method.
+	Args []byte `json:"args"`
+	// GasLimit caps the gas this transaction may consume.
+	GasLimit uint64 `json:"gasLimit"`
+	// Signature is the ASN.1 ECDSA signature over SigningBytes.
+	Signature []byte `json:"signature"`
+}
+
+// SigningBytes returns the deterministic encoding covered by the
+// signature.
+func (tx *Tx) SigningBytes() []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tx|%d|%s|%x|%s|%s|%x|%d",
+		tx.Nonce, tx.From, tx.SenderKey, tx.Contract, tx.Method, tx.Args, tx.GasLimit)
+	return []byte(b.String())
+}
+
+// Hash returns the transaction hash (over the signed content plus the
+// signature).
+func (tx *Tx) Hash() cryptoutil.Hash {
+	return cryptoutil.HashOf(tx.SigningBytes(), tx.Signature)
+}
+
+// Transaction validation errors.
+var (
+	ErrBadSignature = errors.New("chain: invalid transaction signature")
+	ErrNoMethod     = errors.New("chain: transaction missing method")
+	ErrGasLimitZero = errors.New("chain: transaction gas limit is zero")
+)
+
+// VerifySignature checks the sender signature and sender-key/address
+// consistency.
+func (tx *Tx) VerifySignature() error {
+	if tx.Method == "" {
+		return ErrNoMethod
+	}
+	if tx.GasLimit == 0 {
+		return ErrGasLimitZero
+	}
+	if err := cryptoutil.VerifyWithAddress(tx.From, tx.SenderKey, tx.SigningBytes(), tx.Signature); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSignature, err)
+	}
+	return nil
+}
+
+// NewTx builds and signs a transaction.
+func NewTx(key *cryptoutil.KeyPair, nonce uint64, contract cryptoutil.Address, method string, args any, gasLimit uint64) (*Tx, error) {
+	encoded, err := json.Marshal(args)
+	if err != nil {
+		return nil, fmt.Errorf("chain: encode args: %w", err)
+	}
+	tx := &Tx{
+		Nonce:     nonce,
+		From:      key.Address(),
+		SenderKey: key.PublicBytes(),
+		Contract:  contract,
+		Method:    method,
+		Args:      encoded,
+		GasLimit:  gasLimit,
+	}
+	sig, err := key.Sign(tx.SigningBytes())
+	if err != nil {
+		return nil, err
+	}
+	tx.Signature = sig
+	return tx, nil
+}
+
+// Status of an executed transaction.
+type Status int
+
+// Receipt statuses.
+const (
+	StatusOK Status = iota + 1
+	StatusReverted
+)
+
+// String renders the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusReverted:
+		return "reverted"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Receipt records the outcome of a transaction execution.
+type Receipt struct {
+	// TxHash identifies the transaction.
+	TxHash cryptoutil.Hash
+	// Status is StatusOK or StatusReverted.
+	Status Status
+	// GasUsed is the gas consumed (charged even on revert).
+	GasUsed uint64
+	// Err holds the revert reason for StatusReverted.
+	Err string
+	// Events lists the events emitted (empty on revert).
+	Events []Event
+	// BlockNumber is the block the transaction landed in.
+	BlockNumber uint64
+	// Return is the method's return value (JSON), if any.
+	Return []byte
+}
+
+// Succeeded reports whether the transaction executed without reverting.
+func (r *Receipt) Succeeded() bool { return r.Status == StatusOK }
+
+// Digest returns a deterministic encoding of the receipt used in the
+// block's receipt root.
+func (r *Receipt) Digest() cryptoutil.Hash {
+	var b strings.Builder
+	fmt.Fprintf(&b, "receipt|%s|%d|%d|%s|%d|%x|", r.TxHash, r.Status, r.GasUsed, r.Err, r.BlockNumber, r.Return)
+	for _, ev := range r.Events {
+		fmt.Fprintf(&b, "%s;", ev.digestString())
+	}
+	return cryptoutil.HashOf([]byte(b.String()))
+}

@@ -1,0 +1,234 @@
+// Package contract provides the smart-contract runtime hosted on the
+// blockchain substrate: a registry of native-Go contracts with
+// deterministic addresses, gas-metered storage and event emission, and the
+// chain.Executor implementation that dispatches transactions and read-only
+// queries to contract methods.
+//
+// Contracts are ordinary Go values implementing the Contract interface.
+// They must be deterministic: all state lives in the chain state store,
+// all time comes from the block context, and iteration over storage uses
+// sorted key order.
+package contract
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/chain"
+	"repro/internal/cryptoutil"
+)
+
+// Contract is a deployed application. Implementations dispatch on the
+// method name.
+type Contract interface {
+	// Call executes a state-mutating method. Returning a non-nil error
+	// reverts the transaction (all storage effects are rolled back).
+	Call(env *Env, method string, args []byte) ([]byte, error)
+	// Read executes a read-only method against current state.
+	Read(env *ReadEnv, method string, args []byte) ([]byte, error)
+}
+
+// AddressFor derives the deterministic deployment address for a contract
+// name. All nodes deploy the same contracts under the same names, so the
+// addresses agree cluster-wide.
+func AddressFor(name string) cryptoutil.Address {
+	h := cryptoutil.HashOf([]byte("contract|" + name))
+	var a cryptoutil.Address
+	copy(a[:], h[len(h)-cryptoutil.AddressLen:])
+	return a
+}
+
+// Env is the execution environment for state-mutating calls. Storage
+// access and event emission are gas-metered against the transaction's gas
+// limit.
+type Env struct {
+	// Contract is the executing contract's address.
+	Contract cryptoutil.Address
+	// Sender is the transaction sender.
+	Sender cryptoutil.Address
+	// SenderKey is the sender's public key bytes (for contracts that
+	// verify signatures over off-chain payloads, e.g. TEE evidence).
+	SenderKey []byte
+	// Block exposes the block number and timestamp.
+	Block chain.BlockContext
+
+	state  *chain.State
+	meter  *chain.GasMeter
+	events []chain.Event
+}
+
+// storageKey namespaces a contract-local key into the global state.
+func storageKey(contract cryptoutil.Address, key string) string {
+	return contract.String() + "/" + key
+}
+
+// Get reads a storage key, charging read gas.
+func (e *Env) Get(key string) ([]byte, bool, error) {
+	if err := e.meter.Charge(chain.GasStorageGet); err != nil {
+		return nil, false, err
+	}
+	v, ok := e.state.Get(storageKey(e.Contract, key))
+	return v, ok, nil
+}
+
+// Set writes a storage key, charging write gas proportional to the value
+// size.
+func (e *Env) Set(key string, value []byte) error {
+	if err := e.meter.Charge(chain.GasStorageSet + uint64(len(value))*chain.GasStoragePerByte); err != nil {
+		return err
+	}
+	e.state.Set(storageKey(e.Contract, key), value)
+	return nil
+}
+
+// Delete removes a storage key, charging delete gas.
+func (e *Env) Delete(key string) error {
+	if err := e.meter.Charge(chain.GasStorageDelete); err != nil {
+		return err
+	}
+	e.state.Delete(storageKey(e.Contract, key))
+	return nil
+}
+
+// Keys lists contract-local keys under a prefix in sorted order, charging
+// one read per returned key.
+func (e *Env) Keys(prefix string) ([]string, error) {
+	full := e.state.Keys(storageKey(e.Contract, prefix))
+	out := make([]string, 0, len(full))
+	strip := len(storageKey(e.Contract, ""))
+	for _, k := range full {
+		if err := e.meter.Charge(chain.GasStorageGet); err != nil {
+			return nil, err
+		}
+		out = append(out, k[strip:])
+	}
+	return out, nil
+}
+
+// Emit records an event, charging per payload byte.
+func (e *Env) Emit(topic, key string, payload []byte) error {
+	cost := chain.GasEventBase + uint64(len(payload))*chain.GasEventPerByte
+	if err := e.meter.Charge(cost); err != nil {
+		return err
+	}
+	e.events = append(e.events, chain.Event{
+		Contract: e.Contract,
+		Topic:    topic,
+		Key:      key,
+		Data:     append([]byte(nil), payload...),
+	})
+	return nil
+}
+
+// GasUsed reports gas consumed so far in this call.
+func (e *Env) GasUsed() uint64 { return e.meter.Used() }
+
+// ReadEnv is the environment for read-only queries: storage reads without
+// gas accounting and no event emission.
+type ReadEnv struct {
+	// Contract is the queried contract's address.
+	Contract cryptoutil.Address
+	// Block exposes the block number and timestamp at the head.
+	Block chain.BlockContext
+
+	state *chain.State
+}
+
+// Get reads a storage key.
+func (e *ReadEnv) Get(key string) ([]byte, bool) {
+	return e.state.Get(storageKey(e.Contract, key))
+}
+
+// Keys lists contract-local keys under a prefix in sorted order.
+func (e *ReadEnv) Keys(prefix string) []string {
+	full := e.state.Keys(storageKey(e.Contract, prefix))
+	out := make([]string, 0, len(full))
+	strip := len(storageKey(e.Contract, ""))
+	for _, k := range full {
+		out = append(out, k[strip:])
+	}
+	return out
+}
+
+// Revert errors: returned by contracts to abort with a reason. Wrapping
+// ErrRevert lets callers distinguish business-rule reverts from
+// infrastructure failures.
+var ErrRevert = errors.New("contract: reverted")
+
+// Revertf builds a revert error with a formatted reason.
+func Revertf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrRevert, fmt.Sprintf(format, args...))
+}
+
+// Runtime is the chain.Executor that hosts deployed contracts.
+type Runtime struct {
+	contracts map[cryptoutil.Address]Contract
+	names     map[cryptoutil.Address]string
+}
+
+var _ chain.Executor = (*Runtime)(nil)
+
+// NewRuntime returns an empty runtime.
+func NewRuntime() *Runtime {
+	return &Runtime{
+		contracts: make(map[cryptoutil.Address]Contract),
+		names:     make(map[cryptoutil.Address]string),
+	}
+}
+
+// Deploy registers a contract under a name and returns its deterministic
+// address. Deploying the same name twice replaces the implementation
+// (useful in tests); addresses never change.
+func (r *Runtime) Deploy(name string, c Contract) cryptoutil.Address {
+	addr := AddressFor(name)
+	r.contracts[addr] = c
+	r.names[addr] = name
+	return addr
+}
+
+// ExecuteTx implements chain.Executor.
+func (r *Runtime) ExecuteTx(st *chain.State, tx *chain.Tx, bctx chain.BlockContext) *chain.Receipt {
+	meter := chain.NewGasMeter(tx.GasLimit)
+	receipt := &chain.Receipt{Status: chain.StatusOK}
+
+	revert := func(err error) *chain.Receipt {
+		receipt.Status = chain.StatusReverted
+		receipt.Err = err.Error()
+		receipt.GasUsed = meter.Used()
+		return receipt
+	}
+
+	if err := meter.Charge(chain.GasTxBase + uint64(len(tx.Args))*chain.GasPerArgByte); err != nil {
+		return revert(err)
+	}
+	c, ok := r.contracts[tx.Contract]
+	if !ok {
+		return revert(fmt.Errorf("contract: no contract at %s", tx.Contract))
+	}
+	env := &Env{
+		Contract:  tx.Contract,
+		Sender:    tx.From,
+		SenderKey: tx.SenderKey,
+		Block:     bctx,
+		state:     st,
+		meter:     meter,
+	}
+	ret, err := c.Call(env, tx.Method, tx.Args)
+	if err != nil {
+		return revert(err)
+	}
+	receipt.Return = ret
+	receipt.Events = env.events
+	receipt.GasUsed = meter.Used()
+	return receipt
+}
+
+// Query implements chain.Executor.
+func (r *Runtime) Query(st *chain.State, contractAddr cryptoutil.Address, method string, args []byte, bctx chain.BlockContext) ([]byte, error) {
+	c, ok := r.contracts[contractAddr]
+	if !ok {
+		return nil, fmt.Errorf("contract: no contract at %s", contractAddr)
+	}
+	env := &ReadEnv{Contract: contractAddr, Block: bctx, state: st}
+	return c.Read(env, method, args)
+}

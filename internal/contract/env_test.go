@@ -1,0 +1,112 @@
+package contract
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/chain"
+	"repro/internal/cryptoutil"
+)
+
+// rwContract exercises Env.Get / Env.Keys / Env.GasUsed inside a
+// state-mutating call (read-modify-write counter).
+type rwContract struct{}
+
+func (rwContract) Call(env *Env, method string, args []byte) ([]byte, error) {
+	switch method {
+	case "incr":
+		var n int64
+		if raw, ok, err := env.Get("counter"); err != nil {
+			return nil, err
+		} else if ok {
+			if err := json.Unmarshal(raw, &n); err != nil {
+				return nil, Revertf("corrupt counter: %v", err)
+			}
+		}
+		n++
+		raw, _ := json.Marshal(n)
+		if err := env.Set("counter", raw); err != nil {
+			return nil, err
+		}
+		return json.Marshal(map[string]any{"value": n, "gasSoFar": env.GasUsed()})
+	case "fanout":
+		// Write several keys, then list them back through Env.Keys.
+		for _, k := range []string{"x/1", "x/2", "x/3"} {
+			if err := env.Set(k, []byte("v")); err != nil {
+				return nil, err
+			}
+		}
+		keys, err := env.Keys("x/")
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(keys)
+	default:
+		return nil, Revertf("unknown method %q", method)
+	}
+}
+
+func (rwContract) Read(env *ReadEnv, method string, args []byte) ([]byte, error) {
+	return nil, Revertf("no queries")
+}
+
+func TestEnvReadModifyWrite(t *testing.T) {
+	rt := NewRuntime()
+	addr := rt.Deploy("rw", rwContract{})
+	key := cryptoutil.MustGenerateKey()
+	node, err := chain.NewNode(chain.Config{
+		Key:         key,
+		Authorities: []cryptoutil.Address{key.Address()},
+		Executor:    rt,
+		GenesisTime: testGenesis,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for want := int64(1); want <= 3; want++ {
+		r := submitAndSeal(t, node, key, addr, "incr", nil)
+		if !r.Succeeded() {
+			t.Fatalf("incr %d: %+v", want, r)
+		}
+		var out struct {
+			Value    int64  `json:"value"`
+			GasSoFar uint64 `json:"gasSoFar"`
+		}
+		if err := json.Unmarshal(r.Return, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.Value != want {
+			t.Fatalf("counter = %d, want %d", out.Value, want)
+		}
+		if out.GasSoFar <= chain.GasTxBase || out.GasSoFar > r.GasUsed {
+			t.Fatalf("mid-call GasUsed = %d, receipt = %d", out.GasSoFar, r.GasUsed)
+		}
+	}
+}
+
+func TestEnvKeysInsideCall(t *testing.T) {
+	rt := NewRuntime()
+	addr := rt.Deploy("rw", rwContract{})
+	key := cryptoutil.MustGenerateKey()
+	node, err := chain.NewNode(chain.Config{
+		Key:         key,
+		Authorities: []cryptoutil.Address{key.Address()},
+		Executor:    rt,
+		GenesisTime: testGenesis,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := submitAndSeal(t, node, key, addr, "fanout", nil)
+	if !r.Succeeded() {
+		t.Fatalf("fanout: %+v", r)
+	}
+	var keys []string
+	if err := json.Unmarshal(r.Return, &keys); err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 3 || !strings.HasPrefix(keys[0], "x/") {
+		t.Fatalf("keys = %v", keys)
+	}
+}

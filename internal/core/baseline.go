@@ -1,0 +1,101 @@
+package core
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/simclock"
+	"repro/internal/solid"
+)
+
+// Baseline is the comparator for the integrateability/overhead experiment
+// (E10): plain Solid with Web Access Control only — exactly what the paper
+// says exists today ("Solid currently only supports basic access control")
+// — with no blockchain, no TEE, no market, and no usage control. Once a
+// consumer retrieves data from a Baseline pod, the owner has no further
+// control, which is the gap the architecture closes.
+type Baseline struct {
+	Clock     *simclock.Sim
+	Directory *solid.MapDirectory
+
+	mu     sync.Mutex
+	owners map[solid.WebID]*BaselineOwner
+}
+
+// BaselineOwner is a pod + server without usage control.
+type BaselineOwner struct {
+	WebID solid.WebID
+	Key   *cryptoutil.KeyPair
+	Pod   *solid.Pod
+
+	server *httptest.Server
+}
+
+// NewBaseline boots a plain-Solid environment.
+func NewBaseline(genesis time.Time) *Baseline {
+	if genesis.IsZero() {
+		genesis = defaultGenesis
+	}
+	return &Baseline{
+		Clock:     simclock.NewSim(genesis),
+		Directory: solid.NewMapDirectory(),
+		owners:    make(map[solid.WebID]*BaselineOwner),
+	}
+}
+
+// Close shuts down all pod servers.
+func (b *Baseline) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, o := range b.owners {
+		o.server.Close()
+	}
+}
+
+// NewOwner provisions a plain pod with an HTTP server.
+func (b *Baseline) NewOwner(name string) *BaselineOwner {
+	key := cryptoutil.MustGenerateKey()
+
+	var mu sync.RWMutex
+	var handler http.Handler = http.NotFoundHandler()
+	server := httptest.NewServer(httpIndirect(&mu, &handler))
+
+	webID := solid.WebID(server.URL + "/profile#" + name)
+	b.Directory.Register(webID, key.PublicBytes())
+	pod := solid.NewPod(webID, server.URL)
+	mu.Lock()
+	handler = solid.NewServer(pod, b.Directory, b.Clock, nil)
+	mu.Unlock()
+
+	o := &BaselineOwner{WebID: webID, Key: key, Pod: pod, server: server}
+	b.mu.Lock()
+	b.owners[webID] = o
+	b.mu.Unlock()
+	return o
+}
+
+// URL returns the pod base URL.
+func (o *BaselineOwner) URL() string { return o.server.URL }
+
+// Add uploads a resource as the owner.
+func (o *BaselineOwner) Add(path, contentType string, data []byte, now time.Time) error {
+	return o.Pod.Put(o.WebID, path, contentType, data, now)
+}
+
+// GrantRead grants a consumer WAC read access to a resource.
+func (o *BaselineOwner) GrantRead(consumer solid.WebID, path string) error {
+	acl := solid.NewACL(o.WebID, path)
+	acl.Grant("consumer", []solid.WebID{consumer}, path, false, solid.ModeRead)
+	return o.Pod.SetACL(o.WebID, path, acl)
+}
+
+// NewClient builds an authenticated client for a registered agent.
+func (b *Baseline) NewClient(name string) (*solid.Client, solid.WebID) {
+	key := cryptoutil.MustGenerateKey()
+	webID := solid.WebID("https://" + name + ".example/profile#me")
+	b.Directory.Register(webID, key.PublicBytes())
+	return solid.NewClient(webID, key, b.Clock), webID
+}

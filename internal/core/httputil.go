@@ -1,0 +1,18 @@
+package core
+
+import (
+	"net/http"
+	"sync"
+)
+
+// httpIndirect wraps a swappable handler so a server can start before its
+// final handler exists (the pod base URL is only known once the listener
+// is up).
+func httpIndirect(mu *sync.RWMutex, handler *http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.RLock()
+		h := *handler
+		mu.RUnlock()
+		h.ServeHTTP(w, r)
+	})
+}

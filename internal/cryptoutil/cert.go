@@ -1,0 +1,166 @@
+package cryptoutil
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Certificate is a signed claim envelope: an issuer attests a set of
+// string claims about a subject key for a validity window.
+//
+// Certificates serve two roles in the architecture:
+//
+//   - the data market issues payment certificates that consumers present to
+//     Pod Managers (Section II of the paper), and
+//   - the simulated TEE manufacturer CA issues device certificates that
+//     root attestation quotes.
+type Certificate struct {
+	// Serial uniquely identifies the certificate within its issuer.
+	Serial uint64 `json:"serial"`
+	// Subject is the address of the certified key.
+	Subject Address `json:"subject"`
+	// SubjectKey is the uncompressed-point encoding of the certified key.
+	SubjectKey []byte `json:"subjectKey"`
+	// Claims carries the attested attributes (e.g. "feePaid": "resource-iri").
+	Claims map[string]string `json:"claims"`
+	// NotBefore and NotAfter bound the validity window.
+	NotBefore time.Time `json:"notBefore"`
+	NotAfter  time.Time `json:"notAfter"`
+	// Issuer is the address of the signing authority.
+	Issuer Address `json:"issuer"`
+	// Signature is the issuer's ASN.1 ECDSA signature over SigningBytes.
+	Signature []byte `json:"signature"`
+}
+
+// SigningBytes returns the deterministic byte encoding that the issuer
+// signs: every field except the signature, with claims in sorted key order.
+func (c *Certificate) SigningBytes() []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cert|%d|%s|%x|%d|%d|%s|",
+		c.Serial, c.Subject, c.SubjectKey,
+		c.NotBefore.UnixNano(), c.NotAfter.UnixNano(), c.Issuer)
+	keys := make([]string, 0, len(c.Claims))
+	for k := range c.Claims {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%q=%q;", k, c.Claims[k])
+	}
+	return []byte(b.String())
+}
+
+// Encode serializes the certificate to JSON.
+func (c *Certificate) Encode() ([]byte, error) { return json.Marshal(c) }
+
+// DecodeCertificate parses a JSON-encoded certificate.
+func DecodeCertificate(data []byte) (*Certificate, error) {
+	var c Certificate
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("cryptoutil: decode certificate: %w", err)
+	}
+	return &c, nil
+}
+
+// Certificate verification errors, matchable with errors.Is.
+var (
+	ErrCertExpired      = errors.New("certificate expired")
+	ErrCertNotYetValid  = errors.New("certificate not yet valid")
+	ErrCertBadSignature = errors.New("certificate signature invalid")
+	ErrCertWrongIssuer  = errors.New("certificate issuer mismatch")
+	ErrCertSubjectKey   = errors.New("certificate subject key does not match subject address")
+)
+
+// Verify checks that the certificate (i) names the expected issuer,
+// (ii) has a subject key that hashes to the subject address, (iii) carries
+// a valid issuer signature, and (iv) is within its validity window at now.
+func (c *Certificate) Verify(issuerPubBytes []byte, issuerAddr Address, now time.Time) error {
+	if c.Issuer != issuerAddr {
+		return fmt.Errorf("%w: got %s, want %s", ErrCertWrongIssuer, c.Issuer, issuerAddr)
+	}
+	subjPub, err := ParsePublicKey(c.SubjectKey)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrCertSubjectKey, err)
+	}
+	if AddressOf(subjPub) != c.Subject {
+		return ErrCertSubjectKey
+	}
+	issuerPub, err := ParsePublicKey(issuerPubBytes)
+	if err != nil {
+		return fmt.Errorf("cryptoutil: issuer key: %w", err)
+	}
+	if !Verify(issuerPub, c.SigningBytes(), c.Signature) {
+		return ErrCertBadSignature
+	}
+	if now.Before(c.NotBefore) {
+		return fmt.Errorf("%w: valid from %s", ErrCertNotYetValid, c.NotBefore)
+	}
+	if now.After(c.NotAfter) {
+		return fmt.Errorf("%w: valid until %s", ErrCertExpired, c.NotAfter)
+	}
+	return nil
+}
+
+// Authority is a minimal certificate authority: it issues certificates
+// signed with its key pair.
+type Authority struct {
+	key    *KeyPair
+	name   string
+	serial uint64
+}
+
+// NewAuthority creates an authority with a fresh key pair.
+func NewAuthority(name string) (*Authority, error) {
+	kp, err := GenerateKey(nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Authority{key: kp, name: name}, nil
+}
+
+// Name returns the authority's display name.
+func (a *Authority) Name() string { return a.name }
+
+// Address returns the authority's signing address.
+func (a *Authority) Address() Address { return a.key.Address() }
+
+// PublicBytes returns the authority's public key encoding, which verifiers
+// pin out of band.
+func (a *Authority) PublicBytes() []byte { return a.key.PublicBytes() }
+
+// Issue signs a certificate for the subject key with the given claims and
+// validity window.
+func (a *Authority) Issue(subject *KeyPair, claims map[string]string, notBefore, notAfter time.Time) (*Certificate, error) {
+	return a.IssueForKey(subject.Address(), subject.PublicBytes(), claims, notBefore, notAfter)
+}
+
+// IssueForKey signs a certificate for an externally held key.
+func (a *Authority) IssueForKey(subject Address, subjectKey []byte, claims map[string]string, notBefore, notAfter time.Time) (*Certificate, error) {
+	if notAfter.Before(notBefore) {
+		return nil, fmt.Errorf("cryptoutil: invalid validity window [%s, %s]", notBefore, notAfter)
+	}
+	a.serial++
+	claimsCopy := make(map[string]string, len(claims))
+	for k, v := range claims {
+		claimsCopy[k] = v
+	}
+	cert := &Certificate{
+		Serial:     a.serial,
+		Subject:    subject,
+		SubjectKey: subjectKey,
+		Claims:     claimsCopy,
+		NotBefore:  notBefore,
+		NotAfter:   notAfter,
+		Issuer:     a.key.Address(),
+	}
+	sig, err := a.key.Sign(cert.SigningBytes())
+	if err != nil {
+		return nil, err
+	}
+	cert.Signature = sig
+	return cert, nil
+}

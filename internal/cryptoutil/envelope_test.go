@@ -1,0 +1,92 @@
+package cryptoutil
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	key := DeriveEnvelopeKey([]byte("shared-secret"), "policy")
+	plain := []byte(`{"resource":"https://bob.pod/medical/ds1"}`)
+	blob, err := EncryptEnvelope(key, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) != len(plain)+EnvelopeOverhead {
+		t.Fatalf("overhead = %d, want %d", len(blob)-len(plain), EnvelopeOverhead)
+	}
+	if bytes.Contains(blob, []byte("bob.pod")) {
+		t.Fatal("plaintext leaks into envelope")
+	}
+	back, err := DecryptEnvelope(key, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, plain) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestEnvelopeWrongKey(t *testing.T) {
+	k1 := DeriveEnvelopeKey([]byte("secret-1"), "policy")
+	k2 := DeriveEnvelopeKey([]byte("secret-2"), "policy")
+	blob, err := EncryptEnvelope(k1, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecryptEnvelope(k2, blob); !errors.Is(err, ErrEnvelope) {
+		t.Fatalf("wrong-key decrypt: %v", err)
+	}
+}
+
+func TestEnvelopeLabelSeparation(t *testing.T) {
+	secret := []byte("same secret")
+	if bytes.Equal(DeriveEnvelopeKey(secret, "policy"), DeriveEnvelopeKey(secret, "location")) {
+		t.Fatal("labels do not separate keys")
+	}
+}
+
+func TestEnvelopeTamperAndTruncation(t *testing.T) {
+	key := DeriveEnvelopeKey([]byte("s"), "l")
+	blob, err := EncryptEnvelope(key, []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := append([]byte(nil), blob...)
+	tampered[len(tampered)-1] ^= 1
+	if _, err := DecryptEnvelope(key, tampered); !errors.Is(err, ErrEnvelope) {
+		t.Fatalf("tampered: %v", err)
+	}
+	if _, err := DecryptEnvelope(key, blob[:4]); !errors.Is(err, ErrEnvelope) {
+		t.Fatalf("truncated: %v", err)
+	}
+}
+
+func TestEnvelopeBadKeyLength(t *testing.T) {
+	if _, err := EncryptEnvelope([]byte("short"), []byte("x")); err == nil {
+		t.Fatal("short key accepted")
+	}
+	if _, err := DecryptEnvelope([]byte("short"), []byte("x")); err == nil {
+		t.Fatal("short key accepted on decrypt")
+	}
+}
+
+func TestEnvelopeProperty(t *testing.T) {
+	key := DeriveEnvelopeKey([]byte("property secret"), "t")
+	f := func(plain []byte) bool {
+		blob, err := EncryptEnvelope(key, plain)
+		if err != nil {
+			return false
+		}
+		back, err := DecryptEnvelope(key, blob)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(back, plain)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

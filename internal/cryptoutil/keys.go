@@ -1,0 +1,200 @@
+// Package cryptoutil provides the cryptographic primitives shared by the
+// blockchain, TEE, market, and Solid substrates: ECDSA P-256 key pairs,
+// 20-byte addresses, message signing, and signed certificate envelopes with
+// a minimal certificate authority.
+//
+// Everything is built on the Go standard library (crypto/ecdsa,
+// crypto/sha256, crypto/x509 for key encoding).
+package cryptoutil
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// AddressLen is the length of an Address in bytes.
+const AddressLen = 20
+
+// Address identifies a key holder: the trailing 20 bytes of the SHA-256
+// hash of the DER-encoded public key (mirroring Ethereum's construction).
+type Address [AddressLen]byte
+
+// ZeroAddress is the all-zero address, used as "no address".
+var ZeroAddress Address
+
+// IsZero reports whether the address is the zero address.
+func (a Address) IsZero() bool { return a == ZeroAddress }
+
+// String returns the 0x-prefixed hex form of the address.
+func (a Address) String() string { return "0x" + hex.EncodeToString(a[:]) }
+
+// Short returns an abbreviated form for logs ("0x1234..abcd").
+func (a Address) Short() string {
+	s := hex.EncodeToString(a[:])
+	return "0x" + s[:4] + ".." + s[len(s)-4:]
+}
+
+// ParseAddress parses a 0x-prefixed (or bare) 40-hex-digit address.
+func ParseAddress(s string) (Address, error) {
+	var a Address
+	if len(s) >= 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X') {
+		s = s[2:]
+	}
+	raw, err := hex.DecodeString(s)
+	if err != nil {
+		return a, fmt.Errorf("cryptoutil: parse address: %w", err)
+	}
+	if len(raw) != AddressLen {
+		return a, fmt.Errorf("cryptoutil: address must be %d bytes, got %d", AddressLen, len(raw))
+	}
+	copy(a[:], raw)
+	return a, nil
+}
+
+// KeyPair is an ECDSA P-256 key pair with its derived address.
+type KeyPair struct {
+	priv *ecdsa.PrivateKey
+	addr Address
+}
+
+// GenerateKey creates a new P-256 key pair using the given entropy source
+// (crypto/rand.Reader if nil).
+func GenerateKey(entropy io.Reader) (*KeyPair, error) {
+	if entropy == nil {
+		entropy = rand.Reader
+	}
+	priv, err := ecdsa.GenerateKey(elliptic.P256(), entropy)
+	if err != nil {
+		return nil, fmt.Errorf("cryptoutil: generate key: %w", err)
+	}
+	return &KeyPair{priv: priv, addr: AddressOf(&priv.PublicKey)}, nil
+}
+
+// MustGenerateKey is GenerateKey with crypto/rand that panics on failure.
+// It is intended for tests and example binaries where entropy failure is
+// unrecoverable anyway.
+func MustGenerateKey() *KeyPair {
+	kp, err := GenerateKey(nil)
+	if err != nil {
+		panic(err)
+	}
+	return kp
+}
+
+// Public returns the public key.
+func (k *KeyPair) Public() *ecdsa.PublicKey { return &k.priv.PublicKey }
+
+// Address returns the address derived from the public key.
+func (k *KeyPair) Address() Address { return k.addr }
+
+// PublicBytes returns the uncompressed-point encoding of the public key.
+func (k *KeyPair) PublicBytes() []byte { return MarshalPublicKey(&k.priv.PublicKey) }
+
+// MarshalPublicKey encodes a public key as an uncompressed curve point
+// (0x04 || X || Y, 65 bytes for P-256).
+func MarshalPublicKey(pub *ecdsa.PublicKey) []byte {
+	byteLen := (pub.Curve.Params().BitSize + 7) / 8
+	out := make([]byte, 1+2*byteLen)
+	out[0] = 4
+	pub.X.FillBytes(out[1 : 1+byteLen])
+	pub.Y.FillBytes(out[1+byteLen:])
+	return out
+}
+
+// ParsePublicKey decodes an uncompressed P-256 curve point.
+func ParsePublicKey(data []byte) (*ecdsa.PublicKey, error) {
+	curve := elliptic.P256()
+	x, y := elliptic.Unmarshal(curve, data)
+	if x == nil {
+		return nil, errors.New("cryptoutil: invalid public key encoding")
+	}
+	return &ecdsa.PublicKey{Curve: curve, X: x, Y: y}, nil
+}
+
+// AddressOf derives the address of a public key.
+func AddressOf(pub *ecdsa.PublicKey) Address {
+	sum := sha256.Sum256(MarshalPublicKey(pub))
+	var a Address
+	copy(a[:], sum[len(sum)-AddressLen:])
+	return a
+}
+
+// Sign signs the SHA-256 digest of msg and returns an ASN.1 DER signature.
+func (k *KeyPair) Sign(msg []byte) ([]byte, error) {
+	digest := sha256.Sum256(msg)
+	sig, err := ecdsa.SignASN1(rand.Reader, k.priv, digest[:])
+	if err != nil {
+		return nil, fmt.Errorf("cryptoutil: sign: %w", err)
+	}
+	return sig, nil
+}
+
+// Verify reports whether sig is a valid signature of msg under pub.
+func Verify(pub *ecdsa.PublicKey, msg, sig []byte) bool {
+	digest := sha256.Sum256(msg)
+	return ecdsa.VerifyASN1(pub, digest[:], sig)
+}
+
+// VerifyWithAddress verifies a signature given the claimed public key bytes
+// and checks that the key hashes to the expected address. This is the
+// verification path used for blockchain transactions, where the sender
+// includes its key material alongside the signature.
+func VerifyWithAddress(addr Address, pubBytes, msg, sig []byte) error {
+	pub, err := ParsePublicKey(pubBytes)
+	if err != nil {
+		return err
+	}
+	derived := AddressOf(pub)
+	if subtle.ConstantTimeCompare(derived[:], addr[:]) != 1 {
+		return fmt.Errorf("cryptoutil: public key address %s does not match claimed %s",
+			derived, addr)
+	}
+	if !Verify(pub, msg, sig) {
+		return errors.New("cryptoutil: signature verification failed")
+	}
+	return nil
+}
+
+// Hash returns the SHA-256 digest of the concatenation of the parts.
+type Hash [32]byte
+
+// String returns the 0x-prefixed hex form of the hash.
+func (h Hash) String() string { return "0x" + hex.EncodeToString(h[:]) }
+
+// Short returns an abbreviated form for logs.
+func (h Hash) Short() string {
+	s := hex.EncodeToString(h[:])
+	return "0x" + s[:8]
+}
+
+// IsZero reports whether the hash is all zero.
+func (h Hash) IsZero() bool { return h == Hash{} }
+
+// HashOf returns the SHA-256 digest of the concatenation of parts.
+func HashOf(parts ...[]byte) Hash {
+	hsh := sha256.New()
+	for _, p := range parts {
+		// Length-prefix each part so that ("ab","c") != ("a","bc").
+		var lenBuf [8]byte
+		putUint64(lenBuf[:], uint64(len(p)))
+		hsh.Write(lenBuf[:])
+		hsh.Write(p)
+	}
+	var out Hash
+	copy(out[:], hsh.Sum(nil))
+	return out
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 7; i >= 0; i-- {
+		b[i] = byte(v)
+		v >>= 8
+	}
+}

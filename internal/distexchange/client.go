@@ -1,0 +1,229 @@
+package distexchange
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"repro/internal/chain"
+	"repro/internal/cryptoutil"
+)
+
+// Backend abstracts the blockchain node access the client needs. It is
+// satisfied by *chain.Node directly and by the oracle components that
+// relay to one.
+type Backend interface {
+	SubmitTx(tx *chain.Tx) (cryptoutil.Hash, error)
+	WaitForReceipt(ctx context.Context, txHash cryptoutil.Hash) (*chain.Receipt, error)
+	Query(contract cryptoutil.Address, method string, args []byte) ([]byte, error)
+	NonceFor(addr cryptoutil.Address) uint64
+}
+
+var _ Backend = (*chain.Node)(nil)
+
+// DefaultGasLimit is the per-transaction gas limit used by the client.
+// DE App methods are small; evidence submissions with long usage logs are
+// the largest and stay well under this bound.
+const DefaultGasLimit = 5_000_000
+
+// Client is a typed API over the DE App contract for one key holder.
+// It is safe for concurrent use.
+type Client struct {
+	backend  Backend
+	key      *cryptoutil.KeyPair
+	contract cryptoutil.Address
+	gas      uint64
+
+	mu sync.Mutex // serializes nonce acquisition + submission
+}
+
+// NewClient builds a client for the DE App deployed at the conventional
+// address (AddressFor(ContractName) via the contract runtime).
+func NewClient(backend Backend, key *cryptoutil.KeyPair, contractAddr cryptoutil.Address) *Client {
+	return &Client{backend: backend, key: key, contract: contractAddr, gas: DefaultGasLimit}
+}
+
+// Address returns the client's sender address.
+func (c *Client) Address() cryptoutil.Address { return c.key.Address() }
+
+// Key returns the client's key pair (used by TEE components that sign
+// evidence with the same identity).
+func (c *Client) Key() *cryptoutil.KeyPair { return c.key }
+
+// RevertError is returned when a transaction is included but reverted.
+type RevertError struct {
+	Method string
+	Reason string
+}
+
+// Error implements error.
+func (e *RevertError) Error() string {
+	return fmt.Sprintf("distexchange: %s reverted: %s", e.Method, e.Reason)
+}
+
+// call submits a transaction and waits for its receipt.
+func (c *Client) call(ctx context.Context, method string, args any) (*chain.Receipt, error) {
+	c.mu.Lock()
+	nonce := c.backend.NonceFor(c.key.Address())
+	tx, err := chain.NewTx(c.key, nonce, c.contract, method, args, c.gas)
+	if err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	hash, err := c.backend.SubmitTx(tx)
+	c.mu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("distexchange: submit %s: %w", method, err)
+	}
+	receipt, err := c.backend.WaitForReceipt(ctx, hash)
+	if err != nil {
+		return nil, fmt.Errorf("distexchange: wait %s: %w", method, err)
+	}
+	if !receipt.Succeeded() {
+		return receipt, &RevertError{Method: method, Reason: receipt.Err}
+	}
+	return receipt, nil
+}
+
+// query runs a read-only method and decodes the JSON reply into out.
+func (c *Client) query(method string, args, out any) error {
+	raw, err := json.Marshal(args)
+	if err != nil {
+		return err
+	}
+	reply, err := c.backend.Query(c.contract, method, raw)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(reply, out)
+}
+
+// RegisterPod performs the on-chain half of pod initiation (Fig. 2(1)).
+func (c *Client) RegisterPod(ctx context.Context, args RegisterPodArgs) (*chain.Receipt, error) {
+	return c.call(ctx, "registerPod", args)
+}
+
+// RegisterResource performs resource initiation (Fig. 2(2)).
+func (c *Client) RegisterResource(ctx context.Context, args RegisterResourceArgs) (*chain.Receipt, error) {
+	return c.call(ctx, "registerResource", args)
+}
+
+// WithdrawResource removes a resource from the market index; existing
+// grants and monitoring remain valid.
+func (c *Client) WithdrawResource(ctx context.Context, resourceIRI string) (*chain.Receipt, error) {
+	return c.call(ctx, "withdrawResource", WithdrawResourceArgs{ResourceIRI: resourceIRI})
+}
+
+// UpdatePolicy performs policy modification (Fig. 2(5)).
+func (c *Client) UpdatePolicy(ctx context.Context, args UpdatePolicyArgs) (*chain.Receipt, error) {
+	return c.call(ctx, "updatePolicy", args)
+}
+
+// RegisterDevice registers the sender as an attested TEE device.
+func (c *Client) RegisterDevice(ctx context.Context, certificate []byte) (*chain.Receipt, error) {
+	return c.call(ctx, "registerDevice", RegisterDeviceArgs{Certificate: certificate})
+}
+
+// RecordGrant records an access grant for a device.
+func (c *Client) RecordGrant(ctx context.Context, args RecordGrantArgs) (*chain.Receipt, error) {
+	return c.call(ctx, "recordGrant", args)
+}
+
+// ConfirmRetrieval confirms the sender device obtained its copy.
+func (c *Client) ConfirmRetrieval(ctx context.Context, resourceIRI string) (*chain.Receipt, error) {
+	return c.call(ctx, "confirmRetrieval", ConfirmRetrievalArgs{ResourceIRI: resourceIRI})
+}
+
+// RevokeGrant revokes a device's grant.
+func (c *Client) RevokeGrant(ctx context.Context, args RevokeGrantArgs) (*chain.Receipt, error) {
+	return c.call(ctx, "revokeGrant", args)
+}
+
+// RequestMonitoring starts a monitoring round (Fig. 2(6)) and returns it.
+func (c *Client) RequestMonitoring(ctx context.Context, resourceIRI string) (MonitoringRound, error) {
+	receipt, err := c.call(ctx, "requestMonitoring", RequestMonitoringArgs{ResourceIRI: resourceIRI})
+	if err != nil {
+		return MonitoringRound{}, err
+	}
+	var round MonitoringRound
+	if err := json.Unmarshal(receipt.Return, &round); err != nil {
+		return MonitoringRound{}, fmt.Errorf("distexchange: decode round: %w", err)
+	}
+	return round, nil
+}
+
+// SubmitEvidence delivers signed compliance evidence.
+func (c *Client) SubmitEvidence(ctx context.Context, signed SignedEvidence) (EvidenceRecord, error) {
+	receipt, err := c.call(ctx, "submitEvidence", SubmitEvidenceArgs{Signed: signed})
+	if err != nil {
+		return EvidenceRecord{}, err
+	}
+	var rec EvidenceRecord
+	if err := json.Unmarshal(receipt.Return, &rec); err != nil {
+		return EvidenceRecord{}, fmt.Errorf("distexchange: decode evidence record: %w", err)
+	}
+	return rec, nil
+}
+
+// ReportUnresponsive closes a round, flagging silent holders.
+func (c *Client) ReportUnresponsive(ctx context.Context, resourceIRI string, round uint64) (*chain.Receipt, error) {
+	return c.call(ctx, "reportUnresponsive", ReportUnresponsiveArgs{ResourceIRI: resourceIRI, Round: round})
+}
+
+// GetPod fetches a pod record.
+func (c *Client) GetPod(ownerWebID string) (PodRecord, error) {
+	var rec PodRecord
+	err := c.query("getPod", GetPodArgs{OwnerWebID: ownerWebID}, &rec)
+	return rec, err
+}
+
+// GetResource fetches a resource record with its current policy
+// (resource indexing, Fig. 2(3)).
+func (c *Client) GetResource(resourceIRI string) (ResourceRecord, error) {
+	var rec ResourceRecord
+	err := c.query("getResource", GetResourceArgs{ResourceIRI: resourceIRI}, &rec)
+	return rec, err
+}
+
+// ListResources lists the resource index, optionally for one pod.
+func (c *Client) ListResources(podWebID string) ([]ResourceRecord, error) {
+	var out []ResourceRecord
+	err := c.query("listResources", ListResourcesArgs{PodWebID: podWebID}, &out)
+	return out, err
+}
+
+// GetGrants lists grants for a resource.
+func (c *Client) GetGrants(resourceIRI string) ([]Grant, error) {
+	var out []Grant
+	err := c.query("getGrants", GetGrantsArgs{ResourceIRI: resourceIRI}, &out)
+	return out, err
+}
+
+// GetDevice fetches a device record.
+func (c *Client) GetDevice(device cryptoutil.Address) (DeviceRecord, error) {
+	var rec DeviceRecord
+	err := c.query("getDevice", GetDeviceArgs{Device: device}, &rec)
+	return rec, err
+}
+
+// GetViolations lists violations recorded for a resource.
+func (c *Client) GetViolations(resourceIRI string) ([]Violation, error) {
+	var out []Violation
+	err := c.query("getViolations", GetViolationsArgs{ResourceIRI: resourceIRI}, &out)
+	return out, err
+}
+
+// GetEvidence lists verified evidence records for a resource.
+func (c *Client) GetEvidence(resourceIRI string) ([]EvidenceRecord, error) {
+	var out []EvidenceRecord
+	err := c.query("getEvidence", GetEvidenceArgs{ResourceIRI: resourceIRI}, &out)
+	return out, err
+}
+
+// GetMonitoringRound fetches a monitoring round record.
+func (c *Client) GetMonitoringRound(resourceIRI string, round uint64) (MonitoringRound, error) {
+	var rec MonitoringRound
+	err := c.query("getMonitoringRound", GetMonitoringRoundArgs{ResourceIRI: resourceIRI, Round: round}, &rec)
+	return rec, err
+}

@@ -1,0 +1,857 @@
+package distexchange
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/contract"
+	"repro/internal/cryptoutil"
+)
+
+// Config parameterizes the DE App deployment.
+type Config struct {
+	// ManufacturerCAKey is the public key (uncompressed point) of the TEE
+	// manufacturer certificate authority trusted for device registration.
+	ManufacturerCAKey []byte
+	// ManufacturerCA is the CA's address.
+	ManufacturerCA cryptoutil.Address
+	// MaxPolicyLag is how many policy versions a holder may lag behind
+	// before monitoring flags a stale-policy violation. Zero means holders
+	// must always enforce the latest version.
+	MaxPolicyLag uint64
+}
+
+// Contract is the DE App smart contract.
+type Contract struct {
+	cfg Config
+}
+
+var _ contract.Contract = (*Contract)(nil)
+
+// New returns a DE App contract instance.
+func New(cfg Config) *Contract { return &Contract{cfg: cfg} }
+
+// Storage key builders. Composite keys use '|' as the separator because it
+// cannot appear in IRIs or hex addresses.
+func podKey(webID string) string         { return "pod/" + webID }
+func resKey(iri string) string           { return "res/" + iri }
+func resByPodKey(pod, iri string) string { return "resbypod/" + pod + "|" + iri }
+func devKey(a cryptoutil.Address) string { return "dev/" + a.String() }
+func grantKey(iri string, d cryptoutil.Address) string {
+	return "grant/" + iri + "|" + d.String()
+}
+func grantPrefix(iri string) string { return "grant/" + iri + "|" }
+func roundKey(iri string, n uint64) string {
+	return fmt.Sprintf("round/%s|%012d", iri, n)
+}
+func roundSeqKey(iri string) string { return "roundseq/" + iri }
+func evKey(iri string, n uint64) string {
+	return fmt.Sprintf("ev/%s|%012d", iri, n)
+}
+func evSeqKey(iri string) string { return "evseq/" + iri }
+func violKey(iri string, n uint64) string {
+	return fmt.Sprintf("viol/%s|%012d", iri, n)
+}
+func violSeqKey(iri string) string { return "violseq/" + iri }
+
+// Call implements contract.Contract.
+func (c *Contract) Call(env *contract.Env, method string, args []byte) ([]byte, error) {
+	switch method {
+	case "registerPod":
+		return c.registerPod(env, args)
+	case "registerResource":
+		return c.registerResource(env, args)
+	case "updatePolicy":
+		return c.updatePolicy(env, args)
+	case "withdrawResource":
+		return c.withdrawResource(env, args)
+	case "registerDevice":
+		return c.registerDevice(env, args)
+	case "recordGrant":
+		return c.recordGrant(env, args)
+	case "confirmRetrieval":
+		return c.confirmRetrieval(env, args)
+	case "revokeGrant":
+		return c.revokeGrant(env, args)
+	case "requestMonitoring":
+		return c.requestMonitoring(env, args)
+	case "submitEvidence":
+		return c.submitEvidence(env, args)
+	case "reportUnresponsive":
+		return c.reportUnresponsive(env, args)
+	default:
+		return nil, contract.Revertf("unknown method %q", method)
+	}
+}
+
+// --- storage helpers ---
+
+func getJSON[T any](env *contract.Env, key string, out *T) (bool, error) {
+	raw, ok, err := env.Get(key)
+	if err != nil {
+		return false, err
+	}
+	if !ok {
+		return false, nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return false, contract.Revertf("corrupt record at %s: %v", key, err)
+	}
+	return true, nil
+}
+
+func setJSON(env *contract.Env, key string, v any) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return contract.Revertf("encode record at %s: %v", key, err)
+	}
+	return env.Set(key, raw)
+}
+
+func counter(env *contract.Env, key string) (uint64, error) {
+	var n uint64
+	if _, err := getJSON(env, key, &n); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+func bumpCounter(env *contract.Env, key string) (uint64, error) {
+	n, err := counter(env, key)
+	if err != nil {
+		return 0, err
+	}
+	n++
+	if err := setJSON(env, key, n); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// --- pod initiation (Fig. 2(1)) ---
+
+func (c *Contract) registerPod(env *contract.Env, raw []byte) ([]byte, error) {
+	var args RegisterPodArgs
+	if err := json.Unmarshal(raw, &args); err != nil {
+		return nil, contract.Revertf("bad args: %v", err)
+	}
+	if args.OwnerWebID == "" || args.Location == "" {
+		return nil, contract.Revertf("registerPod: ownerWebID and location are required")
+	}
+	var existing PodRecord
+	if ok, err := getJSON(env, podKey(args.OwnerWebID), &existing); err != nil {
+		return nil, err
+	} else if ok {
+		return nil, contract.Revertf("registerPod: pod %q already registered", args.OwnerWebID)
+	}
+	if args.DefaultPolicy != nil {
+		if err := args.DefaultPolicy.Validate(); err != nil {
+			return nil, contract.Revertf("registerPod: invalid default policy: %v", err)
+		}
+	}
+	rec := PodRecord{
+		OwnerWebID:    args.OwnerWebID,
+		Location:      args.Location,
+		Owner:         env.Sender,
+		DefaultPolicy: args.DefaultPolicy,
+		RegisteredAt:  env.Block.Time,
+	}
+	if err := setJSON(env, podKey(args.OwnerWebID), rec); err != nil {
+		return nil, err
+	}
+	payload, _ := json.Marshal(rec)
+	if err := env.Emit(TopicPodRegistered, args.OwnerWebID, payload); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+// --- resource initiation (Fig. 2(2)) ---
+
+func (c *Contract) registerResource(env *contract.Env, raw []byte) ([]byte, error) {
+	var args RegisterResourceArgs
+	if err := json.Unmarshal(raw, &args); err != nil {
+		return nil, contract.Revertf("bad args: %v", err)
+	}
+	if args.ResourceIRI == "" || args.PodWebID == "" || args.Location == "" {
+		return nil, contract.Revertf("registerResource: resource, podWebID and location are required")
+	}
+	var pod PodRecord
+	ok, err := getJSON(env, podKey(args.PodWebID), &pod)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, contract.Revertf("registerResource: pod %q not registered", args.PodWebID)
+	}
+	if pod.Owner != env.Sender {
+		return nil, contract.Revertf("registerResource: sender %s does not own pod %q", env.Sender, args.PodWebID)
+	}
+	var existing ResourceRecord
+	if ok, err := getJSON(env, resKey(args.ResourceIRI), &existing); err != nil {
+		return nil, err
+	} else if ok {
+		return nil, contract.Revertf("registerResource: resource %q already registered", args.ResourceIRI)
+	}
+
+	pol := args.Policy
+	if pol == nil {
+		// Fall back to the pod's default policy, re-bound to the resource.
+		if pod.DefaultPolicy == nil {
+			return nil, contract.Revertf("registerResource: no policy given and pod has no default")
+		}
+		clone := pod.DefaultPolicy.Clone()
+		clone.ID = args.ResourceIRI + "#policy"
+		clone.ResourceIRI = args.ResourceIRI
+		pol = clone
+	}
+	if err := pol.Validate(); err != nil {
+		return nil, contract.Revertf("registerResource: invalid policy: %v", err)
+	}
+	if pol.ResourceIRI != args.ResourceIRI {
+		return nil, contract.Revertf("registerResource: policy is bound to %q, not %q", pol.ResourceIRI, args.ResourceIRI)
+	}
+
+	rec := ResourceRecord{
+		ResourceIRI:  args.ResourceIRI,
+		PodWebID:     args.PodWebID,
+		Location:     args.Location,
+		Description:  args.Description,
+		Owner:        env.Sender,
+		Policy:       pol,
+		RegisteredAt: env.Block.Time,
+	}
+	if err := setJSON(env, resKey(args.ResourceIRI), rec); err != nil {
+		return nil, err
+	}
+	if err := env.Set(resByPodKey(args.PodWebID, args.ResourceIRI), []byte{1}); err != nil {
+		return nil, err
+	}
+	payload, _ := json.Marshal(rec)
+	if err := env.Emit(TopicResourceRegistered, args.ResourceIRI, payload); err != nil {
+		return nil, err
+	}
+	polPayload, _ := json.Marshal(pol)
+	if err := env.Emit(TopicPolicyPublished, args.ResourceIRI, polPayload); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+// --- policy modification (Fig. 2(5)) ---
+
+func (c *Contract) updatePolicy(env *contract.Env, raw []byte) ([]byte, error) {
+	var args UpdatePolicyArgs
+	if err := json.Unmarshal(raw, &args); err != nil {
+		return nil, contract.Revertf("bad args: %v", err)
+	}
+	if args.Policy == nil {
+		return nil, contract.Revertf("updatePolicy: missing policy")
+	}
+	var rec ResourceRecord
+	ok, err := getJSON(env, resKey(args.ResourceIRI), &rec)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, contract.Revertf("updatePolicy: resource %q not registered", args.ResourceIRI)
+	}
+	if rec.Owner != env.Sender {
+		return nil, contract.Revertf("updatePolicy: sender %s does not own %q", env.Sender, args.ResourceIRI)
+	}
+	if err := args.Policy.Validate(); err != nil {
+		return nil, contract.Revertf("updatePolicy: invalid policy: %v", err)
+	}
+	if args.Policy.ResourceIRI != args.ResourceIRI {
+		return nil, contract.Revertf("updatePolicy: policy bound to %q, not %q", args.Policy.ResourceIRI, args.ResourceIRI)
+	}
+	if args.Policy.Version <= rec.Policy.Version {
+		return nil, contract.Revertf("updatePolicy: version %d not greater than current %d",
+			args.Policy.Version, rec.Policy.Version)
+	}
+	rec.Policy = args.Policy
+	if err := setJSON(env, resKey(args.ResourceIRI), rec); err != nil {
+		return nil, err
+	}
+	payload, _ := json.Marshal(args.Policy)
+	if err := env.Emit(TopicPolicyUpdated, args.ResourceIRI, payload); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+func (c *Contract) withdrawResource(env *contract.Env, raw []byte) ([]byte, error) {
+	var args WithdrawResourceArgs
+	if err := json.Unmarshal(raw, &args); err != nil {
+		return nil, contract.Revertf("bad args: %v", err)
+	}
+	var rec ResourceRecord
+	ok, err := getJSON(env, resKey(args.ResourceIRI), &rec)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, contract.Revertf("withdrawResource: resource %q not registered", args.ResourceIRI)
+	}
+	if rec.Owner != env.Sender {
+		return nil, contract.Revertf("withdrawResource: sender %s does not own %q", env.Sender, args.ResourceIRI)
+	}
+	if rec.Withdrawn {
+		return nil, contract.Revertf("withdrawResource: already withdrawn")
+	}
+	rec.Withdrawn = true
+	if err := setJSON(env, resKey(args.ResourceIRI), rec); err != nil {
+		return nil, err
+	}
+	if err := env.Delete(resByPodKey(rec.PodWebID, args.ResourceIRI)); err != nil {
+		return nil, err
+	}
+	payload, _ := json.Marshal(rec)
+	if err := env.Emit(TopicResourceWithdrawn, args.ResourceIRI, payload); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+// --- device registration (TEE attestation) ---
+
+func (c *Contract) registerDevice(env *contract.Env, raw []byte) ([]byte, error) {
+	var args RegisterDeviceArgs
+	if err := json.Unmarshal(raw, &args); err != nil {
+		return nil, contract.Revertf("bad args: %v", err)
+	}
+	cert, err := cryptoutil.DecodeCertificate(args.Certificate)
+	if err != nil {
+		return nil, contract.Revertf("registerDevice: %v", err)
+	}
+	if err := cert.Verify(c.cfg.ManufacturerCAKey, c.cfg.ManufacturerCA, env.Block.Time); err != nil {
+		return nil, contract.Revertf("registerDevice: certificate rejected: %v", err)
+	}
+	if cert.Subject != env.Sender {
+		return nil, contract.Revertf("registerDevice: certificate subject %s is not the sender %s",
+			cert.Subject, env.Sender)
+	}
+	measurementHex, ok := cert.Claims["measurement"]
+	if !ok {
+		return nil, contract.Revertf("registerDevice: certificate lacks a measurement claim")
+	}
+	mraw, err := hex.DecodeString(measurementHex)
+	if err != nil || len(mraw) != 32 {
+		return nil, contract.Revertf("registerDevice: malformed measurement claim")
+	}
+	var measurement cryptoutil.Hash
+	copy(measurement[:], mraw)
+
+	rec := DeviceRecord{
+		Device:       env.Sender,
+		DeviceKey:    cert.SubjectKey,
+		Measurement:  measurement,
+		RegisteredAt: env.Block.Time,
+	}
+	if err := setJSON(env, devKey(env.Sender), rec); err != nil {
+		return nil, err
+	}
+	payload, _ := json.Marshal(rec)
+	if err := env.Emit(TopicDeviceRegistered, env.Sender.String(), payload); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+// --- grants (resource access bookkeeping, Fig. 2(4)) ---
+
+func (c *Contract) recordGrant(env *contract.Env, raw []byte) ([]byte, error) {
+	var args RecordGrantArgs
+	if err := json.Unmarshal(raw, &args); err != nil {
+		return nil, contract.Revertf("bad args: %v", err)
+	}
+	var rec ResourceRecord
+	ok, err := getJSON(env, resKey(args.ResourceIRI), &rec)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, contract.Revertf("recordGrant: resource %q not registered", args.ResourceIRI)
+	}
+	if rec.Withdrawn {
+		return nil, contract.Revertf("recordGrant: resource %q is withdrawn from the market", args.ResourceIRI)
+	}
+	if rec.Owner != env.Sender {
+		return nil, contract.Revertf("recordGrant: sender %s does not own %q", env.Sender, args.ResourceIRI)
+	}
+	var dev DeviceRecord
+	if ok, err := getJSON(env, devKey(args.Device), &dev); err != nil {
+		return nil, err
+	} else if !ok {
+		return nil, contract.Revertf("recordGrant: device %s not registered", args.Device)
+	}
+	if args.Purpose == "" {
+		return nil, contract.Revertf("recordGrant: purpose is required")
+	}
+	if !rec.Policy.PermitsPurpose(args.Purpose) {
+		return nil, contract.Revertf("recordGrant: purpose %q not permitted by policy v%d",
+			args.Purpose, rec.Policy.Version)
+	}
+	g := Grant{
+		ResourceIRI: args.ResourceIRI,
+		Consumer:    args.Consumer,
+		Device:      args.Device,
+		Purpose:     args.Purpose,
+		GrantedAt:   env.Block.Time,
+	}
+	if err := setJSON(env, grantKey(args.ResourceIRI, args.Device), g); err != nil {
+		return nil, err
+	}
+	payload, _ := json.Marshal(g)
+	if err := env.Emit(TopicGrantRecorded, args.ResourceIRI, payload); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+func (c *Contract) confirmRetrieval(env *contract.Env, raw []byte) ([]byte, error) {
+	var args ConfirmRetrievalArgs
+	if err := json.Unmarshal(raw, &args); err != nil {
+		return nil, contract.Revertf("bad args: %v", err)
+	}
+	var g Grant
+	ok, err := getJSON(env, grantKey(args.ResourceIRI, env.Sender), &g)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, contract.Revertf("confirmRetrieval: no grant for device %s on %q", env.Sender, args.ResourceIRI)
+	}
+	if g.Revoked {
+		return nil, contract.Revertf("confirmRetrieval: grant revoked")
+	}
+	if !g.RetrievedAt.IsZero() {
+		return nil, contract.Revertf("confirmRetrieval: already confirmed")
+	}
+	g.RetrievedAt = env.Block.Time
+	if err := setJSON(env, grantKey(args.ResourceIRI, env.Sender), g); err != nil {
+		return nil, err
+	}
+	payload, _ := json.Marshal(g)
+	if err := env.Emit(TopicRetrievalConfirmed, args.ResourceIRI, payload); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+func (c *Contract) revokeGrant(env *contract.Env, raw []byte) ([]byte, error) {
+	var args RevokeGrantArgs
+	if err := json.Unmarshal(raw, &args); err != nil {
+		return nil, contract.Revertf("bad args: %v", err)
+	}
+	var rec ResourceRecord
+	ok, err := getJSON(env, resKey(args.ResourceIRI), &rec)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, contract.Revertf("revokeGrant: resource %q not registered", args.ResourceIRI)
+	}
+	if rec.Owner != env.Sender {
+		return nil, contract.Revertf("revokeGrant: sender %s does not own %q", env.Sender, args.ResourceIRI)
+	}
+	var g Grant
+	if ok, err := getJSON(env, grantKey(args.ResourceIRI, args.Device), &g); err != nil {
+		return nil, err
+	} else if !ok {
+		return nil, contract.Revertf("revokeGrant: no grant for device %s", args.Device)
+	}
+	if g.Revoked {
+		return nil, contract.Revertf("revokeGrant: already revoked")
+	}
+	g.Revoked = true
+	if err := setJSON(env, grantKey(args.ResourceIRI, args.Device), g); err != nil {
+		return nil, err
+	}
+	payload, _ := json.Marshal(g)
+	if err := env.Emit(TopicGrantRevoked, args.ResourceIRI, payload); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+// --- policy monitoring (Fig. 2(6)) ---
+
+func (c *Contract) requestMonitoring(env *contract.Env, raw []byte) ([]byte, error) {
+	var args RequestMonitoringArgs
+	if err := json.Unmarshal(raw, &args); err != nil {
+		return nil, contract.Revertf("bad args: %v", err)
+	}
+	var rec ResourceRecord
+	ok, err := getJSON(env, resKey(args.ResourceIRI), &rec)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, contract.Revertf("requestMonitoring: resource %q not registered", args.ResourceIRI)
+	}
+	if rec.Owner != env.Sender {
+		return nil, contract.Revertf("requestMonitoring: sender %s does not own %q", env.Sender, args.ResourceIRI)
+	}
+
+	keys, err := env.Keys(grantPrefix(args.ResourceIRI))
+	if err != nil {
+		return nil, err
+	}
+	var targets []cryptoutil.Address
+	for _, k := range keys {
+		var g Grant
+		if ok, err := getJSON(env, k, &g); err != nil {
+			return nil, err
+		} else if !ok {
+			continue
+		}
+		if !g.Revoked && !g.RetrievedAt.IsZero() {
+			targets = append(targets, g.Device)
+		}
+	}
+
+	n, err := bumpCounter(env, roundSeqKey(args.ResourceIRI))
+	if err != nil {
+		return nil, err
+	}
+	round := MonitoringRound{
+		Round:       n,
+		ResourceIRI: args.ResourceIRI,
+		RequestedAt: env.Block.Time,
+		Targets:     targets,
+	}
+	if len(targets) == 0 {
+		round.Closed = true
+	}
+	if err := setJSON(env, roundKey(args.ResourceIRI, n), round); err != nil {
+		return nil, err
+	}
+	payload, _ := json.Marshal(round)
+	if err := env.Emit(TopicMonitoringRequested, args.ResourceIRI, payload); err != nil {
+		return nil, err
+	}
+	return json.Marshal(round)
+}
+
+func (c *Contract) submitEvidence(env *contract.Env, raw []byte) ([]byte, error) {
+	var args SubmitEvidenceArgs
+	if err := json.Unmarshal(raw, &args); err != nil {
+		return nil, contract.Revertf("bad args: %v", err)
+	}
+	ev := args.Signed.Evidence
+
+	var rec ResourceRecord
+	ok, err := getJSON(env, resKey(ev.ResourceIRI), &rec)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, contract.Revertf("submitEvidence: resource %q not registered", ev.ResourceIRI)
+	}
+	var dev DeviceRecord
+	if ok, err := getJSON(env, devKey(ev.Device), &dev); err != nil {
+		return nil, err
+	} else if !ok {
+		return nil, contract.Revertf("submitEvidence: device %s not registered", ev.Device)
+	}
+	var g Grant
+	if ok, err := getJSON(env, grantKey(ev.ResourceIRI, ev.Device), &g); err != nil {
+		return nil, err
+	} else if !ok {
+		return nil, contract.Revertf("submitEvidence: no grant for device %s on %q", ev.Device, ev.ResourceIRI)
+	}
+
+	// Verify the device signature over the evidence.
+	devPub, err := cryptoutil.ParsePublicKey(dev.DeviceKey)
+	if err != nil {
+		return nil, contract.Revertf("submitEvidence: stored device key corrupt: %v", err)
+	}
+	if !cryptoutil.Verify(devPub, ev.SigningBytes(), args.Signed.Signature) {
+		return nil, contract.Revertf("submitEvidence: evidence signature invalid")
+	}
+
+	findings := c.checkCompliance(&rec, &g, &ev)
+
+	seq, err := bumpCounter(env, evSeqKey(ev.ResourceIRI))
+	if err != nil {
+		return nil, err
+	}
+	record := EvidenceRecord{
+		Seq:      seq,
+		Evidence: ev,
+		Verified: true,
+		Stored:   env.Block.Time,
+		Round:    ev.Round,
+		Findings: findings,
+	}
+	if err := setJSON(env, evKey(ev.ResourceIRI, seq), record); err != nil {
+		return nil, err
+	}
+	evPayload, _ := json.Marshal(record)
+	if err := env.Emit(TopicEvidenceRecorded, ev.ResourceIRI, evPayload); err != nil {
+		return nil, err
+	}
+
+	for _, kind := range findings {
+		if err := c.recordViolation(env, ev.ResourceIRI, ev.Device, kind,
+			fmt.Sprintf("evidence #%d round %d", seq, ev.Round), ev.Round); err != nil {
+			return nil, err
+		}
+	}
+
+	// Update the monitoring round, if this evidence answers one.
+	if ev.Round > 0 {
+		var round MonitoringRound
+		if ok, err := getJSON(env, roundKey(ev.ResourceIRI, ev.Round), &round); err != nil {
+			return nil, err
+		} else if ok && !round.Closed {
+			already := false
+			for _, r := range round.Responded {
+				if r == ev.Device {
+					already = true
+					break
+				}
+			}
+			if !already {
+				round.Responded = append(round.Responded, ev.Device)
+			}
+			if len(round.Responded) >= len(round.Targets) {
+				round.Closed = true
+			}
+			if err := setJSON(env, roundKey(ev.ResourceIRI, ev.Round), round); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return json.Marshal(record)
+}
+
+// checkCompliance evaluates evidence against the current policy and grant.
+func (c *Contract) checkCompliance(rec *ResourceRecord, g *Grant, ev *Evidence) []ViolationKind {
+	var findings []ViolationKind
+	pol := rec.Policy
+
+	// Stale policy enforcement.
+	if pol.Version > ev.PolicyVersion && pol.Version-ev.PolicyVersion > c.cfg.MaxPolicyLag {
+		findings = append(findings, ViolationStalePolicy)
+	}
+
+	// Retention: the copy must be gone by its deadline.
+	retrievedAt := g.RetrievedAt
+	if retrievedAt.IsZero() {
+		retrievedAt = ev.RetrievedAt
+	}
+	if deadline, has := pol.DeleteDeadline(retrievedAt); has {
+		if ev.StillStored && ev.GeneratedAt.After(deadline) {
+			findings = append(findings, ViolationRetention)
+		}
+		if !ev.StillStored && !ev.DeletedAt.IsZero() && ev.DeletedAt.After(deadline) {
+			findings = append(findings, ViolationRetention)
+		}
+	}
+
+	// Purpose: every allowed use must match the policy's purposes.
+	for _, u := range ev.Entries {
+		if u.Allowed && !pol.PermitsPurpose(u.Purpose) {
+			findings = append(findings, ViolationPurpose)
+			break
+		}
+	}
+
+	// Usage cap.
+	if pol.MaxUses > 0 && ev.UseCount > pol.MaxUses {
+		findings = append(findings, ViolationMaxUses)
+	}
+	return findings
+}
+
+func (c *Contract) recordViolation(env *contract.Env, iri string, device cryptoutil.Address, kind ViolationKind, detail string, round uint64) error {
+	seq, err := bumpCounter(env, violSeqKey(iri))
+	if err != nil {
+		return err
+	}
+	v := Violation{
+		Seq:         seq,
+		ResourceIRI: iri,
+		Device:      device,
+		Kind:        kind,
+		Detail:      detail,
+		DetectedAt:  env.Block.Time,
+		Round:       round,
+	}
+	if err := setJSON(env, violKey(iri, seq), v); err != nil {
+		return err
+	}
+	payload, _ := json.Marshal(v)
+	return env.Emit(TopicViolationDetected, iri, payload)
+}
+
+func (c *Contract) reportUnresponsive(env *contract.Env, raw []byte) ([]byte, error) {
+	var args ReportUnresponsiveArgs
+	if err := json.Unmarshal(raw, &args); err != nil {
+		return nil, contract.Revertf("bad args: %v", err)
+	}
+	var rec ResourceRecord
+	ok, err := getJSON(env, resKey(args.ResourceIRI), &rec)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, contract.Revertf("reportUnresponsive: resource %q not registered", args.ResourceIRI)
+	}
+	if rec.Owner != env.Sender {
+		return nil, contract.Revertf("reportUnresponsive: sender %s does not own %q", env.Sender, args.ResourceIRI)
+	}
+	var round MonitoringRound
+	if ok, err := getJSON(env, roundKey(args.ResourceIRI, args.Round), &round); err != nil {
+		return nil, err
+	} else if !ok {
+		return nil, contract.Revertf("reportUnresponsive: round %d not found", args.Round)
+	}
+	if round.Closed {
+		return nil, contract.Revertf("reportUnresponsive: round %d already closed", args.Round)
+	}
+	responded := make(map[cryptoutil.Address]bool, len(round.Responded))
+	for _, r := range round.Responded {
+		responded[r] = true
+	}
+	for _, target := range round.Targets {
+		if responded[target] {
+			continue
+		}
+		if err := c.recordViolation(env, args.ResourceIRI, target, ViolationUnresponsive,
+			fmt.Sprintf("no evidence for round %d", args.Round), args.Round); err != nil {
+			return nil, err
+		}
+	}
+	round.Closed = true
+	if err := setJSON(env, roundKey(args.ResourceIRI, args.Round), round); err != nil {
+		return nil, err
+	}
+	return json.Marshal(round)
+}
+
+// --- read-only queries ---
+
+// Read implements contract.Contract.
+func (c *Contract) Read(env *contract.ReadEnv, method string, args []byte) ([]byte, error) {
+	switch method {
+	case "getPod":
+		var a GetPodArgs
+		if err := json.Unmarshal(args, &a); err != nil {
+			return nil, fmt.Errorf("distexchange: bad args: %w", err)
+		}
+		return readRecord[PodRecord](env, podKey(a.OwnerWebID))
+	case "getResource":
+		var a GetResourceArgs
+		if err := json.Unmarshal(args, &a); err != nil {
+			return nil, fmt.Errorf("distexchange: bad args: %w", err)
+		}
+		return readRecord[ResourceRecord](env, resKey(a.ResourceIRI))
+	case "getDevice":
+		var a GetDeviceArgs
+		if err := json.Unmarshal(args, &a); err != nil {
+			return nil, fmt.Errorf("distexchange: bad args: %w", err)
+		}
+		return readRecord[DeviceRecord](env, devKey(a.Device))
+	case "listResources":
+		return c.listResources(env, args)
+	case "getGrants":
+		var a GetGrantsArgs
+		if err := json.Unmarshal(args, &a); err != nil {
+			return nil, fmt.Errorf("distexchange: bad args: %w", err)
+		}
+		return readList[Grant](env, grantPrefix(a.ResourceIRI))
+	case "getViolations":
+		var a GetViolationsArgs
+		if err := json.Unmarshal(args, &a); err != nil {
+			return nil, fmt.Errorf("distexchange: bad args: %w", err)
+		}
+		return readList[Violation](env, "viol/"+a.ResourceIRI+"|")
+	case "getEvidence":
+		var a GetEvidenceArgs
+		if err := json.Unmarshal(args, &a); err != nil {
+			return nil, fmt.Errorf("distexchange: bad args: %w", err)
+		}
+		return readList[EvidenceRecord](env, "ev/"+a.ResourceIRI+"|")
+	case "getMonitoringRound":
+		var a GetMonitoringRoundArgs
+		if err := json.Unmarshal(args, &a); err != nil {
+			return nil, fmt.Errorf("distexchange: bad args: %w", err)
+		}
+		return readRecord[MonitoringRound](env, roundKey(a.ResourceIRI, a.Round))
+	default:
+		return nil, fmt.Errorf("distexchange: unknown query %q", method)
+	}
+}
+
+// ErrNotFound is returned (wrapped) by queries for missing records.
+var ErrNotFound = fmt.Errorf("distexchange: not found")
+
+func readRecord[T any](env *contract.ReadEnv, key string) ([]byte, error) {
+	raw, ok := env.Get(key)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	return raw, nil
+}
+
+func readList[T any](env *contract.ReadEnv, prefix string) ([]byte, error) {
+	keys := env.Keys(prefix)
+	out := make([]T, 0, len(keys))
+	for _, k := range keys {
+		raw, ok := env.Get(k)
+		if !ok {
+			continue
+		}
+		var v T
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return nil, fmt.Errorf("distexchange: corrupt record at %s: %w", k, err)
+		}
+		out = append(out, v)
+	}
+	return json.Marshal(out)
+}
+
+func (c *Contract) listResources(env *contract.ReadEnv, args []byte) ([]byte, error) {
+	var a ListResourcesArgs
+	if err := json.Unmarshal(args, &a); err != nil {
+		return nil, fmt.Errorf("distexchange: bad args: %w", err)
+	}
+	var out []ResourceRecord
+	if a.PodWebID != "" {
+		for _, k := range env.Keys("resbypod/" + a.PodWebID + "|") {
+			iri := k[len("resbypod/"+a.PodWebID+"|"):]
+			raw, ok := env.Get(resKey(iri))
+			if !ok {
+				continue
+			}
+			var rec ResourceRecord
+			if err := json.Unmarshal(raw, &rec); err != nil {
+				return nil, fmt.Errorf("distexchange: corrupt resource %q: %w", iri, err)
+			}
+			out = append(out, rec)
+		}
+	} else {
+		for _, k := range env.Keys("res/") {
+			raw, ok := env.Get(k)
+			if !ok {
+				continue
+			}
+			var rec ResourceRecord
+			if err := json.Unmarshal(raw, &rec); err != nil {
+				return nil, fmt.Errorf("distexchange: corrupt resource at %q: %w", k, err)
+			}
+			if rec.Withdrawn {
+				continue
+			}
+			out = append(out, rec)
+		}
+	}
+	if out == nil {
+		out = []ResourceRecord{}
+	}
+	return json.Marshal(out)
+}

@@ -1,0 +1,336 @@
+// Package distexchange implements the DistExchange application (DE App) of
+// the paper: the blockchain-resident component that records where data
+// resides (pod and resource locations), declares the applicable usage
+// policies, tracks which consumer devices hold copies, and monitors
+// compliance with the policies — detecting and recording violations.
+//
+// The contract (see Contract) runs on the contract.Runtime; Client offers
+// a typed Go API over a chain backend for off-chain components (pod
+// managers and TEEs reach it through the oracles in package oracle).
+package distexchange
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/policy"
+)
+
+// ContractName is the runtime deployment name of the DE App.
+const ContractName = "distexchange"
+
+// Event topics emitted by the DE App.
+const (
+	TopicPodRegistered       = "PodRegistered"
+	TopicResourceRegistered  = "ResourceRegistered"
+	TopicPolicyPublished     = "PolicyPublished"
+	TopicPolicyUpdated       = "PolicyUpdated"
+	TopicDeviceRegistered    = "DeviceRegistered"
+	TopicGrantRecorded       = "GrantRecorded"
+	TopicGrantRevoked        = "GrantRevoked"
+	TopicRetrievalConfirmed  = "RetrievalConfirmed"
+	TopicMonitoringRequested = "MonitoringRequested"
+	TopicEvidenceRecorded    = "EvidenceRecorded"
+	TopicViolationDetected   = "ViolationDetected"
+	TopicResourceWithdrawn   = "ResourceWithdrawn"
+)
+
+// PodRecord is the on-chain registration of a Solid pod.
+type PodRecord struct {
+	// OwnerWebID is the pod owner's WebID.
+	OwnerWebID string `json:"ownerWebID"`
+	// Location is the pod's root URL.
+	Location string `json:"location"`
+	// Owner is the blockchain address controlling the registration.
+	Owner cryptoutil.Address `json:"owner"`
+	// DefaultPolicy is the pod-wide default usage policy.
+	DefaultPolicy *policy.Policy `json:"defaultPolicy,omitempty"`
+	// RegisteredAt is the block timestamp of registration.
+	RegisteredAt time.Time `json:"registeredAt"`
+}
+
+// ResourceRecord is the on-chain index entry for a published resource.
+type ResourceRecord struct {
+	// ResourceIRI identifies the resource.
+	ResourceIRI string `json:"resource"`
+	// PodWebID names the owning pod.
+	PodWebID string `json:"podWebID"`
+	// Location is the resource's web location inside the pod.
+	Location string `json:"location"`
+	// Description is free-form market metadata.
+	Description string `json:"description,omitempty"`
+	// Owner is the publishing blockchain address.
+	Owner cryptoutil.Address `json:"owner"`
+	// Policy is the currently applicable usage policy.
+	Policy *policy.Policy `json:"policy"`
+	// RegisteredAt is the block timestamp of publication.
+	RegisteredAt time.Time `json:"registeredAt"`
+	// Withdrawn marks resources removed from the market index; existing
+	// copies remain governed by the last published policy.
+	Withdrawn bool `json:"withdrawn,omitempty"`
+}
+
+// DeviceRecord registers a consumer TEE device, rooted in a manufacturer
+// certificate.
+type DeviceRecord struct {
+	// Device is the device's blockchain address (derived from its key).
+	Device cryptoutil.Address `json:"device"`
+	// DeviceKey is the device public key used to verify evidence.
+	DeviceKey []byte `json:"deviceKey"`
+	// Measurement is the attested TEE code measurement.
+	Measurement cryptoutil.Hash `json:"measurement"`
+	// RegisteredAt is the block timestamp of registration.
+	RegisteredAt time.Time `json:"registeredAt"`
+}
+
+// Grant records that a consumer device was granted access to (and may hold
+// a copy of) a resource.
+type Grant struct {
+	// ResourceIRI is the granted resource.
+	ResourceIRI string `json:"resource"`
+	// Consumer is the consumer's blockchain address.
+	Consumer cryptoutil.Address `json:"consumer"`
+	// Device is the consumer's TEE device address.
+	Device cryptoutil.Address `json:"device"`
+	// Purpose is the consumer's declared purpose of use.
+	Purpose policy.Purpose `json:"purpose"`
+	// GrantedAt is when the grant was recorded on-chain.
+	GrantedAt time.Time `json:"grantedAt"`
+	// RetrievedAt is when the device confirmed physical retrieval (zero
+	// until confirmed).
+	RetrievedAt time.Time `json:"retrievedAt,omitempty"`
+	// Revoked marks administratively revoked grants.
+	Revoked bool `json:"revoked,omitempty"`
+}
+
+// UsageEntry is one use of a resource copy, logged by the TEE.
+type UsageEntry struct {
+	At      time.Time      `json:"at"`
+	Action  policy.Action  `json:"action"`
+	Purpose policy.Purpose `json:"purpose"`
+	// Allowed records the TEE's own policy decision for the use.
+	Allowed bool `json:"allowed"`
+}
+
+// Evidence is the compliance report a TEE produces during policy
+// monitoring (Fig. 2(6)).
+type Evidence struct {
+	// ResourceIRI is the monitored resource.
+	ResourceIRI string `json:"resource"`
+	// Device is the reporting TEE device.
+	Device cryptoutil.Address `json:"device"`
+	// Round is the monitoring round this evidence answers.
+	Round uint64 `json:"round"`
+	// PolicyVersion is the policy version the TEE is enforcing.
+	PolicyVersion uint64 `json:"policyVersion"`
+	// StillStored reports whether the copy is still in trusted storage.
+	StillStored bool `json:"stillStored"`
+	// DeletedAt is when the copy was deleted (zero if StillStored).
+	DeletedAt time.Time `json:"deletedAt,omitempty"`
+	// RetrievedAt is when the copy was originally obtained.
+	RetrievedAt time.Time `json:"retrievedAt"`
+	// UseCount is the total number of uses so far.
+	UseCount uint64 `json:"useCount"`
+	// Entries lists individual uses (may be capped by the TEE).
+	Entries []UsageEntry `json:"entries,omitempty"`
+	// GeneratedAt is the TEE-local generation time.
+	GeneratedAt time.Time `json:"generatedAt"`
+}
+
+// SigningBytes returns the deterministic encoding signed by the device.
+func (e *Evidence) SigningBytes() []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "evidence|%s|%s|%d|%d|%t|%d|%d|%d|%d|",
+		e.ResourceIRI, e.Device, e.Round, e.PolicyVersion, e.StillStored,
+		e.DeletedAt.UnixNano(), e.RetrievedAt.UnixNano(), e.UseCount, e.GeneratedAt.UnixNano())
+	for _, u := range e.Entries {
+		fmt.Fprintf(&b, "%d,%s,%s,%t;", u.At.UnixNano(), u.Action, u.Purpose, u.Allowed)
+	}
+	return []byte(b.String())
+}
+
+// SignedEvidence bundles evidence with the device signature.
+type SignedEvidence struct {
+	Evidence Evidence `json:"evidence"`
+	// Signature is the device's ECDSA signature over Evidence.SigningBytes.
+	Signature []byte `json:"signature"`
+}
+
+// ViolationKind classifies a detected policy violation.
+type ViolationKind string
+
+// Violation kinds detected by the DE App.
+const (
+	// ViolationRetention: the copy outlived its deletion deadline.
+	ViolationRetention ViolationKind = "retention"
+	// ViolationPurpose: a use was performed for a disallowed purpose.
+	ViolationPurpose ViolationKind = "purpose"
+	// ViolationMaxUses: the use count exceeded the policy's cap.
+	ViolationMaxUses ViolationKind = "max-uses"
+	// ViolationUnresponsive: a holder failed to answer a monitoring round.
+	ViolationUnresponsive ViolationKind = "unresponsive"
+	// ViolationStalePolicy: the holder enforces an outdated policy version
+	// beyond the allowed lag.
+	ViolationStalePolicy ViolationKind = "stale-policy"
+)
+
+// Violation is an on-chain violation record.
+type Violation struct {
+	// Seq is the per-resource violation sequence number.
+	Seq uint64 `json:"seq"`
+	// ResourceIRI is the violated resource.
+	ResourceIRI string `json:"resource"`
+	// Device is the offending holder.
+	Device cryptoutil.Address `json:"device"`
+	// Kind classifies the violation.
+	Kind ViolationKind `json:"kind"`
+	// Detail is a human-readable explanation.
+	Detail string `json:"detail"`
+	// DetectedAt is the block timestamp of detection.
+	DetectedAt time.Time `json:"detectedAt"`
+	// Round is the monitoring round that surfaced it (0 if none).
+	Round uint64 `json:"round,omitempty"`
+}
+
+// MonitoringRound is the on-chain record of a Fig. 2(6) monitoring run.
+type MonitoringRound struct {
+	// Round is the per-resource round number, starting at 1.
+	Round uint64 `json:"round"`
+	// ResourceIRI is the monitored resource.
+	ResourceIRI string `json:"resource"`
+	// RequestedAt is the block timestamp of the request.
+	RequestedAt time.Time `json:"requestedAt"`
+	// Targets are the devices expected to report.
+	Targets []cryptoutil.Address `json:"targets"`
+	// Responded are the devices that already reported.
+	Responded []cryptoutil.Address `json:"responded,omitempty"`
+	// Closed marks completed rounds.
+	Closed bool `json:"closed,omitempty"`
+}
+
+// --- Method argument and result types (the contract ABI). ---
+
+// RegisterPodArgs registers a pod (Fig. 2(1), pod initiation).
+type RegisterPodArgs struct {
+	OwnerWebID    string         `json:"ownerWebID"`
+	Location      string         `json:"location"`
+	DefaultPolicy *policy.Policy `json:"defaultPolicy,omitempty"`
+}
+
+// RegisterResourceArgs publishes a resource (Fig. 2(2), resource
+// initiation).
+type RegisterResourceArgs struct {
+	ResourceIRI string         `json:"resource"`
+	PodWebID    string         `json:"podWebID"`
+	Location    string         `json:"location"`
+	Description string         `json:"description,omitempty"`
+	Policy      *policy.Policy `json:"policy,omitempty"`
+}
+
+// WithdrawResourceArgs removes a resource from the market index. Grants
+// and monitoring history survive: holders still hold copies under the
+// last published policy, and the owner can keep monitoring them, but no
+// new grants can be recorded and indexing no longer finds the resource.
+type WithdrawResourceArgs struct {
+	ResourceIRI string `json:"resource"`
+}
+
+// UpdatePolicyArgs replaces a resource's policy (Fig. 2(5)).
+type UpdatePolicyArgs struct {
+	ResourceIRI string         `json:"resource"`
+	Policy      *policy.Policy `json:"policy"`
+}
+
+// RegisterDeviceArgs registers a TEE device with its attestation
+// certificate chain (certificate issued by the trusted manufacturer CA).
+type RegisterDeviceArgs struct {
+	// Certificate is the JSON-encoded manufacturer certificate binding the
+	// device key to its measurement.
+	Certificate []byte `json:"certificate"`
+}
+
+// RecordGrantArgs records that access was granted to a device.
+type RecordGrantArgs struct {
+	ResourceIRI string             `json:"resource"`
+	Consumer    cryptoutil.Address `json:"consumer"`
+	Device      cryptoutil.Address `json:"device"`
+	Purpose     policy.Purpose     `json:"purpose"`
+}
+
+// ConfirmRetrievalArgs confirms physical retrieval by the sender device.
+type ConfirmRetrievalArgs struct {
+	ResourceIRI string `json:"resource"`
+}
+
+// RevokeGrantArgs revokes a device's grant.
+type RevokeGrantArgs struct {
+	ResourceIRI string             `json:"resource"`
+	Device      cryptoutil.Address `json:"device"`
+}
+
+// RequestMonitoringArgs starts a monitoring round (Fig. 2(6)).
+type RequestMonitoringArgs struct {
+	ResourceIRI string `json:"resource"`
+}
+
+// SubmitEvidenceArgs delivers signed evidence for a round.
+type SubmitEvidenceArgs struct {
+	Signed SignedEvidence `json:"signed"`
+}
+
+// ReportUnresponsiveArgs closes a round, flagging non-reporting targets.
+type ReportUnresponsiveArgs struct {
+	ResourceIRI string `json:"resource"`
+	Round       uint64 `json:"round"`
+}
+
+// GetPodArgs, GetResourceArgs, etc. parameterize read-only queries.
+type (
+	// GetPodArgs fetches a pod record.
+	GetPodArgs struct {
+		OwnerWebID string `json:"ownerWebID"`
+	}
+	// GetResourceArgs fetches a resource record (resource indexing,
+	// Fig. 2(3)).
+	GetResourceArgs struct {
+		ResourceIRI string `json:"resource"`
+	}
+	// ListResourcesArgs lists the resource index.
+	ListResourcesArgs struct {
+		// PodWebID optionally restricts to one pod's resources.
+		PodWebID string `json:"podWebID,omitempty"`
+	}
+	// GetGrantsArgs lists grants for a resource.
+	GetGrantsArgs struct {
+		ResourceIRI string `json:"resource"`
+	}
+	// GetDeviceArgs fetches a device record.
+	GetDeviceArgs struct {
+		Device cryptoutil.Address `json:"device"`
+	}
+	// GetViolationsArgs lists violations for a resource.
+	GetViolationsArgs struct {
+		ResourceIRI string `json:"resource"`
+	}
+	// GetEvidenceArgs lists recorded evidence for a resource.
+	GetEvidenceArgs struct {
+		ResourceIRI string `json:"resource"`
+	}
+	// GetMonitoringRoundArgs fetches one monitoring round.
+	GetMonitoringRoundArgs struct {
+		ResourceIRI string `json:"resource"`
+		Round       uint64 `json:"round"`
+	}
+)
+
+// EvidenceRecord is a stored, verified evidence submission.
+type EvidenceRecord struct {
+	Seq      uint64          `json:"seq"`
+	Evidence Evidence        `json:"evidence"`
+	Verified bool            `json:"verified"`
+	Stored   time.Time       `json:"stored"`
+	Round    uint64          `json:"round"`
+	Findings []ViolationKind `json:"findings,omitempty"`
+}

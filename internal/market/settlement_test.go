@@ -1,0 +1,162 @@
+package market
+
+import (
+	"testing"
+
+	"repro/internal/cryptoutil"
+)
+
+// settlementFixture registers two owners and one consumer, attributes
+// resources, and pays fees: 3 accesses to Alice's resource, 1 to Bob's.
+func settlementFixture(t *testing.T) (*Service, string, string) {
+	t.Helper()
+	svc, _ := newMarket(t)
+	alice := "https://alice.pod/profile#me"
+	bob := "https://bob.pod/profile#me"
+	consumerKey := cryptoutil.MustGenerateKey()
+	consumer := "https://carol.example/profile#me"
+
+	for _, webID := range []string{alice, bob} {
+		k := cryptoutil.MustGenerateKey()
+		if err := svc.Register(webID, "c", k.Address(), k.PublicBytes()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := svc.Register(consumer, "c", consumerKey.Address(), consumerKey.PublicBytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Subscribe(consumer, PlanBasic); err != nil {
+		t.Fatal(err)
+	}
+
+	svc.SetResourceOwner("https://alice.pod/r1", alice)
+	svc.SetResourceOwner("https://bob.pod/r1", bob)
+
+	for range 3 {
+		if _, err := svc.PayFee(consumer, "https://alice.pod/r1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := svc.PayFee(consumer, "https://bob.pod/r1"); err != nil {
+		t.Fatal(err)
+	}
+	return svc, alice, bob
+}
+
+func TestSettlementProportionalDistribution(t *testing.T) {
+	svc, alice, bob := settlementFixture(t)
+
+	fee := FeeFor(PlanBasic)
+	if got := svc.Revenue(); got != 4*fee {
+		t.Fatalf("Revenue = %d, want %d", got, 4*fee)
+	}
+	if svc.AccessesFor(alice) != 3 || svc.AccessesFor(bob) != 1 {
+		t.Fatalf("accesses = %d/%d", svc.AccessesFor(alice), svc.AccessesFor(bob))
+	}
+
+	payouts, err := svc.Settle(0) // no margin: distribute everything
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payouts) != 2 {
+		t.Fatalf("payouts = %+v", payouts)
+	}
+	byOwner := map[string]Payout{}
+	for _, p := range payouts {
+		byOwner[p.OwnerWebID] = p
+	}
+	total := 4 * fee
+	if byOwner[alice].Amount != uint64(total)*3/4 {
+		t.Fatalf("alice amount = %d, want %d", byOwner[alice].Amount, uint64(total)*3/4)
+	}
+	if byOwner[bob].Amount != uint64(total)*1/4 {
+		t.Fatalf("bob amount = %d, want %d", byOwner[bob].Amount, uint64(total)/4)
+	}
+
+	// Earnings credited to accounts.
+	aliceAcct, _ := svc.Account(alice)
+	if aliceAcct.Earned != byOwner[alice].Amount {
+		t.Fatalf("alice Earned = %d", aliceAcct.Earned)
+	}
+	// Period reset.
+	if svc.AccessesFor(alice) != 0 {
+		t.Fatal("accesses not reset after settlement")
+	}
+	if svc.Revenue() != 0 {
+		t.Fatalf("undistributed revenue = %d after 0%% margin settle", svc.Revenue())
+	}
+}
+
+func TestSettlementMargin(t *testing.T) {
+	svc, alice, bob := settlementFixture(t)
+	fee := FeeFor(PlanBasic)
+	payouts, err := svc.Settle(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var distributed uint64
+	for _, p := range payouts {
+		distributed += p.Amount
+	}
+	total := 4 * fee
+	distributable := total * 75 / 100
+	// Pro-rata integer division leaves at most len(payouts)-1 units of
+	// rounding residue with the market.
+	if distributed > distributable || distributable-distributed >= uint64(len(payouts)) {
+		t.Fatalf("distributed = %d, want within %d of %d", distributed, len(payouts)-1, distributable)
+	}
+	// Market retains margin + rounding residue.
+	if svc.Revenue() != total-distributed {
+		t.Fatalf("retained = %d, want %d", svc.Revenue(), total-distributed)
+	}
+	_, _ = alice, bob
+}
+
+func TestSettlementEdgeCases(t *testing.T) {
+	svc, _ := newMarket(t)
+
+	t.Run("invalid margin", func(t *testing.T) {
+		if _, err := svc.Settle(101); err == nil {
+			t.Fatal("margin > 100% accepted")
+		}
+	})
+	t.Run("nothing to settle", func(t *testing.T) {
+		payouts, err := svc.Settle(10)
+		if err != nil || payouts != nil {
+			t.Fatalf("empty settle = %+v, %v", payouts, err)
+		}
+	})
+	t.Run("unattributed resource pays nobody", func(t *testing.T) {
+		k := cryptoutil.MustGenerateKey()
+		consumer := "https://c.example/profile#me"
+		if err := svc.Register(consumer, "c", k.Address(), k.PublicBytes()); err != nil {
+			t.Fatal(err)
+		}
+		if err := svc.Subscribe(consumer, PlanBasic); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := svc.PayFee(consumer, "https://unattributed/r"); err != nil {
+			t.Fatal(err)
+		}
+		payouts, err := svc.Settle(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if payouts != nil {
+			t.Fatalf("payouts for unattributed accesses: %+v", payouts)
+		}
+		// Revenue remains with the market until attributable.
+		if svc.Revenue() == 0 {
+			t.Fatal("revenue vanished")
+		}
+	})
+	t.Run("resource owner lookup", func(t *testing.T) {
+		svc.SetResourceOwner("https://x/r", "https://owner")
+		if got := svc.ResourceOwner("https://x/r"); got != "https://owner" {
+			t.Fatalf("ResourceOwner = %q", got)
+		}
+		if got := svc.ResourceOwner("https://y/r"); got != "" {
+			t.Fatalf("unknown ResourceOwner = %q", got)
+		}
+	})
+}

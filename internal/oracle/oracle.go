@@ -1,0 +1,176 @@
+// Package oracle implements the four foundational blockchain oracle
+// patterns the architecture uses to connect the on-chain DE App with the
+// off-chain Pod Managers and TEEs: push-in, push-out, pull-in, and
+// pull-out, each split into an on-chain and an off-chain component as in
+// the paper (Section III-D).
+//
+// Mapping onto the substrate:
+//
+//   - The on-chain oracle components are the DE App's transaction methods
+//     (inbox) and its event log (outbox), provided by packages contract
+//     and chain.
+//   - The off-chain components live here: PushIn relays signed
+//     transactions into the chain; PushOut subscribes to events and
+//     dispatches them to off-chain handlers; PullOut serves read-only
+//     queries of on-chain state; PullIn watches on-chain data requests
+//     (monitoring rounds), collects answers from off-chain sources (TEEs),
+//     and pushes them back on-chain.
+package oracle
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/chain"
+	"repro/internal/cryptoutil"
+)
+
+// TxBackend is the transaction/query access the push-in and pull-out
+// oracles need; *chain.Node satisfies it, as does any relay that wraps
+// one (e.g. an auto-sealing test backend).
+type TxBackend interface {
+	SubmitTx(tx *chain.Tx) (cryptoutil.Hash, error)
+	WaitForReceipt(ctx context.Context, txHash cryptoutil.Hash) (*chain.Receipt, error)
+	Query(contract cryptoutil.Address, method string, args []byte) ([]byte, error)
+	NonceFor(addr cryptoutil.Address) uint64
+}
+
+// Node additionally exposes event subscriptions, needed by the push-out
+// and pull-in oracles; *chain.Node satisfies it.
+type Node interface {
+	TxBackend
+	SubscribeEvents(filter chain.EventFilter, buffer int) *chain.Subscription
+}
+
+var _ Node = (*chain.Node)(nil)
+
+// Metrics counts oracle traffic, used by the experiment harness.
+type Metrics struct {
+	// In counts off-chain → on-chain messages (push-in + pull-in answers).
+	In atomic.Uint64
+	// Out counts on-chain → off-chain messages (push-out + pull-out reads).
+	Out atomic.Uint64
+}
+
+// PushIn is the off-chain component of the push-in oracle: off-chain
+// entities push data to the blockchain by relaying transactions. It
+// implements distexchange.Backend, so a distexchange.Client can run on
+// top of it transparently.
+type PushIn struct {
+	node    TxBackend
+	metrics *Metrics
+}
+
+// NewPushIn builds a push-in oracle over a chain backend. metrics may be
+// nil.
+func NewPushIn(node TxBackend, metrics *Metrics) *PushIn {
+	return &PushIn{node: node, metrics: metrics}
+}
+
+// SubmitTx relays a signed transaction on-chain.
+func (o *PushIn) SubmitTx(tx *chain.Tx) (cryptoutil.Hash, error) {
+	if o.metrics != nil {
+		o.metrics.In.Add(1)
+	}
+	return o.node.SubmitTx(tx)
+}
+
+// WaitForReceipt waits for inclusion.
+func (o *PushIn) WaitForReceipt(ctx context.Context, txHash cryptoutil.Hash) (*chain.Receipt, error) {
+	return o.node.WaitForReceipt(ctx, txHash)
+}
+
+// Query delegates read-only queries (a push-in oracle is usually paired
+// with pull-out reads by the same component).
+func (o *PushIn) Query(contract cryptoutil.Address, method string, args []byte) ([]byte, error) {
+	if o.metrics != nil {
+		o.metrics.Out.Add(1)
+	}
+	return o.node.Query(contract, method, args)
+}
+
+// NonceFor returns the next nonce for an address.
+func (o *PushIn) NonceFor(addr cryptoutil.Address) uint64 { return o.node.NonceFor(addr) }
+
+// PullOut is the off-chain component of the pull-out oracle: off-chain
+// entities pull data from the blockchain with read-only queries (used by
+// TEEs for resource indexing, Fig. 2(3)).
+type PullOut struct {
+	node    TxBackend
+	metrics *Metrics
+}
+
+// NewPullOut builds a pull-out oracle. metrics may be nil.
+func NewPullOut(node TxBackend, metrics *Metrics) *PullOut {
+	return &PullOut{node: node, metrics: metrics}
+}
+
+// Query reads on-chain state.
+func (o *PullOut) Query(contract cryptoutil.Address, method string, args []byte) ([]byte, error) {
+	if o.metrics != nil {
+		o.metrics.Out.Add(1)
+	}
+	return o.node.Query(contract, method, args)
+}
+
+// Handler consumes a pushed-out event.
+type Handler func(ev chain.Event)
+
+// PushOut is the off-chain component of the push-out oracle: it subscribes
+// to contract events and pushes them to off-chain handlers (used to notify
+// TEEs of policy updates and pod managers of gathered evidence).
+type PushOut struct {
+	node    Node
+	metrics *Metrics
+
+	mu      sync.Mutex
+	subs    []*chain.Subscription
+	wg      sync.WaitGroup
+	stopped bool
+}
+
+// NewPushOut builds a push-out oracle. metrics may be nil.
+func NewPushOut(node Node, metrics *Metrics) *PushOut {
+	return &PushOut{node: node, metrics: metrics}
+}
+
+// On registers a handler for events matching the filter. Handlers run on a
+// dedicated goroutine per registration, in event order. Returns an
+// unsubscribe function.
+func (o *PushOut) On(filter chain.EventFilter, handler Handler) (cancel func()) {
+	sub := o.node.SubscribeEvents(filter, 256)
+	o.mu.Lock()
+	if o.stopped {
+		o.mu.Unlock()
+		sub.Cancel()
+		return func() {}
+	}
+	o.subs = append(o.subs, sub)
+	o.wg.Add(1)
+	o.mu.Unlock()
+
+	go func() {
+		defer o.wg.Done()
+		for ev := range sub.C {
+			if o.metrics != nil {
+				o.metrics.Out.Add(1)
+			}
+			handler(ev)
+		}
+	}()
+	return sub.Cancel
+}
+
+// Close cancels all subscriptions and waits for handlers to drain.
+func (o *PushOut) Close() {
+	o.mu.Lock()
+	o.stopped = true
+	subs := o.subs
+	o.subs = nil
+	o.mu.Unlock()
+	for _, s := range subs {
+		s.Cancel()
+	}
+	o.wg.Wait()
+}

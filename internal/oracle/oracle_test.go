@@ -1,0 +1,227 @@
+package oracle
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/contract"
+	"repro/internal/cryptoutil"
+	"repro/internal/simclock"
+)
+
+var t0 = time.Date(2023, 10, 9, 0, 0, 0, 0, time.UTC)
+
+// emitContract stores nothing; it just emits one event per call.
+type emitContract struct{}
+
+func (emitContract) Call(env *contract.Env, method string, args []byte) ([]byte, error) {
+	if method != "emit" {
+		return nil, contract.Revertf("unknown method")
+	}
+	var a struct {
+		Key string `json:"key"`
+	}
+	if err := json.Unmarshal(args, &a); err != nil {
+		return nil, contract.Revertf("bad args")
+	}
+	if err := env.Emit("Ping", a.Key, []byte(`"pong"`)); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+func (emitContract) Read(env *contract.ReadEnv, method string, args []byte) ([]byte, error) {
+	if method != "echo" {
+		return nil, contract.Revertf("unknown query")
+	}
+	return args, nil
+}
+
+func newOracleNode(t *testing.T) (*chain.Node, *cryptoutil.KeyPair, cryptoutil.Address) {
+	t.Helper()
+	rt := contract.NewRuntime()
+	addr := rt.Deploy("emitter", emitContract{})
+	key := cryptoutil.MustGenerateKey()
+	node, err := chain.NewNode(chain.Config{
+		Key:         key,
+		Authorities: []cryptoutil.Address{key.Address()},
+		Executor:    rt,
+		Clock:       simclock.NewSim(t0),
+		GenesisTime: t0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return node, key, addr
+}
+
+func emitTx(t *testing.T, node *chain.Node, key *cryptoutil.KeyPair, addr cryptoutil.Address, k string) {
+	t.Helper()
+	tx, err := chain.NewTx(key, node.NonceFor(key.Address()), addr, "emit", map[string]string{"key": k}, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node.SubmitTx(tx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node.Seal(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPushInRelaysAndCounts(t *testing.T) {
+	node, key, addr := newOracleNode(t)
+	var metrics Metrics
+	pushIn := NewPushIn(node, &metrics)
+
+	tx, err := chain.NewTx(key, pushIn.NonceFor(key.Address()), addr, "emit", map[string]string{"key": "a"}, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, err := pushIn.SubmitTx(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	receipt, err := pushIn.WaitForReceipt(context.Background(), hash)
+	if err != nil || !receipt.Succeeded() {
+		t.Fatalf("receipt = %+v, %v", receipt, err)
+	}
+	if metrics.In.Load() != 1 {
+		t.Fatalf("In = %d, want 1", metrics.In.Load())
+	}
+	// Paired query counts as out-bound.
+	if _, err := pushIn.Query(addr, "echo", []byte(`{"x":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if metrics.Out.Load() != 1 {
+		t.Fatalf("Out = %d, want 1", metrics.Out.Load())
+	}
+}
+
+func TestPullOutQuery(t *testing.T) {
+	node, _, addr := newOracleNode(t)
+	var metrics Metrics
+	pullOut := NewPullOut(node, &metrics)
+	out, err := pullOut.Query(addr, "echo", []byte(`{"v":"x"}`))
+	if err != nil || string(out) != `{"v":"x"}` {
+		t.Fatalf("query = %s, %v", out, err)
+	}
+	if metrics.Out.Load() != 1 {
+		t.Fatalf("Out = %d", metrics.Out.Load())
+	}
+}
+
+func TestPushOutDeliversFilteredEventsInOrder(t *testing.T) {
+	node, key, addr := newOracleNode(t)
+	var metrics Metrics
+	pushOut := NewPushOut(node, &metrics)
+	defer pushOut.Close()
+
+	var mu sync.Mutex
+	var got []string
+	done := make(chan struct{}, 8)
+	pushOut.On(chain.EventFilter{Contract: addr, Topic: "Ping"}, func(ev chain.Event) {
+		mu.Lock()
+		got = append(got, ev.Key)
+		mu.Unlock()
+		done <- struct{}{}
+	})
+
+	for _, k := range []string{"a", "b", "c"} {
+		emitTx(t, node, key, addr, k)
+	}
+	for range 3 {
+		select {
+		case <-done:
+		case <-time.After(2 * time.Second):
+			t.Fatal("handler not called")
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("events = %v", got)
+	}
+	if metrics.Out.Load() != 3 {
+		t.Fatalf("Out = %d, want 3", metrics.Out.Load())
+	}
+}
+
+func TestPushOutUnsubscribe(t *testing.T) {
+	node, key, addr := newOracleNode(t)
+	pushOut := NewPushOut(node, nil)
+	defer pushOut.Close()
+
+	calls := make(chan string, 8)
+	cancel := pushOut.On(chain.EventFilter{Topic: "Ping"}, func(ev chain.Event) {
+		calls <- ev.Key
+	})
+	emitTx(t, node, key, addr, "first")
+	select {
+	case k := <-calls:
+		if k != "first" {
+			t.Fatalf("got %s", k)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no delivery before cancel")
+	}
+	cancel()
+	emitTx(t, node, key, addr, "second")
+	select {
+	case k := <-calls:
+		t.Fatalf("delivery after cancel: %s", k)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestPushOutCloseThenOnIsNoop(t *testing.T) {
+	node, key, addr := newOracleNode(t)
+	pushOut := NewPushOut(node, nil)
+	pushOut.Close()
+	called := make(chan struct{}, 1)
+	cancel := pushOut.On(chain.EventFilter{}, func(chain.Event) { called <- struct{}{} })
+	cancel()
+	emitTx(t, node, key, addr, "x")
+	select {
+	case <-called:
+		t.Fatal("handler on closed oracle was called")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestPushOutCloseWaitsForHandlers(t *testing.T) {
+	node, key, addr := newOracleNode(t)
+	pushOut := NewPushOut(node, nil)
+	started := make(chan struct{})
+	var finished sync.WaitGroup
+	finished.Add(1)
+	var once sync.Once
+	pushOut.On(chain.EventFilter{Topic: "Ping"}, func(chain.Event) {
+		once.Do(func() {
+			close(started)
+			time.Sleep(30 * time.Millisecond)
+			finished.Done()
+		})
+	})
+	emitTx(t, node, key, addr, "x")
+	<-started
+	closedAt := make(chan struct{})
+	go func() {
+		pushOut.Close()
+		close(closedAt)
+	}()
+	select {
+	case <-closedAt:
+		// Close returned; the handler must have finished.
+		finished.Wait()
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close hung")
+	}
+}

@@ -1,0 +1,146 @@
+package oracle
+
+import (
+	"context"
+	"encoding/json"
+	"log"
+	"sync"
+
+	"repro/internal/chain"
+	"repro/internal/cryptoutil"
+	"repro/internal/distexchange"
+)
+
+// EvidenceSource is an off-chain data source the pull-in oracle can query:
+// in this architecture, a TEE trusted application reporting compliance
+// evidence. tee.App satisfies it via a small adapter in package core.
+type EvidenceSource interface {
+	// Address returns the device identity the DE App knows the source by.
+	Address() cryptoutil.Address
+	// Evidence produces signed evidence for a resource and round.
+	Evidence(resourceIRI string, round uint64) (distexchange.SignedEvidence, error)
+}
+
+// PullIn is the off-chain component of the pull-in oracle: the blockchain
+// requests data from the off-chain world (the DE App emits a
+// MonitoringRequested event), the oracle collects the answers from its
+// registered sources, and pushes them back on-chain as evidence
+// submissions (Fig. 2(6)).
+type PullIn struct {
+	client  *distexchange.Client
+	pushOut *PushOut
+	metrics *Metrics
+
+	// Fanout collects evidence from targets concurrently when true
+	// (sequential otherwise) — the subject of the oracle-fanout ablation.
+	Fanout bool
+
+	mu      sync.Mutex
+	sources map[cryptoutil.Address]EvidenceSource
+	cancel  func()
+
+	// inFlight lets tests and the harness wait for round completion.
+	inFlight sync.WaitGroup
+}
+
+// NewPullIn builds a pull-in oracle that answers monitoring requests for
+// the DE App behind client, watching events via node. metrics may be nil.
+func NewPullIn(node Node, client *distexchange.Client, metrics *Metrics) *PullIn {
+	return &PullIn{
+		client:  client,
+		pushOut: NewPushOut(node, nil),
+		metrics: metrics,
+		sources: make(map[cryptoutil.Address]EvidenceSource),
+	}
+}
+
+// RegisterSource adds an off-chain source (consumer device).
+func (o *PullIn) RegisterSource(src EvidenceSource) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.sources[src.Address()] = src
+}
+
+// UnregisterSource removes a source (e.g. an offline device).
+func (o *PullIn) UnregisterSource(addr cryptoutil.Address) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	delete(o.sources, addr)
+}
+
+// Start begins watching MonitoringRequested events from the DE App at
+// deAddr. Stop with Close.
+func (o *PullIn) Start(deAddr cryptoutil.Address) {
+	filter := chain.EventFilter{Contract: deAddr, Topic: distexchange.TopicMonitoringRequested}
+	cancel := o.pushOut.On(filter, func(ev chain.Event) {
+		var round distexchange.MonitoringRound
+		if err := json.Unmarshal(ev.Data, &round); err != nil {
+			log.Printf("oracle: pull-in: bad monitoring event: %v", err)
+			return
+		}
+		o.handleRound(round)
+	})
+	o.mu.Lock()
+	o.cancel = cancel
+	o.mu.Unlock()
+}
+
+// handleRound collects evidence from each target and submits it.
+func (o *PullIn) handleRound(round distexchange.MonitoringRound) {
+	o.inFlight.Add(1)
+	defer o.inFlight.Done()
+
+	collect := func(target cryptoutil.Address) {
+		o.mu.Lock()
+		src, ok := o.sources[target]
+		o.mu.Unlock()
+		if !ok {
+			// Unknown/offline device: it will be flagged unresponsive when
+			// the owner closes the round.
+			return
+		}
+		signed, err := src.Evidence(round.ResourceIRI, round.Round)
+		if err != nil {
+			log.Printf("oracle: pull-in: source %s: %v", target.Short(), err)
+			return
+		}
+		if o.metrics != nil {
+			o.metrics.In.Add(1)
+		}
+		if _, err := o.client.SubmitEvidence(context.Background(), signed); err != nil {
+			log.Printf("oracle: pull-in: submit for %s: %v", target.Short(), err)
+		}
+	}
+
+	if o.Fanout {
+		var wg sync.WaitGroup
+		for _, target := range round.Targets {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				collect(target)
+			}()
+		}
+		wg.Wait()
+		return
+	}
+	for _, target := range round.Targets {
+		collect(target)
+	}
+}
+
+// Wait blocks until all in-flight rounds have been answered.
+func (o *PullIn) Wait() { o.inFlight.Wait() }
+
+// Close stops watching and waits for in-flight work.
+func (o *PullIn) Close() {
+	o.mu.Lock()
+	cancel := o.cancel
+	o.cancel = nil
+	o.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	o.pushOut.Close()
+	o.inFlight.Wait()
+}

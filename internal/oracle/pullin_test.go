@@ -1,0 +1,237 @@
+package oracle
+
+import (
+	"context"
+	"encoding/hex"
+	"testing"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/contract"
+	"repro/internal/cryptoutil"
+	"repro/internal/distexchange"
+	"repro/internal/policy"
+	"repro/internal/simclock"
+)
+
+// pullInEnv wires a chain with the DE App, one registered device, and a
+// pull-in oracle with a scripted evidence source.
+type pullInEnv struct {
+	node   *chain.Node
+	deAddr cryptoutil.Address
+	owner  *distexchange.Client
+	device *distexchange.Client
+	devKey *cryptoutil.KeyPair
+	pullIn *PullIn
+	clk    *simclock.Sim
+}
+
+// scriptedSource returns pre-signed evidence for a device.
+type scriptedSource struct {
+	addr cryptoutil.Address
+	fn   func(iri string, round uint64) (distexchange.SignedEvidence, error)
+}
+
+func (s scriptedSource) Address() cryptoutil.Address { return s.addr }
+func (s scriptedSource) Evidence(iri string, round uint64) (distexchange.SignedEvidence, error) {
+	return s.fn(iri, round)
+}
+
+// autoSealNode wraps a node to seal on submit (keeps the test linear).
+type autoSealNode struct{ *chain.Node }
+
+func (n autoSealNode) SubmitTx(tx *chain.Tx) (cryptoutil.Hash, error) {
+	h, err := n.Node.SubmitTx(tx)
+	if err != nil {
+		return h, err
+	}
+	_, err = n.Node.Seal()
+	return h, err
+}
+
+func newPullInEnv(t *testing.T) *pullInEnv {
+	t.Helper()
+	ca, err := cryptoutil.NewAuthority("tee-ca")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := contract.NewRuntime()
+	deAddr := rt.Deploy(distexchange.ContractName, distexchange.New(distexchange.Config{
+		ManufacturerCAKey: ca.PublicBytes(),
+		ManufacturerCA:    ca.Address(),
+	}))
+	authority := cryptoutil.MustGenerateKey()
+	clk := simclock.NewSim(t0)
+	node, err := chain.NewNode(chain.Config{
+		Key:         authority,
+		Authorities: []cryptoutil.Address{authority.Address()},
+		Executor:    rt,
+		Clock:       clk,
+		GenesisTime: t0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend := autoSealNode{node}
+	ownerKey := cryptoutil.MustGenerateKey()
+	devKey := cryptoutil.MustGenerateKey()
+	owner := distexchange.NewClient(backend, ownerKey, deAddr)
+	device := distexchange.NewClient(backend, devKey, deAddr)
+	ctx := context.Background()
+
+	// Register pod + resource + device + grant + retrieval.
+	if _, err := owner.RegisterPod(ctx, distexchange.RegisterPodArgs{
+		OwnerWebID: "https://o/profile#me", Location: "https://o/",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	pol := policy.New("https://o/r1", "https://o/profile#me", t0)
+	if _, err := owner.RegisterResource(ctx, distexchange.RegisterResourceArgs{
+		ResourceIRI: "https://o/r1", PodWebID: "https://o/profile#me",
+		Location: "https://o/r1", Policy: pol,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var m cryptoutil.Hash
+	copy(m[:], []byte("measurement-abcdefgh-ijklmnop-qr"))
+	cert, err := ca.Issue(devKey, map[string]string{"measurement": hex.EncodeToString(m[:])}, t0, t0.Add(time.Hour*24*365))
+	if err != nil {
+		t.Fatal(err)
+	}
+	certRaw, _ := cert.Encode()
+	if _, err := device.RegisterDevice(ctx, certRaw); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := owner.RecordGrant(ctx, distexchange.RecordGrantArgs{
+		ResourceIRI: "https://o/r1", Consumer: devKey.Address(),
+		Device: devKey.Address(), Purpose: policy.PurposeAny,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := device.ConfirmRetrieval(ctx, "https://o/r1"); err != nil {
+		t.Fatal(err)
+	}
+
+	relay := distexchange.NewClient(backend, cryptoutil.MustGenerateKey(), deAddr)
+	pullIn := NewPullIn(node, relay, nil)
+	return &pullInEnv{
+		node: node, deAddr: deAddr, owner: owner, device: device,
+		devKey: devKey, pullIn: pullIn, clk: clk,
+	}
+}
+
+func (e *pullInEnv) signedEvidence(t *testing.T, iri string, round uint64) distexchange.SignedEvidence {
+	t.Helper()
+	ev := distexchange.Evidence{
+		ResourceIRI: iri, Device: e.devKey.Address(), Round: round,
+		PolicyVersion: 1, StillStored: true,
+		RetrievedAt: e.clk.Now(), GeneratedAt: e.clk.Now(),
+	}
+	sig, err := e.devKey.Sign(ev.SigningBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return distexchange.SignedEvidence{Evidence: ev, Signature: sig}
+}
+
+func TestPullInAnswersMonitoringRound(t *testing.T) {
+	e := newPullInEnv(t)
+	e.pullIn.RegisterSource(scriptedSource{
+		addr: e.devKey.Address(),
+		fn: func(iri string, round uint64) (distexchange.SignedEvidence, error) {
+			return e.signedEvidence(t, iri, round), nil
+		},
+	})
+	e.pullIn.Start(e.deAddr)
+	defer e.pullIn.Close()
+
+	round, err := e.owner.RequestMonitoring(context.Background(), "https://o/r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The oracle reacts asynchronously to the event; poll for closure.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		state, err := e.owner.GetMonitoringRound("https://o/r1", round.Round)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if state.Closed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("round never closed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	evidence, err := e.owner.GetEvidence("https://o/r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evidence) != 1 || evidence[0].Round != round.Round {
+		t.Fatalf("evidence = %+v", evidence)
+	}
+}
+
+func TestPullInSkipsFailingSource(t *testing.T) {
+	e := newPullInEnv(t)
+	e.pullIn.RegisterSource(scriptedSource{
+		addr: e.devKey.Address(),
+		fn: func(string, uint64) (distexchange.SignedEvidence, error) {
+			return distexchange.SignedEvidence{}, context.DeadlineExceeded
+		},
+	})
+	e.pullIn.Start(e.deAddr)
+	defer e.pullIn.Close()
+
+	round, err := e.owner.RequestMonitoring(context.Background(), "https://o/r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.pullIn.Wait()
+	// Source failed; the round stays open until the owner closes it.
+	state, err := e.owner.GetMonitoringRound("https://o/r1", round.Round)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state.Closed {
+		t.Fatal("round closed despite source failure")
+	}
+	if _, err := e.owner.ReportUnresponsive(context.Background(), "https://o/r1", round.Round); err != nil {
+		t.Fatal(err)
+	}
+	viols, err := e.owner.GetViolations("https://o/r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viols) != 1 || viols[0].Kind != distexchange.ViolationUnresponsive {
+		t.Fatalf("violations = %+v", viols)
+	}
+}
+
+func TestPullInUnregisterSource(t *testing.T) {
+	e := newPullInEnv(t)
+	src := scriptedSource{
+		addr: e.devKey.Address(),
+		fn: func(iri string, round uint64) (distexchange.SignedEvidence, error) {
+			return e.signedEvidence(t, iri, round), nil
+		},
+	}
+	e.pullIn.RegisterSource(src)
+	e.pullIn.UnregisterSource(src.Address())
+	e.pullIn.Start(e.deAddr)
+	defer e.pullIn.Close()
+
+	round, err := e.owner.RequestMonitoring(context.Background(), "https://o/r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.pullIn.Wait()
+	state, err := e.owner.GetMonitoringRound("https://o/r1", round.Round)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state.Closed {
+		t.Fatal("unregistered source still answered")
+	}
+}

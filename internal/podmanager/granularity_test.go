@@ -1,0 +1,125 @@
+package podmanager
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+)
+
+// TestContainerPolicyGranularity exercises the future-work policy
+// granularity: pod-wide defaults (DE App side), container-level templates
+// (pod manager side), and resource-specific policies, with the most
+// specific winning.
+func TestContainerPolicyGranularity(t *testing.T) {
+	e := newEnv(t)
+	ctx := context.Background()
+	if err := e.mgr.RegisterPod(ctx, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Container template: everything under /medical/ is medical-research
+	// only with 90-day retention.
+	template := policy.New("https://template", string(aliceWebID), t0)
+	template.AllowedPurposes = []policy.Purpose{policy.PurposeMedicalResearch}
+	template.MaxRetention = 90 * 24 * time.Hour
+	if err := e.mgr.SetContainerPolicy(aliceWebID, "/medical/", template); err != nil {
+		t.Fatal(err)
+	}
+	// Nested, more specific container: /medical/trials/ also caps uses.
+	trials := template.Clone()
+	trials.MaxUses = 10
+	if err := e.mgr.SetContainerPolicy(aliceWebID, "/medical/trials/", trials); err != nil {
+		t.Fatal(err)
+	}
+
+	upload := func(path string) {
+		t.Helper()
+		if err := e.mgr.Upload(path, "text/plain", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	t.Run("resource inherits container template", func(t *testing.T) {
+		upload("/medical/ds1.txt")
+		if err := e.mgr.Publish(ctx, aliceWebID, "/medical/ds1.txt", "", nil); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := e.mgr.DE().GetResource(e.mgr.ResourceIRI("/medical/ds1.txt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Policy.MaxRetention != 90*24*time.Hour || rec.Policy.MaxUses != 0 {
+			t.Fatalf("policy = %+v", rec.Policy)
+		}
+		if !rec.Policy.PermitsPurpose(policy.PurposeMedicalResearch) ||
+			rec.Policy.PermitsPurpose(policy.PurposeMarketing) {
+			t.Fatalf("purposes = %v", rec.Policy.AllowedPurposes)
+		}
+		if rec.Policy.ResourceIRI != e.mgr.ResourceIRI("/medical/ds1.txt") {
+			t.Fatalf("template not re-bound: %s", rec.Policy.ResourceIRI)
+		}
+	})
+
+	t.Run("nearest container wins", func(t *testing.T) {
+		upload("/medical/trials/t1.txt")
+		if err := e.mgr.Publish(ctx, aliceWebID, "/medical/trials/t1.txt", "", nil); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := e.mgr.DE().GetResource(e.mgr.ResourceIRI("/medical/trials/t1.txt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Policy.MaxUses != 10 {
+			t.Fatalf("nested container template not applied: %+v", rec.Policy)
+		}
+	})
+
+	t.Run("explicit policy beats container", func(t *testing.T) {
+		upload("/medical/ds2.txt")
+		explicit := policy.New(e.mgr.ResourceIRI("/medical/ds2.txt"), string(aliceWebID), t0)
+		explicit.MaxRetention = time.Hour
+		if err := e.mgr.Publish(ctx, aliceWebID, "/medical/ds2.txt", "", explicit); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := e.mgr.DE().GetResource(e.mgr.ResourceIRI("/medical/ds2.txt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Policy.MaxRetention != time.Hour {
+			t.Fatalf("explicit policy not used: %+v", rec.Policy)
+		}
+	})
+
+	t.Run("outside container gets unconstrained default", func(t *testing.T) {
+		upload("/public/readme.txt")
+		if err := e.mgr.Publish(ctx, aliceWebID, "/public/readme.txt", "", nil); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := e.mgr.DE().GetResource(e.mgr.ResourceIRI("/public/readme.txt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Policy.MaxRetention != 0 || len(rec.Policy.AllowedPurposes) != 0 {
+			t.Fatalf("unexpected constraints: %+v", rec.Policy)
+		}
+	})
+}
+
+func TestSetContainerPolicyValidation(t *testing.T) {
+	e := newEnv(t)
+	template := policy.New("https://template", string(aliceWebID), t0)
+
+	if err := e.mgr.SetContainerPolicy(aliceWebID, "/no-trailing-slash", template); err == nil {
+		t.Fatal("non-container path accepted")
+	}
+	bad := template.Clone()
+	bad.MaxRetention = -time.Hour
+	if err := e.mgr.SetContainerPolicy(aliceWebID, "/c/", bad); err == nil {
+		t.Fatal("invalid template accepted")
+	}
+	if err := e.mgr.SetContainerPolicy(bobWebID, "/c/", template); err == nil {
+		t.Fatal("non-owner set a container policy")
+	}
+}

@@ -1,0 +1,400 @@
+package podmanager
+
+import (
+	"context"
+	"encoding/hex"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/contract"
+	"repro/internal/cryptoutil"
+	"repro/internal/distexchange"
+	"repro/internal/market"
+	"repro/internal/oracle"
+	"repro/internal/policy"
+	"repro/internal/simclock"
+	"repro/internal/solid"
+)
+
+var t0 = time.Date(2023, 10, 9, 0, 0, 0, 0, time.UTC)
+
+// env is a full pod-manager test environment: chain + DE App + market +
+// HTTP server + a consumer with keys and a registered device identity.
+type env struct {
+	t       *testing.T
+	clk     *simclock.Sim
+	node    *chain.Node
+	deAddr  cryptoutil.Address
+	mkt     *market.Service
+	dir     *solid.MapDirectory
+	mgr     *Manager
+	srv     *httptest.Server
+	devKey  *cryptoutil.KeyPair // consumer device blockchain identity
+	devCert []byte
+	bobKey  *cryptoutil.KeyPair // consumer WebID key
+}
+
+const (
+	aliceWebID = solid.WebID("https://alice.pod/profile#me")
+	bobWebID   = solid.WebID("https://bob.example/profile#me")
+)
+
+// autoSeal wraps the node to seal after every submission.
+type autoSeal struct{ node *chain.Node }
+
+func (b autoSeal) SubmitTx(tx *chain.Tx) (cryptoutil.Hash, error) {
+	h, err := b.node.SubmitTx(tx)
+	if err != nil {
+		return h, err
+	}
+	_, err = b.node.Seal()
+	return h, err
+}
+func (b autoSeal) WaitForReceipt(ctx context.Context, h cryptoutil.Hash) (*chain.Receipt, error) {
+	return b.node.WaitForReceipt(ctx, h)
+}
+func (b autoSeal) Query(c cryptoutil.Address, method string, args []byte) ([]byte, error) {
+	return b.node.Query(c, method, args)
+}
+func (b autoSeal) NonceFor(a cryptoutil.Address) uint64 { return b.node.NonceFor(a) }
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	clk := simclock.NewSim(t0)
+
+	ca, err := cryptoutil.NewAuthority("tee-ca")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := contract.NewRuntime()
+	deAddr := rt.Deploy(distexchange.ContractName, distexchange.New(distexchange.Config{
+		ManufacturerCAKey: ca.PublicBytes(),
+		ManufacturerCA:    ca.Address(),
+	}))
+	authority := cryptoutil.MustGenerateKey()
+	node, err := chain.NewNode(chain.Config{
+		Key:         authority,
+		Authorities: []cryptoutil.Address{authority.Address()},
+		Executor:    rt,
+		Clock:       clk,
+		GenesisTime: t0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mkt, err := market.NewService("datamarket", clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := solid.NewMapDirectory()
+	aliceKey := cryptoutil.MustGenerateKey()
+	bobKey := cryptoutil.MustGenerateKey()
+	dir.Register(aliceWebID, aliceKey.PublicBytes())
+	dir.Register(bobWebID, bobKey.PublicBytes())
+
+	pushIn := oracle.NewPushIn(autoSeal{node: node}, nil)
+	mgr, err := New(Config{
+		OwnerWebID: aliceWebID,
+		BaseURL:    "https://alice.pod",
+		Key:        aliceKey,
+		Backend:    pushIn,
+		DEAddr:     deAddr,
+		Market:     market.VerifierFor(mkt),
+		Directory:  dir,
+		Clock:      clk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(mgr.Handler())
+	t.Cleanup(srv.Close)
+
+	// Provision a consumer device certificate.
+	devKey := cryptoutil.MustGenerateKey()
+	var m cryptoutil.Hash
+	copy(m[:], []byte("app-measurement-0123456789abcdef"))
+	cert, err := ca.Issue(devKey, map[string]string{"measurement": hex.EncodeToString(m[:])}, t0, t0.Add(365*24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	certRaw, err := cert.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	return &env{
+		t: t, clk: clk, node: node, deAddr: deAddr, mkt: mkt, dir: dir,
+		mgr: mgr, srv: srv, devKey: devKey, devCert: certRaw, bobKey: bobKey,
+	}
+}
+
+// publish registers the pod and a resource with the given policy.
+func (e *env) publish(pol *policy.Policy) string {
+	e.t.Helper()
+	ctx := context.Background()
+	if err := e.mgr.RegisterPod(ctx, nil); err != nil {
+		e.t.Fatal(err)
+	}
+	if err := e.mgr.Upload("/web/browsing.csv", "text/csv", []byte("r1,r2,r3")); err != nil {
+		e.t.Fatal(err)
+	}
+	if err := e.mgr.Publish(ctx, aliceWebID, "/web/browsing.csv", "internet browsing dataset", pol); err != nil {
+		e.t.Fatal(err)
+	}
+	return e.mgr.ResourceIRI("/web/browsing.csv")
+}
+
+// registerDevice registers the consumer device on-chain.
+func (e *env) registerDevice() {
+	e.t.Helper()
+	devClient := distexchange.NewClient(autoSeal{node: e.node}, e.devKey, e.deAddr)
+	if _, err := devClient.RegisterDevice(context.Background(), e.devCert); err != nil {
+		e.t.Fatal(err)
+	}
+}
+
+func browsingPolicy() *policy.Policy {
+	p := policy.New("https://alice.pod/web/browsing.csv", string(aliceWebID), t0)
+	p.MaxRetention = 30 * 24 * time.Hour
+	return p
+}
+
+func TestRegisterPodAndPublish(t *testing.T) {
+	e := newEnv(t)
+	iri := e.publish(browsingPolicy())
+
+	// On-chain record exists with the policy.
+	rec, err := e.mgr.DE().GetResource(iri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.PodWebID != string(aliceWebID) || rec.Policy.MaxRetention != 30*24*time.Hour {
+		t.Fatalf("record = %+v", rec)
+	}
+	// Policy document stored in the pod as Turtle.
+	res, err := e.mgr.Pod().Get(aliceWebID, "/web/browsing.csv.policy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ContentType != "text/turtle" {
+		t.Fatalf("policy doc content type = %s", res.ContentType)
+	}
+	// The manager's view matches.
+	pol, err := e.mgr.PublishedPolicy("/web/browsing.csv")
+	if err != nil || pol.Version != 1 {
+		t.Fatalf("published policy = %+v, %v", pol, err)
+	}
+}
+
+func TestPublishRequiresResourceAndOwner(t *testing.T) {
+	e := newEnv(t)
+	ctx := context.Background()
+	if err := e.mgr.RegisterPod(ctx, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Missing resource.
+	if err := e.mgr.Publish(ctx, aliceWebID, "/nope.csv", "", nil); !errors.Is(err, ErrMissingInPod) {
+		t.Fatalf("missing resource: %v", err)
+	}
+	// Non-owner without Control.
+	if err := e.mgr.Upload("/web/browsing.csv", "text/csv", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.mgr.Publish(ctx, bobWebID, "/web/browsing.csv", "", nil); !errors.Is(err, ErrOwnerOnly) {
+		t.Fatalf("non-owner publish: %v", err)
+	}
+}
+
+func TestResourceAccessWithCertificate(t *testing.T) {
+	e := newEnv(t)
+	iri := e.publish(browsingPolicy())
+	e.registerDevice()
+	ctx := context.Background()
+
+	// Grant Bob access (ACL + on-chain grant).
+	if err := e.mgr.GrantAccess(ctx, bobWebID, e.bobKey.Address(), e.devKey.Address(),
+		"/web/browsing.csv", policy.PurposeWebAnalytics); err != nil {
+		t.Fatal(err)
+	}
+
+	bob := solid.NewClient(bobWebID, e.bobKey, e.clk)
+
+	// Without a certificate: denied by the market hook.
+	if _, _, err := bob.Get(e.srv.URL + "/web/browsing.csv"); err == nil {
+		t.Fatal("access without certificate succeeded")
+	}
+
+	// Bob registers with the market, subscribes, pays the fee.
+	if err := e.mkt.Register(string(bobWebID), "bob@example.org", e.bobKey.Address(), e.bobKey.PublicBytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.mkt.Subscribe(string(bobWebID), market.PlanBasic); err != nil {
+		t.Fatal(err)
+	}
+	cert, err := e.mkt.PayFee(string(bobWebID), iri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decorate, err := AttachCertificate(cert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob.Decorate = decorate
+
+	data, _, err := bob.Get(e.srv.URL + "/web/browsing.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "r1,r2,r3" {
+		t.Fatalf("data = %q", data)
+	}
+
+	// A certificate for another resource is rejected.
+	otherCert, err := e.mkt.PayFee(string(bobWebID), "https://elsewhere/r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob.Decorate, err = AttachCertificate(otherCert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := bob.Get(e.srv.URL + "/web/browsing.csv"); err == nil {
+		t.Fatal("certificate for another resource accepted")
+	}
+
+	// An expired certificate is rejected.
+	bob.Decorate, _ = AttachCertificate(cert)
+	e.clk.Advance(market.CertificateTTL + time.Hour)
+	if _, _, err := bob.Get(e.srv.URL + "/web/browsing.csv"); err == nil {
+		t.Fatal("expired certificate accepted")
+	}
+}
+
+func TestOwnerAccessNeedsNoCertificate(t *testing.T) {
+	e := newEnv(t)
+	e.publish(browsingPolicy())
+	aliceKey, _ := e.dir.KeyFor(aliceWebID)
+	_ = aliceKey
+	alice := solid.NewClient(aliceWebID, e.mgrKey(), e.clk)
+	if _, _, err := alice.Get(e.srv.URL + "/web/browsing.csv"); err != nil {
+		t.Fatalf("owner access: %v", err)
+	}
+}
+
+// mgrKey digs the manager's key out for the owner HTTP client. The manager
+// signs with the same key as Alice's WebID in this environment.
+func (e *env) mgrKey() *cryptoutil.KeyPair { return e.mgr.DE().Key() }
+
+func TestUnpublishedResourceSkipsCertificateCheck(t *testing.T) {
+	e := newEnv(t)
+	ctx := context.Background()
+	if err := e.mgr.RegisterPod(ctx, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.mgr.Upload("/notes.txt", "text/plain", []byte("private-ish")); err != nil {
+		t.Fatal(err)
+	}
+	acl := solid.NewACL(aliceWebID, "/notes.txt")
+	acl.Grant("bob", []solid.WebID{bobWebID}, "/notes.txt", false, solid.ModeRead)
+	if err := e.mgr.Pod().SetACL(aliceWebID, "/notes.txt", acl); err != nil {
+		t.Fatal(err)
+	}
+	bob := solid.NewClient(bobWebID, e.bobKey, e.clk)
+	if _, _, err := bob.Get(e.srv.URL + "/notes.txt"); err != nil {
+		t.Fatalf("plain WAC access to unpublished resource: %v", err)
+	}
+}
+
+func TestModifyPolicy(t *testing.T) {
+	e := newEnv(t)
+	iri := e.publish(browsingPolicy())
+	ctx := context.Background()
+
+	v2 := browsingPolicy().NextVersion(e.clk.Now())
+	v2.MaxRetention = 7 * 24 * time.Hour
+	if err := e.mgr.ModifyPolicy(ctx, aliceWebID, "/web/browsing.csv", v2); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := e.mgr.DE().GetResource(iri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Policy.Version != 2 || rec.Policy.MaxRetention != 7*24*time.Hour {
+		t.Fatalf("on-chain policy = %+v", rec.Policy)
+	}
+	// PolicyUpdated event fired for push-out delivery.
+	if n := len(e.node.Events(chain.EventFilter{Topic: distexchange.TopicPolicyUpdated, Key: iri})); n != 1 {
+		t.Fatalf("PolicyUpdated events = %d", n)
+	}
+
+	// Version regressions and non-owners are rejected.
+	if err := e.mgr.ModifyPolicy(ctx, aliceWebID, "/web/browsing.csv", browsingPolicy()); err == nil {
+		t.Fatal("stale version accepted")
+	}
+	v3 := v2.NextVersion(e.clk.Now())
+	if err := e.mgr.ModifyPolicy(ctx, bobWebID, "/web/browsing.csv", v3); !errors.Is(err, ErrOwnerOnly) {
+		t.Fatalf("non-owner modify: %v", err)
+	}
+	// Unpublished path.
+	if err := e.mgr.ModifyPolicy(ctx, aliceWebID, "/other.csv", v3); !errors.Is(err, ErrNotPublished) {
+		t.Fatalf("unpublished modify: %v", err)
+	}
+}
+
+func TestMonitoringViaManager(t *testing.T) {
+	e := newEnv(t)
+	iri := e.publish(browsingPolicy())
+	e.registerDevice()
+	ctx := context.Background()
+
+	if err := e.mgr.GrantAccess(ctx, bobWebID, e.bobKey.Address(), e.devKey.Address(),
+		"/web/browsing.csv", policy.PurposeWebAnalytics); err != nil {
+		t.Fatal(err)
+	}
+	// Device confirms retrieval so it becomes a monitoring target.
+	devClient := distexchange.NewClient(autoSeal{node: e.node}, e.devKey, e.deAddr)
+	if _, err := devClient.ConfirmRetrieval(ctx, iri); err != nil {
+		t.Fatal(err)
+	}
+
+	round, err := e.mgr.StartMonitoring(ctx, "/web/browsing.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(round.Targets) != 1 {
+		t.Fatalf("targets = %v", round.Targets)
+	}
+
+	// Nobody responds; collection closes the round and flags the device.
+	evidence, violations, err := e.mgr.CollectMonitoring(ctx, "/web/browsing.csv", round.Round)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evidence) != 0 {
+		t.Fatalf("evidence = %+v", evidence)
+	}
+	if len(violations) != 1 || violations[0].Kind != distexchange.ViolationUnresponsive {
+		t.Fatalf("violations = %+v", violations)
+	}
+	// Monitoring an unpublished resource fails fast.
+	if _, err := e.mgr.StartMonitoring(ctx, "/other"); !errors.Is(err, ErrNotPublished) {
+		t.Fatalf("unpublished monitoring: %v", err)
+	}
+}
+
+func TestGrantAccessRequiresPublication(t *testing.T) {
+	e := newEnv(t)
+	ctx := context.Background()
+	if err := e.mgr.RegisterPod(ctx, nil); err != nil {
+		t.Fatal(err)
+	}
+	err := e.mgr.GrantAccess(ctx, bobWebID, e.bobKey.Address(), e.devKey.Address(), "/x", policy.PurposeAny)
+	if !errors.Is(err, ErrNotPublished) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,196 @@
+package policy
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/rdf"
+)
+
+// Encode serializes the policy as JSON. This is the wire form stored
+// on-chain by the DE App and exchanged through oracles.
+func (p *Policy) Encode() ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(p)
+}
+
+// Decode parses a JSON-encoded policy and validates it.
+func Decode(data []byte) (*Policy, error) {
+	var p Policy
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("policy: decode: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// Hash returns a canonical content hash of the policy, used for on-chain
+// integrity anchoring. Two structurally equal policies hash identically
+// regardless of slice ordering of purposes/actions.
+func (p *Policy) Hash() cryptoutil.Hash {
+	c := p.Clone()
+	sortPurposes(c.AllowedPurposes)
+	sortActions(c.AllowedActions)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|%s|%s|%d|%d|", c.ID, c.ResourceIRI, c.OwnerWebID, c.Version, c.IssuedAt.UnixNano())
+	for _, pu := range c.AllowedPurposes {
+		fmt.Fprintf(&b, "p:%s;", pu)
+	}
+	for _, a := range c.AllowedActions {
+		fmt.Fprintf(&b, "a:%s;", a)
+	}
+	fmt.Fprintf(&b, "|%d|%d|%d|%t|%t",
+		c.MaxRetention, c.ExpiresAt.UnixNano(), c.MaxUses, c.ProhibitSharing, c.NotifyOnUse)
+	return cryptoutil.HashOf([]byte(b.String()))
+}
+
+func sortPurposes(ps []Purpose) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j] < ps[j-1]; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}
+
+func sortActions(as []Action) {
+	for i := 1; i < len(as); i++ {
+		for j := i; j > 0 && as[j] < as[j-1]; j-- {
+			as[j], as[j-1] = as[j-1], as[j]
+		}
+	}
+}
+
+// UC is the RDF vocabulary namespace for usage-control policy documents.
+const UC = "https://w3id.org/usagecontrol#"
+
+// Vocabulary IRIs for the RDF form of policies.
+var (
+	ucPolicy          = rdf.IRI(UC + "UsagePolicy")
+	ucResource        = rdf.IRI(UC + "resource")
+	ucOwner           = rdf.IRI(UC + "owner")
+	ucVersion         = rdf.IRI(UC + "version")
+	ucIssuedAt        = rdf.IRI(UC + "issuedAt")
+	ucAllowedPurpose  = rdf.IRI(UC + "allowedPurpose")
+	ucAllowedAction   = rdf.IRI(UC + "allowedAction")
+	ucMaxRetention    = rdf.IRI(UC + "maxRetentionNanos")
+	ucExpiresAt       = rdf.IRI(UC + "expiresAt")
+	ucMaxUses         = rdf.IRI(UC + "maxUses")
+	ucProhibitSharing = rdf.IRI(UC + "prohibitSharing")
+	ucNotifyOnUse     = rdf.IRI(UC + "notifyOnUse")
+)
+
+// ToGraph renders the policy as an RDF graph, the form in which policies
+// are stored inside Solid pods alongside the resources they govern.
+func (p *Policy) ToGraph() *rdf.Graph {
+	g := rdf.NewGraph()
+	id := rdf.IRI(p.ID)
+	g.Add(rdf.T(id, rdf.IRI(rdf.RDFType), ucPolicy))
+	g.Add(rdf.T(id, ucResource, rdf.IRI(p.ResourceIRI)))
+	g.Add(rdf.T(id, ucOwner, rdf.IRI(p.OwnerWebID)))
+	g.Add(rdf.T(id, ucVersion, rdf.Integer(int64(p.Version))))
+	g.Add(rdf.T(id, ucIssuedAt, rdf.TypedLiteral(p.IssuedAt.UTC().Format(time.RFC3339Nano), rdf.XSDDateTime)))
+	for _, pu := range p.AllowedPurposes {
+		g.Add(rdf.T(id, ucAllowedPurpose, rdf.Literal(string(pu))))
+	}
+	for _, a := range p.AllowedActions {
+		g.Add(rdf.T(id, ucAllowedAction, rdf.Literal(string(a))))
+	}
+	if p.MaxRetention > 0 {
+		g.Add(rdf.T(id, ucMaxRetention, rdf.Integer(int64(p.MaxRetention))))
+	}
+	if !p.ExpiresAt.IsZero() {
+		g.Add(rdf.T(id, ucExpiresAt, rdf.TypedLiteral(p.ExpiresAt.UTC().Format(time.RFC3339Nano), rdf.XSDDateTime)))
+	}
+	if p.MaxUses > 0 {
+		g.Add(rdf.T(id, ucMaxUses, rdf.Integer(int64(p.MaxUses))))
+	}
+	if p.ProhibitSharing {
+		g.Add(rdf.T(id, ucProhibitSharing, rdf.Boolean(true)))
+	}
+	if p.NotifyOnUse {
+		g.Add(rdf.T(id, ucNotifyOnUse, rdf.Boolean(true)))
+	}
+	return g
+}
+
+// FromGraph extracts the policy with the given ID from an RDF graph
+// produced by ToGraph (or hand-written Turtle using the UC vocabulary).
+func FromGraph(g *rdf.Graph, id string) (*Policy, error) {
+	subject := rdf.IRI(id)
+	if !g.Has(rdf.T(subject, rdf.IRI(rdf.RDFType), ucPolicy)) {
+		return nil, fmt.Errorf("policy: %s is not a uc:UsagePolicy in graph", id)
+	}
+	p := &Policy{ID: id}
+	if o := g.FirstObject(subject, ucResource); !o.IsZero() {
+		p.ResourceIRI = o.Value()
+	}
+	if o := g.FirstObject(subject, ucOwner); !o.IsZero() {
+		p.OwnerWebID = o.Value()
+	}
+	if o := g.FirstObject(subject, ucVersion); !o.IsZero() {
+		v, err := o.Int()
+		if err != nil {
+			return nil, fmt.Errorf("policy: bad version literal: %w", err)
+		}
+		p.Version = uint64(v)
+	}
+	if o := g.FirstObject(subject, ucIssuedAt); !o.IsZero() {
+		ts, err := time.Parse(time.RFC3339Nano, o.Value())
+		if err != nil {
+			return nil, fmt.Errorf("policy: bad issuedAt literal: %w", err)
+		}
+		p.IssuedAt = ts
+	}
+	for _, o := range g.Objects(subject, ucAllowedPurpose) {
+		p.AllowedPurposes = append(p.AllowedPurposes, Purpose(o.Value()))
+	}
+	for _, o := range g.Objects(subject, ucAllowedAction) {
+		p.AllowedActions = append(p.AllowedActions, Action(o.Value()))
+	}
+	if o := g.FirstObject(subject, ucMaxRetention); !o.IsZero() {
+		v, err := o.Int()
+		if err != nil {
+			return nil, fmt.Errorf("policy: bad retention literal: %w", err)
+		}
+		p.MaxRetention = time.Duration(v)
+	}
+	if o := g.FirstObject(subject, ucExpiresAt); !o.IsZero() {
+		ts, err := time.Parse(time.RFC3339Nano, o.Value())
+		if err != nil {
+			return nil, fmt.Errorf("policy: bad expiresAt literal: %w", err)
+		}
+		p.ExpiresAt = ts
+	}
+	if o := g.FirstObject(subject, ucMaxUses); !o.IsZero() {
+		v, err := o.Int()
+		if err != nil {
+			return nil, fmt.Errorf("policy: bad maxUses literal: %w", err)
+		}
+		p.MaxUses = uint64(v)
+	}
+	if o := g.FirstObject(subject, ucProhibitSharing); !o.IsZero() {
+		v, err := o.Bool()
+		if err != nil {
+			return nil, fmt.Errorf("policy: bad prohibitSharing literal: %w", err)
+		}
+		p.ProhibitSharing = v
+	}
+	if o := g.FirstObject(subject, ucNotifyOnUse); !o.IsZero() {
+		v, err := o.Bool()
+		if err != nil {
+			return nil, fmt.Errorf("policy: bad notifyOnUse literal: %w", err)
+		}
+		p.NotifyOnUse = v
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

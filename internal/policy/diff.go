@@ -1,0 +1,156 @@
+package policy
+
+import (
+	"fmt"
+	"time"
+)
+
+// ObligationKind classifies an action a copy-holder must take in response
+// to a policy update (the Fig. 2(5) "execute actions according to the
+// policy change" step).
+type ObligationKind string
+
+// Obligation kinds triggered by policy updates.
+const (
+	// ObligationDeleteNow requires immediate deletion of the local copy
+	// (its deadline has already lapsed under the new policy).
+	ObligationDeleteNow ObligationKind = "delete-now"
+	// ObligationReschedule requires re-arming the deletion timer to the new
+	// deadline.
+	ObligationReschedule ObligationKind = "reschedule-deletion"
+	// ObligationRevokeUse requires the holder to stop using the copy
+	// because its declared purpose is no longer allowed. The copy may be
+	// kept if retention still permits, but no further use may occur.
+	ObligationRevokeUse ObligationKind = "revoke-use"
+	// ObligationNone indicates the update does not affect this holder.
+	ObligationNone ObligationKind = "none"
+)
+
+// HolderState is the per-copy state a TEE holds, needed to translate a
+// policy update into concrete obligations.
+type HolderState struct {
+	// RetrievedAt is when this holder obtained its copy.
+	RetrievedAt time.Time
+	// Purpose is the declared purpose of the holding application.
+	Purpose Purpose
+	// Now is the instant of the update delivery.
+	Now time.Time
+}
+
+// Obligation is a concrete action a holder must execute, derived from a
+// policy update.
+type Obligation struct {
+	Kind ObligationKind
+	// DeleteBy carries the (new) deadline for ObligationReschedule.
+	DeleteBy time.Time
+	// Reason is a human-readable explanation for audit logs.
+	Reason string
+}
+
+// Diff summarises how a policy changed between two versions.
+type Diff struct {
+	// RetentionChanged reports a changed MaxRetention or ExpiresAt.
+	RetentionChanged bool
+	// PurposesNarrowed lists previously allowed purposes that are no longer
+	// allowed. A nil slice with PurposesChanged=false means no change.
+	PurposesNarrowed []Purpose
+	// PurposesChanged reports any change to the purpose set.
+	PurposesChanged bool
+	// UsesChanged reports a changed MaxUses.
+	UsesChanged bool
+	// SharingTightened reports ProhibitSharing turning on.
+	SharingTightened bool
+	// NotifyChanged reports NotifyOnUse toggling.
+	NotifyChanged bool
+}
+
+// Compute returns the difference between two versions of a policy.
+// old and new must refer to the same resource.
+func Compute(oldP, newP *Policy) (Diff, error) {
+	var d Diff
+	if oldP.ResourceIRI != newP.ResourceIRI {
+		return d, fmt.Errorf("policy: diff across resources %q and %q",
+			oldP.ResourceIRI, newP.ResourceIRI)
+	}
+	d.RetentionChanged = oldP.MaxRetention != newP.MaxRetention ||
+		!oldP.ExpiresAt.Equal(newP.ExpiresAt)
+	d.UsesChanged = oldP.MaxUses != newP.MaxUses
+	d.SharingTightened = !oldP.ProhibitSharing && newP.ProhibitSharing
+	d.NotifyChanged = oldP.NotifyOnUse != newP.NotifyOnUse
+
+	oldAllowed := purposeSet(oldP.AllowedPurposes)
+	newAllowed := purposeSet(newP.AllowedPurposes)
+	if !purposeSetsEqual(oldAllowed, newAllowed) {
+		d.PurposesChanged = true
+		for pu := range oldAllowed {
+			if !newP.PermitsPurpose(pu) {
+				d.PurposesNarrowed = append(d.PurposesNarrowed, pu)
+			}
+		}
+	}
+	return d, nil
+}
+
+func purposeSet(ps []Purpose) map[Purpose]struct{} {
+	// nil (unconstrained) is represented as {PurposeAny}.
+	set := make(map[Purpose]struct{}, len(ps))
+	if len(ps) == 0 {
+		set[PurposeAny] = struct{}{}
+		return set
+	}
+	for _, p := range ps {
+		set[p] = struct{}{}
+	}
+	return set
+}
+
+func purposeSetsEqual(a, b map[Purpose]struct{}) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for p := range a {
+		if _, ok := b[p]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ObligationsFor translates a policy update into the obligations a given
+// holder must execute. This is the core of the paper's policy-modification
+// scenario: after Alice shortens retention from one month to one week,
+// holders whose copies are already older than a week must delete
+// immediately; younger copies reschedule their timers. Bob's purpose
+// change to "academic" revokes use for holders with non-academic purposes
+// but, as in the paper, does not affect holders whose purpose remains
+// allowed.
+func ObligationsFor(newP *Policy, state HolderState) []Obligation {
+	var out []Obligation
+
+	if deadline, has := newP.DeleteDeadline(state.RetrievedAt); has {
+		if state.Now.After(deadline) {
+			out = append(out, Obligation{
+				Kind:   ObligationDeleteNow,
+				Reason: fmt.Sprintf("deadline %s already lapsed", deadline.UTC().Format(time.RFC3339)),
+			})
+		} else {
+			out = append(out, Obligation{
+				Kind:     ObligationReschedule,
+				DeleteBy: deadline,
+				Reason:   fmt.Sprintf("new deadline %s", deadline.UTC().Format(time.RFC3339)),
+			})
+		}
+	}
+
+	if !newP.PermitsPurpose(state.Purpose) {
+		out = append(out, Obligation{
+			Kind:   ObligationRevokeUse,
+			Reason: fmt.Sprintf("purpose %q no longer allowed", state.Purpose),
+		})
+	}
+
+	if len(out) == 0 {
+		out = append(out, Obligation{Kind: ObligationNone, Reason: "update does not affect this holder"})
+	}
+	return out
+}

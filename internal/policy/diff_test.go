@@ -1,0 +1,161 @@
+package policy
+
+import (
+	"testing"
+	"time"
+)
+
+func TestComputeDiff(t *testing.T) {
+	week := 7 * 24 * time.Hour
+
+	t.Run("retention shortened", func(t *testing.T) {
+		oldP := alicePolicy()
+		newP := oldP.NextVersion(t0.Add(48 * time.Hour))
+		newP.MaxRetention = week
+		d, err := Compute(oldP, newP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.RetentionChanged {
+			t.Error("RetentionChanged not detected")
+		}
+		if d.PurposesChanged {
+			t.Error("spurious purpose change")
+		}
+	})
+
+	t.Run("purpose narrowed", func(t *testing.T) {
+		oldP := bobPolicy()
+		newP := oldP.NextVersion(t0.Add(48 * time.Hour))
+		newP.AllowedPurposes = []Purpose{PurposeAcademic}
+		d, err := Compute(oldP, newP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.PurposesChanged {
+			t.Fatal("PurposesChanged not detected")
+		}
+		if len(d.PurposesNarrowed) != 1 || d.PurposesNarrowed[0] != PurposeMedicalResearch {
+			t.Fatalf("PurposesNarrowed = %v", d.PurposesNarrowed)
+		}
+	})
+
+	t.Run("no change", func(t *testing.T) {
+		oldP := bobPolicy()
+		newP := oldP.NextVersion(t0.Add(time.Hour))
+		d, err := Compute(oldP, newP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.RetentionChanged || d.PurposesChanged || d.UsesChanged || d.SharingTightened || d.NotifyChanged {
+			t.Fatalf("spurious diff: %+v", d)
+		}
+	})
+
+	t.Run("sharing tightened and notify toggled", func(t *testing.T) {
+		oldP := alicePolicy()
+		newP := oldP.NextVersion(t0.Add(time.Hour))
+		newP.ProhibitSharing = true
+		newP.NotifyOnUse = true
+		newP.MaxUses = 5
+		d, err := Compute(oldP, newP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.SharingTightened || !d.NotifyChanged || !d.UsesChanged {
+			t.Fatalf("diff = %+v", d)
+		}
+	})
+
+	t.Run("cross-resource diff rejected", func(t *testing.T) {
+		if _, err := Compute(alicePolicy(), bobPolicy()); err == nil {
+			t.Fatal("Compute across resources should fail")
+		}
+	})
+
+	t.Run("unconstrained to constrained", func(t *testing.T) {
+		oldP := alicePolicy() // no purpose constraint
+		newP := oldP.NextVersion(t0.Add(time.Hour))
+		newP.AllowedPurposes = []Purpose{PurposeAcademic}
+		d, err := Compute(oldP, newP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.PurposesChanged {
+			t.Fatal("constraining an unconstrained policy must register")
+		}
+		// The wildcard pseudo-purpose is narrowed away.
+		if len(d.PurposesNarrowed) != 1 || d.PurposesNarrowed[0] != PurposeAny {
+			t.Fatalf("PurposesNarrowed = %v", d.PurposesNarrowed)
+		}
+	})
+}
+
+// TestObligationsForAliceScenario reproduces the paper's policy
+// modification: after two days Alice shortens max storage from one month
+// to one week. A holder that retrieved five days ago reschedules; a holder
+// that retrieved nine days ago must delete now.
+func TestObligationsForAliceScenario(t *testing.T) {
+	week := 7 * 24 * time.Hour
+	newP := alicePolicy().NextVersion(t0)
+	newP.MaxRetention = week
+
+	t.Run("young copy reschedules", func(t *testing.T) {
+		retrieved := t0.Add(-5 * 24 * time.Hour)
+		obs := ObligationsFor(newP, HolderState{RetrievedAt: retrieved, Purpose: PurposeWebAnalytics, Now: t0})
+		if len(obs) != 1 || obs[0].Kind != ObligationReschedule {
+			t.Fatalf("obligations = %+v, want single reschedule", obs)
+		}
+		if !obs[0].DeleteBy.Equal(retrieved.Add(week)) {
+			t.Fatalf("DeleteBy = %s, want %s", obs[0].DeleteBy, retrieved.Add(week))
+		}
+	})
+
+	t.Run("old copy deletes now", func(t *testing.T) {
+		retrieved := t0.Add(-9 * 24 * time.Hour)
+		obs := ObligationsFor(newP, HolderState{RetrievedAt: retrieved, Purpose: PurposeWebAnalytics, Now: t0})
+		if len(obs) != 1 || obs[0].Kind != ObligationDeleteNow {
+			t.Fatalf("obligations = %+v, want single delete-now", obs)
+		}
+	})
+}
+
+// TestObligationsForBobScenario reproduces Bob's purpose change to
+// academic: Alice (medical-research app at a university hospital that also
+// declares academic) keeps access if her purpose remains allowed; a
+// consumer with a non-academic purpose has its use revoked.
+func TestObligationsForBobScenario(t *testing.T) {
+	newP := bobPolicy().NextVersion(t0)
+	newP.AllowedPurposes = []Purpose{PurposeAcademic}
+
+	t.Run("still-allowed purpose unaffected", func(t *testing.T) {
+		obs := ObligationsFor(newP, HolderState{RetrievedAt: t0.Add(-time.Hour), Purpose: PurposeAcademic, Now: t0})
+		if len(obs) != 1 || obs[0].Kind != ObligationNone {
+			t.Fatalf("obligations = %+v, want none", obs)
+		}
+	})
+
+	t.Run("disallowed purpose revoked", func(t *testing.T) {
+		obs := ObligationsFor(newP, HolderState{RetrievedAt: t0.Add(-time.Hour), Purpose: PurposeMedicalResearch, Now: t0})
+		if len(obs) != 1 || obs[0].Kind != ObligationRevokeUse {
+			t.Fatalf("obligations = %+v, want revoke-use", obs)
+		}
+	})
+}
+
+func TestObligationsCombined(t *testing.T) {
+	newP := bobPolicy().NextVersion(t0)
+	newP.AllowedPurposes = []Purpose{PurposeAcademic}
+	newP.MaxRetention = time.Hour
+
+	obs := ObligationsFor(newP, HolderState{
+		RetrievedAt: t0.Add(-2 * time.Hour), Purpose: PurposeMedicalResearch, Now: t0,
+	})
+	kinds := map[ObligationKind]bool{}
+	for _, o := range obs {
+		kinds[o.Kind] = true
+	}
+	if !kinds[ObligationDeleteNow] || !kinds[ObligationRevokeUse] {
+		t.Fatalf("obligations = %+v, want delete-now + revoke-use", obs)
+	}
+}

@@ -1,0 +1,106 @@
+package policy
+
+import (
+	"fmt"
+	"time"
+)
+
+// UsageContext describes one attempted use of a resource copy, as seen by
+// the enforcement point (the TEE's trusted application).
+type UsageContext struct {
+	// Now is the evaluation instant.
+	Now time.Time
+	// Purpose is the declared purpose of the running application.
+	Purpose Purpose
+	// Action is the operation being attempted.
+	Action Action
+	// RetrievedAt is when the local copy was obtained from the pod.
+	RetrievedAt time.Time
+	// PriorUses is the number of uses already performed on this copy.
+	PriorUses uint64
+}
+
+// DenialReason is a machine-readable reason code for a denied use.
+type DenialReason string
+
+// Denial reason codes.
+const (
+	DenyPurpose   DenialReason = "purpose-not-allowed"
+	DenyAction    DenialReason = "action-not-allowed"
+	DenyExpired   DenialReason = "retention-expired"
+	DenyUsesSpent DenialReason = "max-uses-exhausted"
+)
+
+// Decision is the outcome of evaluating a policy against a usage context.
+type Decision struct {
+	// Allowed reports whether the use may proceed.
+	Allowed bool
+	// Reasons lists why the use was denied (empty when allowed).
+	Reasons []DenialReason
+	// DeleteBy is the deletion deadline for the copy, if any. It is
+	// reported on allowed and denied decisions alike so the enforcement
+	// point can (re)schedule the deletion obligation.
+	DeleteBy time.Time
+	// HasDeadline reports whether DeleteBy is meaningful.
+	HasDeadline bool
+	// MustNotify reports whether this use must be logged for the
+	// notify-on-use duty.
+	MustNotify bool
+}
+
+// Deny reports whether the decision denies for the given reason.
+func (d Decision) Deny(reason DenialReason) bool {
+	for _, r := range d.Reasons {
+		if r == reason {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the decision for logs.
+func (d Decision) String() string {
+	if d.Allowed {
+		if d.HasDeadline {
+			return fmt.Sprintf("permit (delete by %s)", d.DeleteBy.UTC().Format(time.RFC3339))
+		}
+		return "permit"
+	}
+	return fmt.Sprintf("deny %v", d.Reasons)
+}
+
+// Evaluate decides whether the use described by ctx complies with the
+// policy. Evaluation is pure: it inspects only its arguments.
+//
+// The decision combines four checks — purpose constraint, action
+// permission, temporal obligation (retention/expiry), and usage-count
+// limit. All failing checks are reported, not just the first, so that
+// compliance evidence can name every violated constraint.
+func (p *Policy) Evaluate(ctx UsageContext) Decision {
+	d := Decision{MustNotify: p.NotifyOnUse}
+	d.DeleteBy, d.HasDeadline = p.DeleteDeadline(ctx.RetrievedAt)
+
+	if !p.PermitsPurpose(ctx.Purpose) {
+		d.Reasons = append(d.Reasons, DenyPurpose)
+	}
+	if !p.PermitsAction(ctx.Action) {
+		d.Reasons = append(d.Reasons, DenyAction)
+	}
+	if d.HasDeadline && ctx.Now.After(d.DeleteBy) {
+		d.Reasons = append(d.Reasons, DenyExpired)
+	}
+	if p.MaxUses > 0 && ctx.PriorUses >= p.MaxUses {
+		d.Reasons = append(d.Reasons, DenyUsesSpent)
+	}
+	d.Allowed = len(d.Reasons) == 0
+	return d
+}
+
+// CompliantAt reports whether merely holding a copy retrieved at
+// retrievedAt is compliant at instant now (i.e. the deletion obligation,
+// if any, has not yet lapsed). This is the check performed during the
+// Fig. 2(6) policy-monitoring process for devices that still store a copy.
+func (p *Policy) CompliantAt(now, retrievedAt time.Time) bool {
+	deadline, has := p.DeleteDeadline(retrievedAt)
+	return !has || !now.After(deadline)
+}

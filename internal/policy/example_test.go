@@ -1,0 +1,51 @@
+package policy_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/policy"
+)
+
+// ExamplePolicy_Evaluate shows the paper's running example: Bob's medical
+// dataset may only be used for medical purposes.
+func ExamplePolicy_Evaluate() {
+	issued := time.Date(2023, 10, 9, 0, 0, 0, 0, time.UTC)
+	p := policy.New("https://bob.pod/medical/ds1", "https://bob.pod/profile#me", issued)
+	p.AllowedPurposes = []policy.Purpose{policy.PurposeMedicalResearch}
+
+	ctx := policy.UsageContext{
+		Now:         issued.Add(time.Hour),
+		Purpose:     policy.PurposeMedicalResearch,
+		Action:      policy.ActionUse,
+		RetrievedAt: issued,
+	}
+	fmt.Println(p.Evaluate(ctx))
+
+	ctx.Purpose = policy.PurposeMarketing
+	fmt.Println(p.Evaluate(ctx))
+	// Output:
+	// permit
+	// deny [purpose-not-allowed]
+}
+
+// ExampleObligationsFor shows how shortening retention (Alice's policy
+// change) turns into concrete device-side obligations.
+func ExampleObligationsFor() {
+	issued := time.Date(2023, 10, 9, 0, 0, 0, 0, time.UTC)
+	v2 := policy.New("https://alice.pod/web/browsing.csv", "https://alice.pod/profile#me", issued)
+	v2.Version = 2
+	v2.MaxRetention = 7 * 24 * time.Hour // shortened from one month
+
+	// A copy retrieved 9 days ago is already past the new deadline.
+	obs := policy.ObligationsFor(v2, policy.HolderState{
+		RetrievedAt: issued.Add(-9 * 24 * time.Hour),
+		Purpose:     policy.PurposeWebAnalytics,
+		Now:         issued,
+	})
+	for _, o := range obs {
+		fmt.Println(o.Kind)
+	}
+	// Output:
+	// delete-now
+}

@@ -1,0 +1,272 @@
+package rdf
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Graph is an in-memory RDF graph with subject/predicate/object indexes.
+//
+// A Graph is safe for concurrent use. The zero value is not usable; create
+// graphs with NewGraph.
+type Graph struct {
+	mu sync.RWMutex
+	// spo is the canonical store: subject -> predicate -> object set.
+	spo map[Term]map[Term]map[Term]struct{}
+	// pos and osp are secondary indexes used by Match.
+	pos map[Term]map[Term]map[Term]struct{}
+	osp map[Term]map[Term]map[Term]struct{}
+	n   int
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		spo: make(map[Term]map[Term]map[Term]struct{}),
+		pos: make(map[Term]map[Term]map[Term]struct{}),
+		osp: make(map[Term]map[Term]map[Term]struct{}),
+	}
+}
+
+func addIndex(idx map[Term]map[Term]map[Term]struct{}, a, b, c Term) bool {
+	m1, ok := idx[a]
+	if !ok {
+		m1 = make(map[Term]map[Term]struct{})
+		idx[a] = m1
+	}
+	m2, ok := m1[b]
+	if !ok {
+		m2 = make(map[Term]struct{})
+		m1[b] = m2
+	}
+	if _, exists := m2[c]; exists {
+		return false
+	}
+	m2[c] = struct{}{}
+	return true
+}
+
+func removeIndex(idx map[Term]map[Term]map[Term]struct{}, a, b, c Term) bool {
+	m1, ok := idx[a]
+	if !ok {
+		return false
+	}
+	m2, ok := m1[b]
+	if !ok {
+		return false
+	}
+	if _, exists := m2[c]; !exists {
+		return false
+	}
+	delete(m2, c)
+	if len(m2) == 0 {
+		delete(m1, b)
+	}
+	if len(m1) == 0 {
+		delete(idx, a)
+	}
+	return true
+}
+
+// Add inserts a triple. It reports whether the triple was not already
+// present.
+func (g *Graph) Add(t Triple) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !addIndex(g.spo, t.S, t.P, t.O) {
+		return false
+	}
+	addIndex(g.pos, t.P, t.O, t.S)
+	addIndex(g.osp, t.O, t.S, t.P)
+	g.n++
+	return true
+}
+
+// AddAll inserts all triples and returns the number newly added.
+func (g *Graph) AddAll(ts ...Triple) int {
+	added := 0
+	for _, t := range ts {
+		if g.Add(t) {
+			added++
+		}
+	}
+	return added
+}
+
+// Remove deletes a triple. It reports whether the triple was present.
+func (g *Graph) Remove(t Triple) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !removeIndex(g.spo, t.S, t.P, t.O) {
+		return false
+	}
+	removeIndex(g.pos, t.P, t.O, t.S)
+	removeIndex(g.osp, t.O, t.S, t.P)
+	g.n--
+	return true
+}
+
+// Len returns the number of triples in the graph.
+func (g *Graph) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.n
+}
+
+// Has reports whether the graph contains the exact triple.
+func (g *Graph) Has(t Triple) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	m1, ok := g.spo[t.S]
+	if !ok {
+		return false
+	}
+	m2, ok := m1[t.P]
+	if !ok {
+		return false
+	}
+	_, ok = m2[t.O]
+	return ok
+}
+
+// Match returns all triples matching the pattern. A zero Term in any
+// position is a wildcard. The result is a fresh slice in deterministic
+// (sorted) order.
+func (g *Graph) Match(s, p, o Term) []Triple {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+
+	var out []Triple
+	switch {
+	case !s.IsZero():
+		for pp, objs := range g.spo[s] {
+			if !p.IsZero() && pp != p {
+				continue
+			}
+			for oo := range objs {
+				if !o.IsZero() && oo != o {
+					continue
+				}
+				out = append(out, Triple{S: s, P: pp, O: oo})
+			}
+		}
+	case !p.IsZero():
+		for oo, subs := range g.pos[p] {
+			if !o.IsZero() && oo != o {
+				continue
+			}
+			for ss := range subs {
+				out = append(out, Triple{S: ss, P: p, O: oo})
+			}
+		}
+	case !o.IsZero():
+		for ss, preds := range g.osp[o] {
+			for pp := range preds {
+				out = append(out, Triple{S: ss, P: pp, O: o})
+			}
+		}
+	default:
+		for ss, m1 := range g.spo {
+			for pp, objs := range m1 {
+				for obj := range objs {
+					out = append(out, Triple{S: ss, P: pp, O: obj})
+				}
+			}
+		}
+	}
+	sortTriples(out)
+	return out
+}
+
+// Subjects returns the distinct subjects of triples matching (*, p, o),
+// sorted. Zero terms are wildcards.
+func (g *Graph) Subjects(p, o Term) []Term {
+	seen := make(map[Term]struct{})
+	for _, t := range g.Match(Term{}, p, o) {
+		seen[t.S] = struct{}{}
+	}
+	return sortedTerms(seen)
+}
+
+// Objects returns the distinct objects of triples matching (s, p, *),
+// sorted. Zero terms are wildcards.
+func (g *Graph) Objects(s, p Term) []Term {
+	seen := make(map[Term]struct{})
+	for _, t := range g.Match(s, p, Term{}) {
+		seen[t.O] = struct{}{}
+	}
+	return sortedTerms(seen)
+}
+
+// FirstObject returns the first object of (s, p, *) in sorted order, or the
+// zero Term if none exists.
+func (g *Graph) FirstObject(s, p Term) Term {
+	objs := g.Objects(s, p)
+	if len(objs) == 0 {
+		return Term{}
+	}
+	return objs[0]
+}
+
+// Triples returns every triple in deterministic order.
+func (g *Graph) Triples() []Triple { return g.Match(Term{}, Term{}, Term{}) }
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	clone := NewGraph()
+	for _, t := range g.Triples() {
+		clone.Add(t)
+	}
+	return clone
+}
+
+// Merge adds every triple of other into g and returns the number added.
+func (g *Graph) Merge(other *Graph) int {
+	return g.AddAll(other.Triples()...)
+}
+
+// Equal reports whether both graphs contain exactly the same triples.
+// Blank-node isomorphism is not considered: blank labels must match, which
+// is sufficient for this package's round-trip guarantees because the parser
+// preserves labels.
+func (g *Graph) Equal(other *Graph) bool {
+	a, b := g.Triples(), other.Triples()
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func termSortKey(t Term) string {
+	return strings.Join([]string{t.kind.String(), t.value, t.datatype, t.lang}, "\x00")
+}
+
+func sortTriples(ts []Triple) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		if k1, k2 := termSortKey(a.S), termSortKey(b.S); k1 != k2 {
+			return k1 < k2
+		}
+		if k1, k2 := termSortKey(a.P), termSortKey(b.P); k1 != k2 {
+			return k1 < k2
+		}
+		return termSortKey(a.O) < termSortKey(b.O)
+	})
+}
+
+func sortedTerms(set map[Term]struct{}) []Term {
+	out := make([]Term, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return termSortKey(out[i]) < termSortKey(out[j])
+	})
+	return out
+}

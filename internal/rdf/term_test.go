@@ -1,0 +1,125 @@
+package rdf
+
+import (
+	"testing"
+)
+
+func TestTermConstructorsAndAccessors(t *testing.T) {
+	tests := []struct {
+		name     string
+		term     Term
+		kind     TermKind
+		value    string
+		datatype string
+		lang     string
+	}{
+		{"iri", IRI("http://example.org/x"), KindIRI, "http://example.org/x", "", ""},
+		{"blank", Blank("b1"), KindBlank, "b1", "", ""},
+		{"plain literal", Literal("hello"), KindLiteral, "hello", XSDString, ""},
+		{"typed literal", TypedLiteral("5", XSDInteger), KindLiteral, "5", XSDInteger, ""},
+		{"lang literal", LangLiteral("ciao", "it"), KindLiteral, "ciao", "", "it"},
+		{"integer", Integer(-42), KindLiteral, "-42", XSDInteger, ""},
+		{"boolean", Boolean(true), KindLiteral, "true", XSDBoolean, ""},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.term.Kind(); got != tt.kind {
+				t.Errorf("Kind() = %v, want %v", got, tt.kind)
+			}
+			if got := tt.term.Value(); got != tt.value {
+				t.Errorf("Value() = %q, want %q", got, tt.value)
+			}
+			if tt.kind == KindLiteral && tt.lang == "" {
+				if got := tt.term.Datatype(); got != tt.datatype {
+					t.Errorf("Datatype() = %q, want %q", got, tt.datatype)
+				}
+			}
+			if got := tt.term.Lang(); got != tt.lang {
+				t.Errorf("Lang() = %q, want %q", got, tt.lang)
+			}
+		})
+	}
+}
+
+func TestTermZero(t *testing.T) {
+	var zero Term
+	if !zero.IsZero() {
+		t.Error("zero Term should report IsZero")
+	}
+	if IRI("x").IsZero() {
+		t.Error("IRI should not report IsZero")
+	}
+	if zero.Datatype() != "" {
+		t.Errorf("zero Datatype() = %q, want empty", zero.Datatype())
+	}
+}
+
+func TestTermEqualityAsMapKey(t *testing.T) {
+	m := map[Term]int{}
+	m[IRI("http://a")] = 1
+	m[IRI("http://a")] = 2
+	m[Literal("http://a")] = 3
+	m[TypedLiteral("1", XSDInteger)] = 4
+	m[Literal("1")] = 5
+	if len(m) != 4 {
+		t.Fatalf("expected 4 distinct keys, got %d: %v", len(m), m)
+	}
+	if m[IRI("http://a")] != 2 {
+		t.Error("IRI key should have been overwritten")
+	}
+}
+
+func TestTermIntBool(t *testing.T) {
+	if v, err := Integer(7).Int(); err != nil || v != 7 {
+		t.Errorf("Int() = %d, %v; want 7, nil", v, err)
+	}
+	if _, err := IRI("x").Int(); err == nil {
+		t.Error("Int() on IRI should error")
+	}
+	if v, err := Boolean(true).Bool(); err != nil || !v {
+		t.Errorf("Bool() = %t, %v; want true, nil", v, err)
+	}
+	if _, err := Blank("b").Bool(); err == nil {
+		t.Error("Bool() on blank should error")
+	}
+	if _, err := Literal("xyz").Int(); err == nil {
+		t.Error("Int() on non-numeric literal should error")
+	}
+}
+
+func TestTermString(t *testing.T) {
+	tests := []struct {
+		term Term
+		want string
+	}{
+		{IRI("http://e/x"), "<http://e/x>"},
+		{Blank("b9"), "_:b9"},
+		{Literal("hi"), `"hi"`},
+		{Literal("say \"hi\"\n"), `"say \"hi\"\n"`},
+		{LangLiteral("hi", "en"), `"hi"@en`},
+		{TypedLiteral("3", XSDInteger), `"3"^^<` + XSDInteger + `>`},
+		{TypedLiteral("s", XSDString), `"s"`},
+	}
+	for _, tt := range tests {
+		if got := tt.term.String(); got != tt.want {
+			t.Errorf("String() = %s, want %s", got, tt.want)
+		}
+	}
+}
+
+func TestTripleString(t *testing.T) {
+	tr := T(IRI("http://s"), IRI("http://p"), Literal("o"))
+	want := `<http://s> <http://p> "o" .`
+	if got := tr.String(); got != want {
+		t.Errorf("Triple.String() = %s, want %s", got, want)
+	}
+}
+
+func TestTermKindString(t *testing.T) {
+	if KindIRI.String() != "iri" || KindLiteral.String() != "literal" || KindBlank.String() != "blank" {
+		t.Error("unexpected kind names")
+	}
+	if TermKind(99).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}

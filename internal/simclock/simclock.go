@@ -1,0 +1,128 @@
+// Package simclock provides a clock abstraction so that the architecture
+// can run against real time (examples, servers) or simulated time (tests
+// and experiments that span days of policy retention in microseconds).
+package simclock
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock supplies the current time and timer scheduling.
+type Clock interface {
+	// Now returns the current instant.
+	Now() time.Time
+	// AfterFunc schedules f to run once d has elapsed and returns a
+	// cancellation function. f runs on its own goroutine for the real
+	// clock and synchronously during Advance for the simulated clock.
+	AfterFunc(d time.Duration, f func()) (cancel func())
+}
+
+// Real is a Clock backed by the system wall clock.
+type Real struct{}
+
+var _ Clock = Real{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// AfterFunc implements Clock using time.AfterFunc.
+func (Real) AfterFunc(d time.Duration, f func()) func() {
+	t := time.AfterFunc(d, f)
+	return func() { t.Stop() }
+}
+
+// Sim is a deterministic simulated clock. Time only moves when Advance or
+// Set is called; timers fire synchronously, in deadline order, during the
+// advance. Sim is safe for concurrent use.
+type Sim struct {
+	mu     sync.Mutex
+	now    time.Time
+	nextID int
+	timers map[int]*simTimer
+}
+
+type simTimer struct {
+	id       int
+	deadline time.Time
+	f        func()
+}
+
+var _ Clock = (*Sim)(nil)
+
+// NewSim returns a simulated clock starting at the given instant.
+func NewSim(start time.Time) *Sim {
+	return &Sim{now: start, timers: make(map[int]*simTimer)}
+}
+
+// Now implements Clock.
+func (s *Sim) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// AfterFunc implements Clock. Non-positive durations fire on the next
+// Advance (or immediately on Advance(0)).
+func (s *Sim) AfterFunc(d time.Duration, f func()) func() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	id := s.nextID
+	s.timers[id] = &simTimer{id: id, deadline: s.now.Add(d), f: f}
+	return func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		delete(s.timers, id)
+	}
+}
+
+// Advance moves the clock forward by d, firing due timers in deadline
+// order (ties broken by registration order). Timers registered by fired
+// callbacks also fire if they fall due within the same advance.
+func (s *Sim) Advance(d time.Duration) {
+	s.mu.Lock()
+	target := s.now.Add(d)
+	s.mu.Unlock()
+	s.Set(target)
+}
+
+// Set moves the clock to the given instant (which must not be earlier than
+// the current instant; earlier targets are ignored), firing due timers as
+// in Advance.
+func (s *Sim) Set(target time.Time) {
+	for {
+		s.mu.Lock()
+		if target.Before(s.now) {
+			s.mu.Unlock()
+			return
+		}
+		// Find the earliest due timer at or before target.
+		var due []*simTimer
+		for _, t := range s.timers {
+			if !t.deadline.After(target) {
+				due = append(due, t)
+			}
+		}
+		if len(due) == 0 {
+			s.now = target
+			s.mu.Unlock()
+			return
+		}
+		sort.Slice(due, func(i, j int) bool {
+			if !due[i].deadline.Equal(due[j].deadline) {
+				return due[i].deadline.Before(due[j].deadline)
+			}
+			return due[i].id < due[j].id
+		})
+		next := due[0]
+		delete(s.timers, next.id)
+		if next.deadline.After(s.now) {
+			s.now = next.deadline
+		}
+		s.mu.Unlock()
+		// Fire outside the lock so callbacks may register new timers.
+		next.f()
+	}
+}

@@ -1,0 +1,138 @@
+package simclock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+var start = time.Date(2023, 10, 9, 0, 0, 0, 0, time.UTC)
+
+func TestSimNowAndAdvance(t *testing.T) {
+	c := NewSim(start)
+	if !c.Now().Equal(start) {
+		t.Fatalf("Now = %s, want %s", c.Now(), start)
+	}
+	c.Advance(90 * time.Minute)
+	if want := start.Add(90 * time.Minute); !c.Now().Equal(want) {
+		t.Fatalf("Now = %s, want %s", c.Now(), want)
+	}
+}
+
+func TestSimTimerFiresOnAdvance(t *testing.T) {
+	c := NewSim(start)
+	var fired atomic.Int32
+	c.AfterFunc(time.Hour, func() { fired.Add(1) })
+	c.Advance(59 * time.Minute)
+	if fired.Load() != 0 {
+		t.Fatal("timer fired early")
+	}
+	c.Advance(2 * time.Minute)
+	if fired.Load() != 1 {
+		t.Fatal("timer did not fire")
+	}
+	c.Advance(10 * time.Hour)
+	if fired.Load() != 1 {
+		t.Fatal("timer fired more than once")
+	}
+}
+
+func TestSimTimerOrder(t *testing.T) {
+	c := NewSim(start)
+	var mu sync.Mutex
+	var order []int
+	add := func(n int) {
+		mu.Lock()
+		defer mu.Unlock()
+		order = append(order, n)
+	}
+	c.AfterFunc(3*time.Hour, func() { add(3) })
+	c.AfterFunc(1*time.Hour, func() { add(1) })
+	c.AfterFunc(2*time.Hour, func() { add(2) })
+	c.Advance(5 * time.Hour)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("fire order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestSimTimerClockAtDeadlineWhenFiring(t *testing.T) {
+	c := NewSim(start)
+	var seen time.Time
+	c.AfterFunc(time.Hour, func() { seen = c.Now() })
+	c.Advance(10 * time.Hour)
+	if !seen.Equal(start.Add(time.Hour)) {
+		t.Fatalf("callback saw %s, want %s", seen, start.Add(time.Hour))
+	}
+}
+
+func TestSimCancel(t *testing.T) {
+	c := NewSim(start)
+	var fired atomic.Int32
+	cancel := c.AfterFunc(time.Hour, func() { fired.Add(1) })
+	cancel()
+	c.Advance(2 * time.Hour)
+	if fired.Load() != 0 {
+		t.Fatal("cancelled timer fired")
+	}
+	// Cancelling twice is harmless.
+	cancel()
+}
+
+func TestSimCascadingTimers(t *testing.T) {
+	c := NewSim(start)
+	var fired atomic.Int32
+	c.AfterFunc(time.Hour, func() {
+		c.AfterFunc(time.Hour, func() { fired.Add(1) })
+	})
+	c.Advance(3 * time.Hour)
+	if fired.Load() != 1 {
+		t.Fatal("timer registered during advance did not fire within the same advance")
+	}
+}
+
+func TestSimSetIgnoresPast(t *testing.T) {
+	c := NewSim(start)
+	c.Advance(time.Hour)
+	c.Set(start) // earlier; must be ignored
+	if !c.Now().Equal(start.Add(time.Hour)) {
+		t.Fatal("Set moved the clock backwards")
+	}
+}
+
+func TestSimConcurrentAdvanceAndRegister(t *testing.T) {
+	c := NewSim(start)
+	var fired atomic.Int32
+	var wg sync.WaitGroup
+	for range 4 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range 50 {
+				c.AfterFunc(time.Minute, func() { fired.Add(1) })
+			}
+		}()
+	}
+	wg.Wait()
+	c.Advance(time.Hour)
+	if fired.Load() != 200 {
+		t.Fatalf("fired = %d, want 200", fired.Load())
+	}
+}
+
+func TestRealClock(t *testing.T) {
+	var c Clock = Real{}
+	before := time.Now()
+	now := c.Now()
+	if now.Before(before.Add(-time.Second)) {
+		t.Fatal("Real.Now is wildly off")
+	}
+	done := make(chan struct{})
+	cancel := c.AfterFunc(time.Millisecond, func() { close(done) })
+	defer cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Real.AfterFunc never fired")
+	}
+}

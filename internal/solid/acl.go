@@ -1,0 +1,225 @@
+// Package solid implements the Solid substrate: personal online datastores
+// (pods) holding a hierarchical resource tree, Web Access Control (WAC)
+// authorization documents expressed in Turtle, and an LDP-style HTTP
+// server and client for the Solid communication rules the paper's
+// architecture builds on.
+//
+// The package reproduces exactly the subset of the Solid protocol the
+// architecture needs: agents identified by WebIDs perform HTTP CRUD on pod
+// resources, and the pod decides access by evaluating ACL documents with
+// acl:accessTo / acl:default inheritance, acl:agent / acl:agentClass
+// subjects, and the Read/Write/Append/Control modes.
+package solid
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// WebID identifies an agent (e.g. "https://alice.pod/profile#me").
+type WebID string
+
+// AccessMode is a WAC access mode.
+type AccessMode string
+
+// The four WAC modes.
+const (
+	ModeRead    AccessMode = "Read"
+	ModeWrite   AccessMode = "Write"
+	ModeAppend  AccessMode = "Append"
+	ModeControl AccessMode = "Control"
+)
+
+// modeIRI maps a mode to its vocabulary IRI.
+func modeIRI(m AccessMode) rdf.Term {
+	return rdf.IRI("http://www.w3.org/ns/auth/acl#" + string(m))
+}
+
+// Authorization is one WAC authorization: a set of agents (or the public)
+// granted modes on a resource, optionally inherited by contained
+// resources via default.
+type Authorization struct {
+	// ID names the authorization node within its document (fragment).
+	ID string
+	// Agents are the WebIDs granted access.
+	Agents []WebID
+	// Public grants access to every agent (acl:agentClass foaf:Agent).
+	Public bool
+	// AccessTo is the resource path the authorization applies to.
+	AccessTo string
+	// Default marks the authorization as inherited by resources contained
+	// in AccessTo (which must be a container).
+	Default bool
+	// Modes are the granted access modes.
+	Modes []AccessMode
+}
+
+// ACL is a parsed access control document.
+type ACL struct {
+	// Authorizations lists the document's authorization nodes.
+	Authorizations []Authorization
+}
+
+// NewACL builds an ACL granting the owner full control of resourcePath.
+// Additional authorizations can be appended.
+func NewACL(owner WebID, resourcePath string) *ACL {
+	return &ACL{Authorizations: []Authorization{{
+		ID:       "owner",
+		Agents:   []WebID{owner},
+		AccessTo: resourcePath,
+		Default:  true,
+		Modes:    []AccessMode{ModeRead, ModeWrite, ModeControl},
+	}}}
+}
+
+// Grant appends an authorization for the given agents.
+func (a *ACL) Grant(id string, agents []WebID, resourcePath string, asDefault bool, modes ...AccessMode) {
+	a.Authorizations = append(a.Authorizations, Authorization{
+		ID:       id,
+		Agents:   agents,
+		AccessTo: resourcePath,
+		Default:  asDefault,
+		Modes:    modes,
+	})
+}
+
+// GrantPublic appends a public authorization.
+func (a *ACL) GrantPublic(id, resourcePath string, asDefault bool, modes ...AccessMode) {
+	a.Authorizations = append(a.Authorizations, Authorization{
+		ID:       id,
+		Public:   true,
+		AccessTo: resourcePath,
+		Default:  asDefault,
+		Modes:    modes,
+	})
+}
+
+// Allows reports whether the ACL grants the agent the mode on the resource
+// path. When inherited is true, only acl:default authorizations count (the
+// document was found on an ancestor container).
+func (a *ACL) Allows(agent WebID, path string, mode AccessMode, inherited bool) bool {
+	for _, auth := range a.Authorizations {
+		if inherited && !auth.Default {
+			continue
+		}
+		if !inherited && auth.AccessTo != path {
+			continue
+		}
+		if !auth.Public && !containsAgent(auth.Agents, agent) {
+			continue
+		}
+		for _, m := range auth.Modes {
+			if m == mode {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func containsAgent(agents []WebID, agent WebID) bool {
+	if agent == "" {
+		return false
+	}
+	for _, a := range agents {
+		if a == agent {
+			return true
+		}
+	}
+	return false
+}
+
+// aclBase is the base IRI for authorization fragments in serialized docs.
+const aclBase = "https://pod.local/acl#"
+
+// ToGraph renders the ACL as a WAC RDF graph.
+func (a *ACL) ToGraph(podBase string) *rdf.Graph {
+	g := rdf.NewGraph()
+	for _, auth := range a.Authorizations {
+		node := rdf.IRI(aclBase + auth.ID)
+		g.Add(rdf.T(node, rdf.IRI(rdf.RDFType), rdf.IRI(rdf.ACLAuthorization)))
+		for _, agent := range auth.Agents {
+			g.Add(rdf.T(node, rdf.IRI(rdf.ACLAgent), rdf.IRI(string(agent))))
+		}
+		if auth.Public {
+			g.Add(rdf.T(node, rdf.IRI(rdf.ACLAgentClass), rdf.IRI(rdf.FOAFAgent)))
+		}
+		g.Add(rdf.T(node, rdf.IRI(rdf.ACLAccessTo), rdf.IRI(podBase+auth.AccessTo)))
+		if auth.Default {
+			g.Add(rdf.T(node, rdf.IRI(rdf.ACLDefault), rdf.IRI(podBase+auth.AccessTo)))
+		}
+		for _, m := range auth.Modes {
+			g.Add(rdf.T(node, rdf.IRI(rdf.ACLMode), modeIRI(m)))
+		}
+	}
+	return g
+}
+
+// ACLFromGraph parses a WAC graph back into an ACL. podBase is stripped
+// from accessTo IRIs to recover pod-relative paths.
+func ACLFromGraph(g *rdf.Graph, podBase string) (*ACL, error) {
+	acl := &ACL{}
+	subjects := g.Subjects(rdf.IRI(rdf.RDFType), rdf.IRI(rdf.ACLAuthorization))
+	for _, node := range subjects {
+		auth := Authorization{ID: fragmentOf(node.Value())}
+		for _, o := range g.Objects(node, rdf.IRI(rdf.ACLAgent)) {
+			auth.Agents = append(auth.Agents, WebID(o.Value()))
+		}
+		for _, o := range g.Objects(node, rdf.IRI(rdf.ACLAgentClass)) {
+			if o.Value() == rdf.FOAFAgent {
+				auth.Public = true
+			}
+		}
+		accessTo := g.FirstObject(node, rdf.IRI(rdf.ACLAccessTo))
+		if accessTo.IsZero() {
+			return nil, fmt.Errorf("solid: authorization %s lacks acl:accessTo", node)
+		}
+		auth.AccessTo = strings.TrimPrefix(accessTo.Value(), podBase)
+		if !g.FirstObject(node, rdf.IRI(rdf.ACLDefault)).IsZero() {
+			auth.Default = true
+		}
+		for _, o := range g.Objects(node, rdf.IRI(rdf.ACLMode)) {
+			mode := AccessMode(fragmentOf(o.Value()))
+			switch mode {
+			case ModeRead, ModeWrite, ModeAppend, ModeControl:
+				auth.Modes = append(auth.Modes, mode)
+			default:
+				return nil, fmt.Errorf("solid: unknown access mode %s", o)
+			}
+		}
+		sortModes(auth.Modes)
+		acl.Authorizations = append(acl.Authorizations, auth)
+	}
+	return acl, nil
+}
+
+func fragmentOf(iri string) string {
+	if i := strings.LastIndexByte(iri, '#'); i >= 0 {
+		return iri[i+1:]
+	}
+	return iri
+}
+
+func sortModes(modes []AccessMode) {
+	sort.Slice(modes, func(i, j int) bool { return modes[i] < modes[j] })
+}
+
+// EncodeTurtle renders the ACL as a Turtle document.
+func (a *ACL) EncodeTurtle(podBase string) string {
+	return rdf.SerializeTurtle(a.ToGraph(podBase), map[string]string{
+		"acl":  "http://www.w3.org/ns/auth/acl#",
+		"foaf": "http://xmlns.com/foaf/0.1/",
+	})
+}
+
+// DecodeACLTurtle parses a Turtle WAC document.
+func DecodeACLTurtle(doc, podBase string) (*ACL, error) {
+	g, err := rdf.ParseTurtle(doc)
+	if err != nil {
+		return nil, err
+	}
+	return ACLFromGraph(g, podBase)
+}

@@ -1,0 +1,141 @@
+package solid
+
+import (
+	"strings"
+	"testing"
+)
+
+const (
+	aliceID = WebID("https://alice.pod/profile#me")
+	bobID   = WebID("https://bob.pod/profile#me")
+	eveID   = WebID("https://eve.pod/profile#me")
+	podBase = "https://alice.pod"
+)
+
+func TestNewACLOwnerControl(t *testing.T) {
+	acl := NewACL(aliceID, "/")
+	for _, mode := range []AccessMode{ModeRead, ModeWrite, ModeControl} {
+		if !acl.Allows(aliceID, "/", mode, false) {
+			t.Errorf("owner lacks %s on /", mode)
+		}
+		if !acl.Allows(aliceID, "/deep/child.txt", mode, true) {
+			t.Errorf("owner lacks inherited %s", mode)
+		}
+	}
+	if acl.Allows(bobID, "/", ModeRead, false) {
+		t.Error("stranger allowed by owner ACL")
+	}
+}
+
+func TestACLGrantSpecificAgent(t *testing.T) {
+	acl := NewACL(aliceID, "/data/r.csv")
+	acl.Grant("bob-read", []WebID{bobID}, "/data/r.csv", false, ModeRead)
+
+	if !acl.Allows(bobID, "/data/r.csv", ModeRead, false) {
+		t.Error("granted agent denied")
+	}
+	if acl.Allows(bobID, "/data/r.csv", ModeWrite, false) {
+		t.Error("agent got an ungranted mode")
+	}
+	if acl.Allows(bobID, "/data/other.csv", ModeRead, false) {
+		t.Error("grant leaked to another resource")
+	}
+	if acl.Allows(eveID, "/data/r.csv", ModeRead, false) {
+		t.Error("ungranted agent allowed")
+	}
+	// Non-default grants do not apply when inherited.
+	if acl.Allows(bobID, "/data/r.csv/sub", ModeRead, true) {
+		t.Error("non-default authorization applied as inherited")
+	}
+}
+
+func TestACLPublicGrant(t *testing.T) {
+	acl := NewACL(aliceID, "/pub/")
+	acl.GrantPublic("world", "/pub/", true, ModeRead)
+
+	if !acl.Allows(bobID, "/pub/x", ModeRead, true) {
+		t.Error("public inherited read denied")
+	}
+	if !acl.Allows(eveID, "/pub/", ModeRead, false) {
+		t.Error("public direct read denied")
+	}
+	if acl.Allows(bobID, "/pub/x", ModeWrite, true) {
+		t.Error("public write allowed but never granted")
+	}
+	// Anonymous agents (empty WebID) get public access too... but only via
+	// Public, never via agent lists.
+	if !acl.Allows("", "/pub/x", ModeRead, true) {
+		t.Error("anonymous denied on public resource")
+	}
+}
+
+func TestACLAnonymousNeverMatchesAgentList(t *testing.T) {
+	acl := &ACL{Authorizations: []Authorization{{
+		ID: "weird", Agents: []WebID{""}, AccessTo: "/r", Modes: []AccessMode{ModeRead},
+	}}}
+	if acl.Allows("", "/r", ModeRead, false) {
+		t.Error("empty WebID matched an agent list entry")
+	}
+}
+
+func TestACLTurtleRoundTrip(t *testing.T) {
+	acl := NewACL(aliceID, "/")
+	acl.Grant("bob-read", []WebID{bobID}, "/web/browsing.csv", false, ModeRead, ModeAppend)
+	acl.GrantPublic("world", "/pub/", true, ModeRead)
+
+	doc := acl.EncodeTurtle(podBase)
+	back, err := DecodeACLTurtle(doc, podBase)
+	if err != nil {
+		t.Fatalf("decode: %v\n%s", err, doc)
+	}
+	if len(back.Authorizations) != 3 {
+		t.Fatalf("authorizations = %d, want 3\n%s", len(back.Authorizations), doc)
+	}
+	// Decisions survive the round trip.
+	cases := []struct {
+		agent     WebID
+		path      string
+		mode      AccessMode
+		inherited bool
+		want      bool
+	}{
+		{aliceID, "/", ModeControl, false, true},
+		{bobID, "/web/browsing.csv", ModeRead, false, true},
+		{bobID, "/web/browsing.csv", ModeAppend, false, true},
+		{bobID, "/web/browsing.csv", ModeWrite, false, false},
+		{eveID, "/pub/anything", ModeRead, true, true},
+		{eveID, "/web/browsing.csv", ModeRead, false, false},
+	}
+	for _, c := range cases {
+		if got := back.Allows(c.agent, c.path, c.mode, c.inherited); got != c.want {
+			t.Errorf("Allows(%s, %s, %s, %t) = %t, want %t",
+				c.agent, c.path, c.mode, c.inherited, got, c.want)
+		}
+	}
+	if !strings.Contains(doc, "acl:Authorization") {
+		t.Errorf("doc lacks prefixed vocabulary:\n%s", doc)
+	}
+}
+
+func TestDecodeACLTurtleErrors(t *testing.T) {
+	if _, err := DecodeACLTurtle("not turtle [", podBase); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Authorization without accessTo.
+	doc := `
+@prefix acl: <http://www.w3.org/ns/auth/acl#> .
+<https://pod.local/acl#x> a acl:Authorization ; acl:mode acl:Read .
+`
+	if _, err := DecodeACLTurtle(doc, podBase); err == nil {
+		t.Fatal("authorization without accessTo accepted")
+	}
+	// Unknown mode.
+	doc2 := `
+@prefix acl: <http://www.w3.org/ns/auth/acl#> .
+<https://pod.local/acl#x> a acl:Authorization ;
+  acl:accessTo <https://alice.pod/r> ; acl:mode acl:Fly .
+`
+	if _, err := DecodeACLTurtle(doc2, podBase); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}

@@ -1,0 +1,142 @@
+package solid
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/simclock"
+)
+
+// Client performs authenticated Solid requests on behalf of an agent.
+type Client struct {
+	// HTTP is the underlying HTTP client (http.DefaultClient if nil).
+	HTTP *http.Client
+	// Agent is the client's WebID; empty means anonymous.
+	Agent WebID
+	// Key signs requests for non-anonymous agents.
+	Key *cryptoutil.KeyPair
+	// Clock supplies request timestamps (real clock if nil).
+	Clock simclock.Clock
+	// Decorate, when non-nil, can add headers to every request (used to
+	// attach market payment certificates).
+	Decorate func(*http.Request)
+}
+
+// NewClient builds an authenticated client.
+func NewClient(agent WebID, key *cryptoutil.KeyPair, clock simclock.Clock) *Client {
+	return &Client{Agent: agent, Key: key, Clock: clock}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) now() time.Time {
+	if c.Clock != nil {
+		return c.Clock.Now()
+	}
+	return simclock.Real{}.Now()
+}
+
+// newRequest builds a signed request for the resource URL.
+func (c *Client) newRequest(method, resourceURL string, body []byte) (*http.Request, error) {
+	var reader io.Reader
+	if body != nil {
+		reader = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, resourceURL, reader)
+	if err != nil {
+		return nil, err
+	}
+	if c.Agent != "" {
+		if c.Key == nil {
+			return nil, fmt.Errorf("solid: agent %s has no signing key", c.Agent)
+		}
+		u, err := url.Parse(resourceURL)
+		if err != nil {
+			return nil, err
+		}
+		date := c.now().UTC().Format(time.RFC3339Nano)
+		sig, err := c.Key.Sign(signingString(method, u.Path, date))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set(HeaderAgent, string(c.Agent))
+		req.Header.Set(HeaderAgentKey, hex.EncodeToString(c.Key.PublicBytes()))
+		req.Header.Set(HeaderDate, date)
+		req.Header.Set(HeaderSignature, base64.StdEncoding.EncodeToString(sig))
+	}
+	if c.Decorate != nil {
+		c.Decorate(req)
+	}
+	return req, nil
+}
+
+// StatusError reports a non-2xx response.
+type StatusError struct {
+	Code int
+	Body string
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("solid: HTTP %d: %s", e.Code, e.Body)
+}
+
+func (c *Client) do(req *http.Request) ([]byte, string, error) {
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, "", err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return nil, "", &StatusError{Code: resp.StatusCode, Body: string(bytes.TrimSpace(body))}
+	}
+	return body, resp.Header.Get("Content-Type"), nil
+}
+
+// Get retrieves a resource.
+func (c *Client) Get(resourceURL string) (data []byte, contentType string, err error) {
+	req, err := c.newRequest(http.MethodGet, resourceURL, nil)
+	if err != nil {
+		return nil, "", err
+	}
+	return c.do(req)
+}
+
+// Put stores a resource.
+func (c *Client) Put(resourceURL, contentType string, data []byte) error {
+	req, err := c.newRequest(http.MethodPut, resourceURL, data)
+	if err != nil {
+		return err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	_, _, err = c.do(req)
+	return err
+}
+
+// Delete removes a resource.
+func (c *Client) Delete(resourceURL string) error {
+	req, err := c.newRequest(http.MethodDelete, resourceURL, nil)
+	if err != nil {
+		return err
+	}
+	_, _, err = c.do(req)
+	return err
+}

@@ -1,0 +1,93 @@
+package solid
+
+import (
+	"errors"
+	"net/http"
+	"testing"
+
+	"repro/internal/cryptoutil"
+)
+
+func TestClientRequiresKeyForNamedAgent(t *testing.T) {
+	c := &Client{Agent: aliceID} // no key
+	if _, _, err := c.Get("http://127.0.0.1:1/x"); err == nil {
+		t.Fatal("keyless named agent should fail before dialing")
+	}
+}
+
+func TestClientStatusError(t *testing.T) {
+	e := newTestEnv(t, nil)
+	_, _, err := e.alice.Get(e.url("/missing.txt"))
+	var status *StatusError
+	if !errors.As(err, &status) {
+		t.Fatalf("err = %v", err)
+	}
+	if status.Code != http.StatusNotFound {
+		t.Fatalf("code = %d", status.Code)
+	}
+	if status.Error() == "" {
+		t.Fatal("empty error message")
+	}
+}
+
+func TestClientBadURL(t *testing.T) {
+	e := newTestEnv(t, nil)
+	if _, _, err := e.alice.Get("http://\x00invalid"); err == nil {
+		t.Fatal("invalid URL accepted")
+	}
+	_ = e
+}
+
+func TestClientPutContentTypePreserved(t *testing.T) {
+	e := newTestEnv(t, nil)
+	if err := e.alice.Put(e.url("/typed.json"), "application/json", []byte(`{"a":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	_, ct, err := e.alice.Get(e.url("/typed.json"))
+	if err != nil || ct != "application/json" {
+		t.Fatalf("content type = %q, %v", ct, err)
+	}
+}
+
+func TestClientDefaultContentType(t *testing.T) {
+	e := newTestEnv(t, nil)
+	if err := e.alice.Put(e.url("/raw.bin"), "", []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	_, ct, err := e.alice.Get(e.url("/raw.bin"))
+	if err != nil || ct != "application/octet-stream" {
+		t.Fatalf("content type = %q, %v", ct, err)
+	}
+}
+
+func TestMapDirectory(t *testing.T) {
+	dir := NewMapDirectory()
+	if _, ok := dir.KeyFor(aliceID); ok {
+		t.Fatal("empty directory resolved an agent")
+	}
+	key := cryptoutil.MustGenerateKey()
+	dir.Register(aliceID, key.PublicBytes())
+	got, ok := dir.KeyFor(aliceID)
+	if !ok || string(got) != string(key.PublicBytes()) {
+		t.Fatal("registration lost")
+	}
+	// Re-registration replaces (key rotation).
+	key2 := cryptoutil.MustGenerateKey()
+	dir.Register(aliceID, key2.PublicBytes())
+	got, _ = dir.KeyFor(aliceID)
+	if string(got) != string(key2.PublicBytes()) {
+		t.Fatal("rotation failed")
+	}
+}
+
+func TestClientDeleteStatusOnForbidden(t *testing.T) {
+	e := newTestEnv(t, nil)
+	if err := e.alice.Put(e.url("/r.txt"), "text/plain", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	err := e.bob.Delete(e.url("/r.txt"))
+	var status *StatusError
+	if !errors.As(err, &status) || status.Code != http.StatusForbidden {
+		t.Fatalf("stranger delete: %v", err)
+	}
+}

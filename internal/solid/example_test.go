@@ -1,0 +1,25 @@
+package solid_test
+
+import (
+	"fmt"
+
+	"repro/internal/solid"
+)
+
+// ExampleACL shows a WAC document granting one agent read access and
+// checking decisions.
+func ExampleACL() {
+	owner := solid.WebID("https://alice.pod/profile#me")
+	bob := solid.WebID("https://bob.example/profile#me")
+
+	acl := solid.NewACL(owner, "/web/browsing.csv")
+	acl.Grant("bob-read", []solid.WebID{bob}, "/web/browsing.csv", false, solid.ModeRead)
+
+	fmt.Println(acl.Allows(bob, "/web/browsing.csv", solid.ModeRead, false))
+	fmt.Println(acl.Allows(bob, "/web/browsing.csv", solid.ModeWrite, false))
+	fmt.Println(acl.Allows("https://eve.example/profile#me", "/web/browsing.csv", solid.ModeRead, false))
+	// Output:
+	// true
+	// false
+	// false
+}

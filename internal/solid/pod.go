@@ -1,0 +1,297 @@
+package solid
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/rdf"
+)
+
+// Resource is one document stored in a pod.
+type Resource struct {
+	// Path is the pod-relative path ("/web/browsing.csv").
+	Path string
+	// ContentType is the MIME type.
+	ContentType string
+	// Data is the resource body.
+	Data []byte
+	// Modified is the last modification time.
+	Modified time.Time
+}
+
+// Pod is a personal online datastore: a hierarchical resource tree with
+// per-resource and inherited (acl:default) access control documents.
+// A Pod is safe for concurrent use.
+type Pod struct {
+	owner   WebID
+	baseURL string
+
+	mu        sync.RWMutex
+	resources map[string]*Resource
+	acls      map[string]*ACL // keyed by the path the ACL document governs
+}
+
+// Pod errors.
+var (
+	ErrNotFound  = errors.New("solid: resource not found")
+	ErrForbidden = errors.New("solid: access denied")
+	ErrBadPath   = errors.New("solid: invalid resource path")
+	ErrNoACL     = errors.New("solid: no ACL document")
+)
+
+// NewPod creates a pod whose root ACL grants the owner full control.
+func NewPod(owner WebID, baseURL string) *Pod {
+	p := &Pod{
+		owner:     owner,
+		baseURL:   strings.TrimSuffix(baseURL, "/"),
+		resources: make(map[string]*Resource),
+		acls:      make(map[string]*ACL),
+	}
+	p.acls["/"] = NewACL(owner, "/")
+	return p
+}
+
+// Owner returns the pod owner's WebID.
+func (p *Pod) Owner() WebID { return p.owner }
+
+// BaseURL returns the pod's base URL (no trailing slash).
+func (p *Pod) BaseURL() string { return p.baseURL }
+
+// normalizePath validates and canonicalizes a pod-relative path.
+func normalizePath(raw string) (string, error) {
+	if raw == "" || raw[0] != '/' {
+		return "", fmt.Errorf("%w: %q must start with '/'", ErrBadPath, raw)
+	}
+	// Reject traversal attempts outright rather than silently resolving
+	// them; a client that sends ".." is either buggy or probing.
+	if strings.Contains(raw, "..") {
+		return "", fmt.Errorf("%w: %q contains '..'", ErrBadPath, raw)
+	}
+	clean := path.Clean(raw)
+	// path.Clean strips trailing slashes; keep container paths marked.
+	if raw != "/" && strings.HasSuffix(raw, "/") && clean != "/" {
+		clean += "/"
+	}
+	return clean, nil
+}
+
+// Put stores (creates or replaces) a resource, subject to the agent
+// holding Write access.
+func (p *Pod) Put(agent WebID, resPath, contentType string, data []byte, now time.Time) error {
+	clean, err := normalizePath(resPath)
+	if err != nil {
+		return err
+	}
+	if err := p.Authorize(agent, clean, ModeWrite); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	body := make([]byte, len(data))
+	copy(body, data)
+	p.resources[clean] = &Resource{
+		Path:        clean,
+		ContentType: contentType,
+		Data:        body,
+		Modified:    now,
+	}
+	return nil
+}
+
+// Get retrieves a resource, subject to Read access.
+func (p *Pod) Get(agent WebID, resPath string) (*Resource, error) {
+	clean, err := normalizePath(resPath)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Authorize(agent, clean, ModeRead); err != nil {
+		return nil, err
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	res, ok := p.resources[clean]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, clean)
+	}
+	cp := *res
+	cp.Data = append([]byte(nil), res.Data...)
+	return &cp, nil
+}
+
+// Delete removes a resource, subject to Write access.
+func (p *Pod) Delete(agent WebID, resPath string) error {
+	clean, err := normalizePath(resPath)
+	if err != nil {
+		return err
+	}
+	if err := p.Authorize(agent, clean, ModeWrite); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.resources[clean]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, clean)
+	}
+	delete(p.resources, clean)
+	return nil
+}
+
+// List returns the paths directly contained in a container path, subject
+// to Read access on the container.
+func (p *Pod) List(agent WebID, containerPath string) ([]string, error) {
+	clean, err := normalizePath(containerPath)
+	if err != nil {
+		return nil, err
+	}
+	if clean != "/" && !strings.HasSuffix(clean, "/") {
+		clean += "/"
+	}
+	if err := p.Authorize(agent, clean, ModeRead); err != nil {
+		return nil, err
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	seen := map[string]struct{}{}
+	for rp := range p.resources {
+		if !strings.HasPrefix(rp, clean) || rp == clean {
+			continue
+		}
+		rest := rp[len(clean):]
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			seen[clean+rest[:i+1]] = struct{}{} // sub-container
+		} else {
+			seen[rp] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// SetACL installs an ACL document governing the given path, subject to the
+// agent holding Control access on that path.
+func (p *Pod) SetACL(agent WebID, resPath string, acl *ACL) error {
+	clean, err := normalizePath(resPath)
+	if err != nil {
+		return err
+	}
+	if err := p.Authorize(agent, clean, ModeControl); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.acls[clean] = acl
+	return nil
+}
+
+// GetACL returns the ACL document stored exactly at the given path,
+// subject to Control access.
+func (p *Pod) GetACL(agent WebID, resPath string) (*ACL, error) {
+	clean, err := normalizePath(resPath)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Authorize(agent, clean, ModeControl); err != nil {
+		return nil, err
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	acl, ok := p.acls[clean]
+	if !ok {
+		return nil, fmt.Errorf("%w at %s", ErrNoACL, clean)
+	}
+	return acl, nil
+}
+
+// Authorize checks whether the agent holds the mode on the path, walking
+// up the container hierarchy to the nearest ACL document (WAC inheritance:
+// the resource's own ACL wins; otherwise the closest ancestor's
+// acl:default authorizations apply).
+func (p *Pod) Authorize(agent WebID, resPath string, mode AccessMode) error {
+	clean, err := normalizePath(resPath)
+	if err != nil {
+		return err
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+
+	// The pod owner always holds full access to their own pod.
+	if agent == p.owner {
+		return nil
+	}
+
+	if acl, ok := p.acls[clean]; ok {
+		if acl.Allows(agent, clean, mode, false) {
+			return nil
+		}
+		// An ACL document exactly on the resource is authoritative: no
+		// fallback to ancestors.
+		return fmt.Errorf("%w: %s needs %s on %s", ErrForbidden, agent, mode, clean)
+	}
+	for _, ancestor := range ancestorsOf(clean) {
+		if acl, ok := p.acls[ancestor]; ok {
+			if acl.Allows(agent, clean, mode, true) {
+				return nil
+			}
+			return fmt.Errorf("%w: %s needs %s on %s (inherited from %s)",
+				ErrForbidden, agent, mode, clean, ancestor)
+		}
+	}
+	return fmt.Errorf("%w: %s needs %s on %s (no applicable ACL)", ErrForbidden, agent, mode, clean)
+}
+
+// ancestorsOf lists the container paths from the immediate parent to the
+// root, e.g. "/a/b/c.txt" -> ["/a/b/", "/a/", "/"].
+func ancestorsOf(p string) []string {
+	var out []string
+	trimmed := strings.TrimSuffix(p, "/")
+	for {
+		i := strings.LastIndexByte(trimmed, '/')
+		if i < 0 {
+			break
+		}
+		if i == 0 {
+			out = append(out, "/")
+			break
+		}
+		out = append(out, trimmed[:i+1])
+		trimmed = trimmed[:i]
+	}
+	return out
+}
+
+// ContainerListing renders a container listing as an LDP Turtle document.
+func (p *Pod) ContainerListing(agent WebID, containerPath string) (string, error) {
+	entries, err := p.List(agent, containerPath)
+	if err != nil {
+		return "", err
+	}
+	g := rdf.NewGraph()
+	container := rdf.IRI(p.baseURL + containerPath)
+	g.Add(rdf.T(container, rdf.IRI(rdf.RDFType), rdf.IRI(rdf.LDPContainer)))
+	for _, e := range entries {
+		g.Add(rdf.T(container, rdf.IRI(rdf.LDPContains), rdf.IRI(p.baseURL+e)))
+	}
+	return rdf.SerializeTurtle(g, map[string]string{
+		"ldp": "http://www.w3.org/ns/ldp#",
+	}), nil
+}
+
+// Stats reports resource count and total bytes, for experiments.
+func (p *Pod) Stats() (count int, bytes int) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	for _, r := range p.resources {
+		count++
+		bytes += len(r.Data)
+	}
+	return count, bytes
+}

@@ -1,0 +1,221 @@
+package solid
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+var podEpoch = time.Date(2023, 10, 9, 0, 0, 0, 0, time.UTC)
+
+func newTestPod() *Pod {
+	return NewPod(aliceID, "https://alice.pod")
+}
+
+func TestPodOwnerCRUD(t *testing.T) {
+	pod := newTestPod()
+	if err := pod.Put(aliceID, "/web/browsing.csv", "text/csv", []byte("a,b"), podEpoch); err != nil {
+		t.Fatal(err)
+	}
+	res, err := pod.Get(aliceID, "/web/browsing.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Data) != "a,b" || res.ContentType != "text/csv" {
+		t.Fatalf("resource = %+v", res)
+	}
+	if err := pod.Delete(aliceID, "/web/browsing.csv"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pod.Get(aliceID, "/web/browsing.csv"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("after delete: %v", err)
+	}
+	if err := pod.Delete(aliceID, "/web/browsing.csv"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+}
+
+func TestPodStrangerDenied(t *testing.T) {
+	pod := newTestPod()
+	if err := pod.Put(aliceID, "/secret.txt", "text/plain", []byte("s"), podEpoch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pod.Get(bobID, "/secret.txt"); !errors.Is(err, ErrForbidden) {
+		t.Fatalf("stranger read: %v", err)
+	}
+	if err := pod.Put(bobID, "/attack.txt", "text/plain", []byte("x"), podEpoch); !errors.Is(err, ErrForbidden) {
+		t.Fatalf("stranger write: %v", err)
+	}
+	if _, err := pod.Get("", "/secret.txt"); !errors.Is(err, ErrForbidden) {
+		t.Fatalf("anonymous read: %v", err)
+	}
+}
+
+func TestPodGrantThroughACL(t *testing.T) {
+	pod := newTestPod()
+	if err := pod.Put(aliceID, "/data/r.csv", "text/csv", []byte("1"), podEpoch); err != nil {
+		t.Fatal(err)
+	}
+	acl := NewACL(aliceID, "/data/r.csv")
+	acl.Grant("bob", []WebID{bobID}, "/data/r.csv", false, ModeRead)
+	if err := pod.SetACL(aliceID, "/data/r.csv", acl); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pod.Get(bobID, "/data/r.csv"); err != nil {
+		t.Fatalf("granted read: %v", err)
+	}
+	if err := pod.Put(bobID, "/data/r.csv", "text/csv", []byte("2"), podEpoch); !errors.Is(err, ErrForbidden) {
+		t.Fatalf("bob write should be denied: %v", err)
+	}
+	if _, err := pod.Get(eveID, "/data/r.csv"); !errors.Is(err, ErrForbidden) {
+		t.Fatalf("eve read: %v", err)
+	}
+}
+
+func TestPodACLInheritance(t *testing.T) {
+	pod := newTestPod()
+	if err := pod.Put(aliceID, "/pub/a/b.txt", "text/plain", []byte("x"), podEpoch); err != nil {
+		t.Fatal(err)
+	}
+	container := NewACL(aliceID, "/pub/")
+	container.GrantPublic("world", "/pub/", true, ModeRead)
+	if err := pod.SetACL(aliceID, "/pub/", container); err != nil {
+		t.Fatal(err)
+	}
+	// Inherited through two levels.
+	if _, err := pod.Get(bobID, "/pub/a/b.txt"); err != nil {
+		t.Fatalf("inherited public read: %v", err)
+	}
+	// A resource-level ACL overrides the inherited one entirely.
+	own := NewACL(aliceID, "/pub/a/b.txt")
+	if err := pod.SetACL(aliceID, "/pub/a/b.txt", own); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pod.Get(bobID, "/pub/a/b.txt"); !errors.Is(err, ErrForbidden) {
+		t.Fatalf("resource ACL should override inherited grant: %v", err)
+	}
+}
+
+func TestPodSetACLRequiresControl(t *testing.T) {
+	pod := newTestPod()
+	open := NewACL(aliceID, "/")
+	open.Grant("bob-rw", []WebID{bobID}, "/doc.txt", false, ModeRead, ModeWrite)
+	if err := pod.SetACL(aliceID, "/doc.txt", open); err != nil {
+		t.Fatal(err)
+	}
+	// Bob has Read+Write but not Control: he cannot replace the ACL.
+	hijack := NewACL(bobID, "/doc.txt")
+	if err := pod.SetACL(bobID, "/doc.txt", hijack); !errors.Is(err, ErrForbidden) {
+		t.Fatalf("ACL hijack: %v", err)
+	}
+	if _, err := pod.GetACL(bobID, "/doc.txt"); !errors.Is(err, ErrForbidden) {
+		t.Fatalf("GetACL without control: %v", err)
+	}
+	if _, err := pod.GetACL(aliceID, "/doc.txt"); err != nil {
+		t.Fatalf("owner GetACL: %v", err)
+	}
+	if _, err := pod.GetACL(aliceID, "/nowhere.txt"); !errors.Is(err, ErrNoACL) {
+		t.Fatalf("missing ACL: %v", err)
+	}
+}
+
+func TestPodList(t *testing.T) {
+	pod := newTestPod()
+	files := []string{"/a.txt", "/dir/b.txt", "/dir/c.txt", "/dir/sub/d.txt"}
+	for _, f := range files {
+		if err := pod.Put(aliceID, f, "text/plain", []byte("x"), podEpoch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	root, err := pod.List(aliceID, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(root) != 2 || root[0] != "/a.txt" || root[1] != "/dir/" {
+		t.Fatalf("root listing = %v", root)
+	}
+	dir, err := pod.List(aliceID, "/dir/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dir) != 3 {
+		t.Fatalf("dir listing = %v", dir)
+	}
+	if _, err := pod.List(bobID, "/dir/"); !errors.Is(err, ErrForbidden) {
+		t.Fatalf("stranger listing: %v", err)
+	}
+}
+
+func TestPodContainerListingTurtle(t *testing.T) {
+	pod := newTestPod()
+	if err := pod.Put(aliceID, "/dir/x.txt", "text/plain", []byte("x"), podEpoch); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := pod.ContainerListing(aliceID, "/dir/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(doc, "ldp:contains") || !strings.Contains(doc, "x.txt") {
+		t.Fatalf("listing:\n%s", doc)
+	}
+}
+
+func TestPodPathValidation(t *testing.T) {
+	pod := newTestPod()
+	bad := []string{"", "relative.txt", "/../escape", "/a/../../etc"}
+	for _, p := range bad {
+		if err := pod.Put(aliceID, p, "text/plain", []byte("x"), podEpoch); !errors.Is(err, ErrBadPath) {
+			t.Errorf("Put(%q) = %v, want ErrBadPath", p, err)
+		}
+	}
+	// Path cleaning: "/a//b.txt" normalizes to "/a/b.txt".
+	if err := pod.Put(aliceID, "/a//b.txt", "text/plain", []byte("x"), podEpoch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pod.Get(aliceID, "/a/b.txt"); err != nil {
+		t.Fatalf("normalized path not found: %v", err)
+	}
+}
+
+func TestPodGetCopiesData(t *testing.T) {
+	pod := newTestPod()
+	if err := pod.Put(aliceID, "/r", "text/plain", []byte("abc"), podEpoch); err != nil {
+		t.Fatal(err)
+	}
+	res, err := pod.Get(aliceID, "/r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Data[0] = 'X'
+	again, _ := pod.Get(aliceID, "/r")
+	if string(again.Data) != "abc" {
+		t.Fatal("Get returned a shared slice")
+	}
+}
+
+func TestPodStats(t *testing.T) {
+	pod := newTestPod()
+	_ = pod.Put(aliceID, "/a", "t", []byte("12345"), podEpoch)
+	_ = pod.Put(aliceID, "/b", "t", []byte("123"), podEpoch)
+	n, bytes := pod.Stats()
+	if n != 2 || bytes != 8 {
+		t.Fatalf("Stats = (%d, %d), want (2, 8)", n, bytes)
+	}
+}
+
+func TestAncestorsOf(t *testing.T) {
+	got := ancestorsOf("/a/b/c.txt")
+	want := []string{"/a/b/", "/a/", "/"}
+	if len(got) != len(want) {
+		t.Fatalf("ancestors = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ancestors = %v, want %v", got, want)
+		}
+	}
+	if got := ancestorsOf("/top.txt"); len(got) != 1 || got[0] != "/" {
+		t.Fatalf("ancestors of top-level = %v", got)
+	}
+}

@@ -1,0 +1,250 @@
+package solid
+
+import (
+	"encoding/base64"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/simclock"
+)
+
+// Authentication headers of the simulated Solid-OIDC scheme: the agent
+// presents its WebID, its public key, a timestamp, and an ECDSA signature
+// over "method|path|date". The server verifies the signature and checks
+// the key against the agent directory (the stand-in for dereferencing the
+// WebID profile document).
+const (
+	HeaderAgent     = "X-Agent"
+	HeaderAgentKey  = "X-Agent-Key"
+	HeaderDate      = "X-Date"
+	HeaderSignature = "X-Signature"
+)
+
+// MaxClockSkew bounds how stale a signed request may be, limiting replay.
+const MaxClockSkew = 5 * time.Minute
+
+// AgentDirectory resolves a WebID to its registered public key
+// (uncompressed point). It simulates fetching the key from the agent's
+// WebID profile document.
+type AgentDirectory interface {
+	// KeyFor returns the public key bytes for the WebID, or false if the
+	// agent is unknown.
+	KeyFor(agent WebID) ([]byte, bool)
+}
+
+// MapDirectory is an in-memory AgentDirectory.
+type MapDirectory struct {
+	mu   sync.RWMutex
+	keys map[WebID][]byte
+}
+
+var _ AgentDirectory = (*MapDirectory)(nil)
+
+// NewMapDirectory returns an empty directory.
+func NewMapDirectory() *MapDirectory {
+	return &MapDirectory{keys: make(map[WebID][]byte)}
+}
+
+// Register associates an agent with its public key.
+func (d *MapDirectory) Register(agent WebID, key []byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.keys[agent] = append([]byte(nil), key...)
+}
+
+// KeyFor implements AgentDirectory.
+func (d *MapDirectory) KeyFor(agent WebID) ([]byte, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	k, ok := d.keys[agent]
+	return k, ok
+}
+
+// AccessHook lets embedders add checks beyond WAC (the pod manager uses it
+// to demand a market payment certificate on data-market resources). It
+// runs after authentication and before the ACL check.
+type AccessHook func(r *http.Request, agent WebID, path string, mode AccessMode) error
+
+// Server serves a pod over the Solid communication rules.
+type Server struct {
+	pod   *Pod
+	dir   AgentDirectory
+	clock simclock.Clock
+	hook  AccessHook
+}
+
+// NewServer builds a pod server. clock defaults to the real clock; hook
+// may be nil.
+func NewServer(pod *Pod, dir AgentDirectory, clock simclock.Clock, hook AccessHook) *Server {
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	return &Server{pod: pod, dir: dir, clock: clock, hook: hook}
+}
+
+// Pod returns the served pod.
+func (s *Server) Pod() *Pod { return s.pod }
+
+// signingString is the byte string covered by the request signature.
+func signingString(method, path, date string) []byte {
+	return []byte(method + "|" + path + "|" + date)
+}
+
+// authenticate identifies the requesting agent. Requests without an
+// X-Agent header are anonymous (WebID ""). Bad credentials are an error.
+func (s *Server) authenticate(r *http.Request) (WebID, error) {
+	agent := WebID(r.Header.Get(HeaderAgent))
+	if agent == "" {
+		return "", nil
+	}
+	keyHex := r.Header.Get(HeaderAgentKey)
+	sigB64 := r.Header.Get(HeaderSignature)
+	date := r.Header.Get(HeaderDate)
+	if keyHex == "" || sigB64 == "" || date == "" {
+		return "", errors.New("solid: incomplete authentication headers")
+	}
+	ts, err := time.Parse(time.RFC3339Nano, date)
+	if err != nil {
+		return "", fmt.Errorf("solid: bad %s: %w", HeaderDate, err)
+	}
+	now := s.clock.Now()
+	if ts.Before(now.Add(-MaxClockSkew)) || ts.After(now.Add(MaxClockSkew)) {
+		return "", fmt.Errorf("solid: request timestamp %s outside allowed skew", date)
+	}
+	keyBytes, err := hex.DecodeString(keyHex)
+	if err != nil {
+		return "", fmt.Errorf("solid: bad %s: %w", HeaderAgentKey, err)
+	}
+	registered, ok := s.dir.KeyFor(agent)
+	if !ok {
+		return "", fmt.Errorf("solid: unknown agent %s", agent)
+	}
+	if string(registered) != string(keyBytes) {
+		return "", fmt.Errorf("solid: presented key does not match the profile of %s", agent)
+	}
+	pub, err := cryptoutil.ParsePublicKey(keyBytes)
+	if err != nil {
+		return "", fmt.Errorf("solid: bad agent key: %w", err)
+	}
+	sig, err := base64.StdEncoding.DecodeString(sigB64)
+	if err != nil {
+		return "", fmt.Errorf("solid: bad %s: %w", HeaderSignature, err)
+	}
+	if !cryptoutil.Verify(pub, signingString(r.Method, r.URL.Path, date), sig) {
+		return "", errors.New("solid: request signature invalid")
+	}
+	return agent, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	agent, err := s.authenticate(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnauthorized)
+		return
+	}
+	path := r.URL.Path
+
+	var mode AccessMode
+	switch r.Method {
+	case http.MethodGet, http.MethodHead:
+		mode = ModeRead
+	case http.MethodPut, http.MethodDelete, http.MethodPost:
+		mode = ModeWrite
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+
+	if s.hook != nil {
+		if err := s.hook(r, agent, path, mode); err != nil {
+			status := http.StatusForbidden
+			if errors.Is(err, ErrNotFound) {
+				status = http.StatusNotFound
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+	}
+
+	switch r.Method {
+	case http.MethodGet, http.MethodHead:
+		s.handleGet(w, r, agent, path)
+	case http.MethodPut:
+		s.handlePut(w, r, agent, path)
+	case http.MethodDelete:
+		s.handleDelete(w, r, agent, path)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func httpStatusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrForbidden):
+		return http.StatusForbidden
+	case errors.Is(err, ErrNotFound), errors.Is(err, ErrNoACL):
+		return http.StatusNotFound
+	case errors.Is(err, ErrBadPath):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request, agent WebID, path string) {
+	if strings.HasSuffix(path, "/") {
+		doc, err := s.pod.ContainerListing(agent, path)
+		if err != nil {
+			http.Error(w, err.Error(), httpStatusFor(err))
+			return
+		}
+		w.Header().Set("Content-Type", "text/turtle")
+		_, _ = io.WriteString(w, doc)
+		return
+	}
+	res, err := s.pod.Get(agent, path)
+	if err != nil {
+		http.Error(w, err.Error(), httpStatusFor(err))
+		return
+	}
+	ct := res.ContentType
+	if ct == "" {
+		ct = "application/octet-stream"
+	}
+	w.Header().Set("Content-Type", ct)
+	w.Header().Set("Last-Modified", res.Modified.UTC().Format(http.TimeFormat))
+	if r.Method == http.MethodHead {
+		return
+	}
+	_, _ = w.Write(res.Data)
+}
+
+func (s *Server) handlePut(w http.ResponseWriter, r *http.Request, agent WebID, path string) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ct := r.Header.Get("Content-Type")
+	if err := s.pod.Put(agent, path, ct, body, s.clock.Now()); err != nil {
+		http.Error(w, err.Error(), httpStatusFor(err))
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request, agent WebID, path string) {
+	if err := s.pod.Delete(agent, path); err != nil {
+		http.Error(w, err.Error(), httpStatusFor(err))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -1,0 +1,330 @@
+package tee
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/distexchange"
+	"repro/internal/policy"
+	"repro/internal/simclock"
+)
+
+// Trusted application errors.
+var (
+	ErrNoCopy     = errors.New("tee: no copy of resource")
+	ErrDeleted    = errors.New("tee: copy deleted")
+	ErrUseRevoked = errors.New("tee: use revoked by policy update")
+	ErrUseDenied  = errors.New("tee: use denied by policy")
+)
+
+// maxReportedEntries caps how many usage-log entries a single evidence
+// report carries.
+const maxReportedEntries = 256
+
+// copyState is the enclave-resident bookkeeping for one resource copy.
+// The resource bytes themselves live only in the sealed store.
+type copyState struct {
+	resourceIRI string
+	pol         *policy.Policy
+	retrievedAt time.Time
+	useCount    uint64
+	entries     []distexchange.UsageEntry
+	deleted     bool
+	deletedAt   time.Time
+	useRevoked  bool
+	cancelTimer func()
+}
+
+// App is the trusted application: it holds resource copies in trusted
+// storage and enforces their usage policies locally — the enforcement
+// point of the architecture. All uses flow through Use; obligations
+// (expiry deletion, revocation) execute automatically.
+type App struct {
+	device  *Device
+	purpose policy.Purpose
+	clock   simclock.Clock
+
+	mu     sync.Mutex
+	copies map[string]*copyState
+
+	// rogue disables deletion obligations (failure injection): the app
+	// keeps data past its deadline, which policy monitoring must detect.
+	rogue bool
+}
+
+// NewApp creates a trusted application on the device with a declared
+// purpose of use.
+func NewApp(device *Device, purpose policy.Purpose, clock simclock.Clock) *App {
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	return &App{
+		device:  device,
+		purpose: purpose,
+		clock:   clock,
+		copies:  make(map[string]*copyState),
+	}
+}
+
+// Device returns the hosting device.
+func (a *App) Device() *Device { return a.device }
+
+// Purpose returns the application's declared purpose.
+func (a *App) Purpose() policy.Purpose { return a.purpose }
+
+// SetRogue toggles deletion-obligation bypassing (failure injection for
+// the monitoring experiments).
+func (a *App) SetRogue(rogue bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.rogue = rogue
+}
+
+func dataKey(iri string) string { return "data/" + iri }
+
+// StoreResource places a retrieved resource copy under policy enforcement:
+// the bytes are sealed into trusted storage and the deletion obligation
+// (if any) is scheduled.
+func (a *App) StoreResource(iri string, data []byte, pol *policy.Policy) error {
+	if err := pol.Validate(); err != nil {
+		return fmt.Errorf("tee: store %s: %w", iri, err)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if prior, ok := a.copies[iri]; ok && !prior.deleted {
+		return fmt.Errorf("tee: copy of %s already stored", iri)
+	}
+	if err := a.device.store.Seal(dataKey(iri), data); err != nil {
+		return err
+	}
+	st := &copyState{
+		resourceIRI: iri,
+		pol:         pol.Clone(),
+		retrievedAt: a.clock.Now(),
+	}
+	a.copies[iri] = st
+	a.scheduleDeletionLocked(st)
+	return nil
+}
+
+// scheduleDeletionLocked (re)arms the expiry timer for a copy. Caller
+// holds a.mu.
+func (a *App) scheduleDeletionLocked(st *copyState) {
+	if st.cancelTimer != nil {
+		st.cancelTimer()
+		st.cancelTimer = nil
+	}
+	deadline, has := st.pol.DeleteDeadline(st.retrievedAt)
+	if !has || st.deleted {
+		return
+	}
+	delay := deadline.Sub(a.clock.Now())
+	if delay < 0 {
+		delay = 0
+	}
+	iri := st.resourceIRI
+	st.cancelTimer = a.clock.AfterFunc(delay, func() {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		cur, ok := a.copies[iri]
+		if !ok || cur.deleted || a.rogue {
+			return
+		}
+		a.deleteLocked(cur)
+	})
+}
+
+// deleteLocked erases the sealed bytes and tombstones the copy. Caller
+// holds a.mu.
+func (a *App) deleteLocked(st *copyState) {
+	a.device.store.Delete(dataKey(st.resourceIRI))
+	st.deleted = true
+	st.deletedAt = a.clock.Now()
+	if st.cancelTimer != nil {
+		st.cancelTimer()
+		st.cancelTimer = nil
+	}
+}
+
+// Delete erases a copy on demand.
+func (a *App) Delete(iri string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st, ok := a.copies[iri]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoCopy, iri)
+	}
+	if st.deleted {
+		return fmt.Errorf("%w: %s", ErrDeleted, iri)
+	}
+	a.deleteLocked(st)
+	return nil
+}
+
+// Use performs an action on a stored copy under policy control. On permit
+// it returns the resource bytes; every attempt (permitted or denied) is
+// logged for evidence.
+func (a *App) Use(iri string, action policy.Action) ([]byte, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st, ok := a.copies[iri]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoCopy, iri)
+	}
+	if st.deleted {
+		return nil, fmt.Errorf("%w: %s", ErrDeleted, iri)
+	}
+	now := a.clock.Now()
+	entry := distexchange.UsageEntry{At: now, Action: action, Purpose: a.purpose}
+
+	if st.useRevoked {
+		st.entries = append(st.entries, entry)
+		return nil, fmt.Errorf("%w: %s", ErrUseRevoked, iri)
+	}
+	decision := st.pol.Evaluate(policy.UsageContext{
+		Now:         now,
+		Purpose:     a.purpose,
+		Action:      action,
+		RetrievedAt: st.retrievedAt,
+		PriorUses:   st.useCount,
+	})
+	if !decision.Allowed {
+		st.entries = append(st.entries, entry)
+		// A denial on expiry grounds means the deadline passed; enforce the
+		// obligation immediately (unless rogue).
+		if decision.Deny(policy.DenyExpired) && !a.rogue {
+			a.deleteLocked(st)
+		}
+		return nil, fmt.Errorf("%w: %s", ErrUseDenied, decision)
+	}
+	data, err := a.device.store.Unseal(dataKey(iri))
+	if err != nil {
+		return nil, err
+	}
+	entry.Allowed = true
+	st.entries = append(st.entries, entry)
+	st.useCount++
+	return data, nil
+}
+
+// ApplyPolicyUpdate installs a new policy version for a held copy and
+// executes the obligations the change triggers (the Fig. 2(5) device-side
+// step). It returns the executed obligations. Updates for resources this
+// app does not hold return ErrNoCopy.
+func (a *App) ApplyPolicyUpdate(newPol *policy.Policy) ([]policy.Obligation, error) {
+	if err := newPol.Validate(); err != nil {
+		return nil, err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st, ok := a.copies[newPol.ResourceIRI]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoCopy, newPol.ResourceIRI)
+	}
+	if newPol.Version <= st.pol.Version {
+		// Stale or duplicate update: ignore but report no obligations.
+		return []policy.Obligation{{Kind: policy.ObligationNone, Reason: "stale version"}}, nil
+	}
+	st.pol = newPol.Clone()
+
+	obligations := policy.ObligationsFor(newPol, policy.HolderState{
+		RetrievedAt: st.retrievedAt,
+		Purpose:     a.purpose,
+		Now:         a.clock.Now(),
+	})
+	for _, ob := range obligations {
+		switch ob.Kind {
+		case policy.ObligationDeleteNow:
+			if !st.deleted && !a.rogue {
+				a.deleteLocked(st)
+			}
+		case policy.ObligationReschedule:
+			a.scheduleDeletionLocked(st)
+		case policy.ObligationRevokeUse:
+			st.useRevoked = true
+		case policy.ObligationNone:
+			// Nothing to do.
+		}
+	}
+	return obligations, nil
+}
+
+// PolicyVersion returns the policy version enforced for a copy (0 if the
+// resource is unknown).
+func (a *App) PolicyVersion(iri string) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if st, ok := a.copies[iri]; ok {
+		return st.pol.Version
+	}
+	return 0
+}
+
+// Holds reports whether a live (non-deleted) copy of the resource exists.
+func (a *App) Holds(iri string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st, ok := a.copies[iri]
+	return ok && !st.deleted
+}
+
+// Holdings lists resources with live copies.
+func (a *App) Holdings() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []string
+	for iri, st := range a.copies {
+		if !st.deleted {
+			out = append(out, iri)
+		}
+	}
+	return out
+}
+
+// UseCount returns the number of permitted uses of a copy.
+func (a *App) UseCount(iri string) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if st, ok := a.copies[iri]; ok {
+		return st.useCount
+	}
+	return 0
+}
+
+// Evidence builds and signs a compliance report for a resource, answering
+// a monitoring round (Fig. 2(6)). The report is truthful even for rogue
+// apps: the rogue failure mode modeled here is broken obligation
+// execution, not a compromised enclave.
+func (a *App) Evidence(iri string, round uint64) (distexchange.SignedEvidence, error) {
+	a.mu.Lock()
+	st, ok := a.copies[iri]
+	if !ok {
+		a.mu.Unlock()
+		return distexchange.SignedEvidence{}, fmt.Errorf("%w: %s", ErrNoCopy, iri)
+	}
+	entries := st.entries
+	if len(entries) > maxReportedEntries {
+		entries = entries[len(entries)-maxReportedEntries:]
+	}
+	ev := distexchange.Evidence{
+		ResourceIRI:   iri,
+		Device:        a.device.Address(),
+		Round:         round,
+		PolicyVersion: st.pol.Version,
+		StillStored:   !st.deleted,
+		DeletedAt:     st.deletedAt,
+		RetrievedAt:   st.retrievedAt,
+		UseCount:      st.useCount,
+		Entries:       append([]distexchange.UsageEntry(nil), entries...),
+		GeneratedAt:   a.clock.Now(),
+	}
+	a.mu.Unlock()
+
+	sig, err := a.device.key.Sign(ev.SigningBytes())
+	if err != nil {
+		return distexchange.SignedEvidence{}, err
+	}
+	return distexchange.SignedEvidence{Evidence: ev, Signature: sig}, nil
+}

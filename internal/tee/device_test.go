@@ -1,0 +1,101 @@
+package tee
+
+import (
+	"testing"
+	"time"
+)
+
+var teeEpoch = time.Date(2023, 10, 9, 0, 0, 0, 0, time.UTC)
+
+func newDevice(t *testing.T) (*Manufacturer, *Device) {
+	t.Helper()
+	m, err := NewManufacturer("acme-tee")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := m.Provision(MeasurementOf("trusted-app-v1"), teeEpoch, teeEpoch.Add(365*24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, dev
+}
+
+func TestProvisionAndAttest(t *testing.T) {
+	m, dev := newDevice(t)
+	nonce := []byte("verifier-nonce-123")
+	q, err := dev.Attest(nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MeasurementOf("trusted-app-v1")
+	addr, err := VerifyQuote(q, m.CAPublicBytes(), m.CAAddress(), nonce, &want, teeEpoch.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != dev.Address() {
+		t.Fatalf("quote address = %s, want %s", addr, dev.Address())
+	}
+}
+
+func TestVerifyQuoteRejections(t *testing.T) {
+	m, dev := newDevice(t)
+	nonce := []byte("nonce-A")
+	q, err := dev.Attest(nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := teeEpoch.Add(time.Hour)
+	want := MeasurementOf("trusted-app-v1")
+
+	t.Run("wrong nonce (replay)", func(t *testing.T) {
+		if _, err := VerifyQuote(q, m.CAPublicBytes(), m.CAAddress(), []byte("nonce-B"), &want, now); err == nil {
+			t.Fatal("replayed quote accepted")
+		}
+	})
+	t.Run("wrong expected measurement", func(t *testing.T) {
+		other := MeasurementOf("malware-v1")
+		if _, err := VerifyQuote(q, m.CAPublicBytes(), m.CAAddress(), nonce, &other, now); err == nil {
+			t.Fatal("wrong measurement accepted")
+		}
+	})
+	t.Run("untrusted manufacturer", func(t *testing.T) {
+		rogue, err := NewManufacturer("rogue")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := VerifyQuote(q, rogue.CAPublicBytes(), rogue.CAAddress(), nonce, &want, now); err == nil {
+			t.Fatal("quote verified against wrong CA")
+		}
+	})
+	t.Run("tampered measurement", func(t *testing.T) {
+		bad := *q
+		bad.Measurement = MeasurementOf("tampered")
+		if _, err := VerifyQuote(&bad, m.CAPublicBytes(), m.CAAddress(), nonce, nil, now); err == nil {
+			t.Fatal("tampered quote accepted")
+		}
+	})
+	t.Run("expired certificate", func(t *testing.T) {
+		if _, err := VerifyQuote(q, m.CAPublicBytes(), m.CAAddress(), nonce, &want, teeEpoch.Add(400*24*time.Hour)); err == nil {
+			t.Fatal("expired certificate accepted")
+		}
+	})
+	t.Run("no measurement expectation still verifies chain", func(t *testing.T) {
+		if _, err := VerifyQuote(q, m.CAPublicBytes(), m.CAAddress(), nonce, nil, now); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestDeviceIdentities(t *testing.T) {
+	_, d1 := newDevice(t)
+	_, d2 := newDevice(t)
+	if d1.Address() == d2.Address() {
+		t.Fatal("two devices share an address")
+	}
+	if d1.Measurement() != MeasurementOf("trusted-app-v1") {
+		t.Fatal("measurement mismatch")
+	}
+	if _, err := d1.CertificateBytes(); err != nil {
+		t.Fatal(err)
+	}
+}
