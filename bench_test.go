@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/chain"
 	"repro/internal/core"
 	"repro/internal/cryptoutil"
 	"repro/internal/distexchange"
@@ -488,6 +489,91 @@ func BenchmarkAblationBlockInterval(b *testing.B) {
 			b.ReportMetric(float64(simTotal.Milliseconds())/float64(b.N), "sim_ms/op")
 		})
 	}
+}
+
+// BenchmarkAblationBatchSubmit compares three ingestion paths at 100+ tx
+// block sizes on a 3-validator cluster, each timed as ingest-all +
+// seal-to-empty:
+//
+//   - per-tx-per-node: one SubmitTx per validator per transaction — the
+//     seed's SubmitEverywhere semantics (one signature verification per
+//     node per tx, one mempool lock acquisition each).
+//   - per-tx: today's SubmitEverywhere (verified once per cluster, still
+//     one broadcast per transaction).
+//   - batch: Deployment.SubmitBatch — the whole batch verified once
+//     through the concurrent pool and enqueued under a single mempool
+//     lock acquisition per node.
+func BenchmarkAblationBatchSubmit(b *testing.B) {
+	for _, txs := range []int{100, 400} {
+		for _, mode := range []string{"per-tx-per-node", "per-tx", "batch"} {
+			b.Run(fmt.Sprintf("txs=%d/%s", txs, mode), func(b *testing.B) {
+				d := newDeploymentB(b, core.Config{Validators: 3, Sealing: core.SealManually})
+				sender := cryptoutil.MustGenerateKey()
+				nonce := uint64(0)
+				b.ResetTimer()
+				for i := 0; b.Loop(); i++ {
+					b.StopTimer()
+					batch := make([]*chain.Tx, txs)
+					for j := range txs {
+						args := distexchangeRegisterPodArgs(int(nonce), "https://bench.example")
+						tx, err := chain.NewTx(sender, nonce, d.DEAddr, "registerPod", args, distexchange.DefaultGasLimit)
+						mustB(b, err)
+						batch[j] = tx
+						nonce++
+					}
+					b.StartTimer()
+					switch mode {
+					case "batch":
+						_, err := d.SubmitBatch(batch)
+						mustB(b, err)
+					case "per-tx":
+						for _, tx := range batch {
+							_, err := d.Network.SubmitEverywhere(tx)
+							mustB(b, err)
+						}
+					case "per-tx-per-node":
+						for _, tx := range batch {
+							for _, n := range d.Nodes {
+								_, err := n.SubmitTx(tx)
+								mustB(b, err)
+							}
+						}
+					}
+					for d.Nodes[0].PendingTxs() > 0 {
+						_, err := d.SealBlock()
+						mustB(b, err)
+					}
+				}
+				b.ReportMetric(float64(txs), "txs/block")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationParallelVerify measures the bounded worker pool that
+// batch submission and block validation run signatures through,
+// sequential (workers=1, the seed behaviour) vs parallel (GOMAXPROCS).
+func BenchmarkAblationParallelVerify(b *testing.B) {
+	key := cryptoutil.MustGenerateKey()
+	var contractAddr cryptoutil.Address
+	copy(contractAddr[:], "benchmark-contract")
+	const batch = 256
+	txs := make([]*chain.Tx, batch)
+	for i := range txs {
+		tx, err := chain.NewTx(key, uint64(i), contractAddr, "set", map[string]string{"key": "k"}, 100_000)
+		mustB(b, err)
+		txs[i] = tx
+	}
+	b.Run("sequential", func(b *testing.B) {
+		for b.Loop() {
+			mustB(b, chain.VerifyTxSignatures(txs, 1))
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for b.Loop() {
+			mustB(b, chain.VerifyTxSignatures(txs, 0))
+		}
+	})
 }
 
 // distexchangeRegisterPodArgs builds unique pod registration args per

@@ -8,9 +8,12 @@
 //
 // Endpoints:
 //
-//	GET /status              cluster height, gas totals, oracle stats
-//	GET /resources           the DE App resource index (JSON)
-//	GET /violations?iri=...  violations recorded for a resource
+//	GET  /status              cluster height, gas totals, oracle stats
+//	GET  /resources           the DE App resource index (JSON)
+//	GET  /violations?iri=...  violations recorded for a resource
+//	POST /txs                 submit a JSON array of signed transactions
+//	                          as one batch (verified concurrently,
+//	                          broadcast to every validator)
 package main
 
 import (
@@ -111,6 +114,26 @@ func run(args []string) error {
 	}()
 	defer close(stop)
 
+	mux := newAPIMux(nodes, network, deAddr)
+
+	srv := &http.Server{Addr: *httpAddr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("HTTP API on %s (GET /status, /resources, /violations?iri=...; POST /txs)", *httpAddr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	select {
+	case <-sig:
+		log.Println("shutting down")
+		return srv.Close()
+	case err := <-errCh:
+		return err
+	}
+}
+
+// newAPIMux builds the node's HTTP status/query/submission API.
+func newAPIMux(nodes []*chain.Node, network *chain.Network, deAddr cryptoutil.Address) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
 		head := nodes[0].Head()
@@ -133,6 +156,27 @@ func run(args []string) error {
 		w.Header().Set("Content-Type", "application/json")
 		_, _ = w.Write(out)
 	})
+	mux.HandleFunc("POST /txs", func(w http.ResponseWriter, r *http.Request) {
+		var txs []*chain.Tx
+		if err := json.NewDecoder(r.Body).Decode(&txs); err != nil {
+			http.Error(w, "bad transaction batch: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if len(txs) == 0 {
+			http.Error(w, "empty transaction batch", http.StatusBadRequest)
+			return
+		}
+		hashes, err := network.SubmitEverywhereBatch(txs)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		out := make([]string, len(hashes))
+		for i, h := range hashes {
+			out[i] = h.String()
+		}
+		writeJSON(w, map[string]any{"accepted": len(out), "hashes": out})
+	})
 	mux.HandleFunc("GET /violations", func(w http.ResponseWriter, r *http.Request) {
 		iri := r.URL.Query().Get("iri")
 		if iri == "" {
@@ -148,21 +192,7 @@ func run(args []string) error {
 		w.Header().Set("Content-Type", "application/json")
 		_, _ = w.Write(out)
 	})
-
-	srv := &http.Server{Addr: *httpAddr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("HTTP API on %s (GET /status, /resources, /violations?iri=...)", *httpAddr)
-
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	select {
-	case <-sig:
-		log.Println("shutting down")
-		return srv.Close()
-	case err := <-errCh:
-		return err
-	}
+	return mux
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -1,6 +1,20 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/contract"
+	"repro/internal/cryptoutil"
+	"repro/internal/distexchange"
+	"repro/internal/tee"
+)
 
 func TestRunRejectsBadValidatorCount(t *testing.T) {
 	if err := run([]string{"-validators", "0"}); err == nil {
@@ -11,5 +25,105 @@ func TestRunRejectsBadValidatorCount(t *testing.T) {
 func TestRunRejectsBadFlag(t *testing.T) {
 	if err := run([]string{"-bogus"}); err == nil {
 		t.Fatal("bad flag accepted")
+	}
+}
+
+// newTestCluster mirrors run()'s cluster construction for handler tests.
+func newTestCluster(t *testing.T, validators int) ([]*chain.Node, *chain.Network, cryptoutil.Address) {
+	t.Helper()
+	manufacturer, err := tee.NewManufacturer("tee-manufacturer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime := contract.NewRuntime()
+	deAddr := runtime.Deploy(distexchange.ContractName, distexchange.New(distexchange.Config{
+		ManufacturerCAKey: manufacturer.CAPublicBytes(),
+		ManufacturerCA:    manufacturer.CAAddress(),
+	}))
+	keys := make([]*cryptoutil.KeyPair, validators)
+	auths := make([]cryptoutil.Address, validators)
+	for i := range validators {
+		keys[i] = cryptoutil.MustGenerateKey()
+		auths[i] = keys[i].Address()
+	}
+	genesis := time.Now()
+	nodes := make([]*chain.Node, validators)
+	for i := range validators {
+		nodes[i], err = chain.NewNode(chain.Config{
+			Key: keys[i], Authorities: auths, Executor: runtime, GenesisTime: genesis,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	network, err := chain.NewNetwork(nodes...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nodes, network, deAddr
+}
+
+func TestPostTxsBatchEndpoint(t *testing.T) {
+	nodes, network, deAddr := newTestCluster(t, 2)
+	srv := httptest.NewServer(newAPIMux(nodes, network, deAddr))
+	defer srv.Close()
+
+	sender := cryptoutil.MustGenerateKey()
+	const batchSize = 8
+	txs := make([]*chain.Tx, batchSize)
+	for i := range txs {
+		args := distexchange.RegisterPodArgs{
+			OwnerWebID: fmt.Sprintf("https://owner%d.example/profile#me", i),
+			Location:   fmt.Sprintf("https://owner%d.example/", i),
+		}
+		tx, err := chain.NewTx(sender, uint64(i), deAddr, "registerPod", args, distexchange.DefaultGasLimit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		txs[i] = tx
+	}
+	body, err := json.Marshal(txs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/txs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /txs status = %d", resp.StatusCode)
+	}
+	var out struct {
+		Accepted int      `json:"accepted"`
+		Hashes   []string `json:"hashes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Accepted != batchSize || len(out.Hashes) != batchSize {
+		t.Fatalf("accepted %d hashes %d, want %d", out.Accepted, len(out.Hashes), batchSize)
+	}
+	if got := nodes[0].PendingTxs(); got != batchSize {
+		t.Fatalf("pending = %d, want %d", got, batchSize)
+	}
+	block, err := network.SealNext()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(block.Txs) != batchSize {
+		t.Fatalf("sealed %d txs, want %d", len(block.Txs), batchSize)
+	}
+
+	// A tampered batch is rejected outright.
+	txs[0].Args = []byte(`{"ownerWebID":"evil"}`)
+	body, _ = json.Marshal(txs[:1])
+	resp2, err := http.Post(srv.URL+"/txs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("tampered batch status = %d, want 400", resp2.StatusCode)
 	}
 }

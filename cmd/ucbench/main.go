@@ -74,6 +74,8 @@ func run(args []string) error {
 		if name == "ablations" {
 			fmt.Println(h.AblationBlockInterval())
 			fmt.Println(h.AblationOracleFanout())
+			fmt.Println(h.AblationBatchSubmit())
+			fmt.Println(h.AblationParallelVerify())
 			continue
 		}
 		fmt.Println(experiments[name]())

@@ -1,0 +1,215 @@
+package chain
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cryptoutil"
+)
+
+// TestConcurrentBatchSubmitWhileSealing hammers a 3-authority cluster
+// with batch submissions from many senders while consensus rounds run
+// concurrently and readers poll every query surface. Run under -race it
+// exercises the mpMu/mu lock split: admission, sealing, validation, and
+// reads all overlap. Afterwards every submitted transaction must be
+// committed exactly once and all nodes must agree on the chain.
+func TestConcurrentBatchSubmitWhileSealing(t *testing.T) {
+	nodes, net, _, clk := newTestCluster(t, 3)
+	contract := testContractAddr()
+
+	const senders = 8
+	const batchesPerSender = 6
+	const batchSize = 5
+	const totalTxs = senders * batchesPerSender * batchSize
+
+	var sealWG, readWG sync.WaitGroup
+	stopSeal := make(chan struct{})
+	stopRead := make(chan struct{})
+
+	// Consensus pump: seal whenever transactions are pending.
+	sealWG.Add(1)
+	go func() {
+		defer sealWG.Done()
+		for {
+			select {
+			case <-stopSeal:
+				return
+			default:
+			}
+			if nodes[0].PendingTxs() == 0 {
+				time.Sleep(50 * time.Microsecond)
+				continue
+			}
+			clk.Advance(time.Millisecond)
+			if _, err := net.SealNext(); err != nil {
+				t.Errorf("SealNext: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Readers: every read path must stay consistent while blocks commit.
+	readWG.Add(1)
+	go func() {
+		defer readWG.Done()
+		for {
+			select {
+			case <-stopRead:
+				return
+			default:
+			}
+			for _, n := range nodes {
+				_ = n.Height()
+				_ = n.Head()
+				_ = n.PendingTxs()
+				_ = n.Events(EventFilter{Topic: "Set"})
+				// The key may not be committed yet; the point is that the
+				// read path runs in parallel with everything else.
+				_, _ = n.Query(contract, "get", []byte(`{"key":"k0"}`))
+			}
+		}
+	}()
+
+	// Senders: each goroutine owns one key and submits its batches in
+	// nonce order through the network broadcast path.
+	hashes := make([][]cryptoutil.Hash, senders)
+	var submitWG sync.WaitGroup
+	for s := range senders {
+		submitWG.Add(1)
+		go func() {
+			defer submitWG.Done()
+			key := cryptoutil.MustGenerateKey()
+			nonce := uint64(0)
+			for b := range batchesPerSender {
+				batch := make([]*Tx, batchSize)
+				for i := range batch {
+					batch[i] = mustTx(t, key, nonce, contract, "k0", "v")
+					nonce++
+				}
+				hs, err := net.SubmitEverywhereBatch(batch)
+				if err != nil {
+					t.Errorf("sender %d batch %d: %v", s, b, err)
+					return
+				}
+				hashes[s] = append(hashes[s], hs...)
+			}
+		}()
+	}
+	submitWG.Wait()
+	close(stopSeal)
+	sealWG.Wait()
+	close(stopRead)
+	readWG.Wait()
+
+	// Drain whatever is still pending.
+	for nodes[0].PendingTxs() > 0 {
+		clk.Advance(time.Millisecond)
+		if _, err := net.SealNext(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Every transaction committed exactly once, on every node.
+	for _, n := range nodes {
+		if n.PendingTxs() != 0 {
+			t.Fatalf("node %s still has %d pending txs", n.Address().Short(), n.PendingTxs())
+		}
+		committed := 0
+		seen := make(map[cryptoutil.Hash]bool)
+		for num := uint64(1); num <= n.Height(); num++ {
+			for _, tx := range n.BlockByNumber(num).Txs {
+				h := tx.Hash()
+				if seen[h] {
+					t.Fatalf("tx %s committed twice on node %s", h, n.Address().Short())
+				}
+				seen[h] = true
+				committed++
+			}
+		}
+		if committed != totalTxs {
+			t.Fatalf("node %s committed %d txs, want %d", n.Address().Short(), committed, totalTxs)
+		}
+		for s := range senders {
+			for _, h := range hashes[s] {
+				if !seen[h] {
+					t.Fatalf("tx %s from sender %d missing on node %s", h, s, n.Address().Short())
+				}
+			}
+		}
+	}
+
+	// All nodes converged on the same head.
+	head := nodes[0].Head().Hash()
+	for _, n := range nodes[1:] {
+		if n.Head().Hash() != head {
+			t.Fatalf("node %s diverged: head %s vs %s", n.Address().Short(), n.Head().Hash(), head)
+		}
+	}
+}
+
+// TestConcurrentSubmitTxSingleNode races many per-sender SubmitTx streams
+// against a node sealing continuously, checking the split between the
+// admission lock and the ledger lock on a single node.
+func TestConcurrentSubmitTxSingleNode(t *testing.T) {
+	node, _, clk := newTestNode(t)
+	contract := testContractAddr()
+
+	const senders = 6
+	const txsPerSender = 40
+
+	stop := make(chan struct{})
+	var sealWG sync.WaitGroup
+	sealWG.Add(1)
+	go func() {
+		defer sealWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if node.PendingTxs() == 0 {
+				time.Sleep(50 * time.Microsecond)
+				continue
+			}
+			clk.Advance(time.Millisecond)
+			if _, err := node.Seal(); err != nil {
+				t.Errorf("Seal: %v", err)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for s := range senders {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			key := cryptoutil.MustGenerateKey()
+			for i := range txsPerSender {
+				if _, err := node.SubmitTx(mustTx(t, key, uint64(i), contract, "k", "v")); err != nil {
+					t.Errorf("sender %d tx %d: %v", s, i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	sealWG.Wait()
+
+	for node.PendingTxs() > 0 {
+		clk.Advance(time.Millisecond)
+		if _, err := node.Seal(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	committed := 0
+	for num := uint64(1); num <= node.Height(); num++ {
+		committed += len(node.BlockByNumber(num).Txs)
+	}
+	if committed != senders*txsPerSender {
+		t.Fatalf("committed %d txs, want %d", committed, senders*txsPerSender)
+	}
+}

@@ -1,0 +1,46 @@
+// Package chain implements the blockchain substrate of the usage-control
+// architecture: ECDSA-signed transactions, a hash-indexed mempool,
+// proof-of-authority block production, a journaled key-value state with
+// deterministic state roots, receipts, topic-filterable event logs with
+// subscriptions, and a gas schedule used by the affordability
+// experiments.
+//
+// The package replaces the public blockchain the paper assumes. It keeps
+// the same interface contract — submit a signed transaction, have it
+// validated and ordered into a block by consensus among authorities,
+// observe its receipt and emitted events — without requiring a live
+// network. Contract execution is delegated to an Executor (implemented by
+// package contract), mirroring how an EVM is a pluggable component of a
+// node.
+//
+// # Concurrency contract
+//
+// A Node is safe for concurrent use. Internally it holds three locks with
+// a fixed acquisition order (sealMu → mpMu → mu):
+//
+//   - sealMu serializes block production and application (Seal,
+//     SealOutOfTurn, ApplyBlock, SyncFrom). At most one block is built or
+//     validated at a time; chain state only ever advances under sealMu.
+//   - mpMu guards transaction admission: the hash-indexed mempool and the
+//     per-sender nonce table. Submissions (SubmitTx, SubmitBatch) contend
+//     only on this lock, so they are admitted concurrently with block
+//     execution rather than serializing behind it.
+//   - mu (an RWMutex) guards the ledger: the block list, the state
+//     handle, and receipt waiters. Read paths — Height, Head,
+//     BlockByNumber, Query, Events, Receipt — take only the read lock and
+//     therefore run in parallel with each other and with everything
+//     except the brief commit section of sealing/application.
+//
+// What the locks do NOT guarantee: a Query observes the live state store
+// (State is internally synchronized, so reads are memory-safe), which
+// means a query racing a commit may see a partially applied block's
+// writes. Callers needing block-atomic reads should key off
+// WaitForReceipt or event subscriptions. State and CostLedger carry their
+// own synchronization and may be read without node locks.
+//
+// Signature verification — the dominant CPU cost of admission and
+// validation — never runs under any node lock. Batch paths (SubmitBatch,
+// Network.SubmitEverywhereBatch, ApplyBlock) verify concurrently via a
+// bounded worker pool (VerifyTxSignatures); Config.VerifyWorkers bounds
+// the pool, with 1 forcing the sequential ablation baseline.
+package chain

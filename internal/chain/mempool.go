@@ -1,0 +1,100 @@
+package chain
+
+import (
+	"container/list"
+
+	"repro/internal/cryptoutil"
+)
+
+// mempool is a hash-indexed FIFO transaction pool. Insertion order is
+// preserved (blocks take transactions in arrival order), while the hash
+// index makes duplicate detection and removal O(1) instead of the linear
+// scans a plain slice requires — the scans dominated block application on
+// validators once mempools grew past a few hundred transactions.
+//
+// A per-sender pending count is maintained alongside, so nonce admission
+// (NonceFor, SubmitTx) no longer walks the whole pool per submission.
+//
+// mempool is not internally synchronized; the owning Node guards it with
+// its mempool mutex.
+type mempool struct {
+	order   *list.List // of *Tx, FIFO
+	byHash  map[cryptoutil.Hash]*list.Element
+	pending map[cryptoutil.Address]uint64 // queued tx count per sender
+}
+
+func newMempool() *mempool {
+	return &mempool{
+		order:   list.New(),
+		byHash:  make(map[cryptoutil.Hash]*list.Element),
+		pending: make(map[cryptoutil.Address]uint64),
+	}
+}
+
+// Len returns the number of queued transactions.
+func (mp *mempool) Len() int { return mp.order.Len() }
+
+// Contains reports whether a transaction with the given hash is queued.
+func (mp *mempool) Contains(h cryptoutil.Hash) bool {
+	_, ok := mp.byHash[h]
+	return ok
+}
+
+// PendingFrom returns how many queued transactions the sender has.
+func (mp *mempool) PendingFrom(addr cryptoutil.Address) uint64 {
+	return mp.pending[addr]
+}
+
+// Add enqueues tx under the given hash. It reports false (and leaves the
+// pool untouched) when the hash is already present.
+func (mp *mempool) Add(h cryptoutil.Hash, tx *Tx) bool {
+	if _, ok := mp.byHash[h]; ok {
+		return false
+	}
+	mp.byHash[h] = mp.order.PushBack(tx)
+	mp.pending[tx.From]++
+	return true
+}
+
+// Remove deletes the transaction with the given hash, reporting whether it
+// was present.
+func (mp *mempool) Remove(h cryptoutil.Hash) bool {
+	el, ok := mp.byHash[h]
+	if !ok {
+		return false
+	}
+	tx := el.Value.(*Tx)
+	mp.order.Remove(el)
+	delete(mp.byHash, h)
+	if mp.pending[tx.From] <= 1 {
+		delete(mp.pending, tx.From)
+	} else {
+		mp.pending[tx.From]--
+	}
+	return true
+}
+
+// Take dequeues up to max transactions in FIFO order.
+func (mp *mempool) Take(max int) []*Tx {
+	n := mp.order.Len()
+	if n > max {
+		n = max
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]*Tx, 0, n)
+	for range n {
+		el := mp.order.Front()
+		tx := el.Value.(*Tx)
+		out = append(out, tx)
+		mp.order.Remove(el)
+		delete(mp.byHash, tx.Hash())
+		if mp.pending[tx.From] <= 1 {
+			delete(mp.pending, tx.From)
+		} else {
+			mp.pending[tx.From]--
+		}
+	}
+	return out
+}

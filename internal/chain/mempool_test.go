@@ -1,0 +1,198 @@
+package chain
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cryptoutil"
+)
+
+func TestMempoolIndexedOperations(t *testing.T) {
+	mp := newMempool()
+	key := cryptoutil.MustGenerateKey()
+	contract := testContractAddr()
+
+	txs := make([]*Tx, 5)
+	for i := range txs {
+		txs[i] = mustTx(t, key, uint64(i), contract, "k", "v")
+		if !mp.Add(txs[i].Hash(), txs[i]) {
+			t.Fatalf("Add(%d) reported duplicate", i)
+		}
+	}
+	if mp.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", mp.Len())
+	}
+	if mp.PendingFrom(key.Address()) != 5 {
+		t.Fatalf("PendingFrom = %d, want 5", mp.PendingFrom(key.Address()))
+	}
+	if mp.Add(txs[2].Hash(), txs[2]) {
+		t.Fatal("duplicate Add accepted")
+	}
+	if !mp.Contains(txs[2].Hash()) {
+		t.Fatal("Contains missed a queued tx")
+	}
+
+	// Remove from the middle; FIFO order of the rest must survive.
+	if !mp.Remove(txs[2].Hash()) {
+		t.Fatal("Remove missed a queued tx")
+	}
+	if mp.Remove(txs[2].Hash()) {
+		t.Fatal("second Remove reported present")
+	}
+	if mp.PendingFrom(key.Address()) != 4 {
+		t.Fatalf("PendingFrom after remove = %d, want 4", mp.PendingFrom(key.Address()))
+	}
+	got := mp.Take(10)
+	want := []uint64{0, 1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("Take returned %d txs, want %d", len(got), len(want))
+	}
+	for i, tx := range got {
+		if tx.Nonce != want[i] {
+			t.Fatalf("Take[%d].Nonce = %d, want %d (FIFO order broken)", i, tx.Nonce, want[i])
+		}
+	}
+	if mp.Len() != 0 || mp.PendingFrom(key.Address()) != 0 {
+		t.Fatalf("pool not empty after Take: len=%d pending=%d", mp.Len(), mp.PendingFrom(key.Address()))
+	}
+}
+
+func TestMempoolTakeRespectsLimit(t *testing.T) {
+	mp := newMempool()
+	key := cryptoutil.MustGenerateKey()
+	contract := testContractAddr()
+	for i := range 8 {
+		tx := mustTx(t, key, uint64(i), contract, "k", "v")
+		mp.Add(tx.Hash(), tx)
+	}
+	first := mp.Take(3)
+	if len(first) != 3 || first[0].Nonce != 0 || first[2].Nonce != 2 {
+		t.Fatalf("Take(3) = %d txs starting at nonce %d", len(first), first[0].Nonce)
+	}
+	if mp.Len() != 5 {
+		t.Fatalf("Len after partial Take = %d, want 5", mp.Len())
+	}
+}
+
+// TestSubmitBatchDedup is the regression test for mempool dedup under
+// batch submission: resubmitting queued transactions (alone or mixed into
+// a larger batch) must not create duplicates, and the duplicate's hash is
+// still reported.
+func TestSubmitBatchDedup(t *testing.T) {
+	node, key, clk := newTestNode(t)
+	contract := testContractAddr()
+
+	batch := make([]*Tx, 4)
+	for i := range batch {
+		batch[i] = mustTx(t, key, uint64(i), contract, "k", "v")
+	}
+	hashes, err := node.SubmitBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hashes) != 4 {
+		t.Fatalf("SubmitBatch returned %d hashes, want 4", len(hashes))
+	}
+	if node.PendingTxs() != 4 {
+		t.Fatalf("PendingTxs = %d, want 4", node.PendingTxs())
+	}
+
+	// Resubmit the same batch plus one genuinely new transaction.
+	extended := append(append([]*Tx(nil), batch...), mustTx(t, key, 4, contract, "k", "v"))
+	hashes, err = node.SubmitBatch(extended)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hashes) != 5 {
+		t.Fatalf("resubmit returned %d hashes, want 5", len(hashes))
+	}
+	if node.PendingTxs() != 5 {
+		t.Fatalf("PendingTxs after resubmit = %d, want 5 (dedup broken)", node.PendingTxs())
+	}
+
+	// Single-tx resubmission reports ErrTxKnown with the hash.
+	h, err := node.SubmitTx(batch[0])
+	if !errors.Is(err, ErrTxKnown) {
+		t.Fatalf("duplicate SubmitTx err = %v, want ErrTxKnown", err)
+	}
+	if h != batch[0].Hash() {
+		t.Fatal("duplicate SubmitTx did not return the queued hash")
+	}
+
+	// The sealed block must contain each transaction exactly once.
+	clk.Advance(time.Second)
+	block, err := node.Seal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(block.Txs) != 5 {
+		t.Fatalf("sealed %d txs, want 5", len(block.Txs))
+	}
+	seen := make(map[string]bool)
+	for _, tx := range block.Txs {
+		h := tx.Hash().String()
+		if seen[h] {
+			t.Fatalf("tx %s sealed twice", h)
+		}
+		seen[h] = true
+	}
+}
+
+// TestSubmitBatchAtomicOnBadNonce verifies that a batch with a nonce gap
+// is rejected without enqueuing any part of it.
+func TestSubmitBatchAtomicOnBadNonce(t *testing.T) {
+	node, key, _ := newTestNode(t)
+	contract := testContractAddr()
+
+	batch := []*Tx{
+		mustTx(t, key, 0, contract, "a", "1"),
+		mustTx(t, key, 3, contract, "b", "2"), // gap: want 1
+	}
+	if _, err := node.SubmitBatch(batch); !errors.Is(err, ErrBadNonce) {
+		t.Fatalf("err = %v, want ErrBadNonce", err)
+	}
+	if node.PendingTxs() != 0 {
+		t.Fatalf("PendingTxs = %d, want 0 (batch must be atomic)", node.PendingTxs())
+	}
+}
+
+// TestSubmitBatchRejectsBadSignature verifies the concurrent verification
+// pool surfaces a deterministic signature failure for the whole batch.
+func TestSubmitBatchRejectsBadSignature(t *testing.T) {
+	node, key, _ := newTestNode(t)
+	contract := testContractAddr()
+
+	batch := make([]*Tx, 16)
+	for i := range batch {
+		batch[i] = mustTx(t, key, uint64(i), contract, "k", "v")
+	}
+	batch[11].Args = []byte(`{"key":"tampered"}`)
+	if _, err := node.SubmitBatch(batch); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("err = %v, want ErrBadSignature", err)
+	}
+	if node.PendingTxs() != 0 {
+		t.Fatalf("PendingTxs = %d, want 0", node.PendingTxs())
+	}
+}
+
+// TestVerifyTxSignaturesDeterministicError checks that the parallel
+// verifier reports the lowest-indexed failure regardless of scheduling.
+func TestVerifyTxSignaturesDeterministicError(t *testing.T) {
+	key := cryptoutil.MustGenerateKey()
+	contract := testContractAddr()
+	txs := make([]*Tx, 64)
+	for i := range txs {
+		txs[i] = mustTx(t, key, uint64(i), contract, "k", "v")
+	}
+	txs[5].GasLimit = 0 // fails with ErrGasLimitZero
+	txs[40].Method = "" // fails with ErrNoMethod
+	for range 8 {
+		if err := VerifyTxSignatures(txs, 0); !errors.Is(err, ErrGasLimitZero) {
+			t.Fatalf("err = %v, want the lowest-indexed failure (ErrGasLimitZero)", err)
+		}
+	}
+	if err := VerifyTxSignatures(txs, 1); !errors.Is(err, ErrGasLimitZero) {
+		t.Fatalf("sequential err = %v, want ErrGasLimitZero", err)
+	}
+}

@@ -27,13 +27,19 @@ var (
 // roots, so a proposer cannot smuggle in an incorrect state transition —
 // this realizes the paper's claim that "the correctness of the executed
 // code is validated by the consensus mechanism of the blockchain".
+//
+// Transaction signatures are checked concurrently (bounded by the node's
+// VerifyWorkers), and the whole validation phase — signature checks and
+// the replay on the cloned state — runs without the ledger write lock, so
+// readers are only blocked for the final commit replay.
 func (n *Node) ApplyBlock(block *Block, proposerKey []byte) error {
 	n.sealMu.Lock()
 	defer n.sealMu.Unlock()
-	n.mu.Lock()
-	defer n.mu.Unlock()
 
+	n.mu.RLock()
 	parent := n.blocks[len(n.blocks)-1]
+	n.mu.RUnlock()
+
 	h := block.Header
 	if h.Number != parent.Header.Number+1 {
 		return fmt.Errorf("%w: got %d, want %d", ErrBadNumber, h.Number, parent.Header.Number+1)
@@ -54,17 +60,19 @@ func (n *Node) ApplyBlock(block *Block, proposerKey []byte) error {
 	if err := cryptoutil.VerifyWithAddress(h.Proposer, proposerKey, h.SigningBytes(), h.Signature); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadHeaderSig, err)
 	}
-	for _, tx := range block.Txs {
-		if err := tx.VerifySignature(); err != nil {
-			return fmt.Errorf("%w: %v", ErrBadTxInBlock, err)
-		}
+	if err := VerifyTxSignatures(block.Txs, n.verifyWorkers); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadTxInBlock, err)
 	}
 	if got := txRoot(block.Txs); got != h.TxRoot {
 		return ErrBadTxRoot
 	}
 
 	// Re-execute on a clone and compare roots before touching real state.
+	// sealMu excludes every other state writer, so only the clone step
+	// itself needs the read lock.
+	n.mu.RLock()
 	replica := n.state.Clone()
+	n.mu.RUnlock()
 	bctx := BlockContext{Number: h.Number, Time: h.Time}
 	receipts := replayTxs(n.executor, replica, block.Txs, bctx)
 	if got := receiptRoot(receipts); got != h.ReceiptRoot {
@@ -74,17 +82,26 @@ func (n *Node) ApplyBlock(block *Block, proposerKey []byte) error {
 		return ErrBadStateRoot
 	}
 
-	// Valid: replay on the real state and commit.
-	committed := replayTxs(n.executor, n.state, block.Txs, bctx)
+	// Valid. Settle admission state first (nonces forward, included txs
+	// out of the mempool), so submissions racing with the commit observe
+	// a consistent nonce sequence.
+	n.mpMu.Lock()
 	for _, tx := range block.Txs {
 		n.nonces[tx.From] = tx.Nonce + 1
-		n.removeFromMempoolLocked(tx.Hash())
+		n.mempool.Remove(tx.Hash())
 	}
+	n.mpMu.Unlock()
+
+	// Replay on the real state and commit.
+	n.mu.Lock()
+	committed := replayTxs(n.executor, n.state, block.Txs, bctx)
+	applied := &Block{Header: h, Txs: block.Txs, Receipts: committed}
+	n.commitLocked(applied)
+	n.mu.Unlock()
+
 	for i, tx := range block.Txs {
 		n.costs.Record(tx.From, tx.Method, committed[i].GasUsed)
 	}
-	applied := &Block{Header: h, Txs: block.Txs, Receipts: committed}
-	n.commitLocked(applied)
 	return nil
 }
 
@@ -114,29 +131,22 @@ func replayTxs(ex Executor, st *State, txs []*Tx, bctx BlockContext) []*Receipt 
 	return receipts
 }
 
-func (n *Node) removeFromMempoolLocked(txHash cryptoutil.Hash) {
-	for i, tx := range n.mempool {
-		if tx.Hash() == txHash {
-			n.mempool = append(n.mempool[:i], n.mempool[i+1:]...)
-			return
-		}
-	}
-}
-
 // Network is an in-process cluster of authority nodes. The node whose turn
 // it is seals; the network then broadcasts the block to every other node,
 // which validates and applies it. This models the paper's availability
 // argument: any node can serve reads, and the cluster survives the loss of
 // individual nodes.
 type Network struct {
-	mu    sync.Mutex
-	nodes []*Node
-	keys  map[cryptoutil.Address][]byte // authority address -> public key bytes
-	down  map[cryptoutil.Address]bool
+	mu            sync.Mutex
+	nodes         []*Node
+	keys          map[cryptoutil.Address][]byte // authority address -> public key bytes
+	down          map[cryptoutil.Address]bool
+	verifyWorkers int
 }
 
 // NewNetwork groups nodes into a cluster. All nodes must share the same
-// authority set and genesis.
+// authority set and genesis. The cluster-level signature verification
+// pool inherits the first node's VerifyWorkers setting.
 func NewNetwork(nodes ...*Node) (*Network, error) {
 	if len(nodes) == 0 {
 		return nil, errors.New("chain: empty network")
@@ -145,7 +155,12 @@ func NewNetwork(nodes ...*Node) (*Network, error) {
 	for _, n := range nodes {
 		keys[n.Address()] = n.key.PublicBytes()
 	}
-	return &Network{nodes: nodes, keys: keys, down: make(map[cryptoutil.Address]bool)}, nil
+	return &Network{
+		nodes:         nodes,
+		keys:          keys,
+		down:          make(map[cryptoutil.Address]bool),
+		verifyWorkers: nodes[0].verifyWorkers,
+	}, nil
 }
 
 // Nodes returns the cluster members.
@@ -163,19 +178,26 @@ func (net *Network) SetDown(addr cryptoutil.Address, down bool) {
 	net.down[addr] = down
 }
 
+// liveView snapshots the cluster membership and liveness under the
+// network lock.
+func (net *Network) liveView() ([]*Node, map[cryptoutil.Address]bool) {
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	nodes := append([]*Node(nil), net.nodes...)
+	down := make(map[cryptoutil.Address]bool, len(net.down))
+	for k, v := range net.down {
+		down[k] = v
+	}
+	return nodes, down
+}
+
 // SealNext asks the in-turn authority to seal the next block and
 // broadcasts the result to every live node. If the in-turn authority is
 // down, the next live authority in rotation order takes over out of turn
 // (clique-style), so the cluster stays live as long as one authority
 // remains — the paper's availability property.
 func (net *Network) SealNext() (*Block, error) {
-	net.mu.Lock()
-	nodes := append([]*Node(nil), net.nodes...)
-	down := make(map[cryptoutil.Address]bool, len(net.down))
-	for k, v := range net.down {
-		down[k] = v
-	}
-	net.mu.Unlock()
+	nodes, down := net.liveView()
 
 	if len(nodes) == 0 {
 		return nil, errors.New("chain: empty network")
@@ -308,31 +330,74 @@ func (net *Network) Recover(addr cryptoutil.Address) (int, error) {
 }
 
 // SubmitEverywhere submits a transaction to every live node's mempool so
-// that whichever node seals next includes it.
+// that whichever node seals next includes it. The signature is verified
+// once for the whole cluster, not once per node.
 func (net *Network) SubmitEverywhere(tx *Tx) (cryptoutil.Hash, error) {
-	net.mu.Lock()
-	nodes := append([]*Node(nil), net.nodes...)
-	down := make(map[cryptoutil.Address]bool, len(net.down))
-	for k, v := range net.down {
-		down[k] = v
+	hashes, err := net.SubmitEverywhereBatch([]*Tx{tx})
+	if err != nil {
+		return cryptoutil.Hash{}, err
 	}
-	net.mu.Unlock()
+	return hashes[0], nil
+}
 
-	var hash cryptoutil.Hash
-	var submitted bool
+// SubmitEverywhereBatch verifies a batch of transactions once (with the
+// concurrent verification pool, bounded by the cluster's VerifyWorkers)
+// and enqueues the batch on every live node under a single mempool lock
+// acquisition per node. Transactions a node already holds are skipped,
+// so rebroadcasts are idempotent. The returned hashes parallel the
+// input.
+//
+// If a node rejects the batch, the transactions already enqueued on
+// earlier nodes are withdrawn again (best effort: anything a concurrent
+// seal has already committed stays committed), so a returned error means
+// no live mempool still queues the batch.
+func (net *Network) SubmitEverywhereBatch(txs []*Tx) ([]cryptoutil.Hash, error) {
+	if len(txs) == 0 {
+		return nil, nil
+	}
+	if err := VerifyTxSignatures(txs, net.verifyWorkers); err != nil {
+		return nil, err
+	}
+	nodes, down := net.liveView()
+
+	var hashes []cryptoutil.Hash
+	var accepted []*Node
+	var acceptedAdded [][]cryptoutil.Hash
 	for _, n := range nodes {
 		if down[n.Address()] {
 			continue
 		}
-		h, err := n.SubmitTx(tx)
+		h, added, err := n.submitVerifiedBatch(txs)
 		if err != nil {
-			return cryptoutil.Hash{}, err
+			for i, prev := range accepted {
+				prev.removeFromMempool(acceptedAdded[i])
+			}
+			return nil, err
 		}
-		hash = h
-		submitted = true
+		if hashes == nil {
+			hashes = h
+		}
+		accepted = append(accepted, n)
+		acceptedAdded = append(acceptedAdded, added)
 	}
-	if !submitted {
-		return cryptoutil.Hash{}, errors.New("chain: no live node accepted the transaction")
+	if len(accepted) == 0 {
+		return nil, errors.New("chain: no live node accepted the transaction")
 	}
-	return hash, nil
+	return hashes, nil
+}
+
+// PendingTxs reports the largest mempool backlog among live nodes — the
+// number of consensus-round transactions still to seal cluster-wide.
+func (net *Network) PendingTxs() int {
+	nodes, down := net.liveView()
+	maxPending := 0
+	for _, n := range nodes {
+		if down[n.Address()] {
+			continue
+		}
+		if p := n.PendingTxs(); p > maxPending {
+			maxPending = p
+		}
+	}
+	return maxPending
 }

@@ -50,25 +50,40 @@ type Config struct {
 	GenesisTime time.Time
 	// MaxTxsPerBlock caps block size; defaults to 1024.
 	MaxTxsPerBlock int
+	// VerifyWorkers bounds the signature-verification worker pool used by
+	// batch submission and block validation. 0 (the default) uses
+	// GOMAXPROCS; 1 forces sequential verification (the ablation
+	// baseline).
+	VerifyWorkers int
 }
 
 // Node is a proof-of-authority blockchain node: it holds the ledger and
 // state, accepts transactions into a mempool, seals blocks when it is its
 // turn, validates and applies blocks sealed by other authorities, and
 // serves read-only queries and event subscriptions.
+//
+// Locking discipline (see the package documentation for the full
+// contract): mu guards the ledger (blocks, state handle, receipt
+// waiters); mpMu guards transaction admission (mempool, nonces); sealMu
+// serializes block production and application. Lock order is always
+// sealMu → mpMu → mu, and no lock is held while calling out to the
+// Executor's Query path.
 type Node struct {
-	key         *cryptoutil.KeyPair
-	authorities []cryptoutil.Address
-	executor    Executor
-	clock       simclock.Clock
-	maxTxs      int
+	key           *cryptoutil.KeyPair
+	authorities   []cryptoutil.Address
+	executor      Executor
+	clock         simclock.Clock
+	maxTxs        int
+	verifyWorkers int
 
 	mu      sync.RWMutex
 	state   *State
 	blocks  []*Block
-	mempool []*Tx
-	nonces  map[cryptoutil.Address]uint64
 	waiters map[cryptoutil.Hash][]chan *Receipt
+
+	mpMu    sync.Mutex
+	mempool *mempool
+	nonces  map[cryptoutil.Address]uint64
 
 	feed  *eventFeed
 	costs *CostLedger
@@ -82,6 +97,11 @@ var (
 	ErrNoAuthorities = errors.New("chain: empty authority set")
 	ErrBadNonce      = errors.New("chain: bad nonce")
 	ErrNotOurTurn    = errors.New("chain: not this node's turn to propose")
+	ErrTxKnown       = errors.New("chain: transaction already in mempool")
+	// ErrTxStale reports a nonce below the sender's committed nonce: the
+	// transaction was already included (a rebroadcast) or is a replay
+	// attempt. It matches ErrBadNonce under errors.Is.
+	ErrTxStale = fmt.Errorf("%w: nonce already committed", ErrBadNonce)
 )
 
 // NewNode creates a node with a genesis block.
@@ -104,16 +124,18 @@ func NewNode(cfg Config) (*Node, error) {
 		maxTxs = 1024
 	}
 	n := &Node{
-		key:         cfg.Key,
-		authorities: append([]cryptoutil.Address(nil), cfg.Authorities...),
-		executor:    cfg.Executor,
-		clock:       clk,
-		maxTxs:      maxTxs,
-		state:       NewState(),
-		nonces:      make(map[cryptoutil.Address]uint64),
-		waiters:     make(map[cryptoutil.Hash][]chan *Receipt),
-		feed:        newEventFeed(),
-		costs:       NewCostLedger(),
+		key:           cfg.Key,
+		authorities:   append([]cryptoutil.Address(nil), cfg.Authorities...),
+		executor:      cfg.Executor,
+		clock:         clk,
+		maxTxs:        maxTxs,
+		verifyWorkers: cfg.VerifyWorkers,
+		state:         NewState(),
+		mempool:       newMempool(),
+		nonces:        make(map[cryptoutil.Address]uint64),
+		waiters:       make(map[cryptoutil.Hash][]chan *Receipt),
+		feed:          newEventFeed(),
+		costs:         NewCostLedger(),
 	}
 	genesis := &Block{Header: Header{
 		Number:      0,
@@ -155,42 +177,104 @@ func (n *Node) BlockByNumber(num uint64) *Block {
 
 // NonceFor returns the next nonce for an address (committed plus pending).
 func (n *Node) NonceFor(addr cryptoutil.Address) uint64 {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	nonce := n.nonces[addr]
-	for _, tx := range n.mempool {
-		if tx.From == addr {
-			nonce++
-		}
-	}
-	return nonce
+	n.mpMu.Lock()
+	defer n.mpMu.Unlock()
+	return n.nonces[addr] + n.mempool.PendingFrom(addr)
 }
 
 // SubmitTx verifies and enqueues a transaction, returning its hash.
+// Resubmitting a transaction already queued returns its hash alongside
+// ErrTxKnown.
 func (n *Node) SubmitTx(tx *Tx) (cryptoutil.Hash, error) {
 	if err := tx.VerifySignature(); err != nil {
 		return cryptoutil.Hash{}, err
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	expected := n.nonces[tx.From]
-	for _, pending := range n.mempool {
-		if pending.From == tx.From {
-			expected++
-		}
+	n.mpMu.Lock()
+	defer n.mpMu.Unlock()
+	return n.enqueueLocked(tx)
+}
+
+// SubmitBatch verifies the transactions concurrently (bounded by the
+// node's VerifyWorkers) and enqueues them as one unit under a single
+// mempool lock acquisition. The batch is atomic: on a nonce failure
+// nothing is enqueued. Transactions already queued are skipped (their
+// hashes are still returned), so rebroadcasts are idempotent.
+//
+// Within the batch, transactions from the same sender must appear in
+// nonce order, exactly as if submitted back-to-back via SubmitTx.
+func (n *Node) SubmitBatch(txs []*Tx) ([]cryptoutil.Hash, error) {
+	if err := VerifyTxSignatures(txs, n.verifyWorkers); err != nil {
+		return nil, err
 	}
+	hashes, _, err := n.submitVerifiedBatch(txs)
+	return hashes, err
+}
+
+// submitVerifiedBatch enqueues transactions whose signatures have already
+// been checked (the network layer verifies once for the whole cluster).
+// It returns the hash of every transaction in the batch plus the subset
+// actually added here (excluding known/stale skips), which the network
+// layer uses to withdraw the batch from peers on a cross-node failure.
+func (n *Node) submitVerifiedBatch(txs []*Tx) (hashes, added []cryptoutil.Hash, err error) {
+	n.mpMu.Lock()
+	defer n.mpMu.Unlock()
+	hashes = make([]cryptoutil.Hash, 0, len(txs))
+	added = make([]cryptoutil.Hash, 0, len(txs))
+	for _, tx := range txs {
+		h, err := n.enqueueLocked(tx)
+		if errors.Is(err, ErrTxKnown) || errors.Is(err, ErrTxStale) {
+			// Idempotent rebroadcast: the transaction is already queued
+			// here, or another node sealed it before this enqueue landed.
+			hashes = append(hashes, h)
+			continue
+		}
+		if err != nil {
+			for _, a := range added {
+				n.mempool.Remove(a)
+			}
+			return nil, nil, err
+		}
+		hashes = append(hashes, h)
+		added = append(added, h)
+	}
+	return hashes, added, nil
+}
+
+// removeFromMempool withdraws queued transactions by hash (missing
+// hashes are ignored). The network layer uses it to undo a batch enqueue
+// when a peer rejects the same batch.
+func (n *Node) removeFromMempool(hashes []cryptoutil.Hash) {
+	n.mpMu.Lock()
+	defer n.mpMu.Unlock()
+	for _, h := range hashes {
+		n.mempool.Remove(h)
+	}
+}
+
+// enqueueLocked admits one signature-checked transaction; mpMu must be
+// held. The nonce must continue the sender's committed+pending sequence.
+func (n *Node) enqueueLocked(tx *Tx) (cryptoutil.Hash, error) {
+	h := tx.Hash()
+	if n.mempool.Contains(h) {
+		return h, ErrTxKnown
+	}
+	committed := n.nonces[tx.From]
+	if tx.Nonce < committed {
+		return h, fmt.Errorf("%w: got %d, committed %d", ErrTxStale, tx.Nonce, committed)
+	}
+	expected := committed + n.mempool.PendingFrom(tx.From)
 	if tx.Nonce != expected {
 		return cryptoutil.Hash{}, fmt.Errorf("%w: got %d, want %d", ErrBadNonce, tx.Nonce, expected)
 	}
-	n.mempool = append(n.mempool, tx)
-	return tx.Hash(), nil
+	n.mempool.Add(h, tx)
+	return h, nil
 }
 
 // PendingTxs returns the number of mempool transactions.
 func (n *Node) PendingTxs() int {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	return len(n.mempool)
+	n.mpMu.Lock()
+	defer n.mpMu.Unlock()
+	return n.mempool.Len()
 }
 
 // proposerFor returns the authority whose turn it is at the given height.
@@ -224,19 +308,24 @@ func (n *Node) seal(force bool) (*Block, error) {
 	n.sealMu.Lock()
 	defer n.sealMu.Unlock()
 
-	n.mu.Lock()
+	n.mu.RLock()
 	parent := n.blocks[len(n.blocks)-1]
+	n.mu.RUnlock()
 	number := parent.Header.Number + 1
 	if !force && n.proposerFor(number) != n.key.Address() {
-		n.mu.Unlock()
 		return nil, fmt.Errorf("%w: height %d belongs to %s", ErrNotOurTurn, number, n.proposerFor(number))
 	}
-	take := len(n.mempool)
-	if take > n.maxTxs {
-		take = n.maxTxs
+
+	// Drain the mempool and advance nonces in the same critical section,
+	// so a submission racing with sealing always sees a consistent
+	// committed+pending nonce sequence. Execution then proceeds without
+	// blocking admission of the next block's transactions.
+	n.mpMu.Lock()
+	txs := n.mempool.Take(n.maxTxs)
+	for _, tx := range txs {
+		n.nonces[tx.From] = tx.Nonce + 1
 	}
-	txs := n.mempool[:take]
-	n.mempool = append([]*Tx(nil), n.mempool[take:]...)
+	n.mpMu.Unlock()
 
 	bctx := BlockContext{Number: number, Time: n.clock.Now()}
 	if !bctx.Time.After(parent.Header.Time) {
@@ -245,6 +334,7 @@ func (n *Node) seal(force bool) (*Block, error) {
 		bctx.Time = parent.Header.Time.Add(time.Nanosecond)
 	}
 
+	n.mu.Lock()
 	receipts := n.executeAll(txs, bctx)
 	header := Header{
 		Number:      number,
@@ -268,7 +358,8 @@ func (n *Node) seal(force bool) (*Block, error) {
 }
 
 // executeAll runs txs against the node state, producing receipts; it must
-// be called with n.mu held.
+// be called with n.mu held. Nonce bookkeeping happens at mempool drain
+// time (see seal), not here.
 func (n *Node) executeAll(txs []*Tx, bctx BlockContext) []*Receipt {
 	receipts := make([]*Receipt, 0, len(txs))
 	eventIndex := 0
@@ -287,7 +378,6 @@ func (n *Node) executeAll(txs []*Tx, bctx BlockContext) []*Receipt {
 			receipt.Events[i].Index = eventIndex
 			eventIndex++
 		}
-		n.nonces[tx.From] = tx.Nonce + 1
 		n.costs.Record(tx.From, tx.Method, receipt.GasUsed)
 		receipts = append(receipts, receipt)
 	}
@@ -355,7 +445,9 @@ func (n *Node) findReceiptLocked(txHash cryptoutil.Hash) *Receipt {
 }
 
 // Query serves a read-only contract call against the current state. This
-// is the on-chain half of the pull-out oracle pattern.
+// is the on-chain half of the pull-out oracle pattern. No node lock is
+// held while the executor runs (State is internally synchronized), so
+// queries never serialize behind sealing.
 func (n *Node) Query(contract cryptoutil.Address, method string, args []byte) ([]byte, error) {
 	n.mu.RLock()
 	head := n.blocks[len(n.blocks)-1]

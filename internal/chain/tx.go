@@ -1,16 +1,3 @@
-// Package chain implements the blockchain substrate of the usage-control
-// architecture: ECDSA-signed transactions, a mempool, proof-of-authority
-// block production, a journaled key-value state with deterministic state
-// roots, receipts, topic-filterable event logs with subscriptions, and a
-// gas schedule used by the affordability experiments.
-//
-// The package replaces the public blockchain the paper assumes. It keeps
-// the same interface contract — submit a signed transaction, have it
-// validated and ordered into a block by consensus among authorities,
-// observe its receipt and emitted events — without requiring a live
-// network. Contract execution is delegated to an Executor (implemented by
-// package contract), mirroring how an EVM is a pluggable component of a
-// node.
 package chain
 
 import (

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/cryptoutil"
+	"repro/internal/distexchange"
+)
+
+// buildRegisterPodBatch signs n registerPod transactions from one sender
+// with consecutive nonces starting at the sender's current nonce.
+func buildRegisterPodBatch(t *testing.T, d *Deployment, key *cryptoutil.KeyPair, n int, tag string) []*chain.Tx {
+	t.Helper()
+	nonce := d.Nodes[0].NonceFor(key.Address())
+	txs := make([]*chain.Tx, n)
+	for i := range n {
+		args := distexchange.RegisterPodArgs{
+			OwnerWebID: fmt.Sprintf("https://%s%d.example/profile#me", tag, i),
+			Location:   fmt.Sprintf("https://%s%d.example/", tag, i),
+		}
+		tx, err := chain.NewTx(key, nonce, d.DEAddr, "registerPod", args, distexchange.DefaultGasLimit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		txs[i] = tx
+		nonce++
+	}
+	return txs
+}
+
+// TestDeploymentSubmitBatchSealOnSubmit checks that the batched ingestion
+// path commits the whole batch, replicates it to every validator, and
+// leaves receipts addressable by the returned hashes.
+func TestDeploymentSubmitBatchSealOnSubmit(t *testing.T) {
+	d, err := NewDeployment(Config{Validators: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	key := cryptoutil.MustGenerateKey()
+	txs := buildRegisterPodBatch(t, d, key, 12, "batch")
+	hashes, err := d.SubmitBatch(txs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hashes) != len(txs) {
+		t.Fatalf("hashes = %d, want %d", len(hashes), len(txs))
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for i, h := range hashes {
+		r, err := d.Nodes[0].WaitForReceipt(ctx, h)
+		if err != nil {
+			t.Fatalf("receipt %d: %v", i, err)
+		}
+		if !r.Succeeded() {
+			t.Fatalf("tx %d reverted: %s", i, r.Err)
+		}
+	}
+	// Every validator converged on the same head and drained its mempool.
+	head := d.Nodes[0].Head().Hash()
+	for _, n := range d.Nodes[1:] {
+		if n.Head().Hash() != head {
+			t.Fatalf("validator %s diverged", n.Address().Short())
+		}
+		if n.PendingTxs() != 0 {
+			t.Fatalf("validator %s has %d pending txs", n.Address().Short(), n.PendingTxs())
+		}
+	}
+	// The DE App observed all registrations.
+	args, err := json.Marshal(distexchange.GetPodArgs{OwnerWebID: "https://batch0.example/profile#me"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := d.Nodes[0].Query(d.DEAddr, "getPod", args)
+	if err != nil {
+		t.Fatalf("getPod after batch: %v", err)
+	}
+	if len(raw) == 0 {
+		t.Fatal("empty pod record")
+	}
+}
+
+// TestHarnessAblationBatchSubmit runs the batch-submission ablation in
+// quick mode and checks the table's shape: positive timings for both
+// modes at every block size.
+func TestHarnessAblationBatchSubmit(t *testing.T) {
+	tbl := quickHarness().AblationBatchSubmit()
+	if len(tbl.Rows) < 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if parseF(t, row[1]) <= 0 || parseF(t, row[2]) <= 0 {
+			t.Fatalf("non-positive timing: %v", row)
+		}
+	}
+}
+
+// TestHarnessAblationParallelVerify runs the verification ablation in
+// quick mode; both the sequential and concurrent pools must ingest the
+// batch correctly (timings positive, not shape-compared because the CI
+// container may be single-core).
+func TestHarnessAblationParallelVerify(t *testing.T) {
+	tbl := quickHarness().AblationParallelVerify()
+	if len(tbl.Rows) < 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if parseF(t, row[1]) <= 0 || parseF(t, row[2]) <= 0 {
+			t.Fatalf("non-positive timing: %v", row)
+		}
+	}
+}

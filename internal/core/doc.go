@@ -1,0 +1,31 @@
+// Package core assembles the complete usage-control architecture of the
+// paper (Fig. 1): a proof-of-authority blockchain cluster running the
+// DistExchange application, Solid pods fronted by Pod Managers over HTTP,
+// consumer devices with TEE-enforced trusted applications, the data
+// market, and the four oracle patterns wiring the on-chain and off-chain
+// worlds together.
+//
+// Deployment is the façade; Owner and Consumer expose the six Fig. 2
+// processes as typed Go methods. Baseline provides the plain-Solid
+// (access-control-only) comparator used by the overhead experiments.
+// Harness drives the E1–E12 experiment suite plus the ablations
+// (block interval, oracle fan-out, batch submission, parallel
+// verification); each experiment boots a fresh Deployment and returns a
+// printable Table.
+//
+// # Concurrency contract
+//
+// A Deployment is safe for concurrent use by many owners and consumers:
+// its own mutex only guards the owner/consumer registries, while all
+// chain-state synchronization is delegated to the chain layer (see
+// package chain's concurrency contract). Transaction ingestion has two
+// paths with different throughput characteristics: the per-transaction
+// backend used by distexchange clients (one broadcast + one consensus
+// round per call in SealOnSubmit mode) and Deployment.SubmitBatch, which
+// verifies a whole batch concurrently, enqueues it on every validator
+// under one mempool lock acquisition each, and seals the batch in as few
+// blocks as MaxTxsPerBlock allows. Oracles (pull-in, push-out) run their
+// own goroutines observing node 0; their delivery is asynchronous, which
+// is why tests wait on WaitPolicyVersion / WaitForRoundClosure rather
+// than assuming synchronous propagation.
+package core

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/chain"
+	"repro/internal/cryptoutil"
 	"repro/internal/distexchange"
 	"repro/internal/podmanager"
 	"repro/internal/policy"
@@ -617,6 +619,83 @@ func (h *Harness) AblationOracleFanout() *Table {
 	}
 	for _, n := range h.sweep([]int{4, 16, 48}) {
 		t.Add(n, run(n, false), run(n, true))
+	}
+	return t
+}
+
+// batchScenario boots a validator cluster with manual sealing, submits n
+// uniquely-addressed registerPod transactions from one sender — either
+// one at a time or as a single batch — drives consensus until the
+// mempool drains, and returns the wall-clock milliseconds for the whole
+// ingestion+consensus round.
+func batchScenario(n, validators, verifyWorkers int, batch bool) float64 {
+	d := must(NewDeployment(Config{
+		Validators:    validators,
+		Sealing:       SealManually,
+		VerifyWorkers: verifyWorkers,
+	}))
+	defer d.Close()
+
+	key := cryptoutil.MustGenerateKey()
+	txs := make([]*chain.Tx, n)
+	for i := range n {
+		args := distexchange.RegisterPodArgs{
+			OwnerWebID: fmt.Sprintf("https://owner%d.example/profile#me", i),
+			Location:   fmt.Sprintf("https://owner%d.example/", i),
+		}
+		txs[i] = must(chain.NewTx(key, uint64(i), d.DEAddr, "registerPod", args, distexchange.DefaultGasLimit))
+	}
+
+	start := time.Now()
+	if batch {
+		must(d.SubmitBatch(txs))
+	} else {
+		// Seed semantics: every node verifies and admits each transaction
+		// independently (what SubmitEverywhere did before verification was
+		// hoisted to the network layer).
+		for _, tx := range txs {
+			for _, n := range d.Nodes {
+				must(n.SubmitTx(tx))
+			}
+		}
+	}
+	for d.Nodes[0].PendingTxs() > 0 {
+		must(d.SealBlock())
+	}
+	return float64(time.Since(start).Microseconds()) / 1000
+}
+
+// AblationBatchSubmit compares per-transaction submission (one signature
+// verification per node per transaction, one mempool lock acquisition
+// each — the seed's SubmitEverywhere semantics) against batched
+// submission (one concurrent verification pass for the cluster, one lock
+// acquisition per node) at growing block sizes.
+func (h *Harness) AblationBatchSubmit() *Table {
+	t := &Table{
+		Title:  "Ablation: per-tx vs batched submission (3 validators, manual sealing)",
+		Header: []string{"txs", "per_tx_ms", "batch_ms", "speedup"},
+	}
+	for _, n := range h.sweep([]int{32, 128, 512}) {
+		perTx := batchScenario(n, 3, 0, false)
+		batched := batchScenario(n, 3, 0, true)
+		t.Add(n, perTx, batched, perTx/batched)
+	}
+	return t
+}
+
+// AblationParallelVerify compares sequential signature verification
+// (VerifyWorkers=1, the seed behaviour) against the bounded concurrent
+// pool (VerifyWorkers=0 → GOMAXPROCS) for whole-batch ingestion and
+// block validation on a 3-validator cluster.
+func (h *Harness) AblationParallelVerify() *Table {
+	t := &Table{
+		Title:  "Ablation: sequential vs concurrent signature verification (3 validators)",
+		Header: []string{"txs", "sequential_ms", "parallel_ms", "speedup"},
+	}
+	for _, n := range h.sweep([]int{64, 256, 1024}) {
+		seq := batchScenario(n, 3, 1, true)
+		par := batchScenario(n, 3, 0, true)
+		t.Add(n, seq, par, seq/par)
 	}
 	return t
 }

@@ -1,17 +1,3 @@
-// Package policy implements the usage-policy model of the usage-control
-// architecture: an ODRL-inspired language with purpose constraints,
-// temporal (retention/expiry) obligations, usage-count limits, sharing
-// prohibitions and notification duties, together with an evaluation engine
-// and a policy-update differ.
-//
-// The paper's two running examples are expressible directly:
-//
-//   - Bob's medical dataset "to be used only for medical purposes" is a
-//     policy with AllowedPurposes = {medical-research} (later modified to
-//     {academic}).
-//   - Alice's internet-browsing dataset "must be deleted one month after
-//     storage" is a policy with MaxRetention = 30 days (later shortened to
-//     7 days).
 package policy
 
 import (

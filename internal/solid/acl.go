@@ -1,14 +1,3 @@
-// Package solid implements the Solid substrate: personal online datastores
-// (pods) holding a hierarchical resource tree, Web Access Control (WAC)
-// authorization documents expressed in Turtle, and an LDP-style HTTP
-// server and client for the Solid communication rules the paper's
-// architecture builds on.
-//
-// The package reproduces exactly the subset of the Solid protocol the
-// architecture needs: agents identified by WebIDs perform HTTP CRUD on pod
-// resources, and the pod decides access by evaluating ACL documents with
-// acl:accessTo / acl:default inheritance, acl:agent / acl:agentClass
-// subjects, and the Read/Write/Append/Control modes.
 package solid
 
 import (

@@ -1,0 +1,25 @@
+// Package solid implements the Solid substrate: personal online datastores
+// (pods) holding a hierarchical resource tree, Web Access Control (WAC)
+// authorization documents expressed in Turtle, and an LDP-style HTTP
+// server and client for the Solid communication rules the paper's
+// architecture builds on.
+//
+// The package reproduces exactly the subset of the Solid protocol the
+// architecture needs: agents identified by WebIDs perform HTTP CRUD on pod
+// resources, and the pod decides access by evaluating ACL documents with
+// acl:accessTo / acl:default inheritance, acl:agent / acl:agentClass
+// subjects, and the Read/Write/Append/Control modes.
+//
+// # Concurrency contract
+//
+// Pod and Server are safe for concurrent use: each guards its resource
+// tree (and, for Server, its agent directory) with an RWMutex, so reads
+// run in parallel and HTTP handlers may be served from any number of
+// goroutines. Individual operations are atomic — a Get observes either
+// all or none of a concurrent Put — but the package offers no
+// multi-resource transactions: a reader walking a container while a
+// writer updates two resources may observe the intermediate state.
+// Client is a thin stateless wrapper over http.Client plus a signing
+// key; it is safe for concurrent use as long as Decorate is not
+// reassigned mid-flight.
+package solid
