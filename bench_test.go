@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"net/http/httptest"
 	"testing"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"repro/internal/distexchange"
 	"repro/internal/podmanager"
 	"repro/internal/policy"
+	"repro/internal/simclock"
 	"repro/internal/solid"
 )
 
@@ -593,4 +595,154 @@ func reportGas(b *testing.B, d *core.Deployment, method string) {
 			b.ReportMetric(float64(op.AvgGas()), "gas/"+method)
 		}
 	}
+}
+
+// --- pod-serving layer (host + authorization cache) ---
+
+// hostFixture builds a multi-pod host with one resource per pod and an
+// authenticated client per owner.
+func hostFixture(b *testing.B, pods int) (srv *httptest.Server, clients []*solid.Client, urls []string) {
+	b.Helper()
+	clk := simclock.NewSim(time.Date(2023, 10, 9, 0, 0, 0, 0, time.UTC))
+	dir := solid.NewMapDirectory()
+	host := solid.NewHost(dir, clk)
+	srv = httptest.NewServer(host)
+	b.Cleanup(srv.Close)
+
+	clients = make([]*solid.Client, pods)
+	urls = make([]string, pods)
+	for i := range pods {
+		name := fmt.Sprintf("owner%04d", i)
+		key := cryptoutil.MustGenerateKey()
+		owner := solid.WebID("https://" + name + ".example/profile#me")
+		dir.Register(owner, key.PublicBytes())
+		pod, err := host.CreatePod(name, owner, srv.URL, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := pod.Put(owner, "/data/r.bin", "application/octet-stream",
+			bytes.Repeat([]byte("x"), 1024), clk.Now()); err != nil {
+			b.Fatal(err)
+		}
+		clients[i] = solid.NewClient(owner, key, clk)
+		urls[i] = srv.URL + "/pods/" + name + "/data/r.bin"
+	}
+	return srv, clients, urls
+}
+
+// BenchmarkSolidHostScaleOut measures authenticated GET latency through
+// the pod-serving layer: a single pod served directly vs many pods
+// multiplexed through one Host handler. The per-request cost should stay
+// flat as the pod count grows (routing is a sharded map lookup).
+func BenchmarkSolidHostScaleOut(b *testing.B) {
+	b.Run("direct-single-pod", func(b *testing.B) {
+		clk := simclock.NewSim(time.Date(2023, 10, 9, 0, 0, 0, 0, time.UTC))
+		dir := solid.NewMapDirectory()
+		key := cryptoutil.MustGenerateKey()
+		owner := solid.WebID("https://owner.example/profile#me")
+		dir.Register(owner, key.PublicBytes())
+		pod := solid.NewPod(owner, "https://owner.pod")
+		srv := httptest.NewServer(solid.NewServer(pod, dir, clk, nil))
+		b.Cleanup(srv.Close)
+		if err := pod.Put(owner, "/data/r.bin", "application/octet-stream",
+			bytes.Repeat([]byte("x"), 1024), clk.Now()); err != nil {
+			b.Fatal(err)
+		}
+		client := solid.NewClient(owner, key, clk)
+		url := srv.URL + "/data/r.bin"
+		b.ResetTimer()
+		for b.Loop() {
+			if _, _, err := client.Get(url); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, pods := range []int{16, 128} {
+		b.Run(fmt.Sprintf("hosted-pods=%d", pods), func(b *testing.B) {
+			_, clients, urls := hostFixture(b, pods)
+			b.ResetTimer()
+			for i := 0; b.Loop(); i++ {
+				k := i % pods
+				if _, _, err := clients[k].Get(urls[k]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSolidAuthorizeCache measures Pod.Authorize on a deep path
+// (three ancestor levels between the resource and its governing ACL)
+// with the generation-stamped decision cache on and off.
+func BenchmarkSolidAuthorizeCache(b *testing.B) {
+	setup := func(b *testing.B, cached bool) *solid.Pod {
+		b.Helper()
+		owner := solid.WebID("https://owner.example/profile#me")
+		reader := solid.WebID("https://reader.example/profile#me")
+		pod := solid.NewPod(owner, "https://owner.pod")
+		pod.SetAuthCacheEnabled(cached)
+		root := solid.NewACL(owner, "/")
+		root.Grant("reader", []solid.WebID{reader}, "/", true, solid.ModeRead)
+		if err := pod.SetACL(owner, "/", root); err != nil {
+			b.Fatal(err)
+		}
+		if err := pod.Put(owner, "/a/b/c/r.bin", "application/octet-stream",
+			[]byte("payload"), time.Date(2023, 10, 9, 0, 0, 0, 0, time.UTC)); err != nil {
+			b.Fatal(err)
+		}
+		return pod
+	}
+	reader := solid.WebID("https://reader.example/profile#me")
+	b.Run("uncached", func(b *testing.B) {
+		pod := setup(b, false)
+		b.ResetTimer()
+		for b.Loop() {
+			if err := pod.Authorize(reader, "/a/b/c/r.bin", solid.ModeRead); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		pod := setup(b, true)
+		b.ResetTimer()
+		for b.Loop() {
+			if err := pod.Authorize(reader, "/a/b/c/r.bin", solid.ModeRead); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSolidConditionalGet compares full re-fetches against
+// ETag-revalidated 304 answers for a caching client.
+func BenchmarkSolidConditionalGet(b *testing.B) {
+	const size = 256 << 10
+	run := func(b *testing.B, caching bool) {
+		clk := simclock.NewSim(time.Date(2023, 10, 9, 0, 0, 0, 0, time.UTC))
+		dir := solid.NewMapDirectory()
+		key := cryptoutil.MustGenerateKey()
+		owner := solid.WebID("https://owner.example/profile#me")
+		dir.Register(owner, key.PublicBytes())
+		pod := solid.NewPod(owner, "https://owner.pod")
+		srv := httptest.NewServer(solid.NewServer(pod, dir, clk, nil))
+		b.Cleanup(srv.Close)
+		if err := pod.Put(owner, "/data/r.bin", "application/octet-stream",
+			bytes.Repeat([]byte("x"), size), clk.Now()); err != nil {
+			b.Fatal(err)
+		}
+		client := solid.NewClient(owner, key, clk)
+		if caching {
+			client.EnableCaching()
+		}
+		url := srv.URL + "/data/r.bin"
+		b.SetBytes(size)
+		b.ResetTimer()
+		for b.Loop() {
+			if _, _, err := client.Get(url); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("full-fetch", func(b *testing.B) { run(b, false) })
+	b.Run("revalidated-304", func(b *testing.B) { run(b, true) })
 }

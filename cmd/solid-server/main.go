@@ -1,14 +1,17 @@
-// Command solid-server runs a standalone Solid pod server with Web Access
-// Control, the storage substrate of the usage-control architecture.
+// Command solid-server runs a standalone multi-pod Solid host with Web
+// Access Control, the storage substrate of the usage-control
+// architecture. One process serves any number of pods behind a single
+// handler, each mounted at /pods/{owner}/.
 //
 // Usage:
 //
-//	solid-server [-addr :8080] [-owner https://alice.example/profile#me]
+//	solid-server [-addr :8080] [-base http://localhost:8080] [-owners alice,bob]
 //
-// The server starts with an empty pod whose root ACL grants the owner
-// full control, registers the owner's signing key in the agent directory,
-// and prints the key so a client (e.g. internal/solid.Client) can
-// authenticate. A public demo resource is seeded under /public/hello.txt.
+// For every name in -owners the server provisions a pod whose root ACL
+// grants that owner full control, registers the owner's signing key in
+// the agent directory, and prints the key so a client (e.g.
+// internal/solid.Client) can authenticate. A public demo resource is
+// seeded under /pods/{owner}/public/hello.txt.
 package main
 
 import (
@@ -18,7 +21,7 @@ import (
 	"log"
 	"net/http"
 	"os"
-	"time"
+	"strings"
 
 	"repro/internal/cryptoutil"
 	"repro/internal/simclock"
@@ -35,35 +38,55 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("solid-server", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
-	owner := fs.String("owner", "https://alice.example/profile#me", "pod owner WebID")
+	base := fs.String("base", "", "public base URL (default http://localhost<addr>)")
+	owners := fs.String("owners", "alice", "comma-separated pod owner names, one pod each")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-
-	ownerKey, err := cryptoutil.GenerateKey(nil)
-	if err != nil {
-		return err
+	baseURL := *base
+	if baseURL == "" {
+		if strings.HasPrefix(*addr, ":") {
+			baseURL = "http://localhost" + *addr
+		} else {
+			baseURL = "http://" + *addr
+		}
 	}
-	ownerID := solid.WebID(*owner)
 
+	clock := simclock.Real{}
 	dir := solid.NewMapDirectory()
-	dir.Register(ownerID, ownerKey.PublicBytes())
+	host := solid.NewHost(dir, clock)
 
-	pod := solid.NewPod(ownerID, "http://localhost"+*addr)
-	now := time.Now()
-	if err := pod.Put(ownerID, "/public/hello.txt", "text/plain",
-		[]byte("hello from a Solid pod with usage control\n"), now); err != nil {
-		return err
-	}
-	acl := solid.NewACL(ownerID, "/public/")
-	acl.GrantPublic("world", "/public/", true, solid.ModeRead)
-	if err := pod.SetACL(ownerID, "/public/", acl); err != nil {
-		return err
+	for _, name := range strings.Split(*owners, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		key, err := cryptoutil.GenerateKey(nil)
+		if err != nil {
+			return err
+		}
+		podBase := baseURL + solid.PodRoutePrefix + name
+		ownerID := solid.WebID(podBase + "/profile#" + name)
+		dir.Register(ownerID, key.PublicBytes())
+
+		pod, err := host.CreatePod(name, ownerID, baseURL, nil)
+		if err != nil {
+			return err
+		}
+		if err := pod.Put(ownerID, "/public/hello.txt", "text/plain",
+			[]byte("hello from the Solid pod of "+name+"\n"), clock.Now()); err != nil {
+			return err
+		}
+		acl := solid.NewACL(ownerID, "/public/")
+		acl.GrantPublic("world", "/public/", true, solid.ModeRead)
+		if err := pod.SetACL(ownerID, "/public/", acl); err != nil {
+			return err
+		}
+		log.Printf("pod %-12s owner %s", name, ownerID)
+		log.Printf("  owner key (hex): %s", hex.EncodeToString(key.PublicBytes()))
+		log.Printf("  try GET %s/public/hello.txt", podBase)
 	}
 
-	server := solid.NewServer(pod, dir, simclock.Real{}, nil)
-	log.Printf("pod owner:      %s", ownerID)
-	log.Printf("owner key (hex): %s", hex.EncodeToString(ownerKey.PublicBytes()))
-	log.Printf("serving pod on  %s (try GET /public/hello.txt)", *addr)
-	return http.ListenAndServe(*addr, server)
+	log.Printf("serving %d pod(s) on %s under %s{owner}/", host.Len(), *addr, solid.PodRoutePrefix)
+	return http.ListenAndServe(*addr, host)
 }

@@ -76,6 +76,8 @@ func run(args []string) error {
 			fmt.Println(h.AblationOracleFanout())
 			fmt.Println(h.AblationBatchSubmit())
 			fmt.Println(h.AblationParallelVerify())
+			fmt.Println(h.AblationHostScaleOut())
+			fmt.Println(h.AblationAuthCache())
 			continue
 		}
 		fmt.Println(experiments[name]())

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"net/http/httptest"
 	"time"
 
 	"repro/internal/chain"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/distexchange"
 	"repro/internal/podmanager"
 	"repro/internal/policy"
+	"repro/internal/simclock"
 	"repro/internal/solid"
 )
 
@@ -713,5 +715,109 @@ func ChainStats(d *Deployment) *Table {
 	t.Add("oracle_in", d.Metrics.In.Load())
 	t.Add("oracle_out", d.Metrics.Out.Load())
 	t.Add("events_dropped", node.EventsDropped())
+	return t
+}
+
+// hostScaleOutScenario measures authenticated GET latency against a pod
+// population: pods=1 serves the pod directly from a Server; larger
+// populations route through one multi-pod Host handler.
+func hostScaleOutScenario(pods, requests int) (usPerOp float64) {
+	clk := simclock.NewSim(defaultGenesis)
+	dir := solid.NewMapDirectory()
+
+	type tenant struct {
+		client *solid.Client
+		url    string
+	}
+	tenants := make([]tenant, pods)
+
+	var server *httptest.Server
+	if pods == 1 {
+		key := cryptoutil.MustGenerateKey()
+		owner := solid.WebID("https://owner.example/profile#me")
+		dir.Register(owner, key.PublicBytes())
+		pod := solid.NewPod(owner, "https://owner.pod")
+		server = httptest.NewServer(solid.NewServer(pod, dir, clk, nil))
+		must0(pod.Put(owner, "/data/r.bin", "application/octet-stream",
+			bytes.Repeat([]byte("x"), 1024), clk.Now()))
+		tenants[0] = tenant{solid.NewClient(owner, key, clk), server.URL + "/data/r.bin"}
+	} else {
+		host := solid.NewHost(dir, clk)
+		server = httptest.NewServer(host)
+		for i := range pods {
+			name := fmt.Sprintf("owner%04d", i)
+			key := cryptoutil.MustGenerateKey()
+			owner := solid.WebID("https://" + name + ".example/profile#me")
+			dir.Register(owner, key.PublicBytes())
+			pod := must(host.CreatePod(name, owner, server.URL, nil))
+			must0(pod.Put(owner, "/data/r.bin", "application/octet-stream",
+				bytes.Repeat([]byte("x"), 1024), clk.Now()))
+			tenants[i] = tenant{solid.NewClient(owner, key, clk),
+				server.URL + solid.PodRoutePrefix + name + "/data/r.bin"}
+		}
+	}
+	defer server.Close()
+
+	start := time.Now()
+	for i := range requests {
+		tn := tenants[i%pods]
+		_, _, err := tn.client.Get(tn.url)
+		must0(err)
+	}
+	return float64(time.Since(start).Microseconds()) / float64(requests)
+}
+
+// AblationHostScaleOut measures the pod-serving layer's scale-out: GET
+// latency through one multi-pod Host handler stays flat as the hosted
+// pod population grows, and matches serving a single pod directly.
+func (h *Harness) AblationHostScaleOut() *Table {
+	t := &Table{
+		Title:  "Ablation: pod host scale-out (authenticated GET through one handler)",
+		Header: []string{"pods", "us_per_request", "vs_single_pod_x"},
+	}
+	const requests = 300
+	single := hostScaleOutScenario(1, requests)
+	t.Add(1, single, 1.0)
+	for _, pods := range h.sweep([]int{16, 64, 256}) {
+		us := hostScaleOutScenario(pods, requests)
+		t.Add(pods, us, us/single)
+	}
+	return t
+}
+
+// AblationAuthCache measures the ACL decision cache against the uncached
+// ancestor walk at growing resource depth (the deeper the resource under
+// its governing ACL, the longer the uncached walk).
+func (h *Harness) AblationAuthCache() *Table {
+	t := &Table{
+		Title:  "Ablation: ACL decision cache vs uncached ancestor walk",
+		Header: []string{"depth", "uncached_ns", "cached_ns", "speedup"},
+	}
+	reader := solid.WebID("https://reader.example/profile#me")
+	run := func(depth int, cached bool) float64 {
+		owner := solid.WebID("https://owner.example/profile#me")
+		pod := solid.NewPod(owner, "https://owner.pod")
+		pod.SetAuthCacheEnabled(cached)
+		root := solid.NewACL(owner, "/")
+		root.Grant("reader", []solid.WebID{reader}, "/", true, solid.ModeRead)
+		must0(pod.SetACL(owner, "/", root))
+		path := ""
+		for i := range depth {
+			path += fmt.Sprintf("/d%d", i)
+		}
+		path += "/r.bin"
+		must0(pod.Put(owner, path, "application/octet-stream", []byte("x"), defaultGenesis))
+		const ops = 200_000
+		start := time.Now()
+		for range ops {
+			must0(pod.Authorize(reader, path, solid.ModeRead))
+		}
+		return float64(time.Since(start).Nanoseconds()) / ops
+	}
+	for _, depth := range h.sweep([]int{2, 4, 8, 16}) {
+		uncached := run(depth, false)
+		cached := run(depth, true)
+		t.Add(depth, uncached, cached, uncached/cached)
+	}
 	return t
 }

@@ -88,25 +88,47 @@ func (a *ACL) GrantPublic(id, resourcePath string, asDefault bool, modes ...Acce
 
 // Allows reports whether the ACL grants the agent the mode on the resource
 // path. When inherited is true, only acl:default authorizations count (the
-// document was found on an ancestor container).
+// document was found on an ancestor container), and only for resources
+// contained in the authorization's stated target: an acl:default grant on
+// /a/ never reaches /b/x just because the document was found along /b/x's
+// ancestor walk. Granting Write implies Append (WAC mode subsumption).
 func (a *ACL) Allows(agent WebID, path string, mode AccessMode, inherited bool) bool {
 	for _, auth := range a.Authorizations {
-		if inherited && !auth.Default {
-			continue
-		}
-		if !inherited && auth.AccessTo != path {
+		if inherited {
+			if !auth.Default || !containsPath(auth.AccessTo, path) {
+				continue
+			}
+		} else if auth.AccessTo != path {
 			continue
 		}
 		if !auth.Public && !containsAgent(auth.Agents, agent) {
 			continue
 		}
 		for _, m := range auth.Modes {
-			if m == mode {
+			if modeSatisfies(m, mode) {
 				return true
 			}
 		}
 	}
 	return false
+}
+
+// modeSatisfies reports whether a granted mode covers the requested one:
+// exact match, or Write covering Append.
+func modeSatisfies(granted, want AccessMode) bool {
+	return granted == want || (granted == ModeWrite && want == ModeAppend)
+}
+
+// containsPath reports whether p is the container itself or contained in
+// it (at any depth).
+func containsPath(container, p string) bool {
+	if container == "/" {
+		return true
+	}
+	if p == container {
+		return true
+	}
+	return strings.HasPrefix(p, strings.TrimSuffix(container, "/")+"/")
 }
 
 func containsAgent(agents []WebID, agent WebID) bool {
@@ -166,7 +188,12 @@ func ACLFromGraph(g *rdf.Graph, podBase string) (*ACL, error) {
 		if accessTo.IsZero() {
 			return nil, fmt.Errorf("solid: authorization %s lacks acl:accessTo", node)
 		}
-		auth.AccessTo = strings.TrimPrefix(accessTo.Value(), podBase)
+		rel, ok := strings.CutPrefix(accessTo.Value(), podBase)
+		if !ok || !strings.HasPrefix(rel, "/") {
+			return nil, fmt.Errorf("solid: authorization %s: accessTo %s outside pod base %s",
+				node, accessTo.Value(), podBase)
+		}
+		auth.AccessTo = rel
 		if !g.FirstObject(node, rdf.IRI(rdf.ACLDefault)).IsZero() {
 			auth.Default = true
 		}

@@ -1,6 +1,7 @@
 package solid
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -137,5 +138,89 @@ func TestDecodeACLTurtleErrors(t *testing.T) {
 `
 	if _, err := DecodeACLTurtle(doc2, podBase); err == nil {
 		t.Fatal("unknown mode accepted")
+	}
+}
+
+// TestACLDefaultScopedToTarget pins the WAC inheritance fix: an
+// acl:default authorization grants only on resources contained in its
+// stated target, not on every descendant of wherever the document was
+// found.
+func TestACLDefaultScopedToTarget(t *testing.T) {
+	acl := NewACL(aliceID, "/")
+	// A default grant whose target is /b/: it must not reach /a/x even
+	// when the document is consulted for /a/x via the ancestor walk.
+	acl.Grant("bob-b", []WebID{bobID}, "/b/", true, ModeRead)
+
+	if !acl.Allows(bobID, "/b/x", ModeRead, true) {
+		t.Error("default grant denied inside its own target")
+	}
+	if !acl.Allows(bobID, "/b/deep/nested.txt", ModeRead, true) {
+		t.Error("default grant denied on deep descendant of its target")
+	}
+	if acl.Allows(bobID, "/a/x", ModeRead, true) {
+		t.Error("default grant on /b/ leaked to /a/x")
+	}
+	if acl.Allows(bobID, "/bx", ModeRead, true) {
+		t.Error("default grant on /b/ leaked to sibling /bx (prefix confusion)")
+	}
+}
+
+// TestACLDefaultScopedToTargetThroughPod exercises the same fix end to
+// end through Pod.Authorize.
+func TestACLDefaultScopedToTargetThroughPod(t *testing.T) {
+	pod := NewPod(aliceID, "https://alice.pod")
+	root := NewACL(aliceID, "/")
+	root.Grant("bob-b", []WebID{bobID}, "/b/", true, ModeRead)
+	if err := pod.SetACL(aliceID, "/", root); err != nil {
+		t.Fatal(err)
+	}
+	if err := pod.Put(aliceID, "/a/secret.txt", "text/plain", []byte("s"), podEpoch); err != nil {
+		t.Fatal(err)
+	}
+	if err := pod.Put(aliceID, "/b/open.txt", "text/plain", []byte("o"), podEpoch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pod.Get(bobID, "/b/open.txt"); err != nil {
+		t.Fatalf("read inside default target: %v", err)
+	}
+	if _, err := pod.Get(bobID, "/a/secret.txt"); !errors.Is(err, ErrForbidden) {
+		t.Fatalf("default grant on /b/ must not open /a/: %v", err)
+	}
+}
+
+// TestACLWriteImpliesAppend pins the mode subsumption added with POST
+// support.
+func TestACLWriteImpliesAppend(t *testing.T) {
+	acl := NewACL(aliceID, "/r")
+	acl.Grant("bob-write", []WebID{bobID}, "/r", false, ModeWrite)
+	acl.Grant("eve-append", []WebID{eveID}, "/r", false, ModeAppend)
+
+	if !acl.Allows(bobID, "/r", ModeAppend, false) {
+		t.Error("Write grant does not satisfy Append")
+	}
+	if acl.Allows(eveID, "/r", ModeWrite, false) {
+		t.Error("Append grant satisfied Write")
+	}
+}
+
+// TestACLFromGraphRejectsForeignBase pins the parsing fix: an accessTo
+// IRI outside the pod base used to be stored verbatim as a "path".
+func TestACLFromGraphRejectsForeignBase(t *testing.T) {
+	doc := `
+@prefix acl: <http://www.w3.org/ns/auth/acl#> .
+<https://pod.local/acl#x> a acl:Authorization ;
+  acl:accessTo <https://other.pod/r> ; acl:mode acl:Read .
+`
+	if _, err := DecodeACLTurtle(doc, podBase); err == nil {
+		t.Fatal("foreign accessTo IRI accepted")
+	}
+	// The pod base itself (no path) is also not a resource path.
+	doc2 := `
+@prefix acl: <http://www.w3.org/ns/auth/acl#> .
+<https://pod.local/acl#x> a acl:Authorization ;
+  acl:accessTo <https://alice.pod> ; acl:mode acl:Read .
+`
+	if _, err := DecodeACLTurtle(doc2, podBase); err == nil {
+		t.Fatal("pathless accessTo IRI accepted")
 	}
 }

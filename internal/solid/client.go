@@ -2,12 +2,14 @@ package solid
 
 import (
 	"bytes"
+	"crypto/rand"
 	"encoding/base64"
 	"encoding/hex"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"sync"
 	"time"
 
 	"repro/internal/cryptoutil"
@@ -27,11 +29,39 @@ type Client struct {
 	// Decorate, when non-nil, can add headers to every request (used to
 	// attach market payment certificates).
 	Decorate func(*http.Request)
+
+	// cacheMu guards cache; entries revalidate via If-None-Match so
+	// unchanged resources are not re-transferred.
+	cacheMu sync.Mutex
+	cache   map[string]*cachedResource
 }
+
+// cachedResource is a validated copy kept for conditional revalidation.
+type cachedResource struct {
+	etag        string
+	contentType string
+	data        []byte
+}
+
+// maxClientCacheEntries bounds the conditional-GET cache; when full, the
+// cache is reset (revalidation rebuilds it on demand).
+const maxClientCacheEntries = 256
 
 // NewClient builds an authenticated client.
 func NewClient(agent WebID, key *cryptoutil.KeyPair, clock simclock.Clock) *Client {
 	return &Client{Agent: agent, Key: key, Clock: clock}
+}
+
+// EnableCaching turns on conditional-GET caching: Get remembers each
+// resource's ETag and body, revalidates with If-None-Match, and serves
+// the cached copy on 304 Not Modified. Call before sharing the client
+// across goroutines.
+func (c *Client) EnableCaching() {
+	c.cacheMu.Lock()
+	defer c.cacheMu.Unlock()
+	if c.cache == nil {
+		c.cache = make(map[string]*cachedResource)
+	}
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -46,6 +76,15 @@ func (c *Client) now() time.Time {
 		return c.Clock.Now()
 	}
 	return simclock.Real{}.Now()
+}
+
+// newNonce mints a single-use request nonce.
+func newNonce() (string, error) {
+	var buf [16]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(buf[:]), nil
 }
 
 // newRequest builds a signed request for the resource URL.
@@ -67,13 +106,18 @@ func (c *Client) newRequest(method, resourceURL string, body []byte) (*http.Requ
 			return nil, err
 		}
 		date := c.now().UTC().Format(time.RFC3339Nano)
-		sig, err := c.Key.Sign(signingString(method, u.Path, date))
+		nonce, err := newNonce()
+		if err != nil {
+			return nil, err
+		}
+		sig, err := c.Key.Sign(signingString(method, u.Path, date, nonce))
 		if err != nil {
 			return nil, err
 		}
 		req.Header.Set(HeaderAgent, string(c.Agent))
 		req.Header.Set(HeaderAgentKey, hex.EncodeToString(c.Key.PublicBytes()))
 		req.Header.Set(HeaderDate, date)
+		req.Header.Set(HeaderNonce, nonce)
 		req.Header.Set(HeaderSignature, base64.StdEncoding.EncodeToString(sig))
 	}
 	if c.Decorate != nil {
@@ -93,29 +137,82 @@ func (e *StatusError) Error() string {
 	return fmt.Sprintf("solid: HTTP %d: %s", e.Code, e.Body)
 }
 
-func (c *Client) do(req *http.Request) ([]byte, string, error) {
+// doRaw executes the request and returns the body, headers and status.
+func (c *Client) doRaw(req *http.Request) ([]byte, http.Header, int, error) {
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return nil, "", err
+		return nil, nil, 0, err
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	body, err := io.ReadAll(io.LimitReader(resp.Body, MaxBodyBytes))
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return body, resp.Header, resp.StatusCode, nil
+}
+
+func (c *Client) do(req *http.Request) ([]byte, string, error) {
+	body, header, status, err := c.doRaw(req)
 	if err != nil {
 		return nil, "", err
 	}
-	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		return nil, "", &StatusError{Code: resp.StatusCode, Body: string(bytes.TrimSpace(body))}
+	if status < 200 || status > 299 {
+		return nil, "", &StatusError{Code: status, Body: string(bytes.TrimSpace(body))}
 	}
-	return body, resp.Header.Get("Content-Type"), nil
+	return body, header.Get("Content-Type"), nil
 }
 
-// Get retrieves a resource.
+// Get retrieves a resource. With caching enabled, a revalidated 304
+// answer is served from the local copy without re-transferring the body.
 func (c *Client) Get(resourceURL string) (data []byte, contentType string, err error) {
 	req, err := c.newRequest(http.MethodGet, resourceURL, nil)
 	if err != nil {
 		return nil, "", err
 	}
-	return c.do(req)
+	var cached *cachedResource
+	if c.cache != nil {
+		c.cacheMu.Lock()
+		cached = c.cache[resourceURL]
+		c.cacheMu.Unlock()
+		if cached != nil {
+			req.Header.Set("If-None-Match", cached.etag)
+		}
+	}
+	body, header, status, err := c.doRaw(req)
+	if err != nil {
+		return nil, "", err
+	}
+	if status == http.StatusNotModified && cached != nil {
+		return append([]byte(nil), cached.data...), cached.contentType, nil
+	}
+	if status < 200 || status > 299 {
+		return nil, "", &StatusError{Code: status, Body: string(bytes.TrimSpace(body))}
+	}
+	ct := header.Get("Content-Type")
+	if c.cache != nil {
+		if etag := header.Get("ETag"); etag != "" {
+			c.cacheMu.Lock()
+			if len(c.cache) >= maxClientCacheEntries {
+				c.cache = make(map[string]*cachedResource)
+			}
+			c.cache[resourceURL] = &cachedResource{
+				etag: etag, contentType: ct, data: append([]byte(nil), body...),
+			}
+			c.cacheMu.Unlock()
+		}
+	}
+	return body, ct, nil
+}
+
+// invalidateCached drops the cached copy of a resource the client just
+// mutated, so a later Get revalidates against the server's new state.
+func (c *Client) invalidateCached(resourceURL string) {
+	if c.cache == nil {
+		return
+	}
+	c.cacheMu.Lock()
+	delete(c.cache, resourceURL)
+	c.cacheMu.Unlock()
 }
 
 // Put stores a resource.
@@ -127,8 +224,33 @@ func (c *Client) Put(resourceURL, contentType string, data []byte) error {
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
 	}
-	_, _, err = c.do(req)
-	return err
+	if _, _, err = c.do(req); err != nil {
+		return err
+	}
+	c.invalidateCached(resourceURL)
+	return nil
+}
+
+// Post appends data: to a container URL it creates a contained resource
+// and returns its Location; to a resource URL it appends to the body and
+// returns the empty string.
+func (c *Client) Post(resourceURL, contentType string, data []byte) (location string, err error) {
+	req, err := c.newRequest(http.MethodPost, resourceURL, data)
+	if err != nil {
+		return "", err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	body, header, status, err := c.doRaw(req)
+	if err != nil {
+		return "", err
+	}
+	if status < 200 || status > 299 {
+		return "", &StatusError{Code: status, Body: string(bytes.TrimSpace(body))}
+	}
+	c.invalidateCached(resourceURL)
+	return header.Get("Location"), nil
 }
 
 // Delete removes a resource.
@@ -137,6 +259,9 @@ func (c *Client) Delete(resourceURL string) error {
 	if err != nil {
 		return err
 	}
-	_, _, err = c.do(req)
-	return err
+	if _, _, err = c.do(req); err != nil {
+		return err
+	}
+	c.invalidateCached(resourceURL)
+	return nil
 }

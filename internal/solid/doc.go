@@ -8,18 +8,58 @@
 // architecture needs: agents identified by WebIDs perform HTTP CRUD on pod
 // resources, and the pod decides access by evaluating ACL documents with
 // acl:accessTo / acl:default inheritance, acl:agent / acl:agentClass
-// subjects, and the Read/Write/Append/Control modes.
+// subjects, and the Read/Write/Append/Control modes (Write implies
+// Append). GET answers carry ETag and Last-Modified validators and honour
+// If-None-Match / If-Modified-Since, so clients (see Client.EnableCaching)
+// revalidate instead of re-transferring unchanged resources; POST appends
+// (to a resource) or mints a contained resource (on a container, LDP
+// style).
+//
+// # Multi-pod hosting
+//
+// Host serves any number of pods behind one http.Handler — the paper's
+// deployment shape, where a single provider hosts the pods of many users.
+// Pods mount at /pods/{owner}/; the Host rewrites the URL to the
+// pod-relative path before delegating to the pod's Server, while the
+// original request path remains the signature target, so a credential
+// captured for one pod can never validate on another. The registry is
+// sharded across independent locks: concurrent requests only contend
+// within the shard of the pod they address.
+//
+// # Authorization cache
+//
+// Pod.Authorize memoizes decisions in a generation-stamped cache keyed by
+// (agent, path, mode). The invalidation contract: every mutation of pod
+// state — SetACL, Put, Delete, Append — bumps the pod's ACL generation,
+// which orphans all cached decisions at once; a cached entry is only
+// served while its stamp equals the current generation, and entries are
+// stamped with the generation observed *before* evaluation, so a decision
+// computed against newer state under an older stamp is ignored, never
+// trusted. The hot read path therefore costs one map lookup instead of an
+// ancestor walk plus a linear authorization scan; benchmarks live in the
+// repository root (BenchmarkSolidAuthorizeCache) and the harness
+// (Harness.AblationAuthCache).
+//
+// # Authentication and replay protection
+//
+// Requests are signed over "method|path|date|nonce". The server rejects
+// timestamps outside MaxClockSkew and remembers each agent's verified
+// nonces within the window, so a captured request cannot be replayed
+// verbatim; only successfully verified requests consume their nonce.
+// Guard memory is bounded per agent, and capacity eviction is strictly
+// per agent: flooding can only ever weaken the flooding agent's own
+// replay protection, never another agent's.
 //
 // # Concurrency contract
 //
-// Pod and Server are safe for concurrent use: each guards its resource
-// tree (and, for Server, its agent directory) with an RWMutex, so reads
-// run in parallel and HTTP handlers may be served from any number of
+// Pod, Server and Host are safe for concurrent use: each guards its
+// state with RWMutexes (the Host shards its registry), so reads run in
+// parallel and HTTP handlers may be served from any number of
 // goroutines. Individual operations are atomic — a Get observes either
 // all or none of a concurrent Put — but the package offers no
 // multi-resource transactions: a reader walking a container while a
 // writer updates two resources may observe the intermediate state.
-// Client is a thin stateless wrapper over http.Client plus a signing
-// key; it is safe for concurrent use as long as Decorate is not
-// reassigned mid-flight.
+// Client is a thin wrapper over http.Client plus a signing key; it is
+// safe for concurrent use as long as Decorate is not reassigned
+// mid-flight and EnableCaching, if used, is called before sharing.
 package solid

@@ -1,12 +1,15 @@
 package solid
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"path"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/rdf"
@@ -22,11 +25,45 @@ type Resource struct {
 	Data []byte
 	// Modified is the last modification time.
 	Modified time.Time
+	// ETag is a strong validator over the body, set by the pod on every
+	// write (quoted, ready for the HTTP ETag header).
+	ETag string
+}
+
+// ETagFor computes the strong entity tag the pod assigns to a body.
+func ETagFor(data []byte) string {
+	sum := sha256.Sum256(data)
+	return `"` + hex.EncodeToString(sum[:8]) + `"`
+}
+
+// maxAuthCacheEntries bounds the decision cache; past it the cache is
+// reset wholesale (correctness comes from the generation stamp, the bound
+// only caps memory).
+const maxAuthCacheEntries = 1 << 14
+
+// authCacheKey identifies one access-control decision.
+type authCacheKey struct {
+	agent WebID
+	path  string
+	mode  AccessMode
+}
+
+// authDecision is a memoized Authorize outcome, valid only while the
+// pod's ACL generation still equals gen.
+type authDecision struct {
+	gen uint64
+	err error // nil = allowed; otherwise the stable ErrForbidden-wrapped denial
 }
 
 // Pod is a personal online datastore: a hierarchical resource tree with
 // per-resource and inherited (acl:default) access control documents.
 // A Pod is safe for concurrent use.
+//
+// Authorize decisions are memoized in a generation-stamped cache keyed by
+// (agent, path, mode): every mutation (SetACL, Put, Delete, Append) bumps
+// the generation, invalidating all cached decisions at once, so the hot
+// read path costs one map lookup instead of an ancestor walk plus a
+// linear authorization scan.
 type Pod struct {
 	owner   WebID
 	baseURL string
@@ -34,6 +71,12 @@ type Pod struct {
 	mu        sync.RWMutex
 	resources map[string]*Resource
 	acls      map[string]*ACL // keyed by the path the ACL document governs
+	postSeq   uint64          // server-assigned POST child names
+
+	aclGen       atomic.Uint64 // bumped on every mutation
+	authMu       sync.RWMutex
+	authCache    map[authCacheKey]authDecision
+	authCacheOff atomic.Bool // benchmarks compare cached vs uncached
 }
 
 // Pod errors.
@@ -51,9 +94,28 @@ func NewPod(owner WebID, baseURL string) *Pod {
 		baseURL:   strings.TrimSuffix(baseURL, "/"),
 		resources: make(map[string]*Resource),
 		acls:      make(map[string]*ACL),
+		authCache: make(map[authCacheKey]authDecision),
 	}
 	p.acls["/"] = NewACL(owner, "/")
 	return p
+}
+
+// SetAuthCacheEnabled toggles the ACL decision cache (on by default).
+// Disabling exists for benchmarking the uncached path; correctness does
+// not depend on the cache either way.
+func (p *Pod) SetAuthCacheEnabled(enabled bool) {
+	p.authCacheOff.Store(!enabled)
+	if !enabled {
+		p.authMu.Lock()
+		p.authCache = make(map[authCacheKey]authDecision)
+		p.authMu.Unlock()
+	}
+}
+
+// invalidateAuthCache advances the ACL generation, orphaning every cached
+// decision. Callers hold p.mu for writing.
+func (p *Pod) invalidateAuthCache() {
+	p.aclGen.Add(1)
 }
 
 // Owner returns the pod owner's WebID.
@@ -83,24 +145,93 @@ func normalizePath(raw string) (string, error) {
 // Put stores (creates or replaces) a resource, subject to the agent
 // holding Write access.
 func (p *Pod) Put(agent WebID, resPath, contentType string, data []byte, now time.Time) error {
+	_, _, err := p.PutResource(agent, resPath, contentType, data, now)
+	return err
+}
+
+// PutResource is Put reporting whether the resource was created (true) or
+// an existing one overwritten (false) and the stored entity tag, so HTTP
+// handlers can answer 201 vs 200 with the validator without re-hashing
+// the body.
+func (p *Pod) PutResource(agent WebID, resPath, contentType string, data []byte, now time.Time) (created bool, etag string, err error) {
 	clean, err := normalizePath(resPath)
 	if err != nil {
-		return err
+		return false, "", err
 	}
 	if err := p.Authorize(agent, clean, ModeWrite); err != nil {
-		return err
+		return false, "", err
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	_, existed := p.resources[clean]
 	body := make([]byte, len(data))
 	copy(body, data)
+	etag = ETagFor(body)
 	p.resources[clean] = &Resource{
 		Path:        clean,
 		ContentType: contentType,
 		Data:        body,
 		Modified:    now,
+		ETag:        etag,
 	}
-	return nil
+	p.invalidateAuthCache()
+	return !existed, etag, nil
+}
+
+// Append adds data to a resource, subject to the agent holding Append
+// access (which Write implies). Appending to a container path creates a
+// fresh contained resource with a server-assigned name (LDP POST
+// semantics); appending to a missing resource creates it. It returns the
+// path of the affected resource and whether it was created.
+func (p *Pod) Append(agent WebID, resPath, contentType string, data []byte, now time.Time) (storedPath string, created bool, err error) {
+	clean, err := normalizePath(resPath)
+	if err != nil {
+		return "", false, err
+	}
+	if err := p.Authorize(agent, clean, ModeAppend); err != nil {
+		return "", false, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if strings.HasSuffix(clean, "/") {
+		// POST to a container: mint a child that does not collide.
+		for {
+			p.postSeq++
+			storedPath = fmt.Sprintf("%sres-%06d", clean, p.postSeq)
+			if _, taken := p.resources[storedPath]; !taken {
+				break
+			}
+		}
+		body := append([]byte(nil), data...)
+		p.resources[storedPath] = &Resource{
+			Path: storedPath, ContentType: contentType,
+			Data: body, Modified: now, ETag: ETagFor(body),
+		}
+		p.invalidateAuthCache()
+		return storedPath, true, nil
+	}
+	res, ok := p.resources[clean]
+	if !ok {
+		body := append([]byte(nil), data...)
+		p.resources[clean] = &Resource{
+			Path: clean, ContentType: contentType,
+			Data: body, Modified: now, ETag: ETagFor(body),
+		}
+		p.invalidateAuthCache()
+		return clean, true, nil
+	}
+	body := make([]byte, 0, len(res.Data)+len(data))
+	body = append(append(body, res.Data...), data...)
+	ct := res.ContentType
+	if ct == "" {
+		ct = contentType
+	}
+	p.resources[clean] = &Resource{
+		Path: clean, ContentType: ct,
+		Data: body, Modified: now, ETag: ETagFor(body),
+	}
+	p.invalidateAuthCache()
+	return clean, false, nil
 }
 
 // Get retrieves a resource, subject to Read access.
@@ -138,6 +269,7 @@ func (p *Pod) Delete(agent WebID, resPath string) error {
 		return fmt.Errorf("%w: %s", ErrNotFound, clean)
 	}
 	delete(p.resources, clean)
+	p.invalidateAuthCache()
 	return nil
 }
 
@@ -189,6 +321,7 @@ func (p *Pod) SetACL(agent WebID, resPath string, acl *ACL) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.acls[clean] = acl
+	p.invalidateAuthCache()
 	return nil
 }
 
@@ -214,19 +347,52 @@ func (p *Pod) GetACL(agent WebID, resPath string) (*ACL, error) {
 // Authorize checks whether the agent holds the mode on the path, walking
 // up the container hierarchy to the nearest ACL document (WAC inheritance:
 // the resource's own ACL wins; otherwise the closest ancestor's
-// acl:default authorizations apply).
+// acl:default authorizations apply). Decisions are served from the
+// generation-stamped cache when the ACL set has not changed since they
+// were computed.
 func (p *Pod) Authorize(agent WebID, resPath string, mode AccessMode) error {
 	clean, err := normalizePath(resPath)
 	if err != nil {
 		return err
 	}
-	p.mu.RLock()
-	defer p.mu.RUnlock()
 
 	// The pod owner always holds full access to their own pod.
 	if agent == p.owner {
 		return nil
 	}
+
+	useCache := !p.authCacheOff.Load()
+	key := authCacheKey{agent: agent, path: clean, mode: mode}
+	// Snapshot the generation before evaluating: a decision computed
+	// against newer state stored under an older stamp is merely ignored,
+	// never trusted.
+	gen := p.aclGen.Load()
+	if useCache {
+		p.authMu.RLock()
+		dec, ok := p.authCache[key]
+		p.authMu.RUnlock()
+		if ok && dec.gen == gen {
+			return dec.err
+		}
+	}
+
+	decision := p.authorizeUncached(agent, clean, mode)
+	if useCache {
+		p.authMu.Lock()
+		if len(p.authCache) >= maxAuthCacheEntries {
+			p.authCache = make(map[authCacheKey]authDecision)
+		}
+		p.authCache[key] = authDecision{gen: gen, err: decision}
+		p.authMu.Unlock()
+	}
+	return decision
+}
+
+// authorizeUncached is the full decision procedure: ancestor walk plus
+// linear Allows scan.
+func (p *Pod) authorizeUncached(agent WebID, clean string, mode AccessMode) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 
 	if acl, ok := p.acls[clean]; ok {
 		if acl.Allows(agent, clean, mode, false) {

@@ -219,3 +219,141 @@ func TestAncestorsOf(t *testing.T) {
 		t.Fatalf("ancestors of top-level = %v", got)
 	}
 }
+
+// --- ACL decision cache ---
+
+// TestAuthCacheHitAndInvalidation: decisions are served from the cache
+// and every mutation invalidates it immediately.
+func TestAuthCacheHitAndInvalidation(t *testing.T) {
+	pod := newTestPod()
+	if err := pod.Put(aliceID, "/data/r.csv", "text/csv", []byte("1"), podEpoch); err != nil {
+		t.Fatal(err)
+	}
+	if err := pod.Authorize(bobID, "/data/r.csv", ModeRead); !errors.Is(err, ErrForbidden) {
+		t.Fatalf("pre-grant: %v", err)
+	}
+	// Grant via SetACL: the cached denial must not survive.
+	acl := NewACL(aliceID, "/data/r.csv")
+	acl.Grant("bob", []WebID{bobID}, "/data/r.csv", false, ModeRead)
+	if err := pod.SetACL(aliceID, "/data/r.csv", acl); err != nil {
+		t.Fatal(err)
+	}
+	if err := pod.Authorize(bobID, "/data/r.csv", ModeRead); err != nil {
+		t.Fatalf("post-grant (stale cached denial?): %v", err)
+	}
+	// Revoke: the cached allow must not survive either.
+	if err := pod.SetACL(aliceID, "/data/r.csv", NewACL(aliceID, "/data/r.csv")); err != nil {
+		t.Fatal(err)
+	}
+	if err := pod.Authorize(bobID, "/data/r.csv", ModeRead); !errors.Is(err, ErrForbidden) {
+		t.Fatalf("post-revoke (stale cached allow?): %v", err)
+	}
+}
+
+// TestAuthCacheDisabled: decisions stay correct with the cache off.
+func TestAuthCacheDisabled(t *testing.T) {
+	pod := newTestPod()
+	pod.SetAuthCacheEnabled(false)
+	if err := pod.Put(aliceID, "/r", "t", []byte("x"), podEpoch); err != nil {
+		t.Fatal(err)
+	}
+	for range 3 {
+		if err := pod.Authorize(bobID, "/r", ModeRead); !errors.Is(err, ErrForbidden) {
+			t.Fatalf("uncached denial: %v", err)
+		}
+	}
+	pod.SetAuthCacheEnabled(true)
+	if err := pod.Authorize(bobID, "/r", ModeRead); !errors.Is(err, ErrForbidden) {
+		t.Fatalf("re-enabled: %v", err)
+	}
+}
+
+// TestAuthCacheConcurrentMutation races Authorize against SetACL under
+// -race, and checks the final state is the uncached truth.
+func TestAuthCacheConcurrentMutation(t *testing.T) {
+	pod := newTestPod()
+	if err := pod.Put(aliceID, "/a/b/c.txt", "t", []byte("x"), podEpoch); err != nil {
+		t.Fatal(err)
+	}
+	grant := NewACL(aliceID, "/a/")
+	grant.Grant("bob", []WebID{bobID}, "/a/", true, ModeRead)
+	deny := NewACL(aliceID, "/a/")
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := range 200 {
+			acl := grant
+			if i%2 == 1 {
+				acl = deny
+			}
+			if err := pod.SetACL(aliceID, "/a/", acl); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for range 200 {
+		// Outcome depends on interleaving; it only must not race or panic.
+		_ = pod.Authorize(bobID, "/a/b/c.txt", ModeRead)
+	}
+	<-done
+
+	// Settled state: the last SetACL installed the deny document.
+	if err := pod.Authorize(bobID, "/a/b/c.txt", ModeRead); !errors.Is(err, ErrForbidden) {
+		t.Fatalf("settled decision: %v", err)
+	}
+}
+
+// TestPodAppend covers the Append primitive directly.
+func TestPodAppend(t *testing.T) {
+	pod := newTestPod()
+	p, created, err := pod.Append(aliceID, "/log.txt", "text/plain", []byte("a"), podEpoch)
+	if err != nil || !created || p != "/log.txt" {
+		t.Fatalf("create-by-append: %q %t %v", p, created, err)
+	}
+	p, created, err = pod.Append(aliceID, "/log.txt", "", []byte("b"), podEpoch)
+	if err != nil || created || p != "/log.txt" {
+		t.Fatalf("append: %q %t %v", p, created, err)
+	}
+	res, err := pod.Get(aliceID, "/log.txt")
+	if err != nil || string(res.Data) != "ab" || res.ContentType != "text/plain" {
+		t.Fatalf("after append: %+v, %v", res, err)
+	}
+
+	// Container POSTs mint distinct children.
+	p1, _, err := pod.Append(aliceID, "/inbox/", "text/plain", []byte("1"), podEpoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _, err := pod.Append(aliceID, "/inbox/", "text/plain", []byte("2"), podEpoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == p2 || !strings.HasPrefix(p1, "/inbox/") {
+		t.Fatalf("minted paths %q, %q", p1, p2)
+	}
+	// Append-only agents cannot Write.
+	if _, _, err := pod.Append(bobID, "/inbox/", "t", []byte("x"), podEpoch); !errors.Is(err, ErrForbidden) {
+		t.Fatalf("stranger append: %v", err)
+	}
+}
+
+// TestPodETagTracksContent: the stored validator changes with the body.
+func TestPodETagTracksContent(t *testing.T) {
+	pod := newTestPod()
+	if err := pod.Put(aliceID, "/r", "t", []byte("v1"), podEpoch); err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := pod.Get(aliceID, "/r")
+	if err := pod.Put(aliceID, "/r", "t", []byte("v2"), podEpoch); err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := pod.Get(aliceID, "/r")
+	if r1.ETag == "" || r1.ETag == r2.ETag {
+		t.Fatalf("etags %q, %q", r1.ETag, r2.ETag)
+	}
+	if r1.ETag != ETagFor([]byte("v1")) {
+		t.Fatalf("etag mismatch: %q", r1.ETag)
+	}
+}

@@ -2,9 +2,11 @@ package solid
 
 import (
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -291,5 +293,346 @@ func TestServerHead(t *testing.T) {
 		if n > 0 {
 			t.Fatal("HEAD returned a body")
 		}
+	}
+}
+
+// --- regression tests for the protocol fixes ---
+
+// TestServerPostAppends pins the POST fix: POST used to authorize as
+// Write, fire the access hook, then 405 out of the dispatch switch.
+func TestServerPostAppends(t *testing.T) {
+	hookCalls := 0
+	var hookMode AccessMode
+	hook := func(r *http.Request, agent WebID, path string, mode AccessMode) error {
+		hookCalls++
+		hookMode = mode
+		return nil
+	}
+	e := newTestEnv(t, hook)
+	if err := e.alice.Put(e.url("/log.txt"), "text/plain", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	hookCalls = 0
+
+	// POST to an existing resource appends to it.
+	loc, err := e.alice.Post(e.url("/log.txt"), "text/plain", []byte("b"))
+	if err != nil {
+		t.Fatalf("POST after authorization must not 405: %v", err)
+	}
+	if loc != "" {
+		t.Fatalf("append to resource returned Location %q", loc)
+	}
+	if hookCalls != 1 || hookMode != ModeAppend {
+		t.Fatalf("hook saw %d calls, mode %s; want 1 call with Append", hookCalls, hookMode)
+	}
+	data, _, err := e.alice.Get(e.url("/log.txt"))
+	if err != nil || string(data) != "ab" {
+		t.Fatalf("after append: %q, %v", data, err)
+	}
+
+	// POST to a container mints a contained resource and returns it.
+	loc, err = e.alice.Post(e.url("/inbox/"), "text/plain", []byte("msg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(loc, "https://alice.pod/inbox/") {
+		t.Fatalf("Location = %q", loc)
+	}
+}
+
+// TestServerPostNeedsOnlyAppend pins the mode mapping: an agent granted
+// Append (but not Write) can POST, and Write implies Append.
+func TestServerPostNeedsOnlyAppend(t *testing.T) {
+	e := newTestEnv(t, nil)
+	if err := e.alice.Put(e.url("/inbox/seed.txt"), "text/plain", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	acl := NewACL(aliceID, "/inbox/")
+	acl.Grant("bob-append", []WebID{bobID}, "/inbox/", true, ModeAppend)
+	if err := e.pod.SetACL(aliceID, "/inbox/", acl); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.bob.Post(e.url("/inbox/"), "text/plain", []byte("drop")); err != nil {
+		t.Fatalf("append-only agent POST: %v", err)
+	}
+	// Append does not grant Write: bob cannot PUT or DELETE.
+	if err := e.bob.Put(e.url("/inbox/seed.txt"), "text/plain", []byte("y")); err == nil {
+		t.Fatal("append-only agent overwrote a resource")
+	}
+	if err := e.bob.Delete(e.url("/inbox/seed.txt")); err == nil {
+		t.Fatal("append-only agent deleted a resource")
+	}
+}
+
+// TestServerHeadContainerNoBody pins the HEAD fix: the container branch
+// used to write the full Turtle listing even for HEAD.
+func TestServerHeadContainerNoBody(t *testing.T) {
+	e := newTestEnv(t, nil)
+	if err := e.alice.Put(e.url("/dir/a.txt"), "text/plain", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	req, err := e.alice.newRequest(http.MethodHead, e.url("/dir/"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	buf := make([]byte, 64)
+	if n, _ := resp.Body.Read(buf); n > 0 {
+		t.Fatalf("HEAD on container returned a body: %q", buf[:n])
+	}
+	if resp.Header.Get("ETag") == "" {
+		t.Fatal("HEAD on container lacks ETag")
+	}
+}
+
+// TestServerReplayRejected pins the replay fix: an identical captured
+// request must not validate twice even though its timestamp is still
+// within the clock-skew window.
+func TestServerReplayRejected(t *testing.T) {
+	e := newTestEnv(t, nil)
+	if err := e.alice.Put(e.url("/r.txt"), "text/plain", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	req, err := e.alice.newRequest(http.MethodGet, e.url("/r.txt"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first.Body.Close()
+	if first.StatusCode != http.StatusOK {
+		t.Fatalf("original request status = %d", first.StatusCode)
+	}
+	// Replay byte-for-byte, well inside the ±5 min skew window.
+	replayReq, err := http.NewRequest(http.MethodGet, e.url("/r.txt"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayReq.Header = req.Header.Clone()
+	replay, err := http.DefaultClient.Do(replayReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay.Body.Close()
+	if replay.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("replayed request status = %d, want 401", replay.StatusCode)
+	}
+}
+
+// TestServerMissingNonceRejected: authenticated requests must carry the
+// single-use nonce.
+func TestServerMissingNonceRejected(t *testing.T) {
+	e := newTestEnv(t, nil)
+	if err := e.alice.Put(e.url("/r.txt"), "text/plain", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	req, err := e.alice.newRequest(http.MethodGet, e.url("/r.txt"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Del(HeaderNonce)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("nonce-less request status = %d, want 401", resp.StatusCode)
+	}
+}
+
+// TestServerConditionalGet covers ETag/If-None-Match and
+// If-Modified-Since revalidation.
+func TestServerConditionalGet(t *testing.T) {
+	e := newTestEnv(t, nil)
+	if err := e.alice.Put(e.url("/r.txt"), "text/plain", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	fetch := func(mutate func(*http.Request)) *http.Response {
+		t.Helper()
+		req, err := e.alice.newRequest(http.MethodGet, e.url("/r.txt"), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mutate != nil {
+			mutate(req)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	plain := fetch(nil)
+	etag := plain.Header.Get("ETag")
+	if plain.StatusCode != http.StatusOK || etag == "" {
+		t.Fatalf("status=%d etag=%q", plain.StatusCode, etag)
+	}
+
+	cond := fetch(func(r *http.Request) { r.Header.Set("If-None-Match", etag) })
+	if cond.StatusCode != http.StatusNotModified {
+		t.Fatalf("matching If-None-Match status = %d, want 304", cond.StatusCode)
+	}
+	buf := make([]byte, 8)
+	if n, _ := cond.Body.Read(buf); n > 0 {
+		t.Fatal("304 carried a body")
+	}
+
+	ims := fetch(func(r *http.Request) {
+		r.Header.Set("If-Modified-Since", e.clk.Now().UTC().Format(http.TimeFormat))
+	})
+	if ims.StatusCode != http.StatusNotModified {
+		t.Fatalf("If-Modified-Since status = %d, want 304", ims.StatusCode)
+	}
+
+	// Changing the resource changes the validator: the old ETag re-fetches.
+	if err := e.alice.Put(e.url("/r.txt"), "text/plain", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	after := fetch(func(r *http.Request) { r.Header.Set("If-None-Match", etag) })
+	if after.StatusCode != http.StatusOK {
+		t.Fatalf("stale If-None-Match status = %d, want 200", after.StatusCode)
+	}
+	if after.Header.Get("ETag") == etag {
+		t.Fatal("ETag unchanged after overwrite")
+	}
+}
+
+// TestServerPutStatusCreatedVsOverwrite pins the 201-vs-200 fix.
+func TestServerPutStatusCreatedVsOverwrite(t *testing.T) {
+	e := newTestEnv(t, nil)
+	put := func() int {
+		t.Helper()
+		req, err := e.alice.newRequest(http.MethodPut, e.url("/r.txt"), []byte("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := put(); code != http.StatusCreated {
+		t.Fatalf("first PUT = %d, want 201", code)
+	}
+	if code := put(); code != http.StatusOK {
+		t.Fatalf("overwrite PUT = %d, want 200", code)
+	}
+}
+
+// TestServerBodyTooLarge pins the 413 fix: oversized bodies used to be
+// silently truncated at 64 MiB by io.LimitReader.
+func TestServerBodyTooLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocates >64 MiB")
+	}
+	e := newTestEnv(t, nil)
+	big := make([]byte, MaxBodyBytes+1)
+	req, err := e.alice.newRequest(http.MethodPut, e.url("/big.bin"), big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized PUT = %d, want 413", resp.StatusCode)
+	}
+	// Nothing was stored.
+	if _, _, err := e.alice.Get(e.url("/big.bin")); err == nil {
+		t.Fatal("truncated resource was stored")
+	}
+}
+
+// TestClientCachingRevalidates: a caching client re-fetches via
+// If-None-Match and serves 304 answers from its local copy.
+func TestClientCachingRevalidates(t *testing.T) {
+	e := newTestEnv(t, nil)
+	if err := e.alice.Put(e.url("/r.txt"), "text/csv", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	statuses := []int{}
+	e.alice.HTTP = &http.Client{Transport: statusRecorder{record: func(code int) {
+		mu.Lock()
+		statuses = append(statuses, code)
+		mu.Unlock()
+	}}}
+	e.alice.EnableCaching()
+
+	for range 3 {
+		data, ct, err := e.alice.Get(e.url("/r.txt"))
+		if err != nil || string(data) != "v1" || ct != "text/csv" {
+			t.Fatalf("cached get: %q (%s), %v", data, ct, err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []int{http.StatusOK, http.StatusNotModified, http.StatusNotModified}
+	if len(statuses) != len(want) {
+		t.Fatalf("statuses = %v", statuses)
+	}
+	for i := range want {
+		if statuses[i] != want[i] {
+			t.Fatalf("statuses = %v, want %v", statuses, want)
+		}
+	}
+}
+
+// statusRecorder observes response status codes on the client side.
+type statusRecorder struct{ record func(int) }
+
+func (s statusRecorder) RoundTrip(r *http.Request) (*http.Response, error) {
+	resp, err := http.DefaultTransport.RoundTrip(r)
+	if resp != nil {
+		s.record(resp.StatusCode)
+	}
+	return resp, err
+}
+
+// TestReplayGuardPerAgentQuota pins the guard's capacity semantics: an
+// agent flooding past its quota evicts only its own nonces — another
+// agent's replay protection is untouched, and nobody gets locked out.
+func TestReplayGuardPerAgentQuota(t *testing.T) {
+	g := newReplayGuard()
+	now := podEpoch
+	if err := g.check(bobID, "victim-nonce", now, now); err != nil {
+		t.Fatal(err)
+	}
+	// Eve floods far past the per-agent cap; every request is accepted
+	// (no fail-closed lockout) and only her own entries are evicted.
+	for i := range 3 * maxNoncesPerAgent {
+		if err := g.check(eveID, fmt.Sprintf("n%d", i), now, now); err != nil {
+			t.Fatalf("flood request %d refused: %v", i, err)
+		}
+	}
+	// Bob's nonce is still remembered: the captured request stays dead.
+	if err := g.check(bobID, "victim-nonce", now, now); err == nil {
+		t.Fatal("flood evicted another agent's nonce; replay accepted")
+	}
+	// Eve's own early nonce was evicted by her own flood (self-harm only).
+	if err := g.check(eveID, "n0", now, now); err != nil {
+		t.Fatalf("eve's evicted nonce should re-check clean: %v", err)
+	}
+	// Aged-out entries prune: after the skew window the nonce may recur
+	// (its replay would fail the staleness check anyway).
+	later := now.Add(MaxClockSkew + time.Minute)
+	if err := g.check(bobID, "victim-nonce", later, later); err != nil {
+		t.Fatalf("aged-out nonce refused: %v", err)
 	}
 }
