@@ -19,6 +19,7 @@ import (
 	"repro/internal/distexchange"
 	"repro/internal/podmanager"
 	"repro/internal/policy"
+	"repro/internal/scenario"
 	"repro/internal/simclock"
 	"repro/internal/solid"
 )
@@ -745,4 +746,27 @@ func BenchmarkSolidConditionalGet(b *testing.B) {
 	}
 	b.Run("full-fetch", func(b *testing.B) { run(b, false) })
 	b.Run("revalidated-304", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkAblationScenarioThroughput measures the end-to-end scenario
+// engine (internal/scenario): one iteration runs a full seeded 25-step
+// multi-agent workload with fault injection, at both invariant-check
+// cadences. This tracks the cost of system-wide invariant checking as a
+// first-class perf number.
+func BenchmarkAblationScenarioThroughput(b *testing.B) {
+	run := func(b *testing.B, checkEvery int) {
+		const steps = 25
+		seed := int64(7)
+		b.ResetTimer()
+		for b.Loop() {
+			res := scenario.New(scenario.Config{Seed: seed, Steps: steps, CheckEvery: checkEvery}).Run()
+			if res.Failure != nil {
+				b.Fatalf("scenario failed: %s", res.Failure)
+			}
+			seed++ // vary the workload across iterations
+		}
+		b.ReportMetric(float64(steps)*float64(b.N)/b.Elapsed().Seconds(), "steps/s")
+	}
+	b.Run("check-every-step", func(b *testing.B) { run(b, 1) })
+	b.Run("check-every-8", func(b *testing.B) { run(b, 8) })
 }

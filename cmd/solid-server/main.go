@@ -55,38 +55,66 @@ func run(args []string) error {
 	clock := simclock.Real{}
 	dir := solid.NewMapDirectory()
 	host := solid.NewHost(dir, clock)
+	names, keys, err := provisionPods(host, dir, baseURL, strings.Split(*owners, ","), clock)
+	if err != nil {
+		return err
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("no pod owners given")
+	}
+	// Announce pods in -owners order (map iteration would shuffle the
+	// startup output between runs).
+	for _, name := range names {
+		podBase := baseURL + solid.PodRoutePrefix + name
+		log.Printf("pod %-12s owner %s", name, ownerWebID(baseURL, name))
+		log.Printf("  owner key (hex): %s", hex.EncodeToString(keys[name].PublicBytes()))
+		log.Printf("  try GET %s/public/hello.txt", podBase)
+	}
 
-	for _, name := range strings.Split(*owners, ",") {
+	log.Printf("serving %d pod(s) on %s under %s{owner}/", host.Len(), *addr, solid.PodRoutePrefix)
+	return http.ListenAndServe(*addr, host)
+}
+
+// ownerWebID derives the WebID minted for a pod owner name.
+func ownerWebID(baseURL, name string) solid.WebID {
+	return solid.WebID(baseURL + solid.PodRoutePrefix + name + "/profile#" + name)
+}
+
+// provisionPods creates one pod per owner name on the host: a fresh
+// signing key registered in the agent directory, a root ACL granting the
+// owner full control, and a public demo resource. It returns the
+// provisioned names in input order (blank entries skipped) and each
+// owner's key so callers (and tests) can authenticate as them.
+func provisionPods(host *solid.Host, dir *solid.MapDirectory, baseURL string, names []string, clock simclock.Clock) ([]string, map[string]*cryptoutil.KeyPair, error) {
+	provisioned := make([]string, 0, len(names))
+	keys := make(map[string]*cryptoutil.KeyPair)
+	for _, name := range names {
 		name = strings.TrimSpace(name)
 		if name == "" {
 			continue
 		}
 		key, err := cryptoutil.GenerateKey(nil)
 		if err != nil {
-			return err
+			return nil, nil, err
 		}
-		podBase := baseURL + solid.PodRoutePrefix + name
-		ownerID := solid.WebID(podBase + "/profile#" + name)
+		ownerID := ownerWebID(baseURL, name)
 		dir.Register(ownerID, key.PublicBytes())
 
 		pod, err := host.CreatePod(name, ownerID, baseURL, nil)
 		if err != nil {
-			return err
+			return nil, nil, err
 		}
 		if err := pod.Put(ownerID, "/public/hello.txt", "text/plain",
 			[]byte("hello from the Solid pod of "+name+"\n"), clock.Now()); err != nil {
-			return err
+			return nil, nil, err
 		}
 		acl := solid.NewACL(ownerID, "/public/")
 		acl.GrantPublic("world", "/public/", true, solid.ModeRead)
 		if err := pod.SetACL(ownerID, "/public/", acl); err != nil {
-			return err
+			return nil, nil, err
 		}
-		log.Printf("pod %-12s owner %s", name, ownerID)
-		log.Printf("  owner key (hex): %s", hex.EncodeToString(key.PublicBytes()))
-		log.Printf("  try GET %s/public/hello.txt", podBase)
+		provisioned = append(provisioned, name)
+		keys[name] = key
 	}
-
-	log.Printf("serving %d pod(s) on %s under %s{owner}/", host.Len(), *addr, solid.PodRoutePrefix)
-	return http.ListenAndServe(*addr, host)
+	return provisioned, keys, nil
 }

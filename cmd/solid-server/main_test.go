@@ -1,0 +1,79 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/simclock"
+	"repro/internal/solid"
+)
+
+// TestRunFlagErrors covers the main path's flag handling: unknown flags
+// must surface as errors instead of starting a server.
+func TestRunFlagErrors(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if err := run([]string{"-owners", " , ,"}); err == nil {
+		t.Fatal("empty owner list accepted")
+	}
+}
+
+// TestServerSignedRoundTrip provisions pods exactly as the binary does,
+// serves them, and performs one public fetch plus one signed
+// PUT-then-GET round trip with the key the server would print.
+func TestServerSignedRoundTrip(t *testing.T) {
+	clock := simclock.Real{}
+	dir := solid.NewMapDirectory()
+	host := solid.NewHost(dir, clock)
+	srv := httptest.NewServer(host)
+	defer srv.Close()
+
+	names, keys, err := provisionPods(host, dir, srv.URL, []string{"alice", "bob", " "}, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 || len(names) != 2 || names[0] != "alice" || names[1] != "bob" {
+		t.Fatalf("provisioned %v (%d keys), want [alice bob]", names, len(keys))
+	}
+	if host.Len() != 2 {
+		t.Fatalf("host serves %d pods, want 2", host.Len())
+	}
+
+	// The seeded demo resource is publicly readable without credentials.
+	resp, err := http.Get(srv.URL + solid.PodRoutePrefix + "alice/public/hello.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("public GET = %d, want 200", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "hello from the Solid pod of alice") {
+		t.Fatalf("unexpected demo body %q", body)
+	}
+
+	// Signed round trip as alice with the provisioned key.
+	alice := solid.NewClient(ownerWebID(srv.URL, "alice"), keys["alice"], clock)
+	target := srv.URL + solid.PodRoutePrefix + "alice/private/note.txt"
+	if err := alice.Put(target, "text/plain", []byte("signed write")); err != nil {
+		t.Fatalf("signed PUT: %v", err)
+	}
+	got, _, err := alice.Get(target)
+	if err != nil {
+		t.Fatalf("signed GET: %v", err)
+	}
+	if string(got) != "signed write" {
+		t.Fatalf("round trip returned %q", got)
+	}
+
+	// Bob's key must not open alice's private resource.
+	bob := solid.NewClient(ownerWebID(srv.URL, "bob"), keys["bob"], clock)
+	if _, _, err := bob.Get(target); err == nil {
+		t.Fatal("cross-pod read with the wrong owner key succeeded")
+	}
+}

@@ -16,6 +16,9 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	// Linked for its init: installs core.ScenarioThroughputFn so the
+	// scenario-throughput ablation can run.
+	_ "repro/internal/scenario"
 )
 
 func main() {
@@ -27,7 +30,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("ucbench", flag.ContinueOnError)
-	expFlag := fs.String("exp", "all", "comma-separated experiments (e1..e11, ablations) or 'all'")
+	expFlag := fs.String("exp", "all", "comma-separated experiments (e1..e12, scenario, ablations) or 'all'")
 	quick := fs.Bool("quick", false, "shrink sweep sizes for a fast run")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -47,9 +50,10 @@ func run(args []string) error {
 		"e10":       h.E10Overhead,
 		"e11":       h.E11Remuneration,
 		"e12":       h.E12Robustness,
+		"scenario":  h.AblationScenarioThroughput,
 		"ablations": nil, // expanded below
 	}
-	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "ablations"}
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "scenario", "ablations"}
 
 	var selected []string
 	if *expFlag == "all" {
@@ -78,6 +82,7 @@ func run(args []string) error {
 			fmt.Println(h.AblationParallelVerify())
 			fmt.Println(h.AblationHostScaleOut())
 			fmt.Println(h.AblationAuthCache())
+			fmt.Println(h.AblationScenarioThroughput())
 			continue
 		}
 		fmt.Println(experiments[name]())

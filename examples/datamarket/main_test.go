@@ -1,0 +1,11 @@
+package main
+
+import "testing"
+
+// TestRun executes the example's full flow end to end; the example
+// binaries are part of the documented surface and must keep working.
+func TestRun(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatalf("datamarket example failed: %v", err)
+	}
+}

@@ -386,6 +386,27 @@ func (net *Network) SubmitEverywhereBatch(txs []*Tx) ([]cryptoutil.Hash, error) 
 	return hashes, nil
 }
 
+// IsDown reports whether the node at addr is currently marked failed.
+func (net *Network) IsDown(addr cryptoutil.Address) bool {
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	return net.down[addr]
+}
+
+// LiveNode returns the first node not marked down, or nil when every
+// node has failed. Clients that need a ledger view (receipt waits,
+// queries, nonce reads) must use a live node: a failed node's ledger is
+// frozen until it recovers and syncs.
+func (net *Network) LiveNode() *Node {
+	nodes, down := net.liveView()
+	for _, n := range nodes {
+		if !down[n.Address()] {
+			return n
+		}
+	}
+	return nil
+}
+
 // PendingTxs reports the largest mempool backlog among live nodes — the
 // number of consensus-round transactions still to seal cluster-wide.
 func (net *Network) PendingTxs() int {

@@ -182,6 +182,15 @@ func (n *Node) NonceFor(addr cryptoutil.Address) uint64 {
 	return n.nonces[addr] + n.mempool.PendingFrom(addr)
 }
 
+// CommittedNonce returns the next expected nonce considering only
+// committed transactions (no mempool pending). Invariant checkers compare
+// it against the per-sender sequence reconstructed from the ledger.
+func (n *Node) CommittedNonce(addr cryptoutil.Address) uint64 {
+	n.mpMu.Lock()
+	defer n.mpMu.Unlock()
+	return n.nonces[addr]
+}
+
 // SubmitTx verifies and enqueues a transaction, returning its hash.
 // Resubmitting a transaction already queued returns its hash alongside
 // ErrTxKnown.

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/chain"
+	"repro/internal/cryptoutil"
+)
+
+// This file holds the deployment's fault-injection and introspection
+// hooks: controlled validator failures/recoveries and consistent state
+// snapshots. The scenario engine (internal/scenario) drives them to
+// exercise the whole architecture under faults; they are equally usable
+// from tests and examples.
+
+// LiveNode returns a node whose ledger is advancing (nil when the whole
+// cluster is down).
+func (d *Deployment) LiveNode() *chain.Node { return d.Network.LiveNode() }
+
+// FailValidator marks validator i as failed: it stops sealing and stops
+// receiving broadcasts until recovered. Failing the last live validator
+// is refused — a cluster with no live authority can only deadlock
+// callers.
+func (d *Deployment) FailValidator(i int) error {
+	if i < 0 || i >= len(d.Nodes) {
+		return fmt.Errorf("core: validator %d out of range [0,%d)", i, len(d.Nodes))
+	}
+	addr := d.Nodes[i].Address()
+	d.Network.SetDown(addr, true)
+	if d.Network.LiveNode() == nil {
+		d.Network.SetDown(addr, false)
+		return fmt.Errorf("core: refusing to fail validator %d: no live validator would remain", i)
+	}
+	return nil
+}
+
+// RecoverValidator brings validator i back and syncs it from a live peer,
+// returning the number of blocks caught up.
+func (d *Deployment) RecoverValidator(i int) (int, error) {
+	if i < 0 || i >= len(d.Nodes) {
+		return 0, fmt.Errorf("core: validator %d out of range [0,%d)", i, len(d.Nodes))
+	}
+	return d.Network.Recover(d.Nodes[i].Address())
+}
+
+// ValidatorDown reports whether validator i is currently failed.
+func (d *Deployment) ValidatorDown(i int) bool {
+	if i < 0 || i >= len(d.Nodes) {
+		return false
+	}
+	return d.Network.IsDown(d.Nodes[i].Address())
+}
+
+// Snapshot is a consistent cross-layer view of deployment state, taken
+// for invariant checking and failure reports.
+type Snapshot struct {
+	// Height and HeadHash describe the first live node's chain tip.
+	Height   uint64
+	HeadHash cryptoutil.Hash
+	// LiveHeads maps each live validator index to its head hash (failed
+	// validators are omitted; their ledgers are frozen by design).
+	LiveHeads map[int]cryptoutil.Hash
+	// StateKeys is the live node's state size.
+	StateKeys int
+	// TotalGas is the live node's cumulative gas expenditure.
+	TotalGas uint64
+	// PendingTxs is the largest live mempool backlog.
+	PendingTxs int
+	// MarketRevenue is the market's undistributed fee revenue.
+	MarketRevenue uint64
+	// OracleIn / OracleOut count oracle messages so far.
+	OracleIn, OracleOut uint64
+}
+
+// TakeSnapshot captures a Snapshot from the deployment's live nodes.
+func (d *Deployment) TakeSnapshot() Snapshot {
+	s := Snapshot{LiveHeads: make(map[int]cryptoutil.Hash)}
+	if live := d.Network.LiveNode(); live != nil {
+		head := live.Head()
+		s.Height = head.Header.Number
+		s.HeadHash = head.Hash()
+		s.StateKeys = live.State().Len()
+		s.TotalGas = live.Costs().TotalSpent()
+	}
+	for i, n := range d.Nodes {
+		if !d.Network.IsDown(n.Address()) {
+			s.LiveHeads[i] = n.Head().Hash()
+		}
+	}
+	s.PendingTxs = d.Network.PendingTxs()
+	s.MarketRevenue = d.Market.Revenue()
+	s.OracleIn = d.Metrics.In.Load()
+	s.OracleOut = d.Metrics.Out.Load()
+	return s
+}

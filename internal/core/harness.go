@@ -702,6 +702,25 @@ func (h *Harness) AblationParallelVerify() *Table {
 	return t
 }
 
+// ScenarioThroughputFn is installed by internal/scenario's init (the
+// scenario engine drives core.Deployment, so a direct call here would be
+// an import cycle). Importing repro/internal/scenario — as cmd/ucbench
+// and the top-level benchmarks do — wires it up.
+var ScenarioThroughputFn func(quick bool) *Table
+
+// AblationScenarioThroughput measures the end-to-end scenario engine's
+// step throughput (workload + fault steps + full invariant sweeps) so
+// the cost of system-wide checking is a tracked perf number.
+func (h *Harness) AblationScenarioThroughput() *Table {
+	if ScenarioThroughputFn == nil {
+		return &Table{
+			Title:  "Ablation: scenario step throughput (engine not linked — import repro/internal/scenario)",
+			Header: []string{"steps", "wall_ms", "steps_per_sec"},
+		}
+	}
+	return ScenarioThroughputFn(h.Quick)
+}
+
 // ChainStats summarizes ledger shape after a scenario (diagnostic table).
 func ChainStats(d *Deployment) *Table {
 	t := &Table{

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// TestHTTPIndirectSwap: the indirect handler must serve whatever handler
+// is currently installed, including the swap from a placeholder to the
+// real handler after the listener is already accepting requests.
+func TestHTTPIndirectSwap(t *testing.T) {
+	var mu sync.RWMutex
+	var handler http.Handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+	})
+	srv := httptest.NewServer(httpIndirect(&mu, &handler))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("placeholder handler: got %d, want 503", resp.StatusCode)
+	}
+
+	mu.Lock()
+	handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	})
+	mu.Unlock()
+
+	resp, err = http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTeapot {
+		t.Fatalf("swapped handler: got %d, want 418", resp.StatusCode)
+	}
+}
+
+// TestHTTPIndirectConcurrentSwap hammers the indirection with parallel
+// requests while the handler is swapped repeatedly; run under -race this
+// pins the locking contract (the CI race job exercises it).
+func TestHTTPIndirectConcurrentSwap(t *testing.T) {
+	var mu sync.RWMutex
+	mk := func(code int) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(code)
+		})
+	}
+	var handler = mk(http.StatusOK)
+	srv := httptest.NewServer(httpIndirect(&mu, &handler))
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			mu.Lock()
+			handler = mk(http.StatusOK + i%2) // 200 / 201
+			mu.Unlock()
+		}
+	}()
+
+	var reqWG sync.WaitGroup
+	errs := make(chan error, 64)
+	for range 8 {
+		reqWG.Add(1)
+		go func() {
+			defer reqWG.Done()
+			for range 25 {
+				resp, err := http.Get(srv.URL)
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+					errs <- fmt.Errorf("unexpected status %d", resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+	reqWG.Wait()
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

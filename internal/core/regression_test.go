@@ -1,0 +1,162 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+)
+
+// Regression tests for cross-layer bugs shaken out by the scenario
+// engine (internal/scenario) during its development.
+
+// TestGrantDoesNotRevokeEarlierConsumers: GrantAccess used to install a
+// fresh ACL containing only the newest consumer, so granting consumer B
+// silently revoked consumer A's read access — A's later (paid) fetch got
+// 403. The scenario engine's acl-isolation invariant caught it; grants
+// must merge into the resource's ACL.
+func TestGrantDoesNotRevokeEarlierConsumers(t *testing.T) {
+	d, err := NewDeployment(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	ctx := context.Background()
+
+	owner, iri := ownerWithResource(d, "owner", 512, nil)
+	a, err := d.NewConsumer("aaa", policy.PurposeAny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.NewConsumer("bbb", policy.PurposeAny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := owner.Grant(ctx, a, "/data/r.bin", policy.PurposeAny); err != nil {
+		t.Fatal(err)
+	}
+	if err := owner.Grant(ctx, b, "/data/r.bin", policy.PurposeAny); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both consumers must hold effective read access after both grants.
+	if err := a.Access(ctx, iri); err != nil {
+		t.Fatalf("first-granted consumer lost access after a later grant: %v", err)
+	}
+	if err := b.Access(ctx, iri); err != nil {
+		t.Fatalf("second-granted consumer has no access: %v", err)
+	}
+	// A repeated grant of the same consumer must stay idempotent at the
+	// ACL layer (no duplicate authorizations piling up).
+	pod := owner.Manager.Pod()
+	acl, err := pod.GetACL(owner.WebID, "/data/r.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for _, auth := range acl.Authorizations {
+		seen[auth.ID]++
+		if seen[auth.ID] > 1 {
+			t.Fatalf("duplicate authorization %q in merged ACL", auth.ID)
+		}
+	}
+}
+
+// TestBackendSurvivesNodeZeroFailure: the deployment backend used to pin
+// node 0 for receipt waits, queries, and nonce reads. With node 0 failed
+// the cluster still seals (clique fallback), but every client call hung
+// forever on node 0's frozen ledger — a deadlock the scenario engine's
+// node-restart faults exposed. The backend must follow a live node.
+func TestBackendSurvivesNodeZeroFailure(t *testing.T) {
+	d, err := NewDeployment(Config{Validators: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	owner, err := d.NewOwner("owner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.FailValidator(0); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := owner.InitializePod(ctx, nil); err != nil {
+		t.Fatalf("on-chain call with node 0 down: %v", err)
+	}
+
+	// Node 0 recovers and syncs the blocks it missed.
+	synced, err := d.RecoverValidator(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if synced == 0 {
+		t.Fatal("recovered node 0 synced no blocks")
+	}
+	if d.Nodes[0].Head().Hash() != d.Nodes[1].Head().Hash() {
+		t.Fatal("node 0 disagrees with the cluster after recovery")
+	}
+}
+
+// TestTakeSnapshotTracksLiveness: snapshots report only live heads and
+// reflect chain/market progress.
+func TestTakeSnapshotTracksLiveness(t *testing.T) {
+	d, err := NewDeployment(Config{Validators: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	before := d.TakeSnapshot()
+	if len(before.LiveHeads) != 2 {
+		t.Fatalf("live heads = %d, want 2", len(before.LiveHeads))
+	}
+
+	owner, err := d.NewOwner("owner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := owner.InitializePod(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.FailValidator(1); err != nil {
+		t.Fatal(err)
+	}
+
+	after := d.TakeSnapshot()
+	if after.Height <= before.Height {
+		t.Fatalf("height did not advance: %d -> %d", before.Height, after.Height)
+	}
+	if after.TotalGas <= before.TotalGas {
+		t.Fatalf("gas did not advance: %d -> %d", before.TotalGas, after.TotalGas)
+	}
+	if len(after.LiveHeads) != 1 {
+		t.Fatalf("live heads after failure = %d, want 1", len(after.LiveHeads))
+	}
+	if _, ok := after.LiveHeads[1]; ok {
+		t.Fatal("failed validator 1 still listed among live heads")
+	}
+}
+
+// TestFailValidatorRefusesLastLiveNode: taking down the last live
+// validator can only deadlock clients, so the hook must refuse.
+func TestFailValidatorRefusesLastLiveNode(t *testing.T) {
+	d, err := NewDeployment(Config{Validators: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.FailValidator(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.FailValidator(0); err == nil {
+		t.Fatal("failing the last live validator was allowed")
+	}
+	if d.ValidatorDown(0) {
+		t.Fatal("refused failure still marked the validator down")
+	}
+}

@@ -47,6 +47,22 @@ func (s *Service) Revenue() uint64 {
 	return s.revenue
 }
 
+// Totals reports the market's money flows in one consistent view:
+// feesPaid is every fee ever charged to consumers, earned is every
+// settlement payout credited to owner accounts, and revenue is the
+// undistributed remainder held by the market. Conservation of funds
+// demands feesPaid == earned + revenue at every instant (the market
+// mints and burns nothing); the scenario engine checks exactly that.
+func (s *Service) Totals() (feesPaid, earned, revenue uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, acct := range s.accounts {
+		feesPaid += acct.FeesPaid
+		earned += acct.Earned
+	}
+	return feesPaid, earned, s.revenue
+}
+
 // AccessesFor returns the paid accesses attributed to an owner in the
 // current (unsettled) period.
 func (s *Service) AccessesFor(ownerWebID string) uint64 {

@@ -1,0 +1,40 @@
+// Package scenario implements a deterministic, seeded, end-to-end
+// scenario engine for the whole usage-control architecture.
+//
+// An Engine boots a full core.Deployment (PoA validator cluster + DE App
+// + multi-pod Solid host + pod managers + TEEs + oracles + market) on
+// simulated time and executes a randomized multi-agent workload derived
+// entirely from one int64 seed: pod owners publishing resources and
+// modifying policies, consumers buying access through the market and
+// using copies inside their TEEs, monitoring rounds, settlements — all
+// interleaved with injected faults (replayed and dropped HTTP requests,
+// duplicated and reordered transaction submissions, validator failures
+// and recoveries, and clock skips across policy-retention windows).
+//
+// After every step, and again at quiescence, the engine evaluates
+// system-wide invariants as plain predicates over live state:
+//
+//   - funds-conservation: fees paid == payouts earned + market revenue
+//   - nonce-monotonicity: per-sender nonces on the ledger are gapless
+//   - head-agreement: all live validators agree on the chain tip
+//   - gas-ledger: the cost ledger equals the sum of receipt gas
+//   - acl-isolation: an agent reads a resource iff some generation of
+//     the ACL granted it (and grants, once given, stay effective)
+//   - published-immutability: published bytes never change
+//   - policy-consistency: chain, pod manager, and TEE copies agree on
+//     the current policy version
+//   - retention-enforcement: copies are held iff their deadline allows
+//   - honest-compliance: no violations are recorded against holders
+//     that always met their obligations
+//
+// Every run with the same seed is bit-for-bit reproducible: the step
+// trace and all invariant results are identical across runs. On a
+// violation the engine replays the seed with step-level shrinking
+// (ddmin-style) and reports a minimal reproducing trace.
+//
+// The engine is wired three ways: table-driven go test scenarios
+// (race-enabled smoke runs over a seed matrix), a go test -fuzz target
+// feeding the step decoder from fuzz input, and the
+// Harness.AblationScenarioThroughput table (cmd/ucbench) tracking
+// scenario step throughput as a perf number.
+package scenario

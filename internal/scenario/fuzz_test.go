@@ -1,0 +1,62 @@
+package scenario
+
+import (
+	"testing"
+)
+
+// FuzzScenarioSteps feeds the step decoder from fuzz input: every 5-byte
+// group becomes one step, and the resulting plan runs against a fresh
+// deployment with the full invariant suite. Any failure the fuzzer can
+// reach is a genuine cross-layer bug (the sabotage op is not decodable).
+//
+// CI smoke-runs this with -fuzz=FuzzScenarioSteps -fuzztime=30s.
+func FuzzScenarioSteps(f *testing.F) {
+	// Seed corpus: generated plans of a few seeds folded into the
+	// decoder's byte domain (the generator draws 15-bit selectors, the
+	// decoder reads one byte per field, so encodePlan reduces each field
+	// mod 256 — still a diverse, valid starting population), plus
+	// hand-picked fault-heavy sequences.
+	for _, seed := range []int64{1, 2} {
+		f.Add(encodePlan(GeneratePlan(seed, 12, false)))
+	}
+	f.Add([]byte{
+		byte(OpAddOwner), 0, 0, 0, 0,
+		byte(OpAddConsumer), 0, 0, 0, 0,
+		byte(OpPublish), 0, 0, 0, 3,
+		byte(OpGrant), 0, 0, 0, 0,
+		byte(OpAccess), 0, 0, 0, 0,
+		byte(OpClockSkip), 0, 0, 0, 200,
+		byte(OpUse), 0, 0, 0, 0,
+		byte(OpMonitor), 0, 0, 0, 0,
+	})
+	f.Add([]byte{
+		byte(OpAddOwner), 0, 0, 0, 0,
+		byte(OpFailNode), 1, 0, 0, 0,
+		byte(OpDuplicateTx), 0, 0, 0, 0,
+		byte(OpRecoverNode), 0, 0, 0, 0,
+		byte(OpReorderTxs), 0, 0, 0, 0,
+		byte(OpReplayRequest), 0, 0, 0, 0,
+	})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		plan := DecodePlan(data, 24)
+		if len(plan) == 0 {
+			t.Skip("no steps")
+		}
+		res := New(Config{Seed: 1, Validators: 2}).RunPlan(plan)
+		if res.Failure != nil && res.Failure.Kind != FailError {
+			t.Fatalf("fuzzed plan violated %s %q: %s\ntrace:\n%s",
+				res.Failure.Kind, res.Failure.Name, res.Failure.Detail, res.Trace())
+		}
+	})
+}
+
+// encodePlan maps a plan into DecodePlan's byte-per-field encoding for
+// corpus seeding; fields wider than a byte are reduced mod 256.
+func encodePlan(plan []Step) []byte {
+	out := make([]byte, 0, len(plan)*5)
+	for _, st := range plan {
+		out = append(out, byte(st.Op), byte(st.A), byte(st.B), byte(st.C), byte(st.Arg))
+	}
+	return out
+}

@@ -1,0 +1,247 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/solid"
+)
+
+// Invariant is a system-wide predicate over live deployment state plus
+// the scenario model. Check returns nil when the invariant holds.
+type Invariant struct {
+	Name  string
+	Check func(w *World) error
+}
+
+// DefaultInvariants returns the engine's standard invariant suite.
+func DefaultInvariants() []Invariant {
+	return []Invariant{
+		{"funds-conservation", checkFundsConservation},
+		{"nonce-monotonicity", checkNonceMonotonicity},
+		{"head-agreement", checkHeadAgreement},
+		{"gas-ledger", checkGasLedger},
+		{"acl-isolation", checkACLIsolation},
+		{"published-immutability", checkPublishedImmutability},
+		{"policy-consistency", checkPolicyConsistency},
+		{"retention-enforcement", checkRetentionEnforcement},
+		{"honest-compliance", checkHonestCompliance},
+	}
+}
+
+// checkFundsConservation: the market mints and burns nothing — every fee
+// ever paid is either still held as revenue or was credited to an owner.
+func checkFundsConservation(w *World) error {
+	feesPaid, earned, revenue := w.d.Market.Totals()
+	if feesPaid != earned+revenue {
+		return fmt.Errorf("fees paid %d != earned %d + revenue %d", feesPaid, earned, revenue)
+	}
+	return nil
+}
+
+// checkNonceMonotonicity: per-sender nonces across the committed chain
+// are gapless and strictly increasing from 0, and the node's committed
+// nonce bookkeeping matches the ledger. A replayed transaction that
+// executed twice shows up as a repeated nonce here.
+func checkNonceMonotonicity(w *World) error {
+	n := w.d.LiveNode()
+	if n == nil {
+		return errors.New("no live node")
+	}
+	next := make(map[cryptoutil.Address]uint64)
+	height := n.Height()
+	for h := uint64(1); h <= height; h++ {
+		b := n.BlockByNumber(h)
+		if b == nil {
+			return fmt.Errorf("block %d missing below height %d", h, height)
+		}
+		for _, tx := range b.Txs {
+			if tx.Nonce != next[tx.From] {
+				return fmt.Errorf("block %d: sender %s nonce %d, want %d",
+					h, tx.From.Short(), tx.Nonce, next[tx.From])
+			}
+			next[tx.From]++
+		}
+	}
+	for addr, want := range next {
+		if got := n.CommittedNonce(addr); got != want {
+			return fmt.Errorf("sender %s: committed nonce %d, ledger says %d", addr.Short(), got, want)
+		}
+	}
+	return nil
+}
+
+// checkHeadAgreement: every live validator agrees on the chain tip.
+func checkHeadAgreement(w *World) error {
+	var refIdx = -1
+	var ref cryptoutil.Hash
+	var refHeight uint64
+	for i, n := range w.d.Nodes {
+		if w.d.ValidatorDown(i) {
+			continue
+		}
+		head := n.Head()
+		if refIdx < 0 {
+			refIdx, ref, refHeight = i, head.Hash(), head.Header.Number
+			continue
+		}
+		if head.Hash() != ref || head.Header.Number != refHeight {
+			return fmt.Errorf("validator %d head (height %d) disagrees with validator %d (height %d)",
+				i, head.Header.Number, refIdx, refHeight)
+		}
+	}
+	return nil
+}
+
+// checkGasLedger: each live node's cost ledger equals the gas recorded
+// in its committed receipts — gas is accounted exactly once per
+// transaction, whether the node sealed, validated, or synced the block.
+func checkGasLedger(w *World) error {
+	for i, n := range w.d.Nodes {
+		if w.d.ValidatorDown(i) {
+			continue
+		}
+		var fromReceipts uint64
+		for h := uint64(1); h <= n.Height(); h++ {
+			b := n.BlockByNumber(h)
+			if b == nil {
+				continue
+			}
+			for _, r := range b.Receipts {
+				fromReceipts += r.GasUsed
+			}
+		}
+		if ledger := n.Costs().TotalSpent(); ledger != fromReceipts {
+			return fmt.Errorf("validator %d: cost ledger %d != receipts total %d", i, ledger, fromReceipts)
+		}
+	}
+	return nil
+}
+
+// checkACLIsolation: a consumer is authorized on a resource iff some
+// grant step granted it — never through another consumer's grant, and a
+// given grant is never silently revoked by a later one.
+func checkACLIsolation(w *World) error {
+	for ri, res := range w.resources {
+		pod := w.owners[res.ownerIdx].o.Manager.Pod()
+		for ci, consumer := range w.consumers {
+			err := pod.Authorize(consumer.c.WebID, res.path, solid.ModeRead)
+			granted := res.isGranted(ci)
+			if granted && err != nil {
+				return fmt.Errorf("resource %d: granted consumer %s denied (gen %d): %v",
+					ri, consumer.name, pod.ACLGeneration(), err)
+			}
+			if !granted && err == nil {
+				return fmt.Errorf("resource %d: ungranted consumer %s authorized (gen %d)",
+					ri, consumer.name, pod.ACLGeneration())
+			}
+		}
+	}
+	return nil
+}
+
+// checkPublishedImmutability: the bytes a pod serves for an
+// ever-published resource are exactly the bytes published.
+func checkPublishedImmutability(w *World) error {
+	for ri, res := range w.resources {
+		owner := w.owners[res.ownerIdx]
+		got, err := owner.o.Manager.Pod().Get(owner.o.WebID, res.path)
+		if err != nil {
+			return fmt.Errorf("resource %d (%s) unreadable: %v", ri, res.path, err)
+		}
+		if sha256.Sum256(got.Data) != res.sum {
+			return fmt.Errorf("resource %d (%s): published bytes changed", ri, res.path)
+		}
+	}
+	return nil
+}
+
+// checkPolicyConsistency: the chain's resource record, the pod manager's
+// local view, and every TEE-held copy agree on the current policy
+// version and withdrawal status.
+func checkPolicyConsistency(w *World) error {
+	for ri, res := range w.resources {
+		owner := w.owners[res.ownerIdx]
+		rec, err := owner.o.Manager.DE().GetResource(res.iri)
+		if err != nil {
+			return fmt.Errorf("resource %d: chain record unreadable: %v", ri, err)
+		}
+		if rec.Policy.Version != res.version {
+			return fmt.Errorf("resource %d: chain policy v%d, model v%d", ri, rec.Policy.Version, res.version)
+		}
+		if rec.Withdrawn != res.withdrawn {
+			return fmt.Errorf("resource %d: chain withdrawn=%v, model %v", ri, rec.Withdrawn, res.withdrawn)
+		}
+		if res.published {
+			local, err := owner.o.Manager.PublishedPolicy(res.path)
+			if err != nil {
+				return fmt.Errorf("resource %d: pod manager lost the policy: %v", ri, err)
+			}
+			if local.Version != res.version {
+				return fmt.Errorf("resource %d: pod manager policy v%d, chain v%d", ri, local.Version, res.version)
+			}
+		}
+		for _, ci := range res.granted {
+			cp := res.copies[ci]
+			if cp == nil || !cp.stored {
+				continue
+			}
+			if got := w.consumers[ci].c.App.PolicyVersion(res.iri); got != res.version {
+				return fmt.Errorf("resource %d: consumer %s enforces policy v%d, current is v%d",
+					ri, w.consumers[ci].name, got, res.version)
+			}
+		}
+	}
+	return nil
+}
+
+// checkRetentionEnforcement: a TEE holds a live copy exactly when the
+// model says the retention deadline still allows it — deletion
+// obligations fire across clock skips, and no copy is deleted early.
+func checkRetentionEnforcement(w *World) error {
+	for ri, res := range w.resources {
+		for _, ci := range res.granted {
+			cp := res.copies[ci]
+			if cp == nil || !cp.stored {
+				continue
+			}
+			holds := w.consumers[ci].c.App.Holds(res.iri)
+			if holds != cp.live {
+				return fmt.Errorf("resource %d: consumer %s holds=%v, model live=%v (deadline %v, now %v)",
+					ri, w.consumers[ci].name, holds, cp.live, cp.deadline, w.now())
+			}
+		}
+	}
+	return nil
+}
+
+// checkHonestCompliance: monitoring never records a violation against a
+// resource whose holders all met their deletion obligations on time.
+// (Holders flagged everLate — e.g. a retention window tightened to below
+// a copy's age — are legitimately reported and excluded here.)
+func checkHonestCompliance(w *World) error {
+	for ri, res := range w.resources {
+		anyLate := false
+		for _, ci := range res.granted {
+			if cp := res.copies[ci]; cp != nil && cp.everLate {
+				anyLate = true
+				break
+			}
+		}
+		if anyLate {
+			continue
+		}
+		owner := w.owners[res.ownerIdx]
+		violations, err := owner.o.Manager.DE().GetViolations(res.iri)
+		if err != nil {
+			return fmt.Errorf("resource %d: violations unreadable: %v", ri, err)
+		}
+		if len(violations) > 0 {
+			return fmt.Errorf("resource %d: %d violations recorded against compliant holders (first: %s)",
+				ri, len(violations), violations[0].Kind)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+package scenario
+
+import (
+	"flag"
+	"fmt"
+	"testing"
+)
+
+var (
+	seedFlag  = flag.Int64("scenario.seed", 1, "seed for TestScenarioSeedMatrix")
+	stepsFlag = flag.Int("scenario.steps", 40, "plan length for TestScenarioSeedMatrix")
+)
+
+// TestScenarioSeedMatrix is the CI entry point: the workflow runs it
+// under -race once per seed in a fixed matrix. Locally it runs the
+// default seed; any seed is replayable with
+// -scenario.seed N -scenario.steps M.
+func TestScenarioSeedMatrix(t *testing.T) {
+	// RunShrunk is free on clean runs and reports a minimal trace when a
+	// regression trips an invariant in CI.
+	res := New(Config{Seed: *seedFlag, Steps: *stepsFlag}).RunShrunk()
+	if res.Failure != nil {
+		t.Fatalf("scenario failed: %s\nrepro: %s\nshrunk trace (%d replays):\n%s",
+			res.Failure, res.ReproCommand(), res.ShrinkRuns, res.Trace())
+	}
+	if res.InvariantChecks < len(res.Plan) {
+		t.Fatalf("only %d invariant checks over %d steps", res.InvariantChecks, len(res.Plan))
+	}
+}
+
+// TestScenarioTable drives table-driven smoke scenarios across seeds and
+// configurations; each case is a full multi-agent workload with faults
+// and per-step invariant checking.
+func TestScenarioTable(t *testing.T) {
+	steps := 30
+	if testing.Short() {
+		steps = 12
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"baseline", Config{Seed: 2, Steps: steps}},
+		{"two-validators", Config{Seed: 5, Steps: steps, Validators: 2}},
+		{"sparse-checks", Config{Seed: 9, Steps: steps, CheckEvery: 5}},
+		{"dense-population", Config{Seed: 13, Steps: steps, MaxOwners: 2, MaxConsumers: 3, MaxResources: 4}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := New(tc.cfg).Run()
+			if res.Failure != nil {
+				t.Fatalf("scenario failed: %s\ntrace:\n%s", res.Failure, res.Trace())
+			}
+		})
+	}
+}
+
+// TestScenarioSeedSweep runs many seeds with long plans — the widest
+// single-process net for cross-layer regressions (it is what catches,
+// e.g., a GrantAccess that clobbers earlier consumers' ACL grants).
+func TestScenarioSeedSweep(t *testing.T) {
+	seeds, steps := int64(12), 120
+	if testing.Short() {
+		seeds, steps = 4, 40
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		res := New(Config{Seed: seed, Steps: steps}).RunShrunk()
+		if res.Failure != nil {
+			t.Errorf("seed %d failed: %s\nrepro: %s\nshrunk trace:\n%s", seed, res.Failure, res.ReproCommand(), res.Trace())
+		}
+	}
+}
+
+// TestScenarioReproducible proves the acceptance property: a fixed seed
+// yields a bit-for-bit identical step trace and invariant results across
+// two independent runs (fresh deployments, fresh key material, fresh
+// HTTP ports — none of it may leak into the trace).
+func TestScenarioReproducible(t *testing.T) {
+	cfg := Config{Seed: 11, Steps: 30}
+	a := New(cfg).Run()
+	b := New(cfg).Run()
+	if a.Failure != nil {
+		t.Fatalf("run failed: %s\ntrace:\n%s", a.Failure, a.Trace())
+	}
+	if ta, tb := a.Trace(), b.Trace(); ta != tb {
+		t.Fatalf("traces differ across runs of seed %d:\n--- run A ---\n%s\n--- run B ---\n%s", cfg.Seed, ta, tb)
+	}
+}
+
+// TestScenarioSabotageShrinks proves the engine detects a deliberately
+// broken invariant and shrinks the failing plan to a minimal reproducing
+// trace of at most 20 steps.
+func TestScenarioSabotageShrinks(t *testing.T) {
+	eng := New(Config{Seed: 3, Steps: 30, Sabotage: true, MaxShrinkRuns: 80})
+	res := eng.RunShrunk()
+	if res.Failure == nil {
+		t.Fatalf("sabotaged run reported no violation:\n%s", res.Trace())
+	}
+	if res.Failure.Kind != FailInvariant || res.Failure.Name != "published-immutability" {
+		t.Fatalf("want published-immutability invariant failure, got %s", res.Failure)
+	}
+	if len(res.Plan) > 20 {
+		t.Fatalf("shrunk trace has %d steps, want <= 20:\n%s", len(res.Plan), res.Trace())
+	}
+	t.Logf("shrunk to %d steps in %d replays:\n%s", len(res.Plan), res.ShrinkRuns, res.Trace())
+}
+
+// TestScenarioCustomInvariantViolation shows the extension point: a
+// user-supplied invariant that cannot hold fails the run with a shrunk
+// trace, without any sabotage step.
+func TestScenarioCustomInvariantViolation(t *testing.T) {
+	broken := append(DefaultInvariants(), Invariant{
+		Name: "no-owners-ever",
+		Check: func(w *World) error {
+			if len(w.owners) > 0 {
+				return fmt.Errorf("an owner exists")
+			}
+			return nil
+		},
+	})
+	eng := New(Config{Seed: 4, Steps: 12, MaxShrinkRuns: 40, Invariants: broken})
+	res := eng.RunShrunk()
+	if res.Failure == nil || res.Failure.Name != "no-owners-ever" {
+		t.Fatalf("want no-owners-ever failure, got %v", res.Failure)
+	}
+	// Minimal repro is the mandatory first add-owner step alone.
+	if len(res.Plan) > 2 {
+		t.Fatalf("shrunk trace has %d steps, want <= 2:\n%s", len(res.Plan), res.Trace())
+	}
+}
+
+// TestGeneratePlanDeterministic pins generator behaviour: equal seeds
+// give equal plans, differing seeds differ, and sabotage-enabled plans
+// always contain a sabotage step.
+func TestGeneratePlanDeterministic(t *testing.T) {
+	a := GeneratePlan(42, 60, false)
+	b := GeneratePlan(42, 60, false)
+	if len(a) != 60 || len(b) != 60 {
+		t.Fatalf("want 60 steps, got %d and %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("plans diverge at step %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := GeneratePlan(43, 60, false)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 generated identical plans")
+	}
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		plan := GeneratePlan(seed, 10, true)
+		found := false
+		for _, st := range plan {
+			if st.Op == OpSabotage {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("seed %d: sabotage-enabled plan contains no sabotage step", seed)
+		}
+	}
+}
+
+// TestDecodePlanNeverSabotages pins the fuzz decoder's safety property.
+func TestDecodePlanNeverSabotages(t *testing.T) {
+	data := make([]byte, 256)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	for _, st := range DecodePlan(data, 64) {
+		if st.Op == OpSabotage {
+			t.Fatal("DecodePlan produced a sabotage step")
+		}
+		if st.Op >= numOps {
+			t.Fatalf("DecodePlan produced out-of-range op %d", st.Op)
+		}
+	}
+	if got := len(DecodePlan(data, 8)); got != 8 {
+		t.Fatalf("maxSteps not honoured: got %d", got)
+	}
+	if got := len(DecodePlan([]byte{1, 2, 3}, 8)); got != 0 {
+		t.Fatalf("short input should decode to no steps, got %d", got)
+	}
+}

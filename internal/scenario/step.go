@@ -1,0 +1,225 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Op is one kind of scenario step.
+type Op uint8
+
+// The step vocabulary. Workload ops exercise the paper's six processes;
+// fault ops inject the failure modes the architecture claims to survive.
+const (
+	// OpAddOwner provisions a data owner (pod + manager + market account).
+	OpAddOwner Op = iota
+	// OpAddConsumer provisions a consumer (WebID + TEE device + market
+	// subscription + on-chain device registration).
+	OpAddConsumer
+	// OpPublish uploads a resource and publishes it with a usage policy.
+	OpPublish
+	// OpGrant authorizes a consumer for a resource (ACL + on-chain grant).
+	OpGrant
+	// OpAccess runs the Fig. 2(4) access end to end (fee, fetch, TEE
+	// store, retrieval confirmation). Ungranted consumers attempt too —
+	// the engine demands they fail.
+	OpAccess
+	// OpUse performs a policy-checked use of a held copy inside the TEE.
+	OpUse
+	// OpModifyPolicy publishes a new policy version (changed retention)
+	// and waits for push-out propagation to every copy holder.
+	OpModifyPolicy
+	// OpUnpublish withdraws a resource from the market mid-flight.
+	OpUnpublish
+	// OpMonitor runs a monitoring round and collects evidence/violations.
+	OpMonitor
+	// OpSettle distributes accumulated market revenue to owners.
+	OpSettle
+	// OpReplayRequest captures a signed HTTP request and replays it
+	// verbatim; the replay must be rejected.
+	OpReplayRequest
+	// OpDropRequest injects a network fault that loses an HTTP response
+	// mid-flight; the retry must succeed.
+	OpDropRequest
+	// OpDuplicateTx resubmits an already-committed transaction; it must
+	// not execute twice.
+	OpDuplicateTx
+	// OpReorderTxs submits a same-sender batch out of nonce order; the
+	// batch must be rejected atomically, then succeed in order.
+	OpReorderTxs
+	// OpFailNode marks a validator as failed (validator 0 stays live: the
+	// oracles observe it, mirroring the E12 experiment shape).
+	OpFailNode
+	// OpRecoverNode recovers a failed validator and syncs its ledger.
+	OpRecoverNode
+	// OpClockSkip advances simulated time by hours-to-days, crossing
+	// policy-retention windows so deletion obligations come due.
+	OpClockSkip
+	// OpSealEmpty drives one consensus round with an empty mempool.
+	OpSealEmpty
+
+	// numOps counts the fuzz-decodable ops; everything below is excluded
+	// from DecodePlan so fuzzing can only find genuine violations.
+	numOps
+
+	// OpSabotage is a test-only fault that corrupts a published resource
+	// in place, violating published-immutability on purpose. It is only
+	// generated when Config.Sabotage is set and exists to prove the
+	// engine detects and shrinks genuine invariant violations.
+	OpSabotage
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpAddOwner:
+		return "add-owner"
+	case OpAddConsumer:
+		return "add-consumer"
+	case OpPublish:
+		return "publish"
+	case OpGrant:
+		return "grant"
+	case OpAccess:
+		return "access"
+	case OpUse:
+		return "use"
+	case OpModifyPolicy:
+		return "modify-policy"
+	case OpUnpublish:
+		return "unpublish"
+	case OpMonitor:
+		return "monitor"
+	case OpSettle:
+		return "settle"
+	case OpReplayRequest:
+		return "replay-request"
+	case OpDropRequest:
+		return "drop-request"
+	case OpDuplicateTx:
+		return "duplicate-tx"
+	case OpReorderTxs:
+		return "reorder-txs"
+	case OpFailNode:
+		return "fail-node"
+	case OpRecoverNode:
+		return "recover-node"
+	case OpClockSkip:
+		return "clock-skip"
+	case OpSealEmpty:
+		return "seal-empty"
+	case OpSabotage:
+		return "sabotage"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Step is one scenario action. Selectors are resolved modulo the live
+// population at execution time, so any subsequence of a plan is itself a
+// valid plan — the property step-level shrinking relies on.
+type Step struct {
+	// Op is the action kind.
+	Op Op
+	// A selects an owner, B a consumer, C a resource (each modulo the
+	// respective population size when the step runs).
+	A, B, C int
+	// Arg is an op-specific magnitude (retention days, skip hours, ...).
+	Arg int
+}
+
+func (s Step) String() string {
+	return fmt.Sprintf("%-14s a=%d b=%d c=%d arg=%d", s.Op, s.A, s.B, s.C, s.Arg)
+}
+
+// opWeights is the sampling distribution for plan generation. The mix
+// keeps populations growing early and leans on the access/use hot path
+// while sprinkling faults throughout.
+var opWeights = []struct {
+	op Op
+	w  int
+}{
+	{OpAddOwner, 4}, {OpAddConsumer, 6}, {OpPublish, 9}, {OpGrant, 12},
+	{OpAccess, 14}, {OpUse, 14}, {OpModifyPolicy, 8}, {OpUnpublish, 2},
+	{OpMonitor, 5}, {OpSettle, 2}, {OpReplayRequest, 3}, {OpDropRequest, 2},
+	{OpDuplicateTx, 3}, {OpReorderTxs, 2}, {OpFailNode, 2}, {OpRecoverNode, 3},
+	{OpClockSkip, 5}, {OpSealEmpty, 2},
+}
+
+// GeneratePlan derives a step plan deterministically from the seed. The
+// first four steps always provision an owner, a consumer, a resource,
+// and a grant so that short plans still exercise the full stack. With
+// sabotage enabled, OpSabotage joins the distribution and the last step
+// is forced to OpSabotage if none was drawn — a sabotaging plan is
+// guaranteed to violate published-immutability.
+func GeneratePlan(seed int64, steps int, sabotage bool) []Step {
+	rng := rand.New(rand.NewSource(seed))
+	weights := opWeights
+	if sabotage {
+		weights = append(append([]struct {
+			op Op
+			w  int
+		}(nil), opWeights...), struct {
+			op Op
+			w  int
+		}{OpSabotage, 4})
+	}
+	total := 0
+	for _, ow := range weights {
+		total += ow.w
+	}
+
+	plan := make([]Step, 0, steps)
+	sabotaged := false
+	for i := range steps {
+		var op Op
+		switch i {
+		case 0:
+			op = OpAddOwner
+		case 1:
+			op = OpAddConsumer
+		case 2:
+			op = OpPublish
+		case 3:
+			op = OpGrant
+		default:
+			pick := rng.Intn(total)
+			for _, ow := range weights {
+				if pick < ow.w {
+					op = ow.op
+					break
+				}
+				pick -= ow.w
+			}
+		}
+		if op == OpSabotage {
+			sabotaged = true
+		}
+		plan = append(plan, Step{
+			Op:  op,
+			A:   rng.Intn(1 << 15),
+			B:   rng.Intn(1 << 15),
+			C:   rng.Intn(1 << 15),
+			Arg: rng.Intn(1 << 15),
+		})
+	}
+	if sabotage && !sabotaged && len(plan) > 0 {
+		plan[len(plan)-1].Op = OpSabotage
+	}
+	return plan
+}
+
+// DecodePlan turns raw bytes (fuzz input) into a step plan: each
+// 5-byte group becomes one step. OpSabotage is never decoded — fuzzing
+// must only be able to find genuine violations.
+func DecodePlan(data []byte, maxSteps int) []Step {
+	var plan []Step
+	for i := 0; i+5 <= len(data) && len(plan) < maxSteps; i += 5 {
+		plan = append(plan, Step{
+			Op:  Op(data[i] % uint8(numOps)),
+			A:   int(data[i+1]),
+			B:   int(data[i+2]),
+			C:   int(data[i+3]),
+			Arg: int(data[i+4]),
+		})
+	}
+	return plan
+}

@@ -1,0 +1,47 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+)
+
+func init() {
+	core.ScenarioThroughputFn = throughputTable
+}
+
+// throughputTable backs Harness.AblationScenarioThroughput: it runs the
+// engine at growing plan sizes with two invariant-check cadences and
+// reports steps/second, making both the workload drive rate and the
+// cost of system-wide invariant checking tracked performance numbers.
+func throughputTable(quick bool) *core.Table {
+	t := &core.Table{
+		Title:  "Ablation: scenario engine step throughput (seed 7, 3 validators)",
+		Header: []string{"steps", "check_every", "wall_ms", "steps_per_sec", "invariant_checks"},
+	}
+	sizes := []int{25, 50, 100}
+	if quick {
+		sizes = sizes[:2]
+	}
+	for _, n := range sizes {
+		for _, every := range []int{1, 8} {
+			res, ms := timedRun(Config{Seed: 7, Steps: n, CheckEvery: every})
+			if res.Failure != nil {
+				t.Add(n, every, fmt.Sprintf("FAILED: %s", res.Failure), "-", res.InvariantChecks)
+				continue
+			}
+			t.Add(n, every, ms, float64(n)/(ms/1000), res.InvariantChecks)
+		}
+	}
+	return t
+}
+
+// timedRun executes one scenario run and returns it with the elapsed
+// wall-clock milliseconds.
+func timedRun(cfg Config) (*RunResult, float64) {
+	eng := New(cfg)
+	start := time.Now()
+	res := eng.Run()
+	return res, float64(time.Since(start).Microseconds()) / 1000
+}

@@ -1,0 +1,743 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/cryptoutil"
+	"repro/internal/distexchange"
+	"repro/internal/policy"
+	"repro/internal/solid"
+	"repro/internal/tee"
+)
+
+// consumerPurpose is the declared purpose of every scenario consumer.
+// Generated policies never constrain purposes, so purpose checks stay
+// out of the model: the invariant surface under test is retention,
+// isolation, immutability, and funds/nonce bookkeeping.
+const consumerPurpose = policy.PurposeWebAnalytics
+
+// stepTimeout bounds any single step's wall-clock time; a step that
+// exceeds it indicates a deadlock-class bug (e.g. waiting on a dead
+// node's ledger), which the engine reports instead of hanging.
+const stepTimeout = 30 * time.Second
+
+// copySt models one consumer's TEE-held copy of a resource.
+type copySt struct {
+	stored      bool // ever stored (live or tombstone)
+	live        bool
+	retrievedAt time.Time
+	hasDeadline bool
+	deadline    time.Time
+	diedAt      time.Time
+	// everLate marks a copy whose deletion instant exceeded some
+	// policy-version's deadline — the only holders monitoring may
+	// legitimately flag.
+	everLate bool
+	useCount uint64
+}
+
+// resourceSt models one published resource.
+type resourceSt struct {
+	ownerIdx  int
+	path, iri string
+	sum       [32]byte
+	published bool
+	withdrawn bool
+	version   uint64
+	retention time.Duration
+	granted   []int // consumer indices in grant order
+	confirmed map[int]bool
+	copies    map[int]*copySt
+}
+
+func (r *resourceSt) isGranted(consumer int) bool {
+	for _, g := range r.granted {
+		if g == consumer {
+			return true
+		}
+	}
+	return false
+}
+
+type ownerSt struct {
+	name string
+	o    *core.Owner
+}
+
+type consumerSt struct {
+	name string
+	c    *core.Consumer
+}
+
+// World is a live deployment plus the model the engine checks it
+// against. All execution is single-threaded; background goroutines
+// (oracles, timers) are quiesced inside the steps that start them, so a
+// run with a fixed plan is deterministic. Custom invariants receive the
+// World and inspect live state through Deployment and Now.
+type World struct {
+	cfg       Config
+	d         *core.Deployment
+	owners    []*ownerSt
+	consumers []*consumerSt
+	resources []*resourceSt
+
+	// dupKey is the synthetic sender used by transaction-level faults;
+	// dupNonce tracks its committed nonce sequence.
+	dupKey   *cryptoutil.KeyPair
+	dupNonce uint64
+}
+
+func newWorld(cfg Config) (*World, error) {
+	d, err := core.NewDeployment(core.Config{
+		Validators:      cfg.Validators,
+		MonitoringGrace: cfg.MonitorGrace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &World{cfg: cfg, d: d, dupKey: cryptoutil.MustGenerateKey()}, nil
+}
+
+func (w *World) close() { w.d.Close() }
+
+func (w *World) now() time.Time { return w.d.Clock.Now() }
+
+// Deployment exposes the live deployment for custom invariants.
+func (w *World) Deployment() *core.Deployment { return w.d }
+
+// Now returns the current simulated instant.
+func (w *World) Now() time.Time { return w.now() }
+
+// Populations reports the current owner/consumer/resource counts, so
+// custom invariants can scale their expectations.
+func (w *World) Populations() (owners, consumers, resources int) {
+	return len(w.owners), len(w.consumers), len(w.resources)
+}
+
+// sel resolves a step selector against a population size.
+func sel(raw, n int) int {
+	if n <= 0 {
+		return -1
+	}
+	return raw % n
+}
+
+// publishedResources lists indices of currently listed resources.
+func (w *World) publishedResources() []int {
+	var out []int
+	for i, r := range w.resources {
+		if r.published {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ownerResources lists indices of resources of one owner matching the
+// predicate.
+func (w *World) ownerResources(owner int, pred func(*resourceSt) bool) []int {
+	var out []int
+	for i, r := range w.resources {
+		if r.ownerIdx == owner && pred(r) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// classify maps an error to a stable outcome label. Labels must never
+// embed run-specific data (addresses, ports, nonces): the trace has to
+// be byte-identical across two runs of the same seed.
+func classify(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	var se *solid.StatusError
+	if errors.As(err, &se) {
+		return fmt.Sprintf("http-%d", se.Code)
+	}
+	var re *distexchange.RevertError
+	if errors.As(err, &re) {
+		return "revert"
+	}
+	switch {
+	case errors.Is(err, tee.ErrNoCopy):
+		return "no-copy"
+	case errors.Is(err, tee.ErrDeleted):
+		return "deleted"
+	case errors.Is(err, tee.ErrUseDenied):
+		return "use-denied"
+	case errors.Is(err, tee.ErrUseRevoked):
+		return "use-revoked"
+	case errors.Is(err, chain.ErrBadNonce):
+		return "bad-nonce"
+	case errors.Is(err, solid.ErrForbidden):
+		return "forbidden"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	}
+	return "err"
+}
+
+// expectation builds an expectation-class failure.
+func expectation(op Op, format string, args ...any) *Failure {
+	return &Failure{Kind: FailExpectation, Name: op.String(), Detail: fmt.Sprintf(format, args...)}
+}
+
+// resourceData derives the deterministic body of resource #i.
+func resourceData(i int) []byte {
+	return bytes.Repeat([]byte{byte('a' + i%26)}, 256+(i%7)*64)
+}
+
+// apply executes one step against the deployment and advances the
+// model. It returns a stable outcome label and, when the system's
+// behaviour contradicts the model, an expectation failure.
+func (w *World) apply(stepIdx int, st Step) (string, *Failure) {
+	ctx, cancel := context.WithTimeout(context.Background(), stepTimeout)
+	defer cancel()
+
+	switch st.Op {
+	case OpAddOwner:
+		if len(w.owners) >= w.cfg.MaxOwners {
+			return "skip-cap", nil
+		}
+		name := fmt.Sprintf("o%d", len(w.owners))
+		o, err := w.d.NewOwner(name)
+		if err == nil {
+			err = o.InitializePod(ctx, nil)
+		}
+		if err != nil {
+			return classify(err), expectation(st.Op, "provisioning owner %s failed: %v", name, err)
+		}
+		w.owners = append(w.owners, &ownerSt{name: name, o: o})
+		return "ok", nil
+
+	case OpAddConsumer:
+		if len(w.consumers) >= w.cfg.MaxConsumers {
+			return "skip-cap", nil
+		}
+		name := fmt.Sprintf("c%d", len(w.consumers))
+		c, err := w.d.NewConsumer(name, consumerPurpose)
+		if err != nil {
+			return classify(err), expectation(st.Op, "provisioning consumer %s failed: %v", name, err)
+		}
+		w.consumers = append(w.consumers, &consumerSt{name: name, c: c})
+		return "ok", nil
+
+	case OpPublish:
+		oi := sel(st.A, len(w.owners))
+		if oi < 0 {
+			return "skip-no-owner", nil
+		}
+		if len(w.resources) >= w.cfg.MaxResources {
+			return "skip-cap", nil
+		}
+		owner := w.owners[oi]
+		ri := len(w.resources)
+		path := fmt.Sprintf("/data/r%03d.bin", ri)
+		data := resourceData(ri)
+		retDays := st.Arg % 11 // 0 = unlimited
+		if err := owner.o.AddResource(path, "application/octet-stream", data); err != nil {
+			return classify(err), expectation(st.Op, "upload %s: %v", path, err)
+		}
+		pol := owner.o.NewPolicy(path)
+		pol.MaxRetention = time.Duration(retDays) * 24 * time.Hour
+		iri, err := owner.o.Publish(ctx, path, fmt.Sprintf("scenario resource %d", ri), pol)
+		if err != nil {
+			return classify(err), expectation(st.Op, "publish %s: %v", path, err)
+		}
+		w.resources = append(w.resources, &resourceSt{
+			ownerIdx:  oi,
+			path:      path,
+			iri:       iri,
+			sum:       sha256.Sum256(data),
+			published: true,
+			version:   1,
+			retention: pol.MaxRetention,
+			confirmed: make(map[int]bool),
+			copies:    make(map[int]*copySt),
+		})
+		return fmt.Sprintf("ok ret=%dd", retDays), nil
+
+	case OpGrant:
+		pubs := w.publishedResources()
+		ri := sel(st.C, len(pubs))
+		ci := sel(st.B, len(w.consumers))
+		if ri < 0 || ci < 0 {
+			return "skip-unresolved", nil
+		}
+		res := w.resources[pubs[ri]]
+		if res.isGranted(ci) {
+			return "skip-granted", nil
+		}
+		owner := w.owners[res.ownerIdx]
+		if err := owner.o.Grant(ctx, w.consumers[ci].c, res.path, consumerPurpose); err != nil {
+			return classify(err), expectation(st.Op, "grant %s to %s: %v", res.path, w.consumers[ci].name, err)
+		}
+		res.granted = append(res.granted, ci)
+		return "ok", nil
+
+	case OpAccess:
+		pubs := w.publishedResources()
+		ri := sel(st.C, len(pubs))
+		ci := sel(st.B, len(w.consumers))
+		if ri < 0 || ci < 0 {
+			return "skip-unresolved", nil
+		}
+		res := w.resources[pubs[ri]]
+		consumer := w.consumers[ci]
+		if res.confirmed[ci] {
+			// The grant model is one retrieval per (resource, device):
+			// a second confirmRetrieval reverts by design.
+			return "skip-confirmed", nil
+		}
+		err := consumer.c.Access(ctx, res.iri)
+		if !res.isGranted(ci) {
+			// Isolation: an ungranted consumer must never obtain the bytes.
+			if err == nil {
+				return "ok", expectation(st.Op, "ungranted consumer %s read %s", consumer.name, res.iri)
+			}
+			return "denied-" + classify(err), nil
+		}
+		if err != nil {
+			return classify(err), expectation(st.Op, "granted consumer %s failed to access %s: %v", consumer.name, res.iri, err)
+		}
+		cp := &copySt{stored: true, live: true, retrievedAt: w.now()}
+		if res.retention > 0 {
+			cp.hasDeadline = true
+			cp.deadline = cp.retrievedAt.Add(res.retention)
+		}
+		res.copies[ci] = cp
+		res.confirmed[ci] = true
+		return "ok", nil
+
+	case OpUse:
+		ri := sel(st.C, len(w.resources))
+		ci := sel(st.B, len(w.consumers))
+		if ri < 0 || ci < 0 {
+			return "skip-unresolved", nil
+		}
+		res := w.resources[ri]
+		consumer := w.consumers[ci]
+		cp := res.copies[ci]
+		_, err := consumer.c.Use(res.iri, policy.ActionUse)
+		switch {
+		case cp == nil || !cp.stored:
+			if !errors.Is(err, tee.ErrNoCopy) {
+				return classify(err), expectation(st.Op, "use without copy: want no-copy, got %v", err)
+			}
+			return "no-copy", nil
+		case !cp.live:
+			if !errors.Is(err, tee.ErrDeleted) {
+				return classify(err), expectation(st.Op, "use of deleted copy: want deleted, got %v", err)
+			}
+			return "deleted", nil
+		default:
+			if err != nil {
+				return classify(err), expectation(st.Op, "use of live copy of %s denied: %v", res.iri, err)
+			}
+			cp.useCount++
+			return "ok", nil
+		}
+
+	case OpModifyPolicy:
+		oi := sel(st.A, len(w.owners))
+		if oi < 0 {
+			return "skip-no-owner", nil
+		}
+		mine := w.ownerResources(oi, func(r *resourceSt) bool { return r.published })
+		ri := sel(st.C, len(mine))
+		if ri < 0 {
+			return "skip-no-resource", nil
+		}
+		res := w.resources[mine[ri]]
+		owner := w.owners[oi]
+		newRet := time.Duration(st.Arg%11) * 24 * time.Hour
+		pol := owner.o.NewPolicy(res.path)
+		pol.Version = res.version + 1
+		pol.MaxRetention = newRet
+		if err := owner.o.ModifyPolicy(ctx, res.path, pol); err != nil {
+			return classify(err), expectation(st.Op, "modify policy of %s: %v", res.path, err)
+		}
+		res.version++
+		res.retention = newRet
+		// Push-out propagation: every holder that ever stored a copy
+		// (tombstones included) must reach the new version.
+		for _, ci := range res.granted {
+			cp := res.copies[ci]
+			if cp == nil || !cp.stored {
+				continue
+			}
+			if err := w.consumers[ci].c.WaitPolicyVersion(res.iri, res.version, 10*time.Second); err != nil {
+				return "timeout", expectation(st.Op, "policy v%d never reached %s: %v", res.version, w.consumers[ci].name, err)
+			}
+		}
+		// Fire any zero-delay deletion timers the update armed, then
+		// advance the model to the new deadlines.
+		w.d.Clock.Advance(0)
+		now := w.now()
+		for _, ci := range res.granted {
+			cp := res.copies[ci]
+			if cp == nil || !cp.stored {
+				continue
+			}
+			if newRet > 0 {
+				dl := cp.retrievedAt.Add(newRet)
+				if cp.live {
+					if !now.Before(dl) {
+						cp.live = false
+						cp.diedAt = now
+						if now.After(dl) {
+							cp.everLate = true
+						}
+					} else {
+						cp.hasDeadline = true
+						cp.deadline = dl
+					}
+				} else if cp.diedAt.After(dl) {
+					// Retroactively late: the copy outlived the deadline the
+					// *current* policy version would have imposed, which is
+					// exactly what compliance checking evaluates.
+					cp.everLate = true
+				}
+			} else if cp.live {
+				cp.hasDeadline = false
+				cp.deadline = time.Time{}
+			}
+		}
+		return fmt.Sprintf("ok v=%d ret=%s", res.version, newRet), nil
+
+	case OpUnpublish:
+		oi := sel(st.A, len(w.owners))
+		if oi < 0 {
+			return "skip-no-owner", nil
+		}
+		mine := w.ownerResources(oi, func(r *resourceSt) bool { return r.published })
+		ri := sel(st.C, len(mine))
+		if ri < 0 {
+			return "skip-no-resource", nil
+		}
+		res := w.resources[mine[ri]]
+		if err := w.owners[oi].o.Unpublish(ctx, res.path); err != nil {
+			return classify(err), expectation(st.Op, "unpublish %s: %v", res.path, err)
+		}
+		res.published = false
+		res.withdrawn = true
+		return "ok", nil
+
+	case OpMonitor:
+		oi := sel(st.A, len(w.owners))
+		if oi < 0 {
+			return "skip-no-owner", nil
+		}
+		mine := w.ownerResources(oi, func(r *resourceSt) bool { return r.published || r.withdrawn })
+		ri := sel(st.C, len(mine))
+		if ri < 0 {
+			return "skip-no-resource", nil
+		}
+		res := w.resources[mine[ri]]
+		targets := 0
+		for _, ci := range res.granted {
+			if res.confirmed[ci] {
+				targets++
+			}
+		}
+		evidence, violations, err := w.owners[oi].o.Monitor(ctx, res.path)
+		if err != nil {
+			return classify(err), expectation(st.Op, "monitor %s: %v", res.path, err)
+		}
+		if len(evidence) != targets {
+			return "short-evidence", expectation(st.Op, "monitor %s: %d evidence from %d targets", res.path, len(evidence), targets)
+		}
+		return fmt.Sprintf("ok ev=%d viol=%d", len(evidence), len(violations)), nil
+
+	case OpSettle:
+		payouts, err := w.d.Market.Settle(10)
+		if err != nil {
+			return classify(err), expectation(st.Op, "settle: %v", err)
+		}
+		return fmt.Sprintf("ok payouts=%d", len(payouts)), nil
+
+	case OpReplayRequest:
+		oi := sel(st.A, len(w.owners))
+		if oi < 0 {
+			return "skip-no-owner", nil
+		}
+		return w.replayRequest(ctx, stepIdx, oi)
+
+	case OpDropRequest:
+		oi := sel(st.A, len(w.owners))
+		if oi < 0 {
+			return "skip-no-owner", nil
+		}
+		owner := w.owners[oi]
+		target := owner.o.URL() + w.readablePath(oi)
+		faulty := solid.NewClient(owner.o.WebID, owner.o.Key, w.d.Clock)
+		faulty.HTTP = &http.Client{Transport: droppingTransport{}, Timeout: stepTimeout}
+		if _, _, err := faulty.Get(target); err == nil {
+			return "ok", expectation(st.Op, "injected drop did not surface as an error")
+		}
+		retry := solid.NewClient(owner.o.WebID, owner.o.Key, w.d.Clock)
+		retry.HTTP = &http.Client{Timeout: stepTimeout}
+		if _, _, err := retry.Get(target); err != nil {
+			return classify(err), expectation(st.Op, "retry after dropped response failed: %v", err)
+		}
+		return "drop-retried", nil
+
+	case OpDuplicateTx:
+		tx, err := w.dupTx("dup")
+		if err != nil {
+			return "err", expectation(st.Op, "build tx: %v", err)
+		}
+		before := w.liveHeight()
+		if _, err := w.d.SubmitBatch([]*chain.Tx{tx}); err != nil {
+			return classify(err), expectation(st.Op, "first submit: %v", err)
+		}
+		w.dupNonce++
+		if _, err := w.d.SubmitBatch([]*chain.Tx{tx}); err != nil {
+			return classify(err), expectation(st.Op, "duplicate resubmit not idempotent: %v", err)
+		}
+		after := w.liveHeight()
+		if after != before+1 {
+			return "re-executed", expectation(st.Op, "duplicate resubmit changed height %d -> %d (want %d)", before, after, before+1)
+		}
+		return "dup-idempotent", nil
+
+	case OpReorderTxs:
+		txs := make([]*chain.Tx, 3)
+		for i := range txs {
+			tx, err := w.dupTx(fmt.Sprintf("reorder%d", i))
+			if err != nil {
+				return "err", expectation(st.Op, "build tx: %v", err)
+			}
+			w.dupNonce++
+			txs[i] = tx
+		}
+		// Out of order with a valid head: the batch must fail atomically.
+		if _, err := w.d.SubmitBatch([]*chain.Tx{txs[0], txs[2], txs[1]}); !errors.Is(err, chain.ErrBadNonce) {
+			return classify(err), expectation(st.Op, "reordered batch: want bad-nonce, got %v", err)
+		}
+		if pending := w.d.Network.PendingTxs(); pending != 0 {
+			return "partial-enqueue", expectation(st.Op, "reordered batch left %d txs queued", pending)
+		}
+		if _, err := w.d.SubmitBatch(txs); err != nil {
+			return classify(err), expectation(st.Op, "in-order batch after reorder: %v", err)
+		}
+		return "reorder-rejected", nil
+
+	case OpFailNode:
+		var candidates []int
+		for i := 1; i < len(w.d.Nodes); i++ {
+			if !w.d.ValidatorDown(i) {
+				candidates = append(candidates, i)
+			}
+		}
+		ni := sel(st.A, len(candidates))
+		if ni < 0 {
+			return "skip-no-candidate", nil
+		}
+		if err := w.d.FailValidator(candidates[ni]); err != nil {
+			return "err", expectation(st.Op, "fail validator %d: %v", candidates[ni], err)
+		}
+		return fmt.Sprintf("failed-%d", candidates[ni]), nil
+
+	case OpRecoverNode:
+		var candidates []int
+		for i := 1; i < len(w.d.Nodes); i++ {
+			if w.d.ValidatorDown(i) {
+				candidates = append(candidates, i)
+			}
+		}
+		ni := sel(st.A, len(candidates))
+		if ni < 0 {
+			return "skip-no-candidate", nil
+		}
+		synced, err := w.d.RecoverValidator(candidates[ni])
+		if err != nil {
+			return "err", expectation(st.Op, "recover validator %d: %v", candidates[ni], err)
+		}
+		return fmt.Sprintf("recovered-%d synced=%d", candidates[ni], synced), nil
+
+	case OpClockSkip:
+		hours := 1 + st.Arg%240
+		w.d.Clock.Advance(time.Duration(hours) * time.Hour)
+		w.expireCopies()
+		return fmt.Sprintf("+%dh", hours), nil
+
+	case OpSealEmpty:
+		if _, err := w.d.SealBlock(); err != nil {
+			return "err", expectation(st.Op, "seal empty block: %v", err)
+		}
+		return "ok", nil
+
+	case OpSabotage:
+		pubs := w.publishedResources()
+		ri := sel(st.C, len(pubs))
+		if ri < 0 {
+			return "skip-no-resource", nil
+		}
+		res := w.resources[pubs[ri]]
+		owner := w.owners[res.ownerIdx]
+		if err := owner.o.Manager.Upload(res.path, "application/octet-stream", []byte("corrupted")); err != nil {
+			return "err", expectation(st.Op, "sabotage upload: %v", err)
+		}
+		return "sabotaged", nil
+	}
+	return "skip-unknown-op", nil
+}
+
+// expireCopies marks model copies whose deadline has passed as deleted
+// (the TEE timers fired during the clock advance, exactly at the
+// deadline instant).
+func (w *World) expireCopies() {
+	now := w.now()
+	for _, res := range w.resources {
+		for _, ci := range res.granted {
+			cp := res.copies[ci]
+			if cp == nil || !cp.live || !cp.hasDeadline {
+				continue
+			}
+			if !now.Before(cp.deadline) {
+				cp.live = false
+				cp.diedAt = cp.deadline
+			}
+		}
+	}
+}
+
+// readablePath picks a path the owner can deterministically read on its
+// own pod: its first resource, else the profile document.
+func (w *World) readablePath(ownerIdx int) string {
+	for _, r := range w.resources {
+		if r.ownerIdx == ownerIdx {
+			return r.path
+		}
+	}
+	return "/profile"
+}
+
+// replayRequest sends one signed request twice: the original must
+// succeed, the verbatim replay must be rejected (single-use nonce). All
+// requests carry the step context so a hung server surfaces as a step
+// failure rather than stalling the engine.
+func (w *World) replayRequest(ctx context.Context, stepIdx, ownerIdx int) (string, *Failure) {
+	owner := w.owners[ownerIdx]
+	target := owner.o.URL() + w.readablePath(ownerIdx)
+	u, err := url.Parse(target)
+	if err != nil {
+		return "err", expectation(OpReplayRequest, "parse %s: %v", target, err)
+	}
+	date := w.now().UTC().Format(time.RFC3339Nano)
+	nonce := fmt.Sprintf("replay-%d", stepIdx)
+	sig, err := owner.o.Key.Sign([]byte(http.MethodGet + "|" + u.Path + "|" + date + "|" + nonce))
+	if err != nil {
+		return "err", expectation(OpReplayRequest, "sign: %v", err)
+	}
+	send := func() (int, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, target, nil)
+		if err != nil {
+			return 0, err
+		}
+		req.Header.Set(solid.HeaderAgent, string(owner.o.WebID))
+		req.Header.Set(solid.HeaderAgentKey, hex.EncodeToString(owner.o.Key.PublicBytes()))
+		req.Header.Set(solid.HeaderDate, date)
+		req.Header.Set(solid.HeaderNonce, nonce)
+		req.Header.Set(solid.HeaderSignature, base64.StdEncoding.EncodeToString(sig))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return 0, err
+		}
+		resp.Body.Close()
+		return resp.StatusCode, nil
+	}
+	first, err := send()
+	if err != nil {
+		return "err", expectation(OpReplayRequest, "original request: %v", err)
+	}
+	if first != http.StatusOK {
+		return fmt.Sprintf("http-%d", first), expectation(OpReplayRequest, "original request got HTTP %d", first)
+	}
+	replayed, err := send()
+	if err != nil {
+		return "err", expectation(OpReplayRequest, "replayed request: %v", err)
+	}
+	if replayed < 400 {
+		return fmt.Sprintf("http-%d", replayed), expectation(OpReplayRequest, "verbatim replay accepted with HTTP %d", replayed)
+	}
+	return "replay-rejected", nil
+}
+
+// dupTx builds the next registerPod transaction of the synthetic fault
+// sender.
+func (w *World) dupTx(tag string) (*chain.Tx, error) {
+	args := distexchange.RegisterPodArgs{
+		OwnerWebID: fmt.Sprintf("https://%s-%d.example/profile#me", tag, w.dupNonce),
+		Location:   fmt.Sprintf("https://%s-%d.example/", tag, w.dupNonce),
+	}
+	return chain.NewTx(w.dupKey, w.dupNonce, w.d.DEAddr, "registerPod", args, distexchange.DefaultGasLimit)
+}
+
+// quiesceChain waits (wall-clock bounded) for in-flight block broadcasts
+// to land on every live node. The pull-in oracle submits evidence from
+// its own goroutine, and a round's closure becomes visible on the
+// receipt node before the sealing broadcast has applied the block to the
+// remaining validators — so a step can return while one validator is a
+// block behind for a few microseconds. Invariants must only judge the
+// settled state. The spin uses the wall clock and leaves no mark on the
+// trace.
+func (w *World) quiesceChain() {
+	deadline := time.Now().Add(5 * time.Second)
+	for !w.chainSettled() && time.Now().Before(deadline) {
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// chainSettled reports whether every live validator agrees on the head
+// and no mempool holds queued transactions.
+func (w *World) chainSettled() bool {
+	var ref cryptoutil.Hash
+	first := true
+	for i, n := range w.d.Nodes {
+		if w.d.ValidatorDown(i) {
+			continue
+		}
+		h := n.Head().Hash()
+		if first {
+			ref, first = h, false
+		} else if h != ref {
+			return false
+		}
+	}
+	return w.d.Network.PendingTxs() == 0
+}
+
+// liveHeight reads the live cluster's chain height.
+func (w *World) liveHeight() uint64 {
+	if n := w.d.LiveNode(); n != nil {
+		return n.Height()
+	}
+	return 0
+}
+
+// droppingTransport performs the request (the server observes it) but
+// loses the response — the "response dropped on the wire" fault.
+type droppingTransport struct{}
+
+func (droppingTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	resp, err := http.DefaultTransport.RoundTrip(r)
+	if err == nil {
+		resp.Body.Close()
+	}
+	return nil, fmt.Errorf("scenario: injected network drop")
+}

@@ -1,0 +1,68 @@
+package solid
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sendTruncated writes a request whose Content-Length promises more
+// bytes than are sent, then half-closes the connection so the server
+// observes an unexpected EOF mid-body. Returns the response status.
+func sendTruncated(t *testing.T, serverURL, method, path string) int {
+	t.Helper()
+	addr := strings.TrimPrefix(serverURL, "http://")
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	fmt.Fprintf(conn, "%s %s HTTP/1.1\r\nHost: %s\r\nContent-Type: text/plain\r\nContent-Length: 1000\r\n\r\n", method, path, addr)
+	fmt.Fprint(conn, "only ten b") // 10 of the promised 1000 bytes
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.CloseWrite()
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	resp, err := http.ReadResponse(bufio.NewReader(conn), nil)
+	if err != nil {
+		t.Fatalf("read response to truncated %s: %v", method, err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestServerTruncatedBody: a body cut short of its declared
+// Content-Length must be refused as a client error — never stored
+// partially, never treated as a complete resource.
+func TestServerTruncatedBody(t *testing.T) {
+	owner := WebID("https://owner.example/profile#me")
+	pod := NewPod(owner, "https://owner.pod")
+	// Open the door as far as WAC allows so the failure is attributable
+	// to the truncated body, not authorization.
+	acl := NewACL(owner, "/")
+	acl.GrantPublic("world", "/", true, ModeRead, ModeWrite, ModeAppend)
+	if err := pod.SetACL(owner, "/", acl); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(pod, NewMapDirectory(), nil, nil))
+	defer srv.Close()
+
+	for _, method := range []string{http.MethodPut, http.MethodPost} {
+		if got := sendTruncated(t, srv.URL, method, "/inbox/doc.txt"); got != http.StatusBadRequest {
+			t.Errorf("truncated %s = %d, want 400", method, got)
+		}
+	}
+	// Nothing may have been stored from the partial upload.
+	if _, err := pod.Get(owner, "/inbox/doc.txt"); err == nil {
+		t.Fatal("truncated upload left a stored resource behind")
+	}
+	if count, _ := pod.Stats(); count != 0 {
+		t.Fatalf("truncated uploads left %d resources", count)
+	}
+}

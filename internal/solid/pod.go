@@ -121,6 +121,13 @@ func (p *Pod) invalidateAuthCache() {
 // Owner returns the pod owner's WebID.
 func (p *Pod) Owner() WebID { return p.owner }
 
+// ACLGeneration returns the pod's current ACL generation. The counter
+// advances on every mutation (SetACL, Put, Delete, Append), so two equal
+// readings bracket a window in which every authorization decision was
+// made against the same ACL state — invariant checkers use it to stamp
+// "as of generation g, agent x was (not) granted" facts.
+func (p *Pod) ACLGeneration() uint64 { return p.aclGen.Load() }
+
 // BaseURL returns the pod's base URL (no trailing slash).
 func (p *Pod) BaseURL() string { return p.baseURL }
 

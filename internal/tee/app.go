@@ -240,13 +240,19 @@ func (a *App) ApplyPolicyUpdate(newPol *policy.Policy) ([]policy.Obligation, err
 			if !st.deleted && !a.rogue {
 				a.deleteLocked(st)
 			}
-		case policy.ObligationReschedule:
-			a.scheduleDeletionLocked(st)
 		case policy.ObligationRevokeUse:
 			st.useRevoked = true
-		case policy.ObligationNone:
-			// Nothing to do.
+		case policy.ObligationNone, policy.ObligationReschedule:
+			// Timer handling is unified below.
 		}
+	}
+	// Re-arm the deletion timer against the new policy unconditionally:
+	// scheduleDeletionLocked cancels the previous timer first, so a policy
+	// that dropped its retention deadline also cancels the stale timer
+	// (otherwise the old deadline would still delete a copy the new policy
+	// allows keeping).
+	if !st.deleted {
+		a.scheduleDeletionLocked(st)
 	}
 	return obligations, nil
 }
