@@ -10,10 +10,12 @@ import (
 	"context"
 	"fmt"
 	"net/http/httptest"
+	"path/filepath"
 	"testing"
 	"time"
 
 	"repro/internal/chain"
+	"repro/internal/contract"
 	"repro/internal/core"
 	"repro/internal/cryptoutil"
 	"repro/internal/distexchange"
@@ -22,6 +24,7 @@ import (
 	"repro/internal/scenario"
 	"repro/internal/simclock"
 	"repro/internal/solid"
+	"repro/internal/store"
 )
 
 func mustB(b *testing.B, err error) {
@@ -769,4 +772,105 @@ func BenchmarkAblationScenarioThroughput(b *testing.B) {
 	}
 	b.Run("check-every-step", func(b *testing.B) { run(b, 1) })
 	b.Run("check-every-8", func(b *testing.B) { run(b, 8) })
+}
+
+// BenchmarkWALAppend measures the durable store's append hot path at
+// 1 KiB records under each fsync policy — the per-block disk cost a
+// durable validator pays on top of sealing.
+func BenchmarkWALAppend(b *testing.B) {
+	payload := bytes.Repeat([]byte("w"), 1024)
+	for _, policy := range []store.SyncPolicy{store.SyncNever, store.SyncInterval, store.SyncAlways} {
+		b.Run("fsync-"+policy.String(), func(b *testing.B) {
+			w, _, err := store.OpenWAL(filepath.Join(b.TempDir(), "wal.log"), store.Options{Sync: policy})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			b.SetBytes(int64(len(payload)))
+			b.ResetTimer()
+			for b.Loop() {
+				if err := w.Append(payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshotRecovery measures chain.OpenNode recovery time
+// against the snapshot interval over a fixed 96-block ledger: a tighter
+// interval means a fresher snapshot and a shorter diff-replay tail, at
+// the cost of more snapshot writes during ingestion.
+func BenchmarkSnapshotRecovery(b *testing.B) {
+	const blocks = 96
+	for _, interval := range []int{8, 32, 96} {
+		b.Run(fmt.Sprintf("snapshot-every-%d", interval), func(b *testing.B) {
+			dir := b.TempDir()
+			key := cryptoutil.MustGenerateKey()
+			clk := simclock.NewSim(time.Date(2023, 10, 9, 0, 0, 0, 0, time.UTC))
+			runtime := contract.NewRuntime()
+			deAddr := runtime.Deploy(distexchange.ContractName, distexchange.New(distexchange.Config{}))
+			cfg := chain.Config{
+				Key:              key,
+				Authorities:      []cryptoutil.Address{key.Address()},
+				Executor:         runtime,
+				Clock:            clk,
+				GenesisTime:      clk.Now(),
+				DataDir:          dir,
+				SnapshotInterval: interval,
+				Persist:          store.Options{Sync: store.SyncNever},
+			}
+			node, err := chain.OpenNode(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := range blocks {
+				args := distexchange.RegisterPodArgs{
+					OwnerWebID: fmt.Sprintf("https://owner%d.example/profile#me", i),
+					Location:   fmt.Sprintf("https://owner%d.example/", i),
+				}
+				tx, err := chain.NewTx(key, uint64(i), deAddr, "registerPod", args, distexchange.DefaultGasLimit)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := node.SubmitTx(tx); err != nil {
+					b.Fatal(err)
+				}
+				clk.Advance(time.Second)
+				if _, err := node.Seal(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			wantRoot := node.State().Root()
+			if err := node.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for b.Loop() {
+				reopened, err := chain.OpenNode(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if reopened.Height() != blocks || reopened.State().Root() != wantRoot {
+					b.Fatalf("bad recovery: height %d root mismatch", reopened.Height())
+				}
+				if err := reopened.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDurability runs the harness durability table once per
+// iteration (quick mode), keeping the WAL-vs-memory ingestion comparison
+// a tracked perf number in CI's bench smoke.
+func BenchmarkAblationDurability(b *testing.B) {
+	h := &core.Harness{Quick: true}
+	b.ResetTimer()
+	for b.Loop() {
+		if table := h.AblationDurability(); len(table.Rows) != 4 {
+			b.Fatalf("durability table has %d rows", len(table.Rows))
+		}
+	}
 }

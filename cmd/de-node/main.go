@@ -5,6 +5,15 @@
 // Usage:
 //
 //	de-node [-validators 3] [-interval 1s] [-http :8545]
+//	        [-data-dir DIR] [-fsync interval] [-snapshot-every 32]
+//
+// With -data-dir each validator journals sealed blocks to a write-ahead
+// log and periodic state snapshots under DIR/node-<i>/, and persists its
+// authority key there, so a restarted process resumes the same chain at
+// the height it left off. An empty -data-dir (the default) keeps the
+// historical all-in-memory behaviour. SIGINT/SIGTERM trigger a graceful
+// shutdown: sealing stops, the HTTP server drains, and every store is
+// flushed and closed.
 //
 // Endpoints:
 //
@@ -17,6 +26,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -24,12 +34,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"syscall"
 	"time"
 
 	"repro/internal/chain"
 	"repro/internal/contract"
 	"repro/internal/cryptoutil"
 	"repro/internal/distexchange"
+	"repro/internal/store"
 	"repro/internal/tee"
 )
 
@@ -45,55 +58,46 @@ func run(args []string) error {
 	validators := fs.Int("validators", 3, "number of authority nodes")
 	interval := fs.Duration("interval", time.Second, "block interval")
 	httpAddr := fs.String("http", ":8545", "HTTP API listen address")
+	dataDir := fs.String("data-dir", "", "durable storage root (empty = in-memory; WAL + snapshots + keys under <dir>/node-<i>/)")
+	fsync := fs.String("fsync", "interval", "WAL fsync policy: always, interval, never")
+	snapshotEvery := fs.Int("snapshot-every", 0, "state snapshot cadence in blocks (0 = package default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *validators < 1 {
 		return fmt.Errorf("validators must be >= 1")
 	}
-
-	manufacturer, err := tee.NewManufacturer("tee-manufacturer")
+	syncPolicy, err := store.ParseSyncPolicy(*fsync)
 	if err != nil {
 		return err
 	}
-	runtime := contract.NewRuntime()
-	deAddr := runtime.Deploy(distexchange.ContractName, distexchange.New(distexchange.Config{
-		ManufacturerCAKey: manufacturer.CAPublicBytes(),
-		ManufacturerCA:    manufacturer.CAAddress(),
-	}))
 
-	keys := make([]*cryptoutil.KeyPair, *validators)
-	auths := make([]cryptoutil.Address, *validators)
-	for i := range *validators {
-		keys[i] = cryptoutil.MustGenerateKey()
-		auths[i] = keys[i].Address()
+	nodes, network, deAddr, err := buildCluster(*validators, *dataDir, syncPolicy, *snapshotEvery)
+	if err != nil {
+		return err
 	}
-	genesis := time.Now()
-	nodes := make([]*chain.Node, *validators)
-	for i := range *validators {
-		nodes[i], err = chain.NewNode(chain.Config{
-			Key:         keys[i],
-			Authorities: auths,
-			Executor:    runtime,
-			GenesisTime: genesis,
-		})
-		if err != nil {
-			return err
+	closeNodes := func() {
+		for i, n := range nodes {
+			if err := n.Close(); err != nil {
+				log.Printf("close validator %d: %v", i, err)
+			}
 		}
-	}
-	network, err := chain.NewNetwork(nodes...)
-	if err != nil {
-		return err
 	}
 
 	log.Printf("DE App deployed at %s on a %d-validator PoA cluster", deAddr, *validators)
-	for i, a := range auths {
-		log.Printf("  validator %d: %s", i, a.Short())
+	if *dataDir != "" {
+		log.Printf("durable storage under %s (fsync=%s), height %d recovered",
+			*dataDir, syncPolicy, nodes[0].Height())
+	}
+	for i, n := range nodes {
+		log.Printf("  validator %d: %s", i, n.Address().Short())
 	}
 
 	// Background sealing loop.
 	stop := make(chan struct{})
+	sealerDone := make(chan struct{})
 	go func() {
+		defer close(sealerDone)
 		ticker := time.NewTicker(*interval)
 		defer ticker.Stop()
 		for {
@@ -112,7 +116,6 @@ func run(args []string) error {
 			}
 		}
 	}()
-	defer close(stop)
 
 	mux := newAPIMux(nodes, network, deAddr)
 
@@ -122,14 +125,96 @@ func run(args []string) error {
 	log.Printf("HTTP API on %s (GET /status, /resources, /violations?iri=...; POST /txs)", *httpAddr)
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
-	case <-sig:
-		log.Println("shutting down")
-		return srv.Close()
+	case s := <-sig:
+		log.Printf("received %s, shutting down", s)
+		// Ordered shutdown: no new blocks, drain HTTP, then flush and
+		// close every store so the WAL tail is durable before exit.
+		close(stop)
+		<-sealerDone
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("http shutdown: %v", err)
+		}
+		closeNodes()
+		return nil
 	case err := <-errCh:
+		close(stop)
+		<-sealerDone
+		closeNodes()
 		return err
 	}
+}
+
+// buildCluster constructs the validator cluster: the contract runtime
+// with the DE App, one node per validator (reopened from its durable
+// store when dataDir is set, with the authority key persisted alongside
+// it), and the broadcast network.
+func buildCluster(validators int, dataDir string, syncPolicy store.SyncPolicy, snapshotEvery int) ([]*chain.Node, *chain.Network, cryptoutil.Address, error) {
+	manufacturer, err := tee.NewManufacturer("tee-manufacturer")
+	if err != nil {
+		return nil, nil, cryptoutil.Address{}, err
+	}
+	runtime := contract.NewRuntime()
+	deAddr := runtime.Deploy(distexchange.ContractName, distexchange.New(distexchange.Config{
+		ManufacturerCAKey: manufacturer.CAPublicBytes(),
+		ManufacturerCA:    manufacturer.CAAddress(),
+	}))
+
+	keys := make([]*cryptoutil.KeyPair, validators)
+	auths := make([]cryptoutil.Address, validators)
+	for i := range validators {
+		keys[i], err = loadOrCreateKey(dataDir, i)
+		if err != nil {
+			return nil, nil, cryptoutil.Address{}, err
+		}
+		auths[i] = keys[i].Address()
+	}
+	genesis := time.Now()
+	nodes := make([]*chain.Node, validators)
+	for i := range validators {
+		cfg := chain.Config{
+			Key:         keys[i],
+			Authorities: auths,
+			Executor:    runtime,
+			GenesisTime: genesis,
+		}
+		if dataDir != "" {
+			cfg.DataDir = nodeDir(dataDir, i)
+			cfg.SnapshotInterval = snapshotEvery
+			cfg.Persist = store.Options{Sync: syncPolicy}
+		}
+		nodes[i], err = chain.OpenNode(cfg)
+		if err != nil {
+			for _, n := range nodes[:i] {
+				n.Close()
+			}
+			return nil, nil, cryptoutil.Address{}, err
+		}
+	}
+	network, err := chain.NewNetwork(nodes...)
+	if err != nil {
+		return nil, nil, cryptoutil.Address{}, err
+	}
+	return nodes, network, deAddr, nil
+}
+
+// nodeDir is validator i's storage root.
+func nodeDir(dataDir string, i int) string {
+	return filepath.Join(dataDir, fmt.Sprintf("node-%d", i))
+}
+
+// loadOrCreateKey returns validator i's authority key: random for
+// in-memory clusters, persisted under the validator's data dir
+// otherwise (a restart must keep its authority identity, or the
+// recovered chain's proposer set would no longer match the cluster's).
+func loadOrCreateKey(dataDir string, i int) (*cryptoutil.KeyPair, error) {
+	if dataDir == "" {
+		return cryptoutil.GenerateKey(nil)
+	}
+	return cryptoutil.LoadOrCreateKeyFile(filepath.Join(nodeDir(dataDir, i), "key.der"))
 }
 
 // newAPIMux builds the node's HTTP status/query/submission API.

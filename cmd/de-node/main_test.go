@@ -6,14 +6,15 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"syscall"
 	"testing"
 	"time"
 
 	"repro/internal/chain"
-	"repro/internal/contract"
 	"repro/internal/cryptoutil"
 	"repro/internal/distexchange"
-	"repro/internal/tee"
+	"repro/internal/store"
 )
 
 func TestRunRejectsBadValidatorCount(t *testing.T) {
@@ -28,39 +29,114 @@ func TestRunRejectsBadFlag(t *testing.T) {
 	}
 }
 
-// newTestCluster mirrors run()'s cluster construction for handler tests.
+// newTestCluster builds the cluster exactly as run() does (in-memory).
 func newTestCluster(t *testing.T, validators int) ([]*chain.Node, *chain.Network, cryptoutil.Address) {
 	t.Helper()
-	manufacturer, err := tee.NewManufacturer("tee-manufacturer")
-	if err != nil {
-		t.Fatal(err)
-	}
-	runtime := contract.NewRuntime()
-	deAddr := runtime.Deploy(distexchange.ContractName, distexchange.New(distexchange.Config{
-		ManufacturerCAKey: manufacturer.CAPublicBytes(),
-		ManufacturerCA:    manufacturer.CAAddress(),
-	}))
-	keys := make([]*cryptoutil.KeyPair, validators)
-	auths := make([]cryptoutil.Address, validators)
-	for i := range validators {
-		keys[i] = cryptoutil.MustGenerateKey()
-		auths[i] = keys[i].Address()
-	}
-	genesis := time.Now()
-	nodes := make([]*chain.Node, validators)
-	for i := range validators {
-		nodes[i], err = chain.NewNode(chain.Config{
-			Key: keys[i], Authorities: auths, Executor: runtime, GenesisTime: genesis,
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-	}
-	network, err := chain.NewNetwork(nodes...)
+	nodes, network, deAddr, err := buildCluster(validators, "", store.SyncNever, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return nodes, network, deAddr
+}
+
+// TestBuildClusterDurableRestart: a durable cluster rebuilt over the
+// same data dir keeps its authority identities and chain: the second
+// boot resumes at the first boot's height with the same head.
+func TestBuildClusterDurableRestart(t *testing.T) {
+	dir := t.TempDir()
+	nodes, network, deAddr, err := buildCluster(2, dir, store.SyncNever, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender := cryptoutil.MustGenerateKey()
+	args := distexchange.RegisterPodArgs{
+		OwnerWebID: "https://restart.example/profile#me",
+		Location:   "https://restart.example/",
+	}
+	tx, err := chain.NewTx(sender, 0, deAddr, "registerPod", args, distexchange.DefaultGasLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := network.SubmitEverywhere(tx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := network.SealNext(); err != nil {
+		t.Fatal(err)
+	}
+	wantHead := nodes[0].Head().Hash()
+	wantAddrs := []cryptoutil.Address{nodes[0].Address(), nodes[1].Address()}
+	for _, n := range nodes {
+		if err := n.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	nodes2, _, _, err := buildCluster(2, dir, store.SyncNever, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, n := range nodes2 {
+			n.Close()
+		}
+	}()
+	for i, n := range nodes2 {
+		if n.Address() != wantAddrs[i] {
+			t.Fatalf("validator %d identity changed across restart", i)
+		}
+		if n.Height() != 1 {
+			t.Fatalf("validator %d recovered height %d, want 1", i, n.Height())
+		}
+		if n.Head().Hash() != wantHead {
+			t.Fatalf("validator %d recovered a different head", i)
+		}
+	}
+}
+
+// TestRunRejectsBadFsyncPolicy: an unknown -fsync value is a flag error.
+func TestRunRejectsBadFsyncPolicy(t *testing.T) {
+	if err := run([]string{"-fsync", "sometimes"}); err == nil {
+		t.Fatal("bad fsync policy accepted")
+	}
+}
+
+// TestRunGracefulShutdown boots the full binary path with a durable data
+// dir, delivers SIGTERM, and verifies run() returns cleanly having
+// flushed the stores (the dir reopens at a consistent height).
+func TestRunGracefulShutdown(t *testing.T) {
+	dir := t.TempDir()
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-validators", "2", "-interval", "10ms",
+			"-http", "127.0.0.1:0", "-data-dir", dir, "-fsync", "never",
+		})
+	}()
+	// Let it boot and seal a few empty blocks, then ask it to stop. The
+	// signal is re-sent until the handler (installed inside run) wins.
+	time.Sleep(300 * time.Millisecond)
+	deadline := time.After(5 * time.Second)
+	for {
+		_ = syscall.Kill(os.Getpid(), syscall.SIGTERM)
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("run returned %v on SIGTERM", err)
+			}
+			// The flushed store must reopen as a consistent chain.
+			nodes, _, _, err := buildCluster(2, dir, store.SyncNever, 0)
+			if err != nil {
+				t.Fatalf("reopen after shutdown: %v", err)
+			}
+			for _, n := range nodes {
+				n.Close()
+			}
+			return
+		case <-deadline:
+			t.Fatal("run did not exit within 5s of SIGTERM")
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
 }
 
 func TestPostTxsBatchEndpoint(t *testing.T) {

@@ -5,27 +5,41 @@
 //
 // Usage:
 //
-//	solid-server [-addr :8080] [-base http://localhost:8080] [-owners alice,bob]
+//	solid-server [-addr :8080] [-base http://localhost:8080]
+//	             [-owners alice,bob] [-data-dir DIR] [-fsync interval]
 //
 // For every name in -owners the server provisions a pod whose root ACL
 // grants that owner full control, registers the owner's signing key in
 // the agent directory, and prints the key so a client (e.g.
 // internal/solid.Client) can authenticate. A public demo resource is
 // seeded under /pods/{owner}/public/hello.txt.
+//
+// With -data-dir each pod journals its content (resources + ACLs) under
+// DIR/pods/<owner>/ and the owner keys persist under DIR/keys/, so a
+// restarted server serves the exact pod state — ETags and ACL
+// generations included — it served before. SIGINT/SIGTERM drain the
+// HTTP server and flush every pod store before exit.
 package main
 
 import (
+	"context"
 	"encoding/hex"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/cryptoutil"
 	"repro/internal/simclock"
 	"repro/internal/solid"
+	"repro/internal/store"
 )
 
 func main() {
@@ -40,6 +54,8 @@ func run(args []string) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	base := fs.String("base", "", "public base URL (default http://localhost<addr>)")
 	owners := fs.String("owners", "alice", "comma-separated pod owner names, one pod each")
+	dataDir := fs.String("data-dir", "", "durable storage root (empty = in-memory; pod op logs under <dir>/pods/, owner keys under <dir>/keys/)")
+	fsync := fs.String("fsync", "interval", "pod op-log fsync policy: always, interval, never")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -51,11 +67,19 @@ func run(args []string) error {
 			baseURL = "http://" + *addr
 		}
 	}
+	syncPolicy, err := store.ParseSyncPolicy(*fsync)
+	if err != nil {
+		return err
+	}
 
 	clock := simclock.Real{}
 	dir := solid.NewMapDirectory()
 	host := solid.NewHost(dir, clock)
-	names, keys, err := provisionPods(host, dir, baseURL, strings.Split(*owners, ","), clock)
+	if *dataDir != "" {
+		host.EnablePersistence(filepath.Join(*dataDir, "pods"),
+			solid.PodStoreOptions{WAL: store.Options{Sync: syncPolicy}})
+	}
+	names, keys, err := provisionPods(host, dir, baseURL, strings.Split(*owners, ","), clock, *dataDir)
 	if err != nil {
 		return err
 	}
@@ -72,7 +96,28 @@ func run(args []string) error {
 	}
 
 	log.Printf("serving %d pod(s) on %s under %s{owner}/", host.Len(), *addr, solid.PodRoutePrefix)
-	return http.ListenAndServe(*addr, host)
+	srv := &http.Server{Addr: *addr, Handler: host, ReadHeaderTimeout: 5 * time.Second}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("received %s, shutting down", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("http shutdown: %v", err)
+		}
+		return host.Close()
+	case err := <-errCh:
+		host.Close()
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
 }
 
 // ownerWebID derives the WebID minted for a pod owner name.
@@ -80,12 +125,15 @@ func ownerWebID(baseURL, name string) solid.WebID {
 	return solid.WebID(baseURL + solid.PodRoutePrefix + name + "/profile#" + name)
 }
 
-// provisionPods creates one pod per owner name on the host: a fresh
-// signing key registered in the agent directory, a root ACL granting the
-// owner full control, and a public demo resource. It returns the
+// provisionPods creates one pod per owner name on the host: a signing
+// key registered in the agent directory (persisted under
+// dataDir/keys/<name>.der when dataDir is set, so a restart keeps the
+// owner identity), a root ACL granting the owner full control, and a
+// public demo resource. Pods restored from a durable store are not
+// re-seeded — their recovered content is authoritative. It returns the
 // provisioned names in input order (blank entries skipped) and each
 // owner's key so callers (and tests) can authenticate as them.
-func provisionPods(host *solid.Host, dir *solid.MapDirectory, baseURL string, names []string, clock simclock.Clock) ([]string, map[string]*cryptoutil.KeyPair, error) {
+func provisionPods(host *solid.Host, dir *solid.MapDirectory, baseURL string, names []string, clock simclock.Clock, dataDir string) ([]string, map[string]*cryptoutil.KeyPair, error) {
 	provisioned := make([]string, 0, len(names))
 	keys := make(map[string]*cryptoutil.KeyPair)
 	for _, name := range names {
@@ -93,28 +141,44 @@ func provisionPods(host *solid.Host, dir *solid.MapDirectory, baseURL string, na
 		if name == "" {
 			continue
 		}
-		key, err := cryptoutil.GenerateKey(nil)
-		if err != nil {
-			return nil, nil, err
-		}
+		// CreatePod validates the pod name first, so no key file is ever
+		// written for a name the host would reject.
 		ownerID := ownerWebID(baseURL, name)
-		dir.Register(ownerID, key.PublicBytes())
-
 		pod, err := host.CreatePod(name, ownerID, baseURL, nil)
 		if err != nil {
 			return nil, nil, err
 		}
-		if err := pod.Put(ownerID, "/public/hello.txt", "text/plain",
-			[]byte("hello from the Solid pod of "+name+"\n"), clock.Now()); err != nil {
+		key, err := loadOrCreateOwnerKey(dataDir, name)
+		if err != nil {
 			return nil, nil, err
 		}
-		acl := solid.NewACL(ownerID, "/public/")
-		acl.GrantPublic("world", "/public/", true, solid.ModeRead)
-		if err := pod.SetACL(ownerID, "/public/", acl); err != nil {
-			return nil, nil, err
+		dir.Register(ownerID, key.PublicBytes())
+		if count, _ := pod.Stats(); count == 0 {
+			// Fresh pod: seed the demo resource and its public ACL. A pod
+			// restored from disk keeps exactly what it had.
+			if err := pod.Put(ownerID, "/public/hello.txt", "text/plain",
+				[]byte("hello from the Solid pod of "+name+"\n"), clock.Now()); err != nil {
+				return nil, nil, err
+			}
+			acl := solid.NewACL(ownerID, "/public/")
+			acl.GrantPublic("world", "/public/", true, solid.ModeRead)
+			if err := pod.SetACL(ownerID, "/public/", acl); err != nil {
+				return nil, nil, err
+			}
 		}
 		provisioned = append(provisioned, name)
 		keys[name] = key
 	}
 	return provisioned, keys, nil
+}
+
+// loadOrCreateOwnerKey returns the owner's signing key, persisted under
+// the data dir for durable deployments. Callers must have validated the
+// name (provisionPods relies on Host.CreatePod for that) before a file
+// is created for it.
+func loadOrCreateOwnerKey(dataDir, name string) (*cryptoutil.KeyPair, error) {
+	if dataDir == "" {
+		return cryptoutil.GenerateKey(nil)
+	}
+	return cryptoutil.LoadOrCreateKeyFile(filepath.Join(dataDir, "keys", name+".der"))
 }

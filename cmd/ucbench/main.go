@@ -38,40 +38,50 @@ func run(args []string) error {
 
 	h := &core.Harness{Quick: *quick}
 	experiments := map[string]func() *core.Table{
-		"e1":        h.E1PodInitiation,
-		"e2":        h.E2ResourceInitiation,
-		"e3":        h.E3ResourceIndexing,
-		"e4":        h.E4ResourceAccess,
-		"e5":        h.E5PolicyModification,
-		"e6":        h.E6PolicyMonitoring,
-		"e7":        h.E7LocalVsRemote,
-		"e8":        h.E8Security,
-		"e9":        h.E9Gas,
-		"e10":       h.E10Overhead,
-		"e11":       h.E11Remuneration,
-		"e12":       h.E12Robustness,
-		"scenario":  h.AblationScenarioThroughput,
-		"ablations": nil, // expanded below
+		"e1":         h.E1PodInitiation,
+		"e2":         h.E2ResourceInitiation,
+		"e3":         h.E3ResourceIndexing,
+		"e4":         h.E4ResourceAccess,
+		"e5":         h.E5PolicyModification,
+		"e6":         h.E6PolicyMonitoring,
+		"e7":         h.E7LocalVsRemote,
+		"e8":         h.E8Security,
+		"e9":         h.E9Gas,
+		"e10":        h.E10Overhead,
+		"e11":        h.E11Remuneration,
+		"e12":        h.E12Robustness,
+		"scenario":   h.AblationScenarioThroughput,
+		"durability": h.AblationDurability,
+		"ablations":  nil, // expanded below
 	}
-	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "scenario", "ablations"}
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "scenario", "durability", "ablations"}
 
+	// Validate the whole selection up front: an unknown table name is a
+	// hard error naming the valid set — never a silent skip that would
+	// make a typoed -exp look like a clean (empty) run.
 	var selected []string
 	if *expFlag == "all" {
 		selected = order
 	} else {
+		var unknown []string
 		for _, name := range strings.Split(*expFlag, ",") {
 			name = strings.TrimSpace(strings.ToLower(name))
 			if name == "" {
 				continue
 			}
 			if _, ok := experiments[name]; !ok {
-				return fmt.Errorf("unknown experiment %q (have %s)", name, strings.Join(order, ", "))
+				unknown = append(unknown, fmt.Sprintf("%q", name))
+				continue
 			}
 			selected = append(selected, name)
 		}
+		if len(unknown) > 0 {
+			return fmt.Errorf("unknown experiment table(s) %s; valid tables: %s, all",
+				strings.Join(unknown, ", "), strings.Join(order, ", "))
+		}
 	}
 	if len(selected) == 0 {
-		return fmt.Errorf("no experiments selected")
+		return fmt.Errorf("no experiments selected; valid tables: %s, all", strings.Join(order, ", "))
 	}
 
 	for _, name := range selected {
@@ -83,6 +93,7 @@ func run(args []string) error {
 			fmt.Println(h.AblationHostScaleOut())
 			fmt.Println(h.AblationAuthCache())
 			fmt.Println(h.AblationScenarioThroughput())
+			fmt.Println(h.AblationDurability())
 			continue
 		}
 		fmt.Println(experiments[name]())

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestRunSelectsExperiments(t *testing.T) {
 	// A cheap experiment in quick mode exercises flag parsing, dispatch,
@@ -25,5 +28,30 @@ func TestRunRejectsEmptySelection(t *testing.T) {
 func TestRunRejectsBadFlag(t *testing.T) {
 	if err := run([]string{"-no-such-flag"}); err == nil {
 		t.Fatal("bad flag accepted")
+	}
+}
+
+// TestRunListsValidTablesOnUnknown: every unknown table name is
+// reported (no silent skipping) alongside the full valid set.
+func TestRunListsValidTablesOnUnknown(t *testing.T) {
+	err := run([]string{"-exp", "e1,nope,alsole-wrong"})
+	if err == nil {
+		t.Fatal("unknown tables accepted")
+	}
+	msg := err.Error()
+	for _, want := range []string{`"nope"`, `"alsole-wrong"`, "valid tables:", "durability", "scenario", "e12"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q does not mention %s", msg, want)
+		}
+	}
+}
+
+// TestRunDurabilityTable: the durability ablation is reachable by name.
+func TestRunDurabilityTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots disk-backed nodes")
+	}
+	if err := run([]string{"-quick", "-exp", "durability"}); err != nil {
+		t.Fatal(err)
 	}
 }

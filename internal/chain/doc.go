@@ -43,4 +43,22 @@
 // Network.SubmitEverywhereBatch, ApplyBlock) verify concurrently via a
 // bounded worker pool (VerifyTxSignatures); Config.VerifyWorkers bounds
 // the pool, with 1 forcing the sequential ablation baseline.
+//
+// # Durability
+//
+// A node opened with OpenNode and a Config.DataDir is durable: every
+// committed block — sealed, validated, or synced — is appended to a
+// CRC-checked write-ahead log (header + transactions + receipts + the
+// block's net state diff) before the in-memory ledger advances, and a
+// full state snapshot is written every Config.SnapshotInterval blocks.
+// Reopening the same directory reconstructs the node: the newest usable
+// snapshot bounds replay, the diff tail is applied with every block's
+// state root checked against its header, and nonces plus the gas cost
+// ledger are rebuilt from the recovered blocks. Torn log tails (a crash
+// mid-append) are truncated back to the last complete record; corrupt
+// snapshots fall back to a full diff replay. The mempool is not
+// persisted. Close flushes and releases the store; Crash abandons it
+// without the final flush (fault injection). The fsync policy
+// (Config.Persist) decides what a machine crash may lose — an
+// in-process crash loses nothing, as appends are unbuffered.
 package chain

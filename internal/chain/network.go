@@ -96,7 +96,10 @@ func (n *Node) ApplyBlock(block *Block, proposerKey []byte) error {
 	n.mu.Lock()
 	committed := replayTxs(n.executor, n.state, block.Txs, bctx)
 	applied := &Block{Header: h, Txs: block.Txs, Receipts: committed}
-	n.commitLocked(applied)
+	if err := n.commitLocked(applied); err != nil {
+		n.mu.Unlock()
+		return err
+	}
 	n.mu.Unlock()
 
 	for i, tx := range block.Txs {
@@ -127,7 +130,9 @@ func replayTxs(ex Executor, st *State, txs []*Tx, bctx BlockContext) []*Receipt 
 		}
 		receipts = append(receipts, receipt)
 	}
-	st.DiscardJournal()
+	// The journal is left in place: commitLocked folds it into the durable
+	// block diff (or discards it for in-memory nodes). Validation replicas
+	// are thrown away wholesale, journal included.
 	return receipts
 }
 
@@ -155,8 +160,11 @@ func NewNetwork(nodes ...*Node) (*Network, error) {
 	for _, n := range nodes {
 		keys[n.Address()] = n.key.PublicBytes()
 	}
+	// Copy the membership: the caller may mutate its slice (e.g. dropping
+	// a crashed node), and cluster membership changes must go through
+	// Replace.
 	return &Network{
-		nodes:         nodes,
+		nodes:         append([]*Node(nil), nodes...),
 		keys:          keys,
 		down:          make(map[cryptoutil.Address]bool),
 		verifyWorkers: nodes[0].verifyWorkers,
@@ -304,6 +312,23 @@ func (net *Network) AuthorityKeys() map[cryptoutil.Address][]byte {
 		out[a] = append([]byte(nil), k...)
 	}
 	return out
+}
+
+// Replace swaps a cluster member for a new node with the same authority
+// address — the crash-restart path, where a validator's process state is
+// lost and a replacement is reopened from its durable store. The
+// replacement inherits the member's liveness flag (callers typically
+// Recover it next to sync the tail it missed).
+func (net *Network) Replace(n *Node) error {
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	for i, old := range net.nodes {
+		if old.Address() == n.Address() {
+			net.nodes[i] = n
+			return nil
+		}
+	}
+	return fmt.Errorf("chain: %s is not a cluster member", n.Address().Short())
 }
 
 // Recover marks a node as live again and syncs it from the first live

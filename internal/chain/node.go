@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"sync"
 	"time"
 
 	"repro/internal/cryptoutil"
 	"repro/internal/simclock"
+	"repro/internal/store"
 )
 
 // BlockContext exposes block-level environment data to contract execution.
@@ -55,6 +57,18 @@ type Config struct {
 	// GOMAXPROCS; 1 forces sequential verification (the ablation
 	// baseline).
 	VerifyWorkers int
+	// DataDir, when non-empty, makes the node durable: sealed and applied
+	// blocks are appended to a write-ahead log under this directory and
+	// state snapshots bound recovery replay. Empty keeps the node fully
+	// in-memory (the historical behaviour). Only OpenNode honours it;
+	// NewNode always builds an in-memory node.
+	DataDir string
+	// SnapshotInterval is the block cadence of durable state snapshots
+	// (default 32). Ignored without DataDir.
+	SnapshotInterval int
+	// Persist configures the write-ahead log (fsync policy). Ignored
+	// without DataDir.
+	Persist store.Options
 }
 
 // Node is a proof-of-authority blockchain node: it holds the ledger and
@@ -87,6 +101,13 @@ type Node struct {
 
 	feed  *eventFeed
 	costs *CostLedger
+
+	// wal is the durable block log (nil for in-memory nodes). It is
+	// written under mu in commitLocked; dataDir/snapEvery drive the
+	// snapshot cadence.
+	wal       *store.WAL
+	dataDir   string
+	snapEvery int
 
 	sealMu      sync.Mutex
 	stopSealing func()
@@ -361,7 +382,10 @@ func (n *Node) seal(force bool) (*Block, error) {
 	}
 	header.Signature = sig
 	block := &Block{Header: header, Txs: txs, Receipts: receipts}
-	n.commitLocked(block)
+	if err := n.commitLocked(block); err != nil {
+		n.mu.Unlock()
+		return nil, err
+	}
 	n.mu.Unlock()
 	return block, nil
 }
@@ -394,10 +418,21 @@ func (n *Node) executeAll(txs []*Tx, bctx BlockContext) []*Receipt {
 }
 
 // commitLocked appends a fully formed block, publishes its events, and
-// wakes receipt waiters. n.mu must be held.
-func (n *Node) commitLocked(block *Block) {
-	n.blocks = append(n.blocks, block)
+// wakes receipt waiters. n.mu must be held. For a durable node the block
+// (with the state's net diff) goes to the WAL before the in-memory
+// ledger is touched — a WAL failure aborts the commit and rolls the
+// executed mutations back via the still-intact journal, so the node
+// stays consistently at its previous committed block instead of
+// diverging from both its disk and its peers.
+func (n *Node) commitLocked(block *Block) error {
+	if n.wal != nil {
+		if err := n.appendBlockRecord(block); err != nil {
+			n.state.RevertTo(0)
+			return err
+		}
+	}
 	n.state.DiscardJournal()
+	n.blocks = append(n.blocks, block)
 	var events []Event
 	for _, r := range block.Receipts {
 		events = append(events, r.Events...)
@@ -412,6 +447,15 @@ func (n *Node) commitLocked(block *Block) {
 	if len(events) > 0 {
 		n.feed.publish(events)
 	}
+	if n.wal != nil && n.snapEvery > 0 && block.Header.Number%uint64(n.snapEvery) == 0 {
+		// A failed snapshot must not fail the commit: the block is already
+		// durable in the WAL and applied in memory, and recovery without
+		// this snapshot merely replays a longer diff tail.
+		if err := n.writeSnapshotLocked(block.Header.Number); err != nil {
+			log.Printf("chain: snapshot at height %d skipped: %v", block.Header.Number, err)
+		}
+	}
+	return nil
 }
 
 // WaitForReceipt blocks until the transaction is included in a block or

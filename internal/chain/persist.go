@@ -1,0 +1,337 @@
+package chain
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/store"
+)
+
+// walFileName is the block log's filename inside a node's data dir.
+const walFileName = "wal.log"
+
+// defaultSnapshotInterval is the block cadence of durable state
+// snapshots when Config.SnapshotInterval is zero.
+const defaultSnapshotInterval = 32
+
+// snapshotsKept bounds the snapshot files retained per node; older ones
+// are pruned after each write (recovery only ever needs one intact
+// snapshot, and keeping a couple of spares survives a corrupt newest).
+const snapshotsKept = 3
+
+// WALPath returns the write-ahead log path inside a node data dir (fault
+// injection and tooling truncate or inspect it).
+func WALPath(dataDir string) string { return filepath.Join(dataDir, walFileName) }
+
+// Persistent-store errors.
+var (
+	// ErrStoreMismatch reports a data dir whose recorded identity (authority
+	// set) contradicts the opening Config — opening it would fork history.
+	ErrStoreMismatch = errors.New("chain: store does not match node config")
+	// ErrStoreCorrupt reports a store whose intact records contradict each
+	// other (e.g. a replayed diff that does not reproduce the committed
+	// state root) — damage that torn-tail truncation cannot explain away.
+	ErrStoreCorrupt = errors.New("chain: store corrupt")
+)
+
+// walRecord is the JSON envelope of one WAL record: exactly one of the
+// fields is set. The first record of a log is always the meta record.
+type walRecord struct {
+	Meta  *walMeta  `json:"meta,omitempty"`
+	Block *walBlock `json:"block,omitempty"`
+}
+
+// walMeta pins the chain identity the log belongs to. GenesisTime is
+// authoritative on reopen (the caller's Config value is ignored), so a
+// process restarted with a wall-clock genesis still reproduces the
+// original genesis block.
+type walMeta struct {
+	GenesisTime time.Time            `json:"genesisTime"`
+	Authorities []cryptoutil.Address `json:"authorities"`
+}
+
+// walBlock is a sealed block plus the net state diff its execution
+// produced. Recovery applies the diff instead of re-executing
+// transactions, so it needs no executor determinism and is O(mutations).
+type walBlock struct {
+	Header   Header     `json:"header"`
+	Txs      []*Tx      `json:"txs"`
+	Receipts []*Receipt `json:"receipts"`
+	Diff     []Delta    `json:"diff"`
+}
+
+// chainSnapshot is the durable state snapshot payload: the full
+// key-value content as of Height. Blocks at or below Height replay
+// ledger-only on recovery; blocks above it replay their diffs.
+type chainSnapshot struct {
+	Height uint64            `json:"height"`
+	State  map[string][]byte `json:"state"`
+}
+
+// OpenNode opens (or bootstraps) a durable node from cfg.DataDir: it
+// loads the newest usable state snapshot, replays the write-ahead log's
+// block tail (truncating any torn tail back to the last complete
+// record), rebuilds nonces and the cost ledger from the recovered
+// blocks, and attaches the log so subsequent commits are durable. The
+// mempool starts empty — unsealed submissions do not survive a restart.
+//
+// With an empty DataDir, OpenNode is exactly NewNode (the in-memory
+// behaviour every existing caller keeps).
+func OpenNode(cfg Config) (*Node, error) {
+	if cfg.DataDir == "" {
+		return NewNode(cfg)
+	}
+	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+		return nil, fmt.Errorf("chain: create data dir: %w", err)
+	}
+	wal, records, err := store.OpenWAL(WALPath(cfg.DataDir), cfg.Persist)
+	if err != nil {
+		return nil, err
+	}
+	n, err := recoverNode(cfg, wal, records)
+	if err != nil {
+		wal.Close()
+		return nil, err
+	}
+	return n, nil
+}
+
+// attachStore arms the node's durable-commit path.
+func (n *Node) attachStore(cfg Config, wal *store.WAL) {
+	n.wal = wal
+	n.dataDir = cfg.DataDir
+	n.snapEvery = cfg.SnapshotInterval
+	if n.snapEvery <= 0 {
+		n.snapEvery = defaultSnapshotInterval
+	}
+}
+
+// recoverNode rebuilds a node from a decoded log.
+func recoverNode(cfg Config, wal *store.WAL, records []store.Record) (*Node, error) {
+	if len(records) == 0 {
+		// Empty data dir (or a log torn back to nothing): bootstrap fresh
+		// and stamp the chain identity as record 0.
+		n, err := NewNode(cfg)
+		if err != nil {
+			return nil, err
+		}
+		meta := walRecord{Meta: &walMeta{
+			GenesisTime: cfg.GenesisTime,
+			Authorities: cfg.Authorities,
+		}}
+		buf, err := json.Marshal(meta)
+		if err != nil {
+			return nil, err
+		}
+		if err := wal.Append(buf); err != nil {
+			return nil, err
+		}
+		n.attachStore(cfg, wal)
+		return n, nil
+	}
+
+	var metaRec walRecord
+	if err := json.Unmarshal(records[0].Payload, &metaRec); err != nil || metaRec.Meta == nil {
+		return nil, fmt.Errorf("%w: first record is not a meta record", ErrStoreCorrupt)
+	}
+	meta := metaRec.Meta
+	if len(meta.Authorities) != len(cfg.Authorities) {
+		return nil, fmt.Errorf("%w: store has %d authorities, config %d",
+			ErrStoreMismatch, len(meta.Authorities), len(cfg.Authorities))
+	}
+	for i, a := range meta.Authorities {
+		if a != cfg.Authorities[i] {
+			return nil, fmt.Errorf("%w: authority %d is %s on disk, %s in config",
+				ErrStoreMismatch, i, a.Short(), cfg.Authorities[i].Short())
+		}
+	}
+	// The stored genesis time is authoritative: it reproduces the genesis
+	// block the logged chain descends from.
+	cfg.GenesisTime = meta.GenesisTime
+	n, err := NewNode(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Decode the block tail, validating linkage as we go. A record that
+	// decodes but does not extend the chain marks damage the CRC cannot
+	// see (e.g. an interleaved foreign write); everything from it on is
+	// truncated away, exactly like a torn tail.
+	blocks := make([]*Block, 0, len(records)-1)
+	diffs := make([][]Delta, 0, len(records)-1)
+	prev := n.blocks[0]
+	lastGoodEnd := records[0].End
+	for _, rec := range records[1:] {
+		var wr walRecord
+		if err := json.Unmarshal(rec.Payload, &wr); err != nil || wr.Block == nil {
+			break
+		}
+		b := &Block{Header: wr.Block.Header, Txs: wr.Block.Txs, Receipts: wr.Block.Receipts}
+		if b.Header.Number != prev.Header.Number+1 || b.Header.ParentHash != prev.Hash() {
+			break
+		}
+		blocks = append(blocks, b)
+		diffs = append(diffs, wr.Block.Diff)
+		prev = b
+		lastGoodEnd = rec.End
+	}
+	if lastGoodEnd < wal.Size() {
+		if err := wal.TruncateTo(lastGoodEnd); err != nil {
+			return nil, err
+		}
+	}
+
+	st, err := rebuildState(cfg.DataDir, blocks, diffs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Rebuild admission and accounting views from the recovered ledger:
+	// committed nonces and the gas cost ledger are pure functions of the
+	// blocks, so they need no dedicated records.
+	for _, b := range blocks {
+		for i, tx := range b.Txs {
+			n.nonces[tx.From] = tx.Nonce + 1
+			n.costs.Record(tx.From, tx.Method, b.Receipts[i].GasUsed)
+		}
+	}
+	n.blocks = append(n.blocks, blocks...)
+	n.state = st
+	n.attachStore(cfg, wal)
+	return n, nil
+}
+
+// rebuildState reconstitutes the post-head state: it prefers the newest
+// usable snapshot at or below the recovered head and applies only the
+// diffs past it, falling back to a full from-genesis diff replay when no
+// snapshot qualifies or the snapshot contradicts the committed roots.
+// Every applied block's resulting root is checked against its header, so
+// a recovery that completes is bit-for-bit the state the chain committed.
+func rebuildState(dataDir string, blocks []*Block, diffs [][]Delta) (*State, error) {
+	var headHeight uint64
+	if len(blocks) > 0 {
+		headHeight = blocks[len(blocks)-1].Header.Number
+	}
+	if seq, payload, ok := store.LatestSnapshot(dataDir, headHeight); ok {
+		if st, err := stateFromSnapshot(seq, payload, blocks, diffs); err == nil {
+			return st, nil
+		}
+		// Snapshot unusable (corrupt content or root mismatch): recovery
+		// falls back to the full replay below — snapshots are strictly an
+		// optimization.
+	}
+	st := NewState()
+	if err := applyDiffsFrom(st, blocks, diffs, 0); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// stateFromSnapshot builds state from a snapshot payload and the diff
+// tail above it.
+func stateFromSnapshot(seq uint64, payload []byte, blocks []*Block, diffs [][]Delta) (*State, error) {
+	var snap chainSnapshot
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		return nil, fmt.Errorf("%w: snapshot %d: %v", ErrStoreCorrupt, seq, err)
+	}
+	if snap.Height != seq {
+		return nil, fmt.Errorf("%w: snapshot file %d claims height %d", ErrStoreCorrupt, seq, snap.Height)
+	}
+	st := NewState()
+	for k, v := range snap.State {
+		st.Set(k, v)
+	}
+	st.DiscardJournal()
+	// The snapshot must reproduce the root committed at its height.
+	if snap.Height > 0 {
+		idx := int(snap.Height) - 1
+		if idx >= len(blocks) {
+			return nil, fmt.Errorf("%w: snapshot %d above recovered head", ErrStoreCorrupt, seq)
+		}
+		if got := st.Root(); got != blocks[idx].Header.StateRoot {
+			return nil, fmt.Errorf("%w: snapshot %d root mismatch", ErrStoreCorrupt, seq)
+		}
+	}
+	if err := applyDiffsFrom(st, blocks, diffs, snap.Height); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// applyDiffsFrom replays the recorded diffs of every block above height
+// from, checking each block's committed state root.
+func applyDiffsFrom(st *State, blocks []*Block, diffs [][]Delta, from uint64) error {
+	for i, b := range blocks {
+		if b.Header.Number <= from {
+			continue
+		}
+		st.ApplyDiff(diffs[i])
+		if got := st.Root(); got != b.Header.StateRoot {
+			return fmt.Errorf("%w: replaying block %d produced root %s, header commits %s",
+				ErrStoreCorrupt, b.Header.Number, got.Short(), b.Header.StateRoot.Short())
+		}
+	}
+	return nil
+}
+
+// appendBlockRecord journals a block (with the state's net diff) to the
+// WAL. n.mu must be held. The state journal is read but not consumed —
+// on failure the caller reverts through it.
+func (n *Node) appendBlockRecord(block *Block) error {
+	rec := walRecord{Block: &walBlock{
+		Header:   block.Header,
+		Txs:      block.Txs,
+		Receipts: block.Receipts,
+		Diff:     n.state.Diff(),
+	}}
+	buf, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("chain: encode block %d: %w", block.Header.Number, err)
+	}
+	if err := n.wal.Append(buf); err != nil {
+		return fmt.Errorf("chain: persist block %d: %w", block.Header.Number, err)
+	}
+	return nil
+}
+
+// writeSnapshotLocked persists the current state under the given height
+// and prunes old snapshots. n.mu must be held.
+func (n *Node) writeSnapshotLocked(height uint64) error {
+	buf, err := json.Marshal(chainSnapshot{Height: height, State: n.state.Export()})
+	if err != nil {
+		return fmt.Errorf("chain: encode snapshot %d: %w", height, err)
+	}
+	if err := store.WriteSnapshot(n.dataDir, height, buf); err != nil {
+		return fmt.Errorf("chain: write snapshot %d: %w", height, err)
+	}
+	if _, err := store.PruneSnapshots(n.dataDir, snapshotsKept); err != nil {
+		return fmt.Errorf("chain: prune snapshots: %w", err)
+	}
+	return nil
+}
+
+// Close stops sealing and flushes and closes the durable store (no-op
+// for in-memory nodes). The clean-shutdown path for durable nodes.
+func (n *Node) Close() error {
+	n.StopSealing()
+	if n.wal != nil {
+		return n.wal.Close()
+	}
+	return nil
+}
+
+// Crash stops sealing and abandons the durable store WITHOUT the final
+// flush, modelling a process crash for fault injection. Pair with
+// OpenNode to exercise crash-restart recovery.
+func (n *Node) Crash() error {
+	n.StopSealing()
+	if n.wal != nil {
+		return n.wal.Abandon()
+	}
+	return nil
+}

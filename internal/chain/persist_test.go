@@ -1,0 +1,585 @@
+package chain
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/simclock"
+	"repro/internal/store"
+)
+
+// durableConfig builds a durable single-authority node config rooted at
+// dir.
+func durableConfig(dir string, key *cryptoutil.KeyPair, clk *simclock.Sim, snapEvery int) Config {
+	return Config{
+		Key:              key,
+		Authorities:      []cryptoutil.Address{key.Address()},
+		Executor:         testExecutor{},
+		Clock:            clk,
+		GenesisTime:      chainEpoch,
+		DataDir:          dir,
+		SnapshotInterval: snapEvery,
+		Persist:          store.Options{Sync: store.SyncNever},
+	}
+}
+
+// sealSet seals one block containing a single "set" transaction.
+func sealSet(t *testing.T, n *Node, key *cryptoutil.KeyPair, clk *simclock.Sim, nonce uint64, k, v string) *Block {
+	t.Helper()
+	if _, err := n.SubmitTx(mustTx(t, key, nonce, testContractAddr(), k, v)); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Second)
+	block, err := n.Seal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return block
+}
+
+// requireEquivalent asserts that a recovered node reproduces a reference
+// node's observable chain state: head, state root, full ledger, nonces,
+// and the gas cost ledger.
+func requireEquivalent(t *testing.T, recovered, ref *Node, senders ...cryptoutil.Address) {
+	t.Helper()
+	if gh, wh := recovered.Height(), ref.Height(); gh != wh {
+		t.Fatalf("height = %d, want %d", gh, wh)
+	}
+	if gh, wh := recovered.Head().Hash(), ref.Head().Hash(); gh != wh {
+		t.Fatalf("head hash = %s, want %s", gh.Short(), wh.Short())
+	}
+	if gr, wr := recovered.State().Root(), ref.State().Root(); gr != wr {
+		t.Fatalf("state root = %s, want %s", gr.Short(), wr.Short())
+	}
+	for h := uint64(0); h <= ref.Height(); h++ {
+		g, w := recovered.BlockByNumber(h), ref.BlockByNumber(h)
+		if g == nil {
+			t.Fatalf("block %d missing after recovery", h)
+		}
+		if g.Hash() != w.Hash() {
+			t.Fatalf("block %d hash differs", h)
+		}
+		if len(g.Receipts) != len(w.Receipts) {
+			t.Fatalf("block %d has %d receipts, want %d", h, len(g.Receipts), len(w.Receipts))
+		}
+		for i := range w.Receipts {
+			if g.Receipts[i].Digest() != w.Receipts[i].Digest() {
+				t.Fatalf("block %d receipt %d differs", h, i)
+			}
+		}
+	}
+	for _, s := range senders {
+		if gn, wn := recovered.CommittedNonce(s), ref.CommittedNonce(s); gn != wn {
+			t.Fatalf("nonce of %s = %d, want %d", s.Short(), gn, wn)
+		}
+		if gg, wg := recovered.Costs().SpentBy(s), ref.Costs().SpentBy(s); gg != wg {
+			t.Fatalf("costs of %s = %d, want %d", s.Short(), gg, wg)
+		}
+	}
+	if gt, wt := recovered.Costs().TotalSpent(), ref.Costs().TotalSpent(); gt != wt {
+		t.Fatalf("total gas = %d, want %d", gt, wt)
+	}
+	if recovered.PendingTxs() != 0 {
+		t.Fatal("recovered node has mempool content")
+	}
+}
+
+// TestOpenNodeBootstrapEmptyDir: the empty-data-dir leg — OpenNode on a
+// fresh dir behaves like NewNode, and the dir is immediately reopenable.
+func TestOpenNodeBootstrapEmptyDir(t *testing.T) {
+	dir := t.TempDir()
+	key := cryptoutil.MustGenerateKey()
+	clk := simclock.NewSim(chainEpoch)
+	n, err := OpenNode(durableConfig(dir, key, clk, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Height() != 0 {
+		t.Fatalf("bootstrap height = %d", n.Height())
+	}
+	sealSet(t, n, key, clk, 0, "a", "1")
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n2, err := OpenNode(durableConfig(dir, key, clk, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n2.Close()
+	requireEquivalent(t, n2, n, key.Address())
+}
+
+// TestOpenNodeDataDirlessFallback: an empty DataDir is exactly NewNode.
+func TestOpenNodeDataDirlessFallback(t *testing.T) {
+	key := cryptoutil.MustGenerateKey()
+	n, err := OpenNode(Config{
+		Key:         key,
+		Authorities: []cryptoutil.Address{key.Address()},
+		Executor:    testExecutor{},
+		GenesisTime: chainEpoch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.wal != nil {
+		t.Fatal("in-memory node got a WAL")
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoveryCleanClose: seal a tail of blocks (including a reverted
+// transaction), close cleanly, reopen — the matrix's clean-close leg.
+func TestRecoveryCleanClose(t *testing.T) {
+	dir := t.TempDir()
+	key := cryptoutil.MustGenerateKey()
+	clk := simclock.NewSim(chainEpoch)
+	n, err := OpenNode(durableConfig(dir, key, clk, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range 5 {
+		sealSet(t, n, key, clk, uint64(i), fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i))
+	}
+	// A reverted transaction must recover too (charged gas, no state).
+	failTx, err := NewTx(key, 5, testContractAddr(), "fail", struct{}{}, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.SubmitTx(failTx); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Second)
+	if _, err := n.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	n2, err := OpenNode(durableConfig(dir, key, clk, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n2.Close()
+	requireEquivalent(t, n2, n, key.Address())
+	// The recovered node keeps sealing on the same chain.
+	sealSet(t, n2, key, clk, 6, "post", "recovery")
+	if n2.Height() != 7 {
+		t.Fatalf("post-recovery height = %d, want 7", n2.Height())
+	}
+}
+
+// TestRecoveryCrashAfterSync: the crash-after-fsync leg — Crash abandons
+// the WAL without the final flush; nothing acknowledged is lost.
+func TestRecoveryCrashAfterSync(t *testing.T) {
+	dir := t.TempDir()
+	key := cryptoutil.MustGenerateKey()
+	clk := simclock.NewSim(chainEpoch)
+	cfg := durableConfig(dir, key, clk, 0)
+	cfg.Persist = store.Options{Sync: store.SyncAlways}
+	n, err := OpenNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range 4 {
+		sealSet(t, n, key, clk, uint64(i), fmt.Sprintf("k%d", i), "v")
+	}
+	if err := n.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	n2, err := OpenNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n2.Close()
+	requireEquivalent(t, n2, n, key.Address())
+}
+
+// TestRecoveryTornTail: the torn-tail legs — a WAL truncated inside the
+// last record (partial payload, partial length prefix) or with a flipped
+// byte (bad CRC) recovers to the last complete block.
+func TestRecoveryTornTail(t *testing.T) {
+	mutations := []struct {
+		name   string
+		mutate func(t *testing.T, path string)
+	}{
+		{"partial-payload", func(t *testing.T, path string) {
+			info, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(path, info.Size()-7); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"partial-length-prefix", func(t *testing.T, path string) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Rewrite the file as (everything but the last record) plus 3
+			// stray header bytes — a crash mid-header.
+			offset := 0
+			prev := 0
+			for offset < len(raw) {
+				_, consumed, err := store.DecodeRecord(raw[offset:])
+				if err != nil {
+					t.Fatal(err)
+				}
+				prev = offset
+				offset += consumed
+			}
+			if err := os.WriteFile(path, raw[:prev+3], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"bad-crc", func(t *testing.T, path string) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw[len(raw)-10] ^= 0xff
+			if err := os.WriteFile(path, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range mutations {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			key := cryptoutil.MustGenerateKey()
+			clk := simclock.NewSim(chainEpoch)
+			n, err := OpenNode(durableConfig(dir, key, clk, 0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range 4 {
+				sealSet(t, n, key, clk, uint64(i), fmt.Sprintf("k%d", i), "v")
+			}
+			if err := n.Close(); err != nil {
+				t.Fatal(err)
+			}
+			tc.mutate(t, WALPath(dir))
+
+			n2, err := OpenNode(durableConfig(dir, key, clk, 0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer n2.Close()
+			// The last block is gone; everything before it is intact.
+			if n2.Height() != 3 {
+				t.Fatalf("recovered height = %d, want 3", n2.Height())
+			}
+			if n2.Head().Hash() != n.BlockByNumber(3).Hash() {
+				t.Fatal("recovered head is not the last complete block")
+			}
+			if got := n2.State().Root(); got != n.BlockByNumber(3).Header.StateRoot {
+				t.Fatalf("recovered root %s, want block 3's %s",
+					got.Short(), n.BlockByNumber(3).Header.StateRoot.Short())
+			}
+			// Nonces rewound with the lost block: the chain accepts the
+			// lost transaction again.
+			if got := n2.CommittedNonce(key.Address()); got != 3 {
+				t.Fatalf("recovered nonce = %d, want 3", got)
+			}
+			sealSet(t, n2, key, clk, 3, "k3", "again")
+			if n2.Height() != 4 {
+				t.Fatalf("post-recovery height = %d", n2.Height())
+			}
+		})
+	}
+}
+
+// TestRecoverySnapshotPlusTail: the snapshot+tail-replay leg — with a
+// snapshot interval of 3 over 8 blocks, recovery must start from the
+// newest snapshot (6) and replay only the tail, producing identical
+// state. Snapshots must exist and be pruned to the retention bound.
+func TestRecoverySnapshotPlusTail(t *testing.T) {
+	dir := t.TempDir()
+	key := cryptoutil.MustGenerateKey()
+	clk := simclock.NewSim(chainEpoch)
+	n, err := OpenNode(durableConfig(dir, key, clk, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range 8 {
+		sealSet(t, n, key, clk, uint64(i), fmt.Sprintf("k%d", i%3), fmt.Sprintf("v%d", i))
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seqs, err := store.ListSnapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) == 0 || seqs[0] != 6 {
+		t.Fatalf("snapshots = %v, want newest 6", seqs)
+	}
+	if len(seqs) > snapshotsKept {
+		t.Fatalf("%d snapshots retained, want <= %d", len(seqs), snapshotsKept)
+	}
+
+	n2, err := OpenNode(durableConfig(dir, key, clk, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n2.Close()
+	requireEquivalent(t, n2, n, key.Address())
+}
+
+// TestRecoverySnapshotAheadOfTornWAL: a snapshot taken at the height of
+// a block the torn tail destroyed must be bypassed for an older one (or
+// a genesis replay) — never trusted above the recovered head.
+func TestRecoverySnapshotAheadOfTornWAL(t *testing.T) {
+	dir := t.TempDir()
+	key := cryptoutil.MustGenerateKey()
+	clk := simclock.NewSim(chainEpoch)
+	n, err := OpenNode(durableConfig(dir, key, clk, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range 4 {
+		sealSet(t, n, key, clk, uint64(i), fmt.Sprintf("k%d", i), "v")
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Chop the block-4 record: the snapshot at 4 now refers to a height
+	// beyond the recoverable head.
+	info, err := os.Stat(WALPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(WALPath(dir), info.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+	n2, err := OpenNode(durableConfig(dir, key, clk, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n2.Close()
+	if n2.Height() != 3 {
+		t.Fatalf("recovered height = %d, want 3", n2.Height())
+	}
+	if got := n2.State().Root(); got != n.BlockByNumber(3).Header.StateRoot {
+		t.Fatal("state root does not match the last complete block")
+	}
+}
+
+// TestRecoveryCorruptSnapshotFallsBack: a byte-flipped snapshot is
+// skipped and recovery replays the full diff log instead.
+func TestRecoveryCorruptSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	key := cryptoutil.MustGenerateKey()
+	clk := simclock.NewSim(chainEpoch)
+	n, err := OpenNode(durableConfig(dir, key, clk, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range 4 {
+		sealSet(t, n, key, clk, uint64(i), fmt.Sprintf("k%d", i), "v")
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seqs, err := store.ListSnapshots(dir)
+	if err != nil || len(seqs) == 0 {
+		t.Fatalf("snapshots = %v, %v", seqs, err)
+	}
+	for _, seq := range seqs {
+		path := fmt.Sprintf("%s/snap-%016x.snap", dir, seq)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[len(raw)/2] ^= 0xff
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n2, err := OpenNode(durableConfig(dir, key, clk, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n2.Close()
+	requireEquivalent(t, n2, n, key.Address())
+}
+
+// TestOpenNodeRejectsForeignStore: a data dir recorded under a different
+// authority set must not open (it would fork history).
+func TestOpenNodeRejectsForeignStore(t *testing.T) {
+	dir := t.TempDir()
+	keyA := cryptoutil.MustGenerateKey()
+	clk := simclock.NewSim(chainEpoch)
+	n, err := OpenNode(durableConfig(dir, keyA, clk, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealSet(t, n, keyA, clk, 0, "a", "1")
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	keyB := cryptoutil.MustGenerateKey()
+	if _, err := OpenNode(durableConfig(dir, keyB, clk, 0)); !errors.Is(err, ErrStoreMismatch) {
+		t.Fatalf("foreign store opened: %v", err)
+	}
+}
+
+// TestOpenNodeRestartWithDifferentGenesisTime: the meta record's genesis
+// time wins over the config's, so a restart with a "wrong" wall-clock
+// genesis still reproduces the logged chain.
+func TestOpenNodeRestartWithDifferentGenesisTime(t *testing.T) {
+	dir := t.TempDir()
+	key := cryptoutil.MustGenerateKey()
+	clk := simclock.NewSim(chainEpoch)
+	n, err := OpenNode(durableConfig(dir, key, clk, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealSet(t, n, key, clk, 0, "a", "1")
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := durableConfig(dir, key, clk, 0)
+	cfg.GenesisTime = chainEpoch.Add(42 * time.Hour) // a lying config
+	n2, err := OpenNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n2.Close()
+	requireEquivalent(t, n2, n, key.Address())
+}
+
+// TestDurableClusterApplyBlock: a durable validator persists blocks it
+// validated (not sealed), and recovers them.
+func TestDurableClusterApplyBlock(t *testing.T) {
+	dirB := t.TempDir()
+	keyA := cryptoutil.MustGenerateKey()
+	keyB := cryptoutil.MustGenerateKey()
+	auths := []cryptoutil.Address{keyA.Address(), keyB.Address()}
+	clk := simclock.NewSim(chainEpoch)
+	mk := func(key *cryptoutil.KeyPair, dir string) *Node {
+		cfg := Config{
+			Key: key, Authorities: auths, Executor: testExecutor{},
+			Clock: clk, GenesisTime: chainEpoch,
+			DataDir: dir, Persist: store.Options{Sync: store.SyncNever},
+		}
+		n, err := OpenNode(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	a := mk(keyA, "") // in-memory sealer
+	b := mk(keyB, dirB)
+	net, err := NewNetwork(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender := cryptoutil.MustGenerateKey()
+	for i := range 3 {
+		if _, err := net.SubmitEverywhere(mustTx(t, sender, uint64(i), testContractAddr(), fmt.Sprintf("k%d", i), "v")); err != nil {
+			t.Fatal(err)
+		}
+		clk.Advance(time.Second)
+		if _, err := net.SealNext(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b2 := mk(keyB, dirB)
+	defer b2.Close()
+	requireEquivalent(t, b2, a, sender.Address())
+}
+
+// TestStateTakeDiffAndApplyDiff pins the diff primitives directly:
+// set/overwrite/delete fold to a net effect that ApplyDiff reproduces,
+// root included.
+func TestStateTakeDiffAndApplyDiff(t *testing.T) {
+	st := NewState()
+	st.Set("keep", []byte("old"))
+	st.DiscardJournal()
+	rootBefore := st.Root()
+
+	st.Set("keep", []byte("new"))
+	st.Set("temp", []byte("x"))
+	st.Delete("temp")
+	st.Set("fresh", []byte("y"))
+	diff := st.TakeDiff()
+	if len(diff) != 3 {
+		t.Fatalf("diff has %d entries, want 3 (fresh, keep, temp)", len(diff))
+	}
+	for i := 1; i < len(diff); i++ {
+		if diff[i-1].K >= diff[i].K {
+			t.Fatalf("diff not sorted: %q >= %q", diff[i-1].K, diff[i].K)
+		}
+	}
+
+	// Replay the diff on a state holding only the pre-block content.
+	replay := NewState()
+	replay.Set("keep", []byte("old"))
+	replay.DiscardJournal()
+	replay.ApplyDiff(diff)
+	if replay.Root() != st.Root() {
+		t.Fatal("ApplyDiff root diverges from the live state")
+	}
+	if v, ok := replay.Get("keep"); !ok || string(v) != "new" {
+		t.Fatalf("keep = %q, %v", v, ok)
+	}
+	if _, ok := replay.Get("temp"); ok {
+		t.Fatal("temp survived its delete")
+	}
+	if rootBefore == st.Root() {
+		t.Fatal("root did not change across the block")
+	}
+	// TakeDiff consumed the journal: a fresh TakeDiff is empty.
+	if d := st.TakeDiff(); len(d) != 0 {
+		t.Fatalf("second TakeDiff returned %d entries", len(d))
+	}
+}
+
+// TestCommitRollsBackOnWALFailure: when the WAL refuses the block
+// record, the commit is aborted AND the executed mutations are reverted
+// — the node stays exactly at its previous committed block (memory
+// consistent with disk and peers), rather than diverging silently.
+func TestCommitRollsBackOnWALFailure(t *testing.T) {
+	dir := t.TempDir()
+	key := cryptoutil.MustGenerateKey()
+	clk := simclock.NewSim(chainEpoch)
+	n, err := OpenNode(durableConfig(dir, key, clk, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealSet(t, n, key, clk, 0, "a", "1")
+	headBefore := n.Head().Hash()
+	rootBefore := n.State().Root()
+
+	// Sabotage the store: close the WAL out from under the node.
+	if err := n.wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.SubmitTx(mustTx(t, key, 1, testContractAddr(), "b", "2")); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Second)
+	if _, err := n.Seal(); err == nil {
+		t.Fatal("seal succeeded with a dead WAL")
+	}
+	if n.Head().Hash() != headBefore {
+		t.Fatal("ledger advanced despite the WAL failure")
+	}
+	if n.State().Root() != rootBefore {
+		t.Fatal("state diverged despite the WAL failure")
+	}
+	if n.State().Root() != n.Head().Header.StateRoot {
+		t.Fatal("live state root no longer matches the committed head root")
+	}
+}

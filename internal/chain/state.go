@@ -153,6 +153,80 @@ func (s *State) DiscardJournal() {
 	s.journal = s.journal[:0]
 }
 
+// Delta is one key's net change across a block, as recorded in the
+// durable block log: the value the key holds after the block (or a
+// deletion marker). Deltas are what crash recovery applies instead of
+// re-executing transactions.
+type Delta struct {
+	// K is the state key.
+	K string `json:"k"`
+	// V is the post-block value (ignored when Del is set).
+	V []byte `json:"v,omitempty"`
+	// Del marks the key as deleted by the block.
+	Del bool `json:"del,omitempty"`
+}
+
+// Diff returns the net effect of every mutation journaled since the
+// last commit — one Delta per touched key, sorted by key for a
+// deterministic encoding. The journal is left in place, so the caller
+// can still RevertTo if persisting the diff fails.
+func (s *State) Diff() []Delta {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	touched := make(map[string]struct{}, len(s.journal))
+	for _, e := range s.journal {
+		touched[e.key] = struct{}{}
+	}
+	diff := make([]Delta, 0, len(touched))
+	for k := range touched {
+		if v, ok := s.data[k]; ok {
+			cp := make([]byte, len(v))
+			copy(cp, v)
+			diff = append(diff, Delta{K: k, V: cp})
+		} else {
+			diff = append(diff, Delta{K: k, Del: true})
+		}
+	}
+	sort.Slice(diff, func(i, j int) bool { return diff[i].K < diff[j].K })
+	return diff
+}
+
+// TakeDiff is Diff followed by DiscardJournal: the mutations become
+// permanent and their net effect is returned for persistence.
+func (s *State) TakeDiff() []Delta {
+	diff := s.Diff()
+	s.DiscardJournal()
+	return diff
+}
+
+// ApplyDiff applies a block's recorded deltas (recovery replay). The
+// root is maintained incrementally by Set/Delete; the journal entries the
+// application creates are discarded, mirroring a committed block.
+func (s *State) ApplyDiff(diff []Delta) {
+	for _, d := range diff {
+		if d.Del {
+			s.Delete(d.K)
+		} else {
+			s.Set(d.K, d.V)
+		}
+	}
+	s.DiscardJournal()
+}
+
+// Export returns a deep copy of the full key-value content, as persisted
+// in state snapshots.
+func (s *State) Export() map[string][]byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string][]byte, len(s.data))
+	for k, v := range s.data {
+		cp := make([]byte, len(v))
+		copy(cp, v)
+		out[k] = cp
+	}
+	return out
+}
+
 // Root returns the deterministic state commitment (see the root field for
 // the construction). It is O(1): the commitment is maintained
 // incrementally by every mutation.

@@ -5,15 +5,19 @@ import (
 	"context"
 	"fmt"
 	"net/http/httptest"
+	"os"
 	"time"
 
 	"repro/internal/chain"
+	"repro/internal/contract"
 	"repro/internal/cryptoutil"
 	"repro/internal/distexchange"
 	"repro/internal/podmanager"
 	"repro/internal/policy"
 	"repro/internal/simclock"
 	"repro/internal/solid"
+	"repro/internal/store"
+	"repro/internal/tee"
 )
 
 // Harness runs the experiment suite of EXPERIMENTS.md. Each method boots
@@ -698,6 +702,103 @@ func (h *Harness) AblationParallelVerify() *Table {
 		seq := batchScenario(n, 3, 1, true)
 		par := batchScenario(n, 3, 0, true)
 		t.Add(n, seq, par, seq/par)
+	}
+	return t
+}
+
+// durabilityScenario measures the write-ahead-log cost on the ingestion
+// hot path and the crash-recovery time it buys: a single durable
+// validator ingests n registerPod transactions in batches (sealing until
+// drained), closes, and reopens from disk. It returns ingestion and
+// reopen wall-clock milliseconds plus the recovered height. durable=false
+// runs the in-memory baseline (reopen time is then zero).
+func durabilityScenario(n int, durable bool, sync store.SyncPolicy, snapshotEvery int) (ingestMS, reopenMS float64, height uint64) {
+	manufacturer := must(tee.NewManufacturer("tee-manufacturer"))
+	runtime := contract.NewRuntime()
+	deAddr := runtime.Deploy(distexchange.ContractName, distexchange.New(distexchange.Config{
+		ManufacturerCAKey: manufacturer.CAPublicBytes(),
+		ManufacturerCA:    manufacturer.CAAddress(),
+	}))
+	key := cryptoutil.MustGenerateKey()
+	clk := simclock.NewSim(defaultGenesis)
+	cfg := chain.Config{
+		Key:         key,
+		Authorities: []cryptoutil.Address{key.Address()},
+		Executor:    runtime,
+		Clock:       clk,
+		GenesisTime: defaultGenesis,
+	}
+	if durable {
+		dir, err := os.MkdirTemp("", "durability-ablation-*")
+		must0(err)
+		defer os.RemoveAll(dir)
+		cfg.DataDir = dir
+		cfg.SnapshotInterval = snapshotEvery
+		cfg.Persist = store.Options{Sync: sync}
+	}
+	node := must(chain.OpenNode(cfg))
+
+	txs := make([]*chain.Tx, n)
+	for i := range n {
+		args := distexchange.RegisterPodArgs{
+			OwnerWebID: fmt.Sprintf("https://owner%d.example/profile#me", i),
+			Location:   fmt.Sprintf("https://owner%d.example/", i),
+		}
+		txs[i] = must(chain.NewTx(key, uint64(i), deAddr, "registerPod", args, distexchange.DefaultGasLimit))
+	}
+	const batch = 64
+	start := time.Now()
+	for at := 0; at < n; at += batch {
+		end := min(at+batch, n)
+		must(node.SubmitBatch(txs[at:end]))
+		clk.Advance(time.Second)
+		for node.PendingTxs() > 0 {
+			must(node.Seal())
+		}
+	}
+	ingestMS = float64(time.Since(start).Microseconds()) / 1000
+	must0(node.Close())
+
+	if durable {
+		start = time.Now()
+		reopened := must(chain.OpenNode(cfg))
+		reopenMS = float64(time.Since(start).Microseconds()) / 1000
+		height = reopened.Height()
+		must0(reopened.Close())
+	}
+	return ingestMS, reopenMS, height
+}
+
+// AblationDurability quantifies the durability subsystem: ingestion
+// throughput under each WAL fsync policy against the in-memory baseline,
+// and the crash-recovery (reopen) time the store buys. The snapshot
+// interval is fixed; BenchmarkSnapshotRecovery sweeps it.
+func (h *Harness) AblationDurability() *Table {
+	t := &Table{
+		Title:  "Ablation: durability (WAL fsync policy vs ingestion + recovery, 1 validator)",
+		Header: []string{"mode", "txs", "ingest_ms", "reopen_ms", "reopened_height"},
+	}
+	n := 512
+	if h.Quick {
+		n = 96
+	}
+	modes := []struct {
+		name    string
+		durable bool
+		sync    store.SyncPolicy
+	}{
+		{"memory", false, store.SyncNever},
+		{"wal-never", true, store.SyncNever},
+		{"wal-interval", true, store.SyncInterval},
+		{"wal-always", true, store.SyncAlways},
+	}
+	for _, m := range modes {
+		ingest, reopen, height := durabilityScenario(n, m.durable, m.sync, 16)
+		if !m.durable {
+			t.Add(m.name, n, ingest, "-", "-")
+			continue
+		}
+		t.Add(m.name, n, ingest, reopen, height)
 	}
 	return t
 }

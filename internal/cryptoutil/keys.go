@@ -13,10 +13,13 @@ import (
 	"crypto/rand"
 	"crypto/sha256"
 	"crypto/subtle"
+	"crypto/x509"
 	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 )
 
 // AddressLen is the length of an Address in bytes.
@@ -90,6 +93,59 @@ func MustGenerateKey() *KeyPair {
 
 // Public returns the public key.
 func (k *KeyPair) Public() *ecdsa.PublicKey { return &k.priv.PublicKey }
+
+// PrivateBytes returns the SEC 1 / ASN.1 DER encoding of the private
+// key, as durable node and pod-owner identities are persisted on disk.
+func (k *KeyPair) PrivateBytes() ([]byte, error) {
+	der, err := x509.MarshalECPrivateKey(k.priv)
+	if err != nil {
+		return nil, fmt.Errorf("cryptoutil: marshal private key: %w", err)
+	}
+	return der, nil
+}
+
+// ParsePrivateKey decodes a SEC 1 DER private key previously produced by
+// PrivateBytes.
+func ParsePrivateKey(der []byte) (*KeyPair, error) {
+	priv, err := x509.ParseECPrivateKey(der)
+	if err != nil {
+		return nil, fmt.Errorf("cryptoutil: parse private key: %w", err)
+	}
+	if priv.Curve != elliptic.P256() {
+		return nil, errors.New("cryptoutil: private key is not P-256")
+	}
+	return &KeyPair{priv: priv, addr: AddressOf(&priv.PublicKey)}, nil
+}
+
+// LoadOrCreateKeyFile returns the key pair persisted at path (SEC 1
+// DER), generating one and writing it there (0600, parent directories
+// created) when the file does not exist. Durable binaries use it so a
+// restarted process keeps its signing identity. A file that exists but
+// does not parse is an error, never silently replaced.
+func LoadOrCreateKeyFile(path string) (*KeyPair, error) {
+	if der, err := os.ReadFile(path); err == nil {
+		key, err := ParsePrivateKey(der)
+		if err != nil {
+			return nil, fmt.Errorf("cryptoutil: key at %s: %w", path, err)
+		}
+		return key, nil
+	}
+	key, err := GenerateKey(nil)
+	if err != nil {
+		return nil, err
+	}
+	der, err := key.PrivateBytes()
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("cryptoutil: key dir: %w", err)
+	}
+	if err := os.WriteFile(path, der, 0o600); err != nil {
+		return nil, fmt.Errorf("cryptoutil: write key: %w", err)
+	}
+	return key, nil
+}
 
 // Address returns the address derived from the public key.
 func (k *KeyPair) Address() Address { return k.addr }

@@ -160,3 +160,31 @@ func TestSignVerifyProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPrivateKeyRoundTrip: PrivateBytes/ParsePrivateKey preserve the
+// identity (address) and signing capability of a key pair.
+func TestPrivateKeyRoundTrip(t *testing.T) {
+	k := MustGenerateKey()
+	der, err := k.PrivateBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := ParsePrivateKey(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k2.Address() != k.Address() {
+		t.Fatalf("address changed across serialization: %s != %s", k2.Address(), k.Address())
+	}
+	msg := []byte("round trip")
+	sig, err := k2.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyWithAddress(k.Address(), k.PublicBytes(), msg, sig); err != nil {
+		t.Fatalf("signature from reparsed key rejected: %v", err)
+	}
+	if _, err := ParsePrivateKey([]byte("not a key")); err == nil {
+		t.Fatal("garbage accepted as a private key")
+	}
+}

@@ -9,7 +9,9 @@
 // using copies inside their TEEs, monitoring rounds, settlements — all
 // interleaved with injected faults (replayed and dropped HTTP requests,
 // duplicated and reordered transaction submissions, validator failures
-// and recoveries, and clock skips across policy-retention windows).
+// and recoveries, hard validator crashes restarted from the durable
+// store — optionally with the write-ahead log torn mid-record — and
+// clock skips across policy-retention windows).
 //
 // After every step, and again at quiescence, the engine evaluates
 // system-wide invariants as plain predicates over live state:
@@ -26,6 +28,9 @@
 //   - retention-enforcement: copies are held iff their deadline allows
 //   - honest-compliance: no violations are recorded against holders
 //     that always met their obligations
+//   - recovery-equivalence: every live validator's state reproduces its
+//     committed head root, and a validator restarted from disk stands at
+//     the live cluster's head with an identical state root
 //
 // Every run with the same seed is bit-for-bit reproducible: the step
 // trace and all invariant results are identical across runs. On a

@@ -3,6 +3,7 @@ package scenario
 import (
 	"flag"
 	"fmt"
+	"strings"
 	"testing"
 )
 
@@ -68,6 +69,70 @@ func TestScenarioSeedSweep(t *testing.T) {
 		if res.Failure != nil {
 			t.Errorf("seed %d failed: %s\nrepro: %s\nshrunk trace:\n%s", seed, res.Failure, res.ReproCommand(), res.Trace())
 		}
+	}
+}
+
+// TestScenarioCrashRestart is the durability acceptance scenario: a
+// validator is hard-crashed mid-workload (its in-memory node dropped)
+// and restarted from its on-disk store — once cleanly and once with its
+// WAL torn mid-record — while the workload keeps flowing. All ten
+// invariants (recovery-equivalence included) must hold after every
+// step, and the torn-WAL restart must recover to the last complete
+// block with the difference re-synced from peers.
+func TestScenarioCrashRestart(t *testing.T) {
+	plan := []Step{
+		{Op: OpAddOwner},
+		{Op: OpAddConsumer},
+		{Op: OpPublish, Arg: 3},
+		{Op: OpGrant},
+		{Op: OpAccess},
+		{Op: OpCrashRestart, A: 0, Arg: 2}, // clean crash: WAL intact
+		{Op: OpPublish, Arg: 0},
+		{Op: OpGrant, C: 1},
+		{Op: OpAccess, C: 1},
+		{Op: OpUse},
+		{Op: OpCrashRestart, A: 1, Arg: 7}, // torn crash: WAL cut mid-record
+		{Op: OpModifyPolicy, Arg: 5},
+		{Op: OpMonitor},
+		{Op: OpSettle},
+		{Op: OpSealEmpty},
+	}
+	res := New(Config{Seed: 21, Validators: 3}).RunPlan(plan)
+	if res.Failure != nil {
+		t.Fatalf("crash-restart scenario failed: %s\ntrace:\n%s", res.Failure, res.Trace())
+	}
+	trace := res.Trace()
+	if !strings.Contains(trace, "restarted-") {
+		t.Fatalf("no validator was crash-restarted:\n%s", trace)
+	}
+	if !strings.Contains(trace, "torn=true") {
+		t.Fatalf("the torn-WAL restart did not run:\n%s", trace)
+	}
+	if !strings.Contains(trace, "torn=false") {
+		t.Fatalf("the clean restart did not run:\n%s", trace)
+	}
+	if res.InvariantChecks < len(plan) {
+		t.Fatalf("only %d invariant checks over %d steps", res.InvariantChecks, len(plan))
+	}
+}
+
+// TestScenarioCrashRestartGenerated: generated plans reach the
+// crash-restart fault organically, and such runs hold all invariants.
+func TestScenarioCrashRestartGenerated(t *testing.T) {
+	steps := 120
+	if testing.Short() {
+		steps = 60
+	}
+	found := false
+	for seed := int64(1); seed <= 6 && !found; seed++ {
+		res := New(Config{Seed: seed, Steps: steps}).Run()
+		if res.Failure != nil {
+			t.Fatalf("seed %d failed: %s\ntrace:\n%s", seed, res.Failure, res.Trace())
+		}
+		found = strings.Contains(res.Trace(), "restarted-")
+	}
+	if !found {
+		t.Fatal("no generated plan reached a crash-restart in 6 seeds")
 	}
 }
 

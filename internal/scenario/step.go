@@ -57,6 +57,12 @@ const (
 	OpClockSkip
 	// OpSealEmpty drives one consensus round with an empty mempool.
 	OpSealEmpty
+	// OpCrashRestart hard-kills a validator (its in-memory node is
+	// dropped, its store left unflushed), optionally tears its WAL
+	// mid-record (odd Arg), and restarts it from disk. The restarted
+	// node must rejoin and converge — the recovery-equivalence invariant
+	// checks it after every subsequent step.
+	OpCrashRestart
 
 	// numOps counts the fuzz-decodable ops; everything below is excluded
 	// from DecodePlan so fuzzing can only find genuine violations.
@@ -107,6 +113,8 @@ func (o Op) String() string {
 		return "clock-skip"
 	case OpSealEmpty:
 		return "seal-empty"
+	case OpCrashRestart:
+		return "crash-restart"
 	case OpSabotage:
 		return "sabotage"
 	}
@@ -141,7 +149,7 @@ var opWeights = []struct {
 	{OpAccess, 14}, {OpUse, 14}, {OpModifyPolicy, 8}, {OpUnpublish, 2},
 	{OpMonitor, 5}, {OpSettle, 2}, {OpReplayRequest, 3}, {OpDropRequest, 2},
 	{OpDuplicateTx, 3}, {OpReorderTxs, 2}, {OpFailNode, 2}, {OpRecoverNode, 3},
-	{OpClockSkip, 5}, {OpSealEmpty, 2},
+	{OpClockSkip, 5}, {OpSealEmpty, 2}, {OpCrashRestart, 3},
 }
 
 // GeneratePlan derives a step plan deterministically from the seed. The

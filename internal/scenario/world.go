@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/url"
+	"os"
 	"time"
 
 	"repro/internal/chain"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/distexchange"
 	"repro/internal/policy"
 	"repro/internal/solid"
+	"repro/internal/store"
 	"repro/internal/tee"
 )
 
@@ -88,9 +90,15 @@ type consumerSt struct {
 type World struct {
 	cfg       Config
 	d         *core.Deployment
+	dataDir   string
 	owners    []*ownerSt
 	consumers []*consumerSt
 	resources []*resourceSt
+
+	// restarted marks validators that have been crash-restarted from
+	// disk at least once; the recovery-equivalence invariant holds them
+	// to the live cluster's head and state root.
+	restarted map[int]bool
 
 	// dupKey is the synthetic sender used by transaction-level faults;
 	// dupNonce tracks its committed nonce sequence.
@@ -99,17 +107,36 @@ type World struct {
 }
 
 func newWorld(cfg Config) (*World, error) {
-	d, err := core.NewDeployment(core.Config{
-		Validators:      cfg.Validators,
-		MonitoringGrace: cfg.MonitorGrace,
-	})
+	// Every scenario deployment is durable: validators journal blocks to
+	// a run-private temp dir, which is what gives the crash-restart fault
+	// a store to recover from. SyncNever keeps the disk traffic cheap —
+	// in-process crashes lose nothing unflushed, and the torn-tail fault
+	// injects the damage a machine crash would cause.
+	dataDir, err := os.MkdirTemp("", "scenario-*")
 	if err != nil {
 		return nil, err
 	}
-	return &World{cfg: cfg, d: d, dupKey: cryptoutil.MustGenerateKey()}, nil
+	d, err := core.NewDeployment(core.Config{
+		Validators:      cfg.Validators,
+		MonitoringGrace: cfg.MonitorGrace,
+		DataDir:         dataDir,
+		WALSync:         store.SyncNever,
+	})
+	if err != nil {
+		os.RemoveAll(dataDir)
+		return nil, err
+	}
+	return &World{
+		cfg: cfg, d: d, dataDir: dataDir,
+		restarted: make(map[int]bool),
+		dupKey:    cryptoutil.MustGenerateKey(),
+	}, nil
 }
 
-func (w *World) close() { w.d.Close() }
+func (w *World) close() {
+	w.d.Close()
+	os.RemoveAll(w.dataDir)
+}
 
 func (w *World) now() time.Time { return w.d.Clock.Now() }
 
@@ -555,7 +582,9 @@ func (w *World) apply(stepIdx int, st Step) (string, *Failure) {
 	case OpRecoverNode:
 		var candidates []int
 		for i := 1; i < len(w.d.Nodes); i++ {
-			if w.d.ValidatorDown(i) {
+			// Crashed validators have no RAM state to recover; they come
+			// back only through the crash-restart step's disk path.
+			if w.d.ValidatorDown(i) && !w.d.ValidatorCrashed(i) {
 				candidates = append(candidates, i)
 			}
 		}
@@ -580,6 +609,48 @@ func (w *World) apply(stepIdx int, st Step) (string, *Failure) {
 			return "err", expectation(st.Op, "seal empty block: %v", err)
 		}
 		return "ok", nil
+
+	case OpCrashRestart:
+		var candidates []int
+		for i := 1; i < len(w.d.Nodes); i++ {
+			if !w.d.ValidatorDown(i) {
+				candidates = append(candidates, i)
+			}
+		}
+		ni := sel(st.A, len(candidates))
+		if ni < 0 {
+			return "skip-no-candidate", nil
+		}
+		// Crashing the last live validator is refused by design; skip
+		// rather than trip over the guard.
+		live := 0
+		for i := range w.d.Nodes {
+			if !w.d.ValidatorDown(i) {
+				live++
+			}
+		}
+		if live <= 1 {
+			return "skip-last-live", nil
+		}
+		vi := candidates[ni]
+		if err := w.d.CrashValidator(vi); err != nil {
+			return "err", expectation(st.Op, "crash validator %d: %v", vi, err)
+		}
+		torn := st.Arg%2 == 1
+		if torn {
+			// Tear the WAL mid-record: the damage a machine crash leaves.
+			// Block records are far larger than the chopped range, so this
+			// lands inside the final record.
+			if err := w.d.TruncateValidatorWAL(vi, int64(3+st.Arg%24)); err != nil {
+				return "err", expectation(st.Op, "tear validator %d wal: %v", vi, err)
+			}
+		}
+		synced, err := w.d.RestartValidatorFromDisk(vi)
+		if err != nil {
+			return "err", expectation(st.Op, "restart validator %d from disk: %v", vi, err)
+		}
+		w.restarted[vi] = true
+		return fmt.Sprintf("restarted-%d torn=%t synced=%d", vi, torn, synced), nil
 
 	case OpSabotage:
 		pubs := w.publishedResources()
@@ -709,7 +780,7 @@ func (w *World) chainSettled() bool {
 	var ref cryptoutil.Hash
 	first := true
 	for i, n := range w.d.Nodes {
-		if w.d.ValidatorDown(i) {
+		if n == nil || w.d.ValidatorDown(i) {
 			continue
 		}
 		h := n.Head().Hash()

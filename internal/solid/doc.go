@@ -62,4 +62,16 @@
 // Client is a thin wrapper over http.Client plus a signing key; it is
 // safe for concurrent use as long as Decorate is not reassigned
 // mid-flight and EnableCaching, if used, is called before sharing.
+//
+// # Durability
+//
+// A pod opened with OpenPod (or created on a Host after
+// EnablePersistence) journals every mutation's effect — the stored
+// bytes, the deleted path, the installed ACL — to a per-pod op log,
+// with full-content snapshots bounding replay. A restarted pod serves
+// byte-identical resources with identical ETags, reports the same ACL
+// generation, and never re-mints a POST-assigned child name. Mutations
+// on a durable pod fail if their journal append fails; replay applies
+// effects directly and re-checks nothing (authorization happened when
+// the op was logged).
 package solid

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"net/http"
+	"path/filepath"
 	"strings"
 	"sync"
 
@@ -36,6 +37,13 @@ type Host struct {
 	dir    AgentDirectory
 	clock  simclock.Clock
 	shards [hostShardCount]hostShard
+
+	// dataDir, when set via EnablePersistence, makes CreatePod build
+	// durable pods under dataDir/<name>/ so a restarted host serves the
+	// exact content — ETags and ACL generations included — of its
+	// predecessor.
+	dataDir     string
+	persistOpts PodStoreOptions
 }
 
 type hostShard struct {
@@ -84,15 +92,60 @@ func validPodName(name string) bool {
 	return true
 }
 
+// EnablePersistence makes every subsequent CreatePod durable: pod
+// content is journaled under dataDir/<name>/ and restored when a new
+// host re-creates the pod over the same directory. Call before mounting
+// pods.
+func (h *Host) EnablePersistence(dataDir string, opts PodStoreOptions) {
+	h.dataDir = dataDir
+	h.persistOpts = opts
+}
+
 // CreatePod provisions a pod for the owner under /pods/{name}/ and mounts
 // a server for it. hostBaseURL is the host's public base URL (no trailing
-// slash); the pod's base URL becomes hostBaseURL + "/pods/" + name.
+// slash); the pod's base URL becomes hostBaseURL + "/pods/" + name. On a
+// persistent host (EnablePersistence) the pod is opened from its durable
+// store, restoring any previous content.
 func (h *Host) CreatePod(name string, owner WebID, hostBaseURL string, hook AccessHook) (*Pod, error) {
-	pod := NewPod(owner, strings.TrimSuffix(hostBaseURL, "/")+PodRoutePrefix+name)
+	if !validPodName(name) {
+		return nil, fmt.Errorf("%w: %q", ErrBadPodName, name)
+	}
+	baseURL := strings.TrimSuffix(hostBaseURL, "/") + PodRoutePrefix + name
+	var pod *Pod
+	if h.dataDir != "" {
+		var err error
+		pod, err = OpenPod(owner, baseURL, filepath.Join(h.dataDir, name), h.persistOpts)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		pod = NewPod(owner, baseURL)
+	}
 	if err := h.Mount(name, pod, NewServer(pod, h.dir, h.clock, hook)); err != nil {
+		pod.CloseStore()
 		return nil, err
 	}
 	return pod, nil
+}
+
+// Close flushes and closes every mounted pod's durable store (no-op for
+// in-memory pods), returning the first error encountered.
+func (h *Host) Close() error {
+	var first error
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.RLock()
+		for _, m := range s.pods {
+			if m.pod == nil {
+				continue
+			}
+			if err := m.pod.CloseStore(); err != nil && first == nil {
+				first = err
+			}
+		}
+		s.mu.RUnlock()
+	}
+	return first
 }
 
 // Mount routes /pods/{name}/ to an externally built handler (typically a

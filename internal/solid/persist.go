@@ -1,0 +1,255 @@
+package solid
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/store"
+)
+
+// podLogName is the per-pod operation log filename.
+const podLogName = "oplog.wal"
+
+// defaultPodSnapshotEvery is the op cadence of pod snapshots when
+// PodStoreOptions.SnapshotEvery is zero.
+const defaultPodSnapshotEvery = 256
+
+// podSnapshotsKept bounds retained pod snapshot files.
+const podSnapshotsKept = 3
+
+// PodStoreOptions configures a durable pod.
+type PodStoreOptions struct {
+	// WAL is the operation log's fsync policy.
+	WAL store.Options
+	// SnapshotEvery is the op cadence of full-content snapshots that
+	// bound replay (default 256).
+	SnapshotEvery int
+}
+
+// podOp is one logged mutation effect. Replay applies effects directly —
+// authorization already happened when the op was logged — so a restored
+// pod reproduces the exact resource bytes, ETags, ACL documents, ACL
+// generation, and POST-minting sequence of the pod that wrote the log.
+type podOp struct {
+	// Kind is "put" (create/replace, covering Append's net effect too),
+	// "del", or "acl".
+	Kind string `json:"kind"`
+	// Path is the affected resource (or ACL target) path.
+	Path string `json:"path"`
+	// ContentType/Data/Modified describe the stored resource for "put".
+	ContentType string    `json:"contentType,omitempty"`
+	Data        []byte    `json:"data,omitempty"`
+	Modified    time.Time `json:"modified,omitzero"`
+	// ACL is the installed document for "acl".
+	ACL *ACL `json:"acl,omitempty"`
+	// PostSeq is the pod's POST-minting counter after the op, so replay
+	// never re-mints a server-assigned child name.
+	PostSeq uint64 `json:"postSeq,omitempty"`
+}
+
+// podSnapshot is a full pod dump bounding op replay.
+type podSnapshot struct {
+	Ops       uint64          `json:"ops"` // op count the snapshot covers
+	PostSeq   uint64          `json:"postSeq"`
+	ACLGen    uint64          `json:"aclGen"`
+	Resources []*Resource     `json:"resources"`
+	ACLs      map[string]*ACL `json:"acls"`
+}
+
+// podStore is a pod's attached durability state. Its fields are guarded
+// by the pod's write lock (every logged mutation holds p.mu).
+//
+// The op log is deliberately never compacted: snapshots bound how much
+// of it recovery must APPLY, but the full history stays on disk so that
+// a corrupt snapshot can always fall back to a complete replay —
+// snapshots remain strictly an optimization. Compacting the covered
+// prefix would trade that property for bounded storage; if a
+// deployment ever needs it, the rotation must keep at least one
+// verified snapshot per truncated prefix.
+type podStore struct {
+	wal   *store.WAL
+	dir   string
+	every int
+	ops   uint64 // total ops in the log (replayed + appended)
+}
+
+// OpenPod opens (or bootstraps) a durable pod rooted at dir: it loads
+// the newest usable snapshot, replays the op-log tail past it
+// (truncating any torn tail back to the last complete record), and
+// attaches the log so subsequent mutations are durable. A pod restored
+// this way serves byte-identical resources with identical ETags and the
+// same ACL generation the original pod last reported.
+func OpenPod(owner WebID, baseURL, dir string, opts PodStoreOptions) (*Pod, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("solid: create pod dir: %w", err)
+	}
+	wal, records, err := store.OpenWAL(filepath.Join(dir, podLogName), opts.WAL)
+	if err != nil {
+		return nil, err
+	}
+	p := NewPod(owner, baseURL)
+
+	start := uint64(0)
+	if seq, payload, ok := store.LatestSnapshot(dir, uint64(len(records))); ok {
+		var snap podSnapshot
+		if err := json.Unmarshal(payload, &snap); err == nil && snap.Ops == seq {
+			for _, r := range snap.Resources {
+				p.resources[r.Path] = r
+			}
+			for path, acl := range snap.ACLs {
+				p.acls[path] = acl
+			}
+			p.postSeq = snap.PostSeq
+			p.aclGen.Store(snap.ACLGen)
+			start = seq
+		}
+		// An undecodable snapshot is skipped: the log tail below carries
+		// every op, so full replay recovers the same content.
+	}
+	lastGoodEnd := int64(0)
+	if start > 0 {
+		lastGoodEnd = records[start-1].End
+	}
+	applied := uint64(0)
+	for _, rec := range records[start:] {
+		var op podOp
+		if err := json.Unmarshal(rec.Payload, &op); err != nil {
+			// A record that passes the CRC but not the schema is damage
+			// the frame cannot see; treat it as the torn tail.
+			break
+		}
+		p.applyOp(op)
+		applied++
+		lastGoodEnd = rec.End
+	}
+	if lastGoodEnd < wal.Size() {
+		if err := wal.TruncateTo(lastGoodEnd); err != nil {
+			wal.Close()
+			return nil, err
+		}
+	}
+	every := opts.SnapshotEvery
+	if every <= 0 {
+		every = defaultPodSnapshotEvery
+	}
+	// ops counts the records actually in the log (snapshot base + the
+	// replayed tail) — the op log is the source of truth, not the ACL
+	// generation, even though the two agree on every successful path.
+	p.persist = &podStore{wal: wal, dir: dir, every: every, ops: start + applied}
+	return p, nil
+}
+
+// applyOp replays one logged effect (open-time only: no locking, no
+// logging). Each op bumps the ACL generation exactly once, mirroring the
+// original mutation.
+func (p *Pod) applyOp(op podOp) {
+	switch op.Kind {
+	case "put":
+		p.resources[op.Path] = &Resource{
+			Path:        op.Path,
+			ContentType: op.ContentType,
+			Data:        op.Data,
+			Modified:    op.Modified,
+			ETag:        ETagFor(op.Data),
+		}
+	case "del":
+		delete(p.resources, op.Path)
+	case "acl":
+		if op.ACL != nil {
+			p.acls[op.Path] = op.ACL
+		}
+	}
+	if op.PostSeq > p.postSeq {
+		p.postSeq = op.PostSeq
+	}
+	p.invalidateAuthCache()
+}
+
+// logOpLocked journals one mutation effect. Callers hold p.mu for
+// writing and call it BEFORE applying the mutation to memory; a nil
+// persist makes it a no-op (the in-memory pod). A logging failure is
+// returned to the mutating caller, which must then leave the pod
+// untouched — a durable pod never acknowledges (or serves) a write its
+// journal does not hold.
+func (p *Pod) logOpLocked(op podOp) error {
+	if p.persist == nil {
+		return nil
+	}
+	op.PostSeq = p.postSeq
+	buf, err := json.Marshal(op)
+	if err != nil {
+		return fmt.Errorf("solid: encode pod op: %w", err)
+	}
+	if err := p.persist.wal.Append(buf); err != nil {
+		return fmt.Errorf("solid: persist pod op: %w", err)
+	}
+	p.persist.ops++
+	return nil
+}
+
+// maybeSnapshotLocked snapshots on the op cadence. Callers hold p.mu
+// for writing and call it AFTER applying the mutation, so the snapshot
+// includes the op it is stamped with. A failed snapshot never fails the
+// (already journaled and applied) mutation: recovery just replays a
+// longer tail.
+func (p *Pod) maybeSnapshotLocked() {
+	if p.persist == nil || p.persist.every <= 0 || p.persist.ops%uint64(p.persist.every) != 0 {
+		return
+	}
+	if err := p.writeSnapshotLocked(); err != nil {
+		log.Printf("solid: pod snapshot at op %d skipped: %v", p.persist.ops, err)
+	}
+}
+
+// writeSnapshotLocked dumps the pod under its current op count. Callers
+// hold p.mu for writing.
+func (p *Pod) writeSnapshotLocked() error {
+	snap := podSnapshot{
+		Ops:     p.persist.ops,
+		PostSeq: p.postSeq,
+		ACLGen:  p.aclGen.Load(),
+		ACLs:    make(map[string]*ACL, len(p.acls)),
+	}
+	snap.Resources = make([]*Resource, 0, len(p.resources))
+	for _, r := range p.resources {
+		cp := *r
+		cp.Data = append([]byte(nil), r.Data...)
+		snap.Resources = append(snap.Resources, &cp)
+	}
+	for path, acl := range p.acls {
+		snap.ACLs[path] = acl
+	}
+	buf, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("solid: encode pod snapshot: %w", err)
+	}
+	if err := store.WriteSnapshot(p.persist.dir, snap.Ops, buf); err != nil {
+		return fmt.Errorf("solid: write pod snapshot: %w", err)
+	}
+	if _, err := store.PruneSnapshots(p.persist.dir, podSnapshotsKept); err != nil {
+		return fmt.Errorf("solid: prune pod snapshots: %w", err)
+	}
+	return nil
+}
+
+// CloseStore flushes and closes the pod's durable store (no-op for
+// in-memory pods).
+func (p *Pod) CloseStore() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.persist == nil {
+		return nil
+	}
+	return p.persist.wal.Close()
+}
+
+// Persistent reports whether the pod journals mutations to disk.
+func (p *Pod) Persistent() bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.persist != nil
+}

@@ -1,0 +1,392 @@
+package solid
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+	"repro/internal/store"
+)
+
+var persistEpoch = time.Date(2023, 10, 9, 0, 0, 0, 0, time.UTC)
+
+const (
+	persistOwner  = WebID("https://alice.example/profile#me")
+	persistReader = WebID("https://reader.example/profile#me")
+)
+
+// restartPod closes a durable pod and reopens it from the same dir.
+func restartPod(t *testing.T, p *Pod, dir string, opts PodStoreOptions) *Pod {
+	t.Helper()
+	if err := p.CloseStore(); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := OpenPod(p.Owner(), p.BaseURL(), dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p2.CloseStore() })
+	return p2
+}
+
+// requireSamePod asserts the restarted pod serves identical content:
+// resource bytes, ETags, modification times, ACL generation, and the
+// reader's authorization outcomes.
+func requireSamePod(t *testing.T, restored, original *Pod, paths ...string) {
+	t.Helper()
+	if g, w := restored.ACLGeneration(), original.ACLGeneration(); g != w {
+		t.Fatalf("ACL generation = %d, want %d", g, w)
+	}
+	for _, path := range paths {
+		want, wantErr := original.Get(original.Owner(), path)
+		got, gotErr := restored.Get(restored.Owner(), path)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("%s: err %v vs %v", path, gotErr, wantErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		if !bytes.Equal(got.Data, want.Data) {
+			t.Fatalf("%s: bytes differ after restart", path)
+		}
+		if got.ETag != want.ETag {
+			t.Fatalf("%s: ETag %s != %s", path, got.ETag, want.ETag)
+		}
+		if !got.Modified.Equal(want.Modified) {
+			t.Fatalf("%s: Modified %v != %v", path, got.Modified, want.Modified)
+		}
+		if got.ContentType != want.ContentType {
+			t.Fatalf("%s: content type %q != %q", path, got.ContentType, want.ContentType)
+		}
+		wantAuth := original.Authorize(persistReader, path, ModeRead)
+		gotAuth := restored.Authorize(persistReader, path, ModeRead)
+		if (wantAuth == nil) != (gotAuth == nil) {
+			t.Fatalf("%s: reader auth %v vs %v", path, gotAuth, wantAuth)
+		}
+	}
+	wc, wb := original.Stats()
+	gc, gb := restored.Stats()
+	if wc != gc || wb != gb {
+		t.Fatalf("stats (%d,%d) != (%d,%d)", gc, gb, wc, wb)
+	}
+}
+
+// TestPodRestartRoundTrip: puts, appends, an ACL grant, and a delete all
+// survive a restart with identical ETags and ACL generation.
+func TestPodRestartRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	clk := simclock.NewSim(persistEpoch)
+	opts := PodStoreOptions{WAL: store.Options{Sync: store.SyncNever}}
+	p, err := OpenPod(persistOwner, "https://alice.pod", dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	put := func(path, body string) {
+		t.Helper()
+		clk.Advance(time.Second)
+		if err := p.Put(persistOwner, path, "text/plain", []byte(body), clk.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("/notes/a.txt", "alpha")
+	put("/notes/b.txt", "beta")
+	put("/notes/a.txt", "alpha v2") // overwrite
+	if _, _, err := p.Append(persistOwner, "/notes/a.txt", "", []byte(" + more"), clk.Now()); err != nil {
+		t.Fatal(err)
+	}
+	acl := NewACL(persistOwner, "/notes/")
+	acl.Grant("reader", []WebID{persistReader}, "/notes/", true, ModeRead)
+	if err := p.SetACL(persistOwner, "/notes/", acl); err != nil {
+		t.Fatal(err)
+	}
+	put("/tmp/doomed.txt", "gone soon")
+	if err := p.Delete(persistOwner, "/tmp/doomed.txt"); err != nil {
+		t.Fatal(err)
+	}
+
+	p2 := restartPod(t, p, dir, opts)
+	requireSamePod(t, p2, p, "/notes/a.txt", "/notes/b.txt", "/tmp/doomed.txt")
+	if err := p2.Authorize(persistReader, "/notes/a.txt", ModeRead); err != nil {
+		t.Fatalf("granted reader denied after restart: %v", err)
+	}
+	if err := p2.Authorize(persistReader, "/notes/a.txt", ModeWrite); err == nil {
+		t.Fatal("reader gained write access across restart")
+	}
+	// The restored pod keeps journaling: mutate, restart again, verify.
+	put2 := func(pd *Pod, path, body string) {
+		t.Helper()
+		clk.Advance(time.Second)
+		if err := pd.Put(persistOwner, path, "text/plain", []byte(body), clk.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put2(p2, "/notes/c.txt", "gamma")
+	p3 := restartPod(t, p2, dir, opts)
+	requireSamePod(t, p3, p2, "/notes/a.txt", "/notes/b.txt", "/notes/c.txt")
+}
+
+// TestPodRestartPostMinting: server-assigned POST child names never
+// collide across a restart (the postSeq counter is restored).
+func TestPodRestartPostMinting(t *testing.T) {
+	dir := t.TempDir()
+	opts := PodStoreOptions{WAL: store.Options{Sync: store.SyncNever}}
+	p, err := OpenPod(persistOwner, "https://alice.pod", dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _, err := p.Append(persistOwner, "/inbox/", "text/plain", []byte("one"), persistEpoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := restartPod(t, p, dir, opts)
+	second, _, err := p2.Append(persistOwner, "/inbox/", "text/plain", []byte("two"), persistEpoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first == second {
+		t.Fatalf("restart re-minted %s", first)
+	}
+	if got, err := p2.Get(persistOwner, first); err != nil || string(got.Data) != "one" {
+		t.Fatalf("first minted child lost: %q, %v", got, err)
+	}
+}
+
+// TestPodRestartWithSnapshots: a tight snapshot cadence produces
+// snapshot files, prunes them, and restores identically from
+// snapshot+tail.
+func TestPodRestartWithSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	opts := PodStoreOptions{WAL: store.Options{Sync: store.SyncNever}, SnapshotEvery: 3}
+	p, err := OpenPod(persistOwner, "https://alice.pod", dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for i := range 11 {
+		path := filepath.Join("/data", string(rune('a'+i))+".txt")
+		paths = append(paths, path)
+		if err := p.Put(persistOwner, path, "text/plain", []byte{byte(i)}, persistEpoch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seqs, err := store.ListSnapshots(dir)
+	if err != nil || len(seqs) == 0 {
+		t.Fatalf("no pod snapshots written: %v, %v", seqs, err)
+	}
+	if seqs[0] != 9 {
+		t.Fatalf("newest snapshot at op %d, want 9", seqs[0])
+	}
+	if len(seqs) > podSnapshotsKept {
+		t.Fatalf("%d snapshots kept, want <= %d", len(seqs), podSnapshotsKept)
+	}
+	p2 := restartPod(t, p, dir, opts)
+	requireSamePod(t, p2, p, paths...)
+}
+
+// TestPodRestartTornOpLog: a torn tail in the pod op log recovers to the
+// last complete op.
+func TestPodRestartTornOpLog(t *testing.T) {
+	dir := t.TempDir()
+	opts := PodStoreOptions{WAL: store.Options{Sync: store.SyncNever}}
+	p, err := OpenPod(persistOwner, "https://alice.pod", dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Put(persistOwner, "/a.txt", "text/plain", []byte("kept"), persistEpoch); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Put(persistOwner, "/b.txt", "text/plain", []byte("torn away"), persistEpoch); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CloseStore(); err != nil {
+		t.Fatal(err)
+	}
+	logPath := filepath.Join(dir, podLogName)
+	info, err := os.Stat(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(logPath, info.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := OpenPod(persistOwner, "https://alice.pod", dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.CloseStore()
+	if _, err := p2.Get(persistOwner, "/a.txt"); err != nil {
+		t.Fatalf("intact op lost: %v", err)
+	}
+	if _, err := p2.Get(persistOwner, "/b.txt"); err == nil {
+		t.Fatal("torn op resurrected")
+	}
+	if got := p2.ACLGeneration(); got != 1 {
+		t.Fatalf("ACL generation = %d, want 1 (one surviving op)", got)
+	}
+}
+
+// TestHostPersistenceRestart: a persistent multi-pod host restarted over
+// the same data dir serves identical content through HTTP-visible state
+// (ETag and ACL generation), without re-seeding.
+func TestHostPersistenceRestart(t *testing.T) {
+	dataDir := t.TempDir()
+	clk := simclock.NewSim(persistEpoch)
+	dir := NewMapDirectory()
+	opts := PodStoreOptions{WAL: store.Options{Sync: store.SyncNever}}
+
+	boot := func() (*Host, *httptest.Server) {
+		h := NewHost(dir, clk)
+		h.EnablePersistence(dataDir, opts)
+		return h, httptest.NewServer(h)
+	}
+	host, srv := boot()
+	pod, err := host.CreatePod("alice", persistOwner, srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pod.Persistent() {
+		t.Fatal("host pod not persistent")
+	}
+	if err := pod.Put(persistOwner, "/pub/hello.txt", "text/plain", []byte("hello"), clk.Now()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := pod.Get(persistOwner, "/pub/hello.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantETag, wantGen := res.ETag, pod.ACLGeneration()
+	srv.Close()
+	if err := host.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	host2, srv2 := boot()
+	defer srv2.Close()
+	defer host2.Close()
+	pod2, err := host2.CreatePod("alice", persistOwner, srv2.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := pod2.Get(persistOwner, "/pub/hello.txt")
+	if err != nil {
+		t.Fatalf("restored pod lost its resource: %v", err)
+	}
+	if res2.ETag != wantETag {
+		t.Fatalf("ETag %s != %s after host restart", res2.ETag, wantETag)
+	}
+	if pod2.ACLGeneration() != wantGen {
+		t.Fatalf("ACL generation %d != %d after host restart", pod2.ACLGeneration(), wantGen)
+	}
+}
+
+// TestPodCorruptSnapshotFallsBack: a byte-flipped pod snapshot is
+// ignored in favour of a full op-log replay.
+func TestPodCorruptSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	opts := PodStoreOptions{WAL: store.Options{Sync: store.SyncNever}, SnapshotEvery: 2}
+	p, err := OpenPod(persistOwner, "https://alice.pod", dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range 4 {
+		if err := p.Put(persistOwner, "/f.txt", "text/plain", []byte{byte(i)}, persistEpoch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.CloseStore(); err != nil {
+		t.Fatal(err)
+	}
+	seqs, _ := store.ListSnapshots(dir)
+	for _, seq := range seqs {
+		path := filepath.Join(dir, "snap-"+"0000000000000000"[:16-len(hex16(seq))]+hex16(seq)+".snap")
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[len(raw)/2] ^= 0xff
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p2, err := OpenPod(persistOwner, "https://alice.pod", dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.CloseStore()
+	requireSamePod(t, p2, p, "/f.txt")
+}
+
+// hex16 renders seq in lowercase hex without leading zeros (test helper
+// for snapshot filenames).
+func hex16(seq uint64) string {
+	const digits = "0123456789abcdef"
+	if seq == 0 {
+		return "0"
+	}
+	var buf []byte
+	for seq > 0 {
+		buf = append([]byte{digits[seq%16]}, buf...)
+		seq /= 16
+	}
+	return string(buf)
+}
+
+// TestPodMutationInvisibleOnLogFailure: a durable pod whose op log
+// refuses an append reports the error AND leaves the pod untouched —
+// the failed write is never served, and the ACL generation does not
+// advance past what the log holds.
+func TestPodMutationInvisibleOnLogFailure(t *testing.T) {
+	dir := t.TempDir()
+	opts := PodStoreOptions{WAL: store.Options{Sync: store.SyncNever}}
+	p, err := OpenPod(persistOwner, "https://alice.pod", dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Put(persistOwner, "/ok.txt", "text/plain", []byte("logged"), persistEpoch); err != nil {
+		t.Fatal(err)
+	}
+	genBefore := p.ACLGeneration()
+
+	// Sabotage the store: close the log out from under the pod.
+	if err := p.persist.wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Put(persistOwner, "/lost.txt", "text/plain", []byte("x"), persistEpoch); err == nil {
+		t.Fatal("Put succeeded with a dead op log")
+	}
+	if _, err := p.Get(persistOwner, "/lost.txt"); err == nil {
+		t.Fatal("unjournaled write is being served")
+	}
+	if err := p.Delete(persistOwner, "/ok.txt"); err == nil {
+		t.Fatal("Delete succeeded with a dead op log")
+	}
+	if _, err := p.Get(persistOwner, "/ok.txt"); err != nil {
+		t.Fatalf("journaled resource vanished after a failed delete: %v", err)
+	}
+	if acl := NewACL(persistOwner, "/"); p.SetACL(persistOwner, "/", acl) == nil {
+		t.Fatal("SetACL succeeded with a dead op log")
+	}
+	if _, _, err := p.Append(persistOwner, "/inbox/", "text/plain", []byte("x"), persistEpoch); err == nil {
+		t.Fatal("container POST succeeded with a dead op log")
+	}
+	if got := p.ACLGeneration(); got != genBefore {
+		t.Fatalf("ACL generation advanced to %d despite log failures (was %d)", got, genBefore)
+	}
+
+	// A reopened pod matches exactly what the log holds.
+	p2, err := OpenPod(persistOwner, "https://alice.pod", dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.CloseStore()
+	if _, err := p2.Get(persistOwner, "/ok.txt"); err != nil {
+		t.Fatalf("journaled resource lost: %v", err)
+	}
+	if p2.ACLGeneration() != genBefore {
+		t.Fatalf("restored generation %d != %d", p2.ACLGeneration(), genBefore)
+	}
+}

@@ -77,6 +77,10 @@ type Pod struct {
 	authMu       sync.RWMutex
 	authCache    map[authCacheKey]authDecision
 	authCacheOff atomic.Bool // benchmarks compare cached vs uncached
+
+	// persist journals mutation effects to a per-pod op log (nil for
+	// in-memory pods); see OpenPod. Guarded by mu.
+	persist *podStore
 }
 
 // Pod errors.
@@ -174,15 +178,32 @@ func (p *Pod) PutResource(agent WebID, resPath, contentType string, data []byte,
 	body := make([]byte, len(data))
 	copy(body, data)
 	etag = ETagFor(body)
-	p.resources[clean] = &Resource{
+	res := &Resource{
 		Path:        clean,
 		ContentType: contentType,
 		Data:        body,
 		Modified:    now,
 		ETag:        etag,
 	}
+	// Journal before apply: a write the op log refuses is never visible.
+	if err := p.logOpLocked(putOp(res)); err != nil {
+		return false, "", err
+	}
+	p.resources[clean] = res
 	p.invalidateAuthCache()
+	p.maybeSnapshotLocked()
 	return !existed, etag, nil
+}
+
+// putOp builds the logged effect of storing res.
+func putOp(res *Resource) podOp {
+	return podOp{
+		Kind:        "put",
+		Path:        res.Path,
+		ContentType: res.ContentType,
+		Data:        res.Data,
+		Modified:    res.Modified,
+	}
 }
 
 // Append adds data to a resource, subject to the agent holding Append
@@ -202,6 +223,7 @@ func (p *Pod) Append(agent WebID, resPath, contentType string, data []byte, now 
 	defer p.mu.Unlock()
 	if strings.HasSuffix(clean, "/") {
 		// POST to a container: mint a child that does not collide.
+		prevSeq := p.postSeq
 		for {
 			p.postSeq++
 			storedPath = fmt.Sprintf("%sres-%06d", clean, p.postSeq)
@@ -210,21 +232,32 @@ func (p *Pod) Append(agent WebID, resPath, contentType string, data []byte, now 
 			}
 		}
 		body := append([]byte(nil), data...)
-		p.resources[storedPath] = &Resource{
+		minted := &Resource{
 			Path: storedPath, ContentType: contentType,
 			Data: body, Modified: now, ETag: ETagFor(body),
 		}
+		if err := p.logOpLocked(putOp(minted)); err != nil {
+			p.postSeq = prevSeq
+			return "", false, err
+		}
+		p.resources[storedPath] = minted
 		p.invalidateAuthCache()
+		p.maybeSnapshotLocked()
 		return storedPath, true, nil
 	}
 	res, ok := p.resources[clean]
 	if !ok {
 		body := append([]byte(nil), data...)
-		p.resources[clean] = &Resource{
+		created := &Resource{
 			Path: clean, ContentType: contentType,
 			Data: body, Modified: now, ETag: ETagFor(body),
 		}
+		if err := p.logOpLocked(putOp(created)); err != nil {
+			return "", false, err
+		}
+		p.resources[clean] = created
 		p.invalidateAuthCache()
+		p.maybeSnapshotLocked()
 		return clean, true, nil
 	}
 	body := make([]byte, 0, len(res.Data)+len(data))
@@ -233,11 +266,16 @@ func (p *Pod) Append(agent WebID, resPath, contentType string, data []byte, now 
 	if ct == "" {
 		ct = contentType
 	}
-	p.resources[clean] = &Resource{
+	extended := &Resource{
 		Path: clean, ContentType: ct,
 		Data: body, Modified: now, ETag: ETagFor(body),
 	}
+	if err := p.logOpLocked(putOp(extended)); err != nil {
+		return "", false, err
+	}
+	p.resources[clean] = extended
 	p.invalidateAuthCache()
+	p.maybeSnapshotLocked()
 	return clean, false, nil
 }
 
@@ -275,8 +313,12 @@ func (p *Pod) Delete(agent WebID, resPath string) error {
 	if _, ok := p.resources[clean]; !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, clean)
 	}
+	if err := p.logOpLocked(podOp{Kind: "del", Path: clean}); err != nil {
+		return err
+	}
 	delete(p.resources, clean)
 	p.invalidateAuthCache()
+	p.maybeSnapshotLocked()
 	return nil
 }
 
@@ -327,8 +369,12 @@ func (p *Pod) SetACL(agent WebID, resPath string, acl *ACL) error {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if err := p.logOpLocked(podOp{Kind: "acl", Path: clean, ACL: acl}); err != nil {
+		return err
+	}
 	p.acls[clean] = acl
 	p.invalidateAuthCache()
+	p.maybeSnapshotLocked()
 	return nil
 }
 
