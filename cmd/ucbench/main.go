@@ -2,17 +2,22 @@
 //
 // Usage:
 //
-//	ucbench [-exp e1,e5,e9|all] [-quick]
+//	ucbench [-exp e1,e5,commitpath|all] [-quick] [-json results.json]
 //
 // Each experiment boots a fresh in-process deployment of the full
 // architecture (blockchain + DE App + pods + TEEs + oracles + market) and
-// prints one table.
+// prints one table. With -json, every printed table row is additionally
+// written to the given file as a machine-readable measurement
+// ({exp, case, ns_op, allocs_op, bytes_op}), the schema the BENCH_*.json
+// perf trajectory tracks across PRs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"slices"
 	"strings"
 
 	"repro/internal/core"
@@ -30,35 +35,55 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("ucbench", flag.ContinueOnError)
-	expFlag := fs.String("exp", "all", "comma-separated experiments (e1..e12, scenario, ablations) or 'all'")
+	expFlag := fs.String("exp", "all", "comma-separated experiments (e1..e12, scenario, durability, commitpath, ..., ablations) or 'all'")
 	quick := fs.Bool("quick", false, "shrink sweep sizes for a fast run")
+	jsonPath := fs.String("json", "", "also write machine-readable results ({exp,case,ns_op,allocs_op,bytes_op} per table row) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	h := &core.Harness{Quick: *quick}
 	experiments := map[string]func() *core.Table{
-		"e1":         h.E1PodInitiation,
-		"e2":         h.E2ResourceInitiation,
-		"e3":         h.E3ResourceIndexing,
-		"e4":         h.E4ResourceAccess,
-		"e5":         h.E5PolicyModification,
-		"e6":         h.E6PolicyMonitoring,
-		"e7":         h.E7LocalVsRemote,
-		"e8":         h.E8Security,
-		"e9":         h.E9Gas,
-		"e10":        h.E10Overhead,
-		"e11":        h.E11Remuneration,
-		"e12":        h.E12Robustness,
-		"scenario":   h.AblationScenarioThroughput,
-		"durability": h.AblationDurability,
-		"ablations":  nil, // expanded below
+		"e1":             h.E1PodInitiation,
+		"e2":             h.E2ResourceInitiation,
+		"e3":             h.E3ResourceIndexing,
+		"e4":             h.E4ResourceAccess,
+		"e5":             h.E5PolicyModification,
+		"e6":             h.E6PolicyMonitoring,
+		"e7":             h.E7LocalVsRemote,
+		"e8":             h.E8Security,
+		"e9":             h.E9Gas,
+		"e10":            h.E10Overhead,
+		"e11":            h.E11Remuneration,
+		"e12":            h.E12Robustness,
+		"blockinterval":  h.AblationBlockInterval,
+		"oraclefanout":   h.AblationOracleFanout,
+		"batchsubmit":    h.AblationBatchSubmit,
+		"parallelverify": h.AblationParallelVerify,
+		"hostscaleout":   h.AblationHostScaleOut,
+		"authcache":      h.AblationAuthCache,
+		"scenario":       h.AblationScenarioThroughput,
+		"durability":     h.AblationDurability,
+		"commitpath":     h.AblationCommitPath,
+		"ablations":      nil, // expanded below
 	}
-	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "scenario", "durability", "ablations"}
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "scenario", "durability", "commitpath", "ablations"}
+	ablationNames := []string{"blockinterval", "oraclefanout", "batchsubmit", "parallelverify", "hostscaleout", "authcache", "scenario", "durability", "commitpath"}
 
 	// Validate the whole selection up front: an unknown table name is a
 	// hard error naming the valid set — never a silent skip that would
 	// make a typoed -exp look like a clean (empty) run.
+	validNames := func() string {
+		names := make([]string, 0, len(order)+len(ablationNames))
+		names = append(names, order[:len(order)-1]...)
+		for _, name := range ablationNames {
+			if !slices.Contains(names, name) {
+				names = append(names, name)
+			}
+		}
+		names = append(names, "ablations")
+		return strings.Join(names, ", ")
+	}
 	var selected []string
 	if *expFlag == "all" {
 		selected = order
@@ -77,26 +102,47 @@ func run(args []string) error {
 		}
 		if len(unknown) > 0 {
 			return fmt.Errorf("unknown experiment table(s) %s; valid tables: %s, all",
-				strings.Join(unknown, ", "), strings.Join(order, ", "))
+				strings.Join(unknown, ", "), validNames())
 		}
 	}
-	if len(selected) == 0 {
-		return fmt.Errorf("no experiments selected; valid tables: %s, all", strings.Join(order, ", "))
-	}
-
+	// Expand the "ablations" pseudo-table into its member tables,
+	// skipping any the selection already names (so "all" runs each table
+	// exactly once — and each exp appears once in the JSON output).
+	var resolved []string
 	for _, name := range selected {
-		if name == "ablations" {
-			fmt.Println(h.AblationBlockInterval())
-			fmt.Println(h.AblationOracleFanout())
-			fmt.Println(h.AblationBatchSubmit())
-			fmt.Println(h.AblationParallelVerify())
-			fmt.Println(h.AblationHostScaleOut())
-			fmt.Println(h.AblationAuthCache())
-			fmt.Println(h.AblationScenarioThroughput())
-			fmt.Println(h.AblationDurability())
+		if name != "ablations" {
+			if !slices.Contains(resolved, name) {
+				resolved = append(resolved, name)
+			}
 			continue
 		}
-		fmt.Println(experiments[name]())
+		for _, member := range ablationNames {
+			if !slices.Contains(resolved, member) {
+				resolved = append(resolved, member)
+			}
+		}
+	}
+	if len(resolved) == 0 {
+		return fmt.Errorf("no experiments selected; valid tables: %s, all", validNames())
+	}
+
+	var benchRows []core.BenchRow
+	for _, name := range resolved {
+		table := experiments[name]()
+		fmt.Println(table)
+		if *jsonPath != "" {
+			benchRows = append(benchRows, table.BenchRows(name)...)
+		}
+	}
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(benchRows, "", "  ")
+		if err != nil {
+			return fmt.Errorf("encode results: %w", err)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			return fmt.Errorf("write results: %w", err)
+		}
 	}
 	return nil
 }

@@ -1,8 +1,13 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/core"
 )
 
 func TestRunSelectsExperiments(t *testing.T) {
@@ -52,6 +57,60 @@ func TestRunDurabilityTable(t *testing.T) {
 		t.Skip("boots disk-backed nodes")
 	}
 	if err := run([]string{"-quick", "-exp", "durability"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunJSONOutput: -json writes a parseable measurement file that
+// covers every row of every selected table (the BENCH_*.json schema).
+func TestRunJSONOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-quick", "-exp", "e8,commitpath", "-json", path}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []core.BenchRow
+	if err := json.Unmarshal(raw, &rows); err != nil {
+		t.Fatalf("output does not parse: %v", err)
+	}
+
+	// Coverage: one JSON row per table row, for every selected table.
+	h := &core.Harness{Quick: true}
+	want := map[string]int{
+		"e8":         len(h.E8Security().Rows),
+		"commitpath": len(h.AblationCommitPath().Rows),
+	}
+	got := map[string]int{}
+	for _, r := range rows {
+		if r.Exp == "" || r.Case == "" {
+			t.Fatalf("row missing exp/case: %+v", r)
+		}
+		got[r.Exp]++
+	}
+	for exp, n := range want {
+		if got[exp] != n {
+			t.Fatalf("exp %s: %d JSON rows, table has %d", exp, got[exp], n)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("unexpected exps in output: %v", got)
+	}
+	// The commit-path table reports latencies; they must survive the
+	// ns conversion.
+	for _, r := range rows {
+		if r.Exp == "commitpath" && r.NsOp <= 0 {
+			t.Fatalf("commitpath row lost its latency: %+v", r)
+		}
+	}
+}
+
+// TestRunCommitPathTable: the commit-path ablation is reachable by name
+// and through the ablations expansion exactly once.
+func TestRunCommitPathTable(t *testing.T) {
+	if err := run([]string{"-quick", "-exp", "commitpath,ablations,commitpath"}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -27,7 +27,7 @@ type burnArgs struct {
 	Amount uint64 `json:"amount"`
 }
 
-func (testExecutor) ExecuteTx(st *State, tx *Tx, bctx BlockContext) *Receipt {
+func (testExecutor) ExecuteTx(st StateRW, tx *Tx, bctx BlockContext) *Receipt {
 	meter := NewGasMeter(tx.GasLimit)
 	r := &Receipt{Status: StatusOK}
 	charge := func(amount uint64) bool {
@@ -75,7 +75,7 @@ func (testExecutor) ExecuteTx(st *State, tx *Tx, bctx BlockContext) *Receipt {
 	return r
 }
 
-func (testExecutor) Query(st *State, contract cryptoutil.Address, method string, args []byte, bctx BlockContext) ([]byte, error) {
+func (testExecutor) Query(st StateRW, contract cryptoutil.Address, method string, args []byte, bctx BlockContext) ([]byte, error) {
 	if method != "get" {
 		return nil, fmt.Errorf("unknown query %q", method)
 	}

@@ -1,0 +1,341 @@
+package chain
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/store"
+)
+
+// randomWALBlock builds a fully populated block record with r-driven
+// content, exercising every field of the schema including empty and
+// binary-heavy values.
+func randomWALBlock(r *rand.Rand) *walBlock {
+	randHash := func() (h cryptoutil.Hash) {
+		r.Read(h[:])
+		return
+	}
+	randAddr := func() (a cryptoutil.Address) {
+		r.Read(a[:])
+		return
+	}
+	randBytes := func(n int) []byte {
+		b := make([]byte, r.Intn(n+1))
+		if len(b) == 0 {
+			return nil // matches the decoder's nil-for-empty convention
+		}
+		r.Read(b)
+		return b
+	}
+	b := &walBlock{Header: Header{
+		Number:      r.Uint64(),
+		ParentHash:  randHash(),
+		Time:        time.Unix(r.Int63n(1<<33), r.Int63n(1e9)).UTC(),
+		Proposer:    randAddr(),
+		TxRoot:      randHash(),
+		ReceiptRoot: randHash(),
+		StateRoot:   randHash(),
+		Signature:   randBytes(80),
+	}}
+	for range r.Intn(4) {
+		b.Txs = append(b.Txs, &Tx{
+			Nonce:     r.Uint64(),
+			From:      randAddr(),
+			SenderKey: randBytes(65),
+			Contract:  randAddr(),
+			Method:    "method\x00with bytes",
+			Args:      randBytes(200),
+			GasLimit:  r.Uint64(),
+			Signature: randBytes(72),
+		})
+	}
+	for range len(b.Txs) {
+		rec := &Receipt{
+			TxHash:      randHash(),
+			Status:      Status(1 + r.Intn(2)),
+			GasUsed:     r.Uint64(),
+			Err:         "",
+			BlockNumber: b.Header.Number,
+			Return:      randBytes(64),
+		}
+		if rec.Status == StatusReverted {
+			rec.Err = "some revert reason"
+		}
+		for range r.Intn(3) {
+			rec.Events = append(rec.Events, Event{
+				Contract:    randAddr(),
+				Topic:       "Topic",
+				Key:         "key/π",
+				Data:        randBytes(128),
+				BlockNumber: b.Header.Number,
+				TxHash:      rec.TxHash,
+				Index:       r.Intn(10),
+			})
+		}
+		b.Receipts = append(b.Receipts, rec)
+	}
+	for i := range r.Intn(6) {
+		d := Delta{K: string(rune('a'+i)) + "/key"}
+		if r.Intn(3) == 0 {
+			d.Del = true
+		} else {
+			d.V = randBytes(256)
+		}
+		b.Diff = append(b.Diff, d)
+	}
+	return b
+}
+
+// TestCodecBlockRecordRoundTrip: binary block records decode back to
+// deep-equal structures across randomized content, and the encoding is
+// deterministic.
+func TestCodecBlockRecordRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := range 50 {
+		want := randomWALBlock(r)
+		payload, err := encodeWALBlock(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		again, err := encodeWALBlock(want)
+		if err != nil || !bytes.Equal(payload, again) {
+			t.Fatalf("iteration %d: encoding is not deterministic", i)
+		}
+		rec, err := decodeWALRecord(payload)
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if rec.Block == nil {
+			t.Fatalf("iteration %d: decoded as non-block", i)
+		}
+		requireWALBlockEqual(t, rec.Block, want)
+	}
+}
+
+// requireWALBlockEqual compares decoded and original block records
+// (time fields by instant; everything else deeply).
+func requireWALBlockEqual(t *testing.T, got, want *walBlock) {
+	t.Helper()
+	if !got.Header.Time.Equal(want.Header.Time) {
+		t.Fatalf("header time = %v, want %v", got.Header.Time, want.Header.Time)
+	}
+	gh, wh := got.Header, want.Header
+	gh.Time, wh.Time = time.Time{}, time.Time{}
+	if !reflect.DeepEqual(gh, wh) {
+		t.Fatalf("header = %+v, want %+v", gh, wh)
+	}
+	if got.Header.Hash() != want.Header.Hash() {
+		t.Fatal("header hash changed across the round trip")
+	}
+	if len(got.Txs) != len(want.Txs) {
+		t.Fatalf("%d txs, want %d", len(got.Txs), len(want.Txs))
+	}
+	for i := range want.Txs {
+		if !reflect.DeepEqual(got.Txs[i], want.Txs[i]) {
+			t.Fatalf("tx %d = %+v, want %+v", i, got.Txs[i], want.Txs[i])
+		}
+	}
+	if len(got.Receipts) != len(want.Receipts) {
+		t.Fatalf("%d receipts, want %d", len(got.Receipts), len(want.Receipts))
+	}
+	for i := range want.Receipts {
+		if got.Receipts[i].Digest() != want.Receipts[i].Digest() {
+			t.Fatalf("receipt %d digest differs", i)
+		}
+	}
+	if !reflect.DeepEqual(got.Diff, want.Diff) {
+		t.Fatalf("diff = %+v, want %+v", got.Diff, want.Diff)
+	}
+}
+
+// TestCodecMetaRoundTrip: the chain-identity record survives, zero
+// genesis time included.
+func TestCodecMetaRoundTrip(t *testing.T) {
+	for _, genesis := range []time.Time{chainEpoch, {}} {
+		want := &walMeta{
+			GenesisTime: genesis,
+			Authorities: []cryptoutil.Address{testContractAddr(), {}},
+		}
+		payload, err := encodeWALMeta(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := decodeWALRecord(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Meta == nil {
+			t.Fatal("decoded as non-meta")
+		}
+		if !rec.Meta.GenesisTime.Equal(want.GenesisTime) {
+			t.Fatalf("genesis = %v, want %v", rec.Meta.GenesisTime, want.GenesisTime)
+		}
+		if !reflect.DeepEqual(rec.Meta.Authorities, want.Authorities) {
+			t.Fatalf("authorities = %v", rec.Meta.Authorities)
+		}
+	}
+}
+
+// TestCodecSnapshotRoundTrip: binary snapshots round-trip (empty values
+// and binary keys included) and encode deterministically.
+func TestCodecSnapshotRoundTrip(t *testing.T) {
+	state := map[string][]byte{
+		"z/last":        []byte("value"),
+		"a/first":       {0, 1, 2, 255},
+		"empty":         {},
+		"bin\x00ary/k":  []byte("x"),
+		"big/" + "kkkk": bytes.Repeat([]byte("p"), 10_000),
+	}
+	payload := encodeChainSnapshot(99, state)
+	if !bytes.Equal(payload, encodeChainSnapshot(99, state)) {
+		t.Fatal("snapshot encoding is not deterministic")
+	}
+	snap, err := decodeChainSnapshot(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Height != 99 {
+		t.Fatalf("height = %d", snap.Height)
+	}
+	if len(snap.State) != len(state) {
+		t.Fatalf("%d keys, want %d", len(snap.State), len(state))
+	}
+	for k, v := range state {
+		if !bytes.Equal(snap.State[k], v) {
+			t.Fatalf("key %q = %v, want %v", k, snap.State[k], v)
+		}
+	}
+}
+
+// TestCodecLegacyJSONDecode: JSON-era record payloads (the PR 4 on-disk
+// format, produced here with the same json.Marshal the old writer used)
+// still decode through the same entry points as binary records.
+func TestCodecLegacyJSONDecode(t *testing.T) {
+	block := randomWALBlock(rand.New(rand.NewSource(1)))
+	legacy, err := json.Marshal(walRecord{Block: block})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := decodeWALRecord(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Block == nil {
+		t.Fatal("legacy block decoded as non-block")
+	}
+	requireWALBlockEqual(t, rec.Block, block)
+
+	legacyMeta, err := json.Marshal(walRecord{Meta: &walMeta{
+		GenesisTime: chainEpoch, Authorities: []cryptoutil.Address{testContractAddr()},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec, err = decodeWALRecord(legacyMeta); err != nil || rec.Meta == nil {
+		t.Fatalf("legacy meta: %v", err)
+	}
+
+	legacySnap, err := json.Marshal(chainSnapshot{Height: 7, State: map[string][]byte{"k": []byte("v")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := decodeChainSnapshot(legacySnap)
+	if err != nil || snap.Height != 7 || string(snap.State["k"]) != "v" {
+		t.Fatalf("legacy snapshot: %+v, %v", snap, err)
+	}
+}
+
+// TestCodecRejectsGarbage: unknown tags, truncation, and trailing bytes
+// are decode errors (the recovery loop treats them as the torn tail).
+func TestCodecRejectsGarbage(t *testing.T) {
+	if _, err := decodeWALRecord(nil); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+	if _, err := decodeWALRecord([]byte{0x7E, 1, 2}); err == nil {
+		t.Fatal("unknown tag accepted")
+	}
+	if _, err := decodeWALRecord([]byte(`{"neither":true}`)); err == nil {
+		t.Fatal("legacy record with neither field accepted")
+	}
+	good, err := encodeWALBlock(randomWALBlock(rand.New(rand.NewSource(2))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodeWALRecord(good[:len(good)-1]); err == nil {
+		t.Fatal("truncated block record accepted")
+	}
+	if _, err := decodeWALRecord(append(append([]byte(nil), good...), 0xFF)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	if _, err := decodeChainSnapshot([]byte{tagChainBlock}); err == nil {
+		t.Fatal("wrong-tag snapshot accepted")
+	}
+	// An element count no valid encoding could produce must poison the
+	// decode deterministically, not fall through as an empty list.
+	hdr, err := appendHeader([]byte{tagChainBlock}, &Header{Time: chainEpoch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	overclaim := store.AppendUvarint(hdr, 1<<40) // absurd tx count
+	if _, err := decodeWALRecord(overclaim); err == nil {
+		t.Fatal("over-claimed tx count accepted")
+	}
+}
+
+// TestCodecSizeAdvantage: the binary encoding of a block with real
+// binary payloads must be smaller than its JSON encoding (which
+// base64-inflates every []byte by 4/3) — the size half of the
+// acceptance criterion; BenchmarkCodecEncodeBlock measures the speed
+// half.
+func TestCodecSizeAdvantage(t *testing.T) {
+	block := benchWALBlock(64, 512)
+	bin, err := encodeWALBlock(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := json.Marshal(walRecord{Block: block})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bin) >= len(js) {
+		t.Fatalf("binary %d bytes >= JSON %d bytes", len(bin), len(js))
+	}
+	t.Logf("block record: binary %d bytes, JSON %d bytes (%.2fx)",
+		len(bin), len(js), float64(len(js))/float64(len(bin)))
+}
+
+// benchWALBlock builds a uniform block record with txCount transactions
+// of valueSize-byte payloads (shared with BenchmarkCodecEncodeBlock).
+func benchWALBlock(txCount, valueSize int) *walBlock {
+	r := rand.New(rand.NewSource(9))
+	payload := make([]byte, valueSize)
+	r.Read(payload)
+	b := &walBlock{Header: Header{
+		Number:    12345,
+		Time:      chainEpoch,
+		Proposer:  testContractAddr(),
+		Signature: bytes.Repeat([]byte("s"), 72),
+	}}
+	for i := range txCount {
+		b.Txs = append(b.Txs, &Tx{
+			Nonce:     uint64(i),
+			From:      testContractAddr(),
+			SenderKey: bytes.Repeat([]byte("k"), 65),
+			Contract:  testContractAddr(),
+			Method:    "set",
+			Args:      payload,
+			GasLimit:  200_000,
+			Signature: bytes.Repeat([]byte("g"), 71),
+		})
+		b.Receipts = append(b.Receipts, &Receipt{
+			Status: StatusOK, GasUsed: 21_000, BlockNumber: 12345,
+		})
+		b.Diff = append(b.Diff, Delta{K: string(rune('a'+i%26)) + "/key", V: payload})
+	}
+	return b
+}

@@ -1,0 +1,390 @@
+package chain
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/simclock"
+	"repro/internal/store"
+)
+
+// mustMarshalJSON marshals v with the legacy envelopes' JSON tags.
+func mustMarshalJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	buf, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// randomBlockTxs builds one block's worth of random transactions from a
+// set of senders: mostly "set" (random key/value over a bounded key
+// space, so overwrites and fresh keys both occur), with occasional
+// reverts ("fail") and gas burns sprinkled in.
+func randomBlockTxs(t testing.TB, rng *rand.Rand, keys []*cryptoutil.KeyPair, nonces []uint64) []*Tx {
+	t.Helper()
+	var txs []*Tx
+	for i := range 1 + rng.Intn(8) {
+		s := rng.Intn(len(keys))
+		var tx *Tx
+		var err error
+		switch rng.Intn(10) {
+		case 0:
+			tx, err = NewTx(keys[s], nonces[s], testContractAddr(), "fail", struct{}{}, 100_000)
+		case 1:
+			tx, err = NewTx(keys[s], nonces[s], testContractAddr(), "burn", burnArgs{Amount: uint64(rng.Intn(50_000))}, 100_000)
+		default:
+			tx, err = NewTx(keys[s], nonces[s], testContractAddr(), "set", setArgs{
+				Key:   fmt.Sprintf("k%03d", rng.Intn(64)),
+				Value: fmt.Sprintf("v%d-%d", i, rng.Int63()),
+			}, 200_000)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		nonces[s]++
+		txs = append(txs, tx)
+	}
+	return txs
+}
+
+// TestDifferentialOverlayVsCloneReplay: the new overlay replay must be
+// observationally identical to the historical Clone()-based replay on
+// random workloads — same receipts, same state roots, same net diffs —
+// block after block as the ledger grows.
+func TestDifferentialOverlayVsCloneReplay(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			keys := []*cryptoutil.KeyPair{
+				cryptoutil.MustGenerateKey(), cryptoutil.MustGenerateKey(), cryptoutil.MustGenerateKey(),
+			}
+			nonces := make([]uint64, len(keys))
+			ex := testExecutor{}
+			st := NewState() // canonical committed state, advanced via overlay deltas
+			for block := range 40 {
+				txs := randomBlockTxs(t, rng, keys, nonces)
+				bctx := BlockContext{Number: uint64(block + 1), Time: chainEpoch.Add(time.Duration(block) * time.Second)}
+
+				// New path: copy-on-write overlay.
+				overlay := NewOverlay(st)
+				ovReceipts := replayTxs(ex, overlay, txs, bctx)
+				ovRoot := overlay.Root()
+
+				// Old path: deep clone, direct execution, journal diff.
+				clone := st.Clone()
+				clReceipts := replayTxs(ex, clone, txs, bctx)
+				clDiff := clone.TakeDiff()
+
+				if len(ovReceipts) != len(clReceipts) {
+					t.Fatalf("block %d: receipt counts differ", block)
+				}
+				for i := range clReceipts {
+					if ovReceipts[i].Digest() != clReceipts[i].Digest() {
+						t.Fatalf("block %d: receipt %d differs:\noverlay %+v\nclone   %+v",
+							block, i, ovReceipts[i], clReceipts[i])
+					}
+				}
+				if ovRoot != clone.Root() {
+					t.Fatalf("block %d: overlay root %s != clone root %s", block, ovRoot.Short(), clone.Root().Short())
+				}
+
+				deltas := overlay.TakeDeltas()
+				if len(deltas) != len(clDiff) {
+					t.Fatalf("block %d: overlay diff has %d entries, clone diff %d:\n%+v\n%+v",
+						block, len(deltas), len(clDiff), deltas, clDiff)
+				}
+				for i := range clDiff {
+					if deltas[i].K != clDiff[i].K || deltas[i].Del != clDiff[i].Del ||
+						string(deltas[i].V) != string(clDiff[i].V) {
+						t.Fatalf("block %d: diff entry %d differs: %+v vs %+v", block, i, deltas[i], clDiff[i])
+					}
+				}
+
+				// Advance the canonical state the way commitBlock does and
+				// check it against both replays.
+				st.applyDeltas(deltas)
+				if st.Root() != ovRoot {
+					t.Fatalf("block %d: folded root diverged", block)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialCrashRestartEquivalence: the same random workloads,
+// driven through a durable node (overlay commits, binary WAL, background
+// snapshots), must recover bit-for-bit after a crash — the
+// recovery-equivalence property the scenario engine checks system-wide,
+// pinned here at the chain layer.
+func TestDifferentialCrashRestartEquivalence(t *testing.T) {
+	for _, seed := range []int64{11, 12, 13} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			dir := t.TempDir()
+			rng := rand.New(rand.NewSource(seed))
+			key := cryptoutil.MustGenerateKey()
+			clk := simclock.NewSim(chainEpoch)
+			cfg := durableConfig(dir, key, clk, 4) // snapshot interval 4: exercise snapshot+tail
+			n, err := OpenNode(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			senders := []*cryptoutil.KeyPair{key, cryptoutil.MustGenerateKey()}
+			nonces := make([]uint64, len(senders))
+			for range 12 {
+				for _, tx := range randomBlockTxs(t, rng, senders, nonces) {
+					if _, err := n.SubmitTx(tx); err != nil {
+						t.Fatal(err)
+					}
+				}
+				clk.Advance(time.Second)
+				if _, err := n.Seal(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := n.Crash(); err != nil {
+				t.Fatal(err)
+			}
+			n2, err := OpenNode(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer n2.Close()
+			requireEquivalent(t, n2, n, key.Address(), senders[1].Address())
+			// The recovered state must also satisfy the live-root half of
+			// the scenario engine's recovery-equivalence invariant.
+			if n2.State().Root() != n2.Head().Header.StateRoot {
+				t.Fatal("recovered live root != committed head root")
+			}
+		})
+	}
+}
+
+// TestConcurrentReadersDuringCommit hammers the read API (state gets,
+// queries, head/receipt scans, key listings) from many goroutines while
+// blocks commit with snapshots enabled — the -race proof that off-lock
+// persistence and the COW snapshot export introduce no data races and
+// that readers are never starved by a commit.
+func TestConcurrentReadersDuringCommit(t *testing.T) {
+	dir := t.TempDir()
+	key := cryptoutil.MustGenerateKey()
+	clk := simclock.NewSim(chainEpoch)
+	cfg := durableConfig(dir, key, clk, 2) // snapshot every 2 blocks: constant export traffic
+	n, err := OpenNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := range 4 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch (i + r) % 4 {
+				case 0:
+					n.State().Get(fmt.Sprintf("%s/k%d", testContractAddr(), i%32))
+				case 1:
+					if _, err := n.Query(testContractAddr(), "get", []byte(`{"key":"k0"}`)); err != nil && n.Height() > 0 {
+						// k0 is written by block 1; after that the query must succeed.
+						select {
+						case <-stop:
+							return
+						default:
+							t.Errorf("query failed at height %d: %v", n.Height(), err)
+							return
+						}
+					}
+				case 2:
+					_ = n.Head()
+					_ = n.State().Keys(testContractAddr().String() + "/")
+				case 3:
+					_ = n.State().Root()
+				}
+			}
+		}()
+	}
+
+	for i := range 24 {
+		tx := mustTx(t, key, uint64(i), testContractAddr(), fmt.Sprintf("k%d", i%32), fmt.Sprintf("v%d", i))
+		if _, err := n.SubmitTx(tx); err != nil {
+			t.Fatal(err)
+		}
+		clk.Advance(time.Second)
+		if _, err := n.Seal(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if n.Height() != 24 {
+		t.Fatalf("height = %d", n.Height())
+	}
+}
+
+// TestSlowReceiptWaiterCannotStallSealing: waiters that registered a
+// receipt channel but will never read it (context already given up)
+// must not block the commit — the capacity-1 buffered channel plus the
+// non-blocking send guarantee sealing completes regardless of consumer
+// behaviour.
+func TestSlowReceiptWaiterCannotStallSealing(t *testing.T) {
+	n, key, clk := newTestNode(t)
+	tx := mustTx(t, key, 0, testContractAddr(), "a", "1")
+	if _, err := n.SubmitTx(tx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Register many waiters whose consumers have already abandoned the
+	// wait: their channels stay parked in n.waiters unread.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	for range 64 {
+		if _, err := n.WaitForReceipt(cancelled, tx.Hash()); err == nil {
+			t.Fatal("cancelled wait returned a receipt")
+		}
+	}
+	// And one healthy waiter that reads only AFTER sealing finished.
+	got := make(chan *Receipt, 1)
+	ready := make(chan struct{})
+	go func() {
+		close(ready)
+		r, err := n.WaitForReceipt(context.Background(), tx.Hash())
+		if err != nil {
+			t.Errorf("wait: %v", err)
+		}
+		got <- r
+	}()
+	<-ready
+
+	clk.Advance(time.Second)
+	sealed := make(chan error, 1)
+	go func() {
+		_, err := n.Seal()
+		sealed <- err
+	}()
+	select {
+	case err := <-sealed:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("sealing stalled behind unread receipt waiters")
+	}
+	select {
+	case r := <-got:
+		if r == nil || r.TxHash != tx.Hash() {
+			t.Fatalf("receipt = %+v", r)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("healthy waiter never woke")
+	}
+	if n.PendingTxs() != 0 {
+		t.Fatal("mempool not drained")
+	}
+}
+
+// TestLegacyJSONStoreRecovers: a data dir written entirely in the PR 4
+// JSON record format (reproduced here by transcoding a binary-era log
+// record by record with the original json.Marshal envelope, snapshot
+// included) must recover identically, keep sealing — appending binary
+// records to the JSON-prefix log — and survive a further reopen of the
+// resulting mixed-format store.
+func TestLegacyJSONStoreRecovers(t *testing.T) {
+	// 1. Produce a reference chain with the current (binary) format.
+	binDir := t.TempDir()
+	key := cryptoutil.MustGenerateKey()
+	clk := simclock.NewSim(chainEpoch)
+	n, err := OpenNode(durableConfig(binDir, key, clk, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range 7 {
+		sealSet(t, n, key, clk, uint64(i), fmt.Sprintf("k%d", i%3), fmt.Sprintf("v%d", i))
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. Transcode the store to the legacy JSON formats.
+	legacyDir := t.TempDir()
+	transcodeStoreToJSON(t, binDir, legacyDir)
+
+	// 3. The JSON-era dir must recover to the same chain.
+	n2, err := OpenNode(durableConfig(legacyDir, key, clk, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEquivalent(t, n2, n, key.Address())
+
+	// 4. New commits append binary records after the JSON prefix.
+	sealSet(t, n2, key, clk, 7, "post", "legacy")
+	if err := n2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n3, err := OpenNode(durableConfig(legacyDir, key, clk, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n3.Close()
+	requireEquivalent(t, n3, n2, key.Address())
+	if n3.Height() != 8 {
+		t.Fatalf("mixed-format height = %d, want 8", n3.Height())
+	}
+}
+
+// transcodeStoreToJSON rewrites a chain data dir's WAL and newest
+// snapshot from the binary format into the PR 4 JSON format, using the
+// same envelopes (walRecord / chainSnapshot with their original JSON
+// tags) the old writer marshalled.
+func transcodeStoreToJSON(t *testing.T, srcDir, dstDir string) {
+	t.Helper()
+	wal, records, err := store.OpenWAL(WALPath(srcDir), store.Options{Sync: store.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := store.OpenWAL(WALPath(dstDir), store.Options{Sync: store.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range records {
+		decoded, err := decodeWALRecord(rec.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		legacy := mustMarshalJSON(t, decoded)
+		if err := out.Append(legacy); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := out.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if seq, payload, ok := store.LatestSnapshot(srcDir, ^uint64(0)); ok {
+		snap, err := decodeChainSnapshot(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := store.WriteSnapshot(dstDir, seq, mustMarshalJSON(t, snap)); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		t.Fatal("no snapshot to transcode (want snapshot+tail coverage)")
+	}
+}

@@ -31,6 +31,16 @@
 //     therefore run in parallel with each other and with everything
 //     except the brief commit section of sealing/application.
 //
+// Block execution itself never runs under mu: both sealing and
+// validation execute against a copy-on-write Overlay of the committed
+// state (O(touched keys), not O(ledger)), encode and append the WAL
+// record off-lock, and take the write lock only to fold the overlay's
+// delta set into the state and append the block. Receipt waiters are
+// woken through capacity-1 buffered channels, so a slow WaitForReceipt
+// consumer cannot stall a commit. State snapshots are serialized and
+// written by a background goroutine fed a copy-on-write export, never
+// under any node lock.
+//
 // What the locks do NOT guarantee: a Query observes the live state store
 // (State is internally synchronized, so reads are memory-safe), which
 // means a query racing a commit may see a partially applied block's
@@ -49,8 +59,10 @@
 // A node opened with OpenNode and a Config.DataDir is durable: every
 // committed block — sealed, validated, or synced — is appended to a
 // CRC-checked write-ahead log (header + transactions + receipts + the
-// block's net state diff) before the in-memory ledger advances, and a
-// full state snapshot is written every Config.SnapshotInterval blocks.
+// block's net state diff, in the deterministic length-prefixed binary
+// format of codec.go; JSON-era logs still decode) before the in-memory
+// ledger advances, and a full state snapshot is written every
+// Config.SnapshotInterval blocks.
 // Reopening the same directory reconstructs the node: the newest usable
 // snapshot bounds replay, the diff tail is applied with every block's
 // state root checked against its header, and nonces plus the gas cost

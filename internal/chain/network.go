@@ -23,15 +23,19 @@ var (
 
 // ApplyBlock validates a block sealed by another authority and, if valid,
 // applies it to this node's ledger and state. Validation re-executes every
-// transaction on a clone of the current state and compares the resulting
-// roots, so a proposer cannot smuggle in an incorrect state transition —
-// this realizes the paper's claim that "the correctness of the executed
-// code is validated by the consensus mechanism of the blockchain".
+// transaction on a copy-on-write overlay of the current state and compares
+// the resulting roots, so a proposer cannot smuggle in an incorrect state
+// transition — this realizes the paper's claim that "the correctness of
+// the executed code is validated by the consensus mechanism of the
+// blockchain".
 //
-// Transaction signatures are checked concurrently (bounded by the node's
-// VerifyWorkers), and the whole validation phase — signature checks and
-// the replay on the cloned state — runs without the ledger write lock, so
-// readers are only blocked for the final commit replay.
+// The overlay replaced the historical State.Clone() replica: validation
+// now costs O(touched keys) instead of O(ledger) per block, the block is
+// executed exactly once (on success the overlay's write set IS the commit
+// diff — no second replay against the real state), and the whole phase —
+// signature checks, execution, and the WAL append — runs without the
+// ledger write lock. Readers are only blocked for the O(touched-keys)
+// delta fold of the final commit.
 func (n *Node) ApplyBlock(block *Block, proposerKey []byte) error {
 	n.sealMu.Lock()
 	defer n.sealMu.Unlock()
@@ -67,18 +71,19 @@ func (n *Node) ApplyBlock(block *Block, proposerKey []byte) error {
 		return ErrBadTxRoot
 	}
 
-	// Re-execute on a clone and compare roots before touching real state.
-	// sealMu excludes every other state writer, so only the clone step
-	// itself needs the read lock.
+	// Re-execute on an overlay and compare roots before touching real
+	// state. sealMu excludes every other state writer for the overlay's
+	// lifetime, so only reading the state handle needs the read lock.
 	n.mu.RLock()
-	replica := n.state.Clone()
+	st := n.state
 	n.mu.RUnlock()
+	overlay := NewOverlay(st)
 	bctx := BlockContext{Number: h.Number, Time: h.Time}
-	receipts := replayTxs(n.executor, replica, block.Txs, bctx)
+	receipts := replayTxs(n.executor, overlay, block.Txs, bctx)
 	if got := receiptRoot(receipts); got != h.ReceiptRoot {
 		return ErrBadReceiptRoot
 	}
-	if got := replica.Root(); got != h.StateRoot {
+	if got := overlay.Root(); got != h.StateRoot {
 		return ErrBadStateRoot
 	}
 
@@ -92,25 +97,25 @@ func (n *Node) ApplyBlock(block *Block, proposerKey []byte) error {
 	}
 	n.mpMu.Unlock()
 
-	// Replay on the real state and commit.
-	n.mu.Lock()
-	committed := replayTxs(n.executor, n.state, block.Txs, bctx)
-	applied := &Block{Header: h, Txs: block.Txs, Receipts: committed}
-	if err := n.commitLocked(applied); err != nil {
-		n.mu.Unlock()
+	// Commit the validated execution: the overlay's write set is the
+	// block diff — no second replay against the real state.
+	applied := &Block{Header: h, Txs: block.Txs, Receipts: receipts}
+	if err := n.commitBlock(applied, overlay.TakeDeltas()); err != nil {
 		return err
 	}
-	n.mu.Unlock()
 
 	for i, tx := range block.Txs {
-		n.costs.Record(tx.From, tx.Method, committed[i].GasUsed)
+		n.costs.Record(tx.From, tx.Method, receipts[i].GasUsed)
 	}
 	return nil
 }
 
-// replayTxs executes txs against st, producing receipts with block-local
-// event indexes, mirroring Node.executeAll but against an explicit state.
-func replayTxs(ex Executor, st *State, txs []*Tx, bctx BlockContext) []*Receipt {
+// replayTxs executes one block's transactions against st (a seal-time or
+// validation overlay), producing receipts with block-local event
+// indexes. It is the single execution path for sealing and validation;
+// it never touches the node's cost ledger — callers record gas only
+// after the block durably commits.
+func replayTxs(ex Executor, st StateRW, txs []*Tx, bctx BlockContext) []*Receipt {
 	receipts := make([]*Receipt, 0, len(txs))
 	eventIndex := 0
 	for _, tx := range txs {
@@ -130,9 +135,9 @@ func replayTxs(ex Executor, st *State, txs []*Tx, bctx BlockContext) []*Receipt 
 		}
 		receipts = append(receipts, receipt)
 	}
-	// The journal is left in place: commitLocked folds it into the durable
-	// block diff (or discards it for in-memory nodes). Validation replicas
-	// are thrown away wholesale, journal included.
+	// The overlay's layer (write set) carries the block's net diff;
+	// commitBlock folds it into the base state. A validation overlay that
+	// fails a root check is thrown away wholesale, journal included.
 	return receipts
 }
 

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"log"
 	"sync"
 	"time"
 
@@ -25,15 +24,18 @@ type BlockContext struct {
 // Executor runs transactions against state. It is implemented by the
 // contract runtime (package contract); the indirection keeps the chain
 // package free of contract semantics, as an EVM is pluggable in a real
-// node.
+// node. Execution receives the StateRW interface rather than a concrete
+// *State: block production and validation run against a copy-on-write
+// *Overlay of the committed state, while queries read the committed
+// *State directly — the executor cannot tell the difference.
 type Executor interface {
 	// ExecuteTx runs a state-mutating transaction and returns its receipt.
 	// On a revert, the executor must leave the state untouched (the node
 	// additionally guards with a checkpoint).
-	ExecuteTx(st *State, tx *Tx, bctx BlockContext) *Receipt
+	ExecuteTx(st StateRW, tx *Tx, bctx BlockContext) *Receipt
 	// Query runs a read-only method with no transaction and no gas
 	// accounting. It must not mutate state.
-	Query(st *State, contract cryptoutil.Address, method string, args []byte, bctx BlockContext) ([]byte, error)
+	Query(st StateRW, contract cryptoutil.Address, method string, args []byte, bctx BlockContext) ([]byte, error)
 }
 
 // Config configures a Node.
@@ -103,11 +105,13 @@ type Node struct {
 	costs *CostLedger
 
 	// wal is the durable block log (nil for in-memory nodes). It is
-	// written under mu in commitLocked; dataDir/snapEvery drive the
-	// snapshot cadence.
+	// written by commitBlock OUTSIDE mu (sealMu already serializes
+	// commits, so records stay in block order); dataDir/snapEvery drive
+	// the snapshot cadence and snap is the background snapshot writer.
 	wal       *store.WAL
 	dataDir   string
 	snapEvery int
+	snap      *snapshotWriter
 
 	sealMu      sync.Mutex
 	stopSealing func()
@@ -364,8 +368,16 @@ func (n *Node) seal(force bool) (*Block, error) {
 		bctx.Time = parent.Header.Time.Add(time.Nanosecond)
 	}
 
-	n.mu.Lock()
-	receipts := n.executeAll(txs, bctx)
+	// Execute against a copy-on-write overlay of the committed state:
+	// no node lock is held while contracts run, so readers are never
+	// blocked by execution, and the overlay's drained write set is the
+	// block's net diff with no separate Diff pass. sealMu excludes every
+	// other state writer for the overlay's whole lifetime.
+	n.mu.RLock()
+	st := n.state
+	n.mu.RUnlock()
+	overlay := NewOverlay(st)
+	receipts := replayTxs(n.executor, overlay, txs, bctx)
 	header := Header{
 		Number:      number,
 		ParentHash:  parent.Hash(),
@@ -373,87 +385,88 @@ func (n *Node) seal(force bool) (*Block, error) {
 		Proposer:    n.key.Address(),
 		TxRoot:      txRoot(txs),
 		ReceiptRoot: receiptRoot(receipts),
-		StateRoot:   n.state.Root(),
+		StateRoot:   overlay.Root(),
 	}
 	sig, err := n.key.Sign(header.SigningBytes())
 	if err != nil {
-		n.mu.Unlock()
 		return nil, err
 	}
 	header.Signature = sig
 	block := &Block{Header: header, Txs: txs, Receipts: receipts}
-	if err := n.commitLocked(block); err != nil {
-		n.mu.Unlock()
+	if err := n.commitBlock(block, overlay.TakeDeltas()); err != nil {
 		return nil, err
 	}
-	n.mu.Unlock()
+	// Costs are recorded only after the block durably committed, so a
+	// WAL failure never leaves the gas ledger charged for a dropped
+	// block (ApplyBlock does the same).
+	for i, tx := range txs {
+		n.costs.Record(tx.From, tx.Method, receipts[i].GasUsed)
+	}
 	return block, nil
 }
 
-// executeAll runs txs against the node state, producing receipts; it must
-// be called with n.mu held. Nonce bookkeeping happens at mempool drain
-// time (see seal), not here.
-func (n *Node) executeAll(txs []*Tx, bctx BlockContext) []*Receipt {
-	receipts := make([]*Receipt, 0, len(txs))
-	eventIndex := 0
-	for _, tx := range txs {
-		checkpoint := n.state.Checkpoint()
-		receipt := n.executor.ExecuteTx(n.state, tx, bctx)
-		if receipt.Status != StatusOK {
-			n.state.RevertTo(checkpoint)
-			receipt.Events = nil
-		}
-		receipt.TxHash = tx.Hash()
-		receipt.BlockNumber = bctx.Number
-		for i := range receipt.Events {
-			receipt.Events[i].BlockNumber = bctx.Number
-			receipt.Events[i].TxHash = receipt.TxHash
-			receipt.Events[i].Index = eventIndex
-			eventIndex++
-		}
-		n.costs.Record(tx.From, tx.Method, receipt.GasUsed)
-		receipts = append(receipts, receipt)
-	}
-	return receipts
-}
-
-// commitLocked appends a fully formed block, publishes its events, and
-// wakes receipt waiters. n.mu must be held. For a durable node the block
-// (with the state's net diff) goes to the WAL before the in-memory
-// ledger is touched — a WAL failure aborts the commit and rolls the
-// executed mutations back via the still-intact journal, so the node
-// stays consistently at its previous committed block instead of
-// diverging from both its disk and its peers.
-func (n *Node) commitLocked(block *Block) error {
+// commitBlock persists and applies a fully formed block whose execution
+// effects are captured in deltas (an overlay's drained write set). The
+// caller must hold sealMu (and no other node lock).
+//
+// Persistence happens first and entirely OUTSIDE mu: the record is
+// encoded and appended to the WAL while readers continue against the
+// previous committed state. A WAL failure aborts the commit with memory
+// untouched — the deltas are simply dropped — so the PR 4 invariant
+// (memory never ahead of disk-acknowledged state) holds with no rollback
+// path at all. Only the O(touched-keys) delta fold, the ledger append,
+// and waiter wakeups run under the write lock; snapshot serialization is
+// handed to a background writer via a copy-on-write export.
+func (n *Node) commitBlock(block *Block, deltas []Delta) error {
 	if n.wal != nil {
-		if err := n.appendBlockRecord(block); err != nil {
-			n.state.RevertTo(0)
-			return err
+		payload, err := encodeWALBlock(&walBlock{
+			Header:   block.Header,
+			Txs:      block.Txs,
+			Receipts: block.Receipts,
+			Diff:     deltas,
+		})
+		if err != nil {
+			return fmt.Errorf("chain: encode block %d: %w", block.Header.Number, err)
+		}
+		if err := n.wal.Append(payload); err != nil {
+			return fmt.Errorf("chain: persist block %d: %w", block.Header.Number, err)
 		}
 	}
-	n.state.DiscardJournal()
-	n.blocks = append(n.blocks, block)
 	var events []Event
+	var snapState map[string][]byte
+	n.mu.Lock()
+	n.state.applyDeltas(deltas)
+	n.blocks = append(n.blocks, block)
 	for _, r := range block.Receipts {
 		events = append(events, r.Events...)
 		if chans, ok := n.waiters[r.TxHash]; ok {
 			for _, ch := range chans {
-				ch <- r
+				// Waiter channels are buffered (capacity 1) at
+				// registration, so this send cannot block the commit; the
+				// non-blocking form guards the invariant even against a
+				// misregistered channel. A slow WaitForReceipt consumer
+				// therefore never stalls sealing.
+				select {
+				case ch <- r:
+				default:
+				}
 				close(ch)
 			}
 			delete(n.waiters, r.TxHash)
 		}
 	}
+	if n.snap != nil && n.snapEvery > 0 && block.Header.Number%uint64(n.snapEvery) == 0 {
+		// O(keys) map copy sharing the immutable value slices; the
+		// background writer serializes it without holding any node lock.
+		snapState = n.state.ExportShared()
+	}
+	n.mu.Unlock()
 	if len(events) > 0 {
+		// Published outside mu; sealMu keeps cross-block event order.
 		n.feed.publish(events)
 	}
-	if n.wal != nil && n.snapEvery > 0 && block.Header.Number%uint64(n.snapEvery) == 0 {
-		// A failed snapshot must not fail the commit: the block is already
-		// durable in the WAL and applied in memory, and recovery without
-		// this snapshot merely replays a longer diff tail.
-		if err := n.writeSnapshotLocked(block.Header.Number); err != nil {
-			log.Printf("chain: snapshot at height %d skipped: %v", block.Header.Number, err)
-		}
+	if snapState != nil {
+		n.snap.enqueue(block.Header.Number, snapState)
 	}
 	return nil
 }
@@ -467,6 +480,9 @@ func (n *Node) WaitForReceipt(ctx context.Context, txHash cryptoutil.Hash) (*Rec
 		n.mu.Unlock()
 		return r, nil
 	}
+	// Capacity 1 is load-bearing: commitBlock delivers without blocking,
+	// so a waiter that is slow to read (or has already given up via ctx)
+	// can never stall a commit.
 	ch := make(chan *Receipt, 1)
 	n.waiters[txHash] = append(n.waiters[txHash], ch)
 	n.mu.Unlock()

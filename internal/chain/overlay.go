@@ -1,0 +1,241 @@
+package chain
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/cryptoutil"
+)
+
+// StateRW is the mutable state surface transaction execution runs
+// against. Both the committed *State and the copy-on-write *Overlay
+// satisfy it, so the same executor code path serves direct execution,
+// block validation, and benchmark replay without knowing which backing
+// it writes to.
+type StateRW interface {
+	// Get returns the value for key (a copy) and whether it exists.
+	Get(key string) ([]byte, bool)
+	// Set stores a copy of value under key.
+	Set(key string, value []byte)
+	// Delete removes key (a no-op when absent).
+	Delete(key string)
+	// Keys returns the keys with the given prefix, sorted.
+	Keys(prefix string) []string
+	// Checkpoint marks the journal position for RevertTo.
+	Checkpoint() int
+	// RevertTo rolls back every mutation made after the checkpoint.
+	RevertTo(checkpoint int)
+	// Root returns the deterministic state commitment.
+	Root() cryptoutil.Hash
+}
+
+var (
+	_ StateRW = (*State)(nil)
+	_ StateRW = (*Overlay)(nil)
+)
+
+// overlayEntry is one key's pending effect in an overlay: a replacement
+// value or a deletion marker.
+type overlayEntry struct {
+	value []byte
+	del   bool
+}
+
+// overlayJournal records the layer entry a mutation displaced, so
+// RevertTo can restore it (and the root) exactly.
+type overlayJournal struct {
+	key     string
+	prior   overlayEntry
+	existed bool // the key had a layer entry before the mutation
+}
+
+// Overlay is a copy-on-write view over a committed *State: reads fall
+// through to the base, writes and deletes land in a small layer map, and
+// the XOR state root is maintained incrementally from the base's root.
+// Executing a block against an overlay therefore costs O(touched keys)
+// regardless of ledger size — this is what replaced the O(ledger)
+// State.Clone on the validation path — and on success the layer is
+// exactly the block's net diff, so no separate Diff pass is needed.
+//
+// The base state must not be mutated while the overlay is live (the
+// node's sealMu guarantees this: all state writers hold it). Concurrent
+// readers of the base are fine — the overlay never writes through.
+// An Overlay is safe for concurrent use, mirroring State's contract.
+type Overlay struct {
+	mu      sync.RWMutex
+	base    *State
+	layer   map[string]overlayEntry
+	journal []overlayJournal
+	root    cryptoutil.Hash
+}
+
+// NewOverlay returns an empty overlay over base.
+func NewOverlay(base *State) *Overlay {
+	return &Overlay{
+		base:  base,
+		layer: make(map[string]overlayEntry),
+		root:  base.Root(),
+	}
+}
+
+// effectiveLocked returns the key's current value as seen through the
+// overlay, without copying. o.mu must be held. The returned slice is
+// immutable (both State and the layer store fresh copies and never
+// mutate in place), so it is safe to hash or alias.
+func (o *Overlay) effectiveLocked(key string) ([]byte, bool) {
+	if e, ok := o.layer[key]; ok {
+		if e.del {
+			return nil, false
+		}
+		return e.value, true
+	}
+	return o.base.view(key)
+}
+
+// Get returns the value for key and whether it exists. The returned
+// slice is a copy.
+func (o *Overlay) Get(key string) ([]byte, bool) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	v, ok := o.effectiveLocked(key)
+	if !ok {
+		return nil, false
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, true
+}
+
+// Set stores a copy of value under key.
+func (o *Overlay) Set(key string, value []byte) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	prior, existed := o.layer[key]
+	o.journal = append(o.journal, overlayJournal{key: key, prior: prior, existed: existed})
+	if cur, ok := o.effectiveLocked(key); ok {
+		xorHash(&o.root, leafHash(key, cur))
+	}
+	cp := make([]byte, len(value))
+	copy(cp, value)
+	o.layer[key] = overlayEntry{value: cp}
+	xorHash(&o.root, leafHash(key, cp))
+}
+
+// Delete removes key. Deleting an absent key is a no-op (and is not
+// journaled), matching State.Delete.
+func (o *Overlay) Delete(key string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	cur, ok := o.effectiveLocked(key)
+	if !ok {
+		return
+	}
+	prior, existed := o.layer[key]
+	o.journal = append(o.journal, overlayJournal{key: key, prior: prior, existed: existed})
+	xorHash(&o.root, leafHash(key, cur))
+	o.layer[key] = overlayEntry{del: true}
+}
+
+// Keys returns the keys with the given prefix, sorted: the base's keys
+// minus overlay deletions, plus overlay additions.
+func (o *Overlay) Keys(prefix string) []string {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	out := make([]string, 0, len(o.layer))
+	for _, k := range o.base.Keys(prefix) {
+		if e, ok := o.layer[k]; ok && e.del {
+			continue
+		}
+		out = append(out, k)
+	}
+	for k, e := range o.layer {
+		if e.del || !strings.HasPrefix(k, prefix) {
+			continue
+		}
+		if _, inBase := o.base.view(k); inBase {
+			continue // already listed
+		}
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Checkpoint marks the current journal position; RevertTo undoes every
+// mutation made after it.
+func (o *Overlay) Checkpoint() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return len(o.journal)
+}
+
+// RevertTo rolls the overlay back to a checkpoint previously returned by
+// Checkpoint.
+func (o *Overlay) RevertTo(checkpoint int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for i := len(o.journal) - 1; i >= checkpoint; i-- {
+		e := o.journal[i]
+		if cur, ok := o.effectiveLocked(e.key); ok {
+			xorHash(&o.root, leafHash(e.key, cur))
+		}
+		if e.existed {
+			o.layer[e.key] = e.prior
+		} else {
+			delete(o.layer, e.key)
+		}
+		if cur, ok := o.effectiveLocked(e.key); ok {
+			xorHash(&o.root, leafHash(e.key, cur))
+		}
+	}
+	o.journal = o.journal[:checkpoint]
+}
+
+// Root returns the overlay's state commitment: the base root adjusted
+// incrementally by every overlay mutation, equal to what the base's root
+// becomes once the overlay is folded in.
+func (o *Overlay) Root() cryptoutil.Hash {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.root
+}
+
+// Len returns the number of keys visible through the overlay.
+func (o *Overlay) Len() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	n := o.base.Len()
+	for k, e := range o.layer {
+		_, inBase := o.base.view(k)
+		switch {
+		case e.del && inBase:
+			n--
+		case !e.del && !inBase:
+			n++
+		}
+	}
+	return n
+}
+
+// TakeDeltas drains the overlay's write set as the block's net diff, one
+// Delta per touched key sorted by key. The delta values are MOVED out of
+// the layer, not copied (they are owned by the overlay and immutable),
+// so the commit hot path never re-copies block data. The overlay is
+// empty afterwards and must not be written again by the caller.
+func (o *Overlay) TakeDeltas() []Delta {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	diff := make([]Delta, 0, len(o.layer))
+	for k, e := range o.layer {
+		if e.del {
+			diff = append(diff, Delta{K: k, Del: true})
+		} else {
+			diff = append(diff, Delta{K: k, V: e.value})
+		}
+	}
+	sort.Slice(diff, func(i, j int) bool { return diff[i].K < diff[j].K })
+	o.layer = make(map[string]overlayEntry)
+	o.journal = nil
+	return diff
+}

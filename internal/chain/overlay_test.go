@@ -1,0 +1,193 @@
+package chain
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// referenceState builds a committed state with n keys under two
+// prefixes.
+func referenceState(n int) *State {
+	st := NewState()
+	for i := range n {
+		st.Set(fmt.Sprintf("a/%04d", i), []byte(fmt.Sprintf("v%d", i)))
+	}
+	st.Set("b/only", []byte("base"))
+	st.DiscardJournal()
+	return st
+}
+
+// TestOverlayReadThrough: an empty overlay is indistinguishable from its
+// base — values, key listings, length, and root.
+func TestOverlayReadThrough(t *testing.T) {
+	st := referenceState(8)
+	ov := NewOverlay(st)
+	if got, ok := ov.Get("a/0003"); !ok || string(got) != "v3" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	if _, ok := ov.Get("missing"); ok {
+		t.Fatal("missing key found")
+	}
+	if got, want := ov.Keys("a/"), st.Keys("a/"); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Keys = %v, want %v", got, want)
+	}
+	if ov.Root() != st.Root() {
+		t.Fatal("fresh overlay root differs from base")
+	}
+	if ov.Len() != st.Len() {
+		t.Fatalf("Len = %d, want %d", ov.Len(), st.Len())
+	}
+}
+
+// TestOverlayWritesShadowBase: writes and deletes are visible through
+// the overlay and invisible on the base; Keys merges correctly.
+func TestOverlayWritesShadowBase(t *testing.T) {
+	st := referenceState(4)
+	baseRoot := st.Root()
+	ov := NewOverlay(st)
+
+	ov.Set("a/0001", []byte("patched"))
+	ov.Set("a/new", []byte("added"))
+	ov.Delete("a/0002")
+	ov.Delete("nonexistent") // no-op
+
+	if got, _ := ov.Get("a/0001"); string(got) != "patched" {
+		t.Fatalf("overlay read = %q", got)
+	}
+	if got, _ := st.Get("a/0001"); string(got) != "v1" {
+		t.Fatalf("base mutated: %q", got)
+	}
+	if _, ok := ov.Get("a/0002"); ok {
+		t.Fatal("deleted key visible through overlay")
+	}
+	if _, ok := st.Get("a/0002"); !ok {
+		t.Fatal("delete leaked to base")
+	}
+	want := []string{"a/0000", "a/0001", "a/0003", "a/new"}
+	if got := ov.Keys("a/"); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Keys = %v, want %v", got, want)
+	}
+	if st.Root() != baseRoot {
+		t.Fatal("base root changed")
+	}
+	if ov.Len() != st.Len() { // +1 added, -1 deleted
+		t.Fatalf("Len = %d, want %d", ov.Len(), st.Len())
+	}
+}
+
+// TestOverlayGetReturnsCopy: mutating a Get result must not corrupt the
+// overlay (or the base).
+func TestOverlayGetReturnsCopy(t *testing.T) {
+	st := referenceState(1)
+	ov := NewOverlay(st)
+	ov.Set("k", []byte("layer"))
+	for _, key := range []string{"k", "a/0000"} {
+		v, _ := ov.Get(key)
+		for i := range v {
+			v[i] = 'X'
+		}
+		if again, _ := ov.Get(key); bytes.Contains(again, []byte("X")) {
+			t.Fatalf("Get(%q) aliases internal storage", key)
+		}
+	}
+}
+
+// TestOverlayRootMatchesFoldedState: for a random mutation sequence, the
+// overlay's incrementally maintained root equals the root of a state
+// that applied the same mutations directly, and folding the drained
+// deltas into the base reproduces it exactly.
+func TestOverlayRootMatchesFoldedState(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	st := referenceState(32)
+	mirror := st.Clone()
+	ov := NewOverlay(st)
+	for i := range 500 {
+		key := fmt.Sprintf("a/%04d", rng.Intn(40)) // hits existing and fresh keys
+		if rng.Intn(4) == 0 {
+			ov.Delete(key)
+			mirror.Delete(key)
+		} else {
+			val := []byte(fmt.Sprintf("r%d", i))
+			ov.Set(key, val)
+			mirror.Set(key, val)
+		}
+		if ov.Root() != mirror.Root() {
+			t.Fatalf("root diverged after %d mutations", i+1)
+		}
+	}
+	deltas := ov.TakeDeltas()
+	for i := 1; i < len(deltas); i++ {
+		if deltas[i-1].K >= deltas[i].K {
+			t.Fatalf("deltas not sorted: %q >= %q", deltas[i-1].K, deltas[i].K)
+		}
+	}
+	st.applyDeltas(deltas)
+	if st.Root() != mirror.Root() {
+		t.Fatal("folding deltas into the base diverged from direct application")
+	}
+	if st.Len() != mirror.Len() {
+		t.Fatalf("folded Len = %d, mirror %d", st.Len(), mirror.Len())
+	}
+}
+
+// TestOverlayCheckpointRevert: RevertTo undoes layer entries and root
+// exactly, across set-new, overwrite-layer, overwrite-base, and delete.
+func TestOverlayCheckpointRevert(t *testing.T) {
+	st := referenceState(4)
+	ov := NewOverlay(st)
+	ov.Set("a/0000", []byte("block-tx1"))
+	rootAfterTx1 := ov.Root()
+
+	cp := ov.Checkpoint()
+	ov.Set("a/0000", []byte("tx2-overwrites-layer"))
+	ov.Set("a/0001", []byte("tx2-overwrites-base"))
+	ov.Set("fresh", []byte("tx2-new"))
+	ov.Delete("a/0003")
+	ov.RevertTo(cp)
+
+	if ov.Root() != rootAfterTx1 {
+		t.Fatal("root not restored")
+	}
+	if got, _ := ov.Get("a/0000"); string(got) != "block-tx1" {
+		t.Fatalf("layer value = %q", got)
+	}
+	if got, _ := ov.Get("a/0001"); string(got) != "v1" {
+		t.Fatalf("base value = %q", got)
+	}
+	if _, ok := ov.Get("fresh"); ok {
+		t.Fatal("reverted key still present")
+	}
+	if _, ok := ov.Get("a/0003"); !ok {
+		t.Fatal("reverted delete still effective")
+	}
+	// Only the pre-checkpoint write survives into the deltas.
+	deltas := ov.TakeDeltas()
+	if len(deltas) != 1 || deltas[0].K != "a/0000" || string(deltas[0].V) != "block-tx1" {
+		t.Fatalf("deltas = %+v", deltas)
+	}
+}
+
+// TestOverlayDeleteOfFreshKey: a key created and deleted inside the
+// overlay yields a deletion delta that is a no-op on fold (matching the
+// journal-based Diff semantics the WAL format already records).
+func TestOverlayDeleteOfFreshKey(t *testing.T) {
+	st := referenceState(1)
+	ov := NewOverlay(st)
+	ov.Set("temp", []byte("x"))
+	ov.Delete("temp")
+	if ov.Root() != st.Root() {
+		t.Fatal("net no-op changed the root")
+	}
+	deltas := ov.TakeDeltas()
+	if len(deltas) != 1 || !deltas[0].Del || deltas[0].K != "temp" {
+		t.Fatalf("deltas = %+v", deltas)
+	}
+	before := st.Root()
+	st.applyDeltas(deltas)
+	if st.Root() != before {
+		t.Fatal("no-op delete delta changed the base root")
+	}
+}

@@ -1,11 +1,12 @@
 package chain
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"repro/internal/cryptoutil"
@@ -39,8 +40,11 @@ var (
 	ErrStoreCorrupt = errors.New("chain: store corrupt")
 )
 
-// walRecord is the JSON envelope of one WAL record: exactly one of the
+// walRecord is the decoded form of one WAL record: exactly one of the
 // fields is set. The first record of a log is always the meta record.
+// On disk, records are written in the tagged binary format of codec.go;
+// the JSON struct tags remain because PR 4-era logs stored records as
+// JSON documents and the legacy decode path still reads them.
 type walRecord struct {
 	Meta  *walMeta  `json:"meta,omitempty"`
 	Block *walBlock `json:"block,omitempty"`
@@ -101,7 +105,8 @@ func OpenNode(cfg Config) (*Node, error) {
 	return n, nil
 }
 
-// attachStore arms the node's durable-commit path.
+// attachStore arms the node's durable-commit path and starts the
+// background snapshot writer.
 func (n *Node) attachStore(cfg Config, wal *store.WAL) {
 	n.wal = wal
 	n.dataDir = cfg.DataDir
@@ -109,6 +114,7 @@ func (n *Node) attachStore(cfg Config, wal *store.WAL) {
 	if n.snapEvery <= 0 {
 		n.snapEvery = defaultSnapshotInterval
 	}
+	n.snap = startSnapshotWriter(cfg.DataDir)
 }
 
 // recoverNode rebuilds a node from a decoded log.
@@ -120,11 +126,10 @@ func recoverNode(cfg Config, wal *store.WAL, records []store.Record) (*Node, err
 		if err != nil {
 			return nil, err
 		}
-		meta := walRecord{Meta: &walMeta{
+		buf, err := encodeWALMeta(&walMeta{
 			GenesisTime: cfg.GenesisTime,
 			Authorities: cfg.Authorities,
-		}}
-		buf, err := json.Marshal(meta)
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -135,8 +140,8 @@ func recoverNode(cfg Config, wal *store.WAL, records []store.Record) (*Node, err
 		return n, nil
 	}
 
-	var metaRec walRecord
-	if err := json.Unmarshal(records[0].Payload, &metaRec); err != nil || metaRec.Meta == nil {
+	metaRec, err := decodeWALRecord(records[0].Payload)
+	if err != nil || metaRec.Meta == nil {
 		return nil, fmt.Errorf("%w: first record is not a meta record", ErrStoreCorrupt)
 	}
 	meta := metaRec.Meta
@@ -167,8 +172,8 @@ func recoverNode(cfg Config, wal *store.WAL, records []store.Record) (*Node, err
 	prev := n.blocks[0]
 	lastGoodEnd := records[0].End
 	for _, rec := range records[1:] {
-		var wr walRecord
-		if err := json.Unmarshal(rec.Payload, &wr); err != nil || wr.Block == nil {
+		wr, err := decodeWALRecord(rec.Payload)
+		if err != nil || wr.Block == nil {
 			break
 		}
 		b := &Block{Header: wr.Block.Header, Txs: wr.Block.Txs, Receipts: wr.Block.Receipts}
@@ -235,8 +240,8 @@ func rebuildState(dataDir string, blocks []*Block, diffs [][]Delta) (*State, err
 // stateFromSnapshot builds state from a snapshot payload and the diff
 // tail above it.
 func stateFromSnapshot(seq uint64, payload []byte, blocks []*Block, diffs [][]Delta) (*State, error) {
-	var snap chainSnapshot
-	if err := json.Unmarshal(payload, &snap); err != nil {
+	snap, err := decodeChainSnapshot(payload)
+	if err != nil {
 		return nil, fmt.Errorf("%w: snapshot %d: %v", ErrStoreCorrupt, seq, err)
 	}
 	if snap.Height != seq {
@@ -279,46 +284,110 @@ func applyDiffsFrom(st *State, blocks []*Block, diffs [][]Delta, from uint64) er
 	return nil
 }
 
-// appendBlockRecord journals a block (with the state's net diff) to the
-// WAL. n.mu must be held. The state journal is read but not consumed —
-// on failure the caller reverts through it.
-func (n *Node) appendBlockRecord(block *Block) error {
-	rec := walRecord{Block: &walBlock{
-		Header:   block.Header,
-		Txs:      block.Txs,
-		Receipts: block.Receipts,
-		Diff:     n.state.Diff(),
-	}}
-	buf, err := json.Marshal(rec)
-	if err != nil {
-		return fmt.Errorf("chain: encode block %d: %w", block.Header.Number, err)
-	}
-	if err := n.wal.Append(buf); err != nil {
-		return fmt.Errorf("chain: persist block %d: %w", block.Header.Number, err)
-	}
-	return nil
+// snapshotJob is one queued snapshot: a height and a copy-on-write
+// state export (shared immutable value slices) taken at commit point.
+type snapshotJob struct {
+	height uint64
+	state  map[string][]byte
 }
 
-// writeSnapshotLocked persists the current state under the given height
-// and prunes old snapshots. n.mu must be held.
-func (n *Node) writeSnapshotLocked(height uint64) error {
-	buf, err := json.Marshal(chainSnapshot{Height: height, State: n.state.Export()})
-	if err != nil {
-		return fmt.Errorf("chain: encode snapshot %d: %w", height, err)
-	}
-	if err := store.WriteSnapshot(n.dataDir, height, buf); err != nil {
-		return fmt.Errorf("chain: write snapshot %d: %w", height, err)
-	}
-	if _, err := store.PruneSnapshots(n.dataDir, snapshotsKept); err != nil {
-		return fmt.Errorf("chain: prune snapshots: %w", err)
-	}
-	return nil
+// snapshotWriter serializes and writes chain state snapshots on a
+// dedicated goroutine, so commits (and therefore readers) never wait on
+// snapshot encoding or disk I/O. Handover never blocks the committer:
+// at most one job is pending, and a newer snapshot replaces a pending
+// older one (newest wins — recovery only ever wants the latest).
+// Snapshots the writer never got to are simply absent, which recovery
+// treats as a longer diff tail; they are strictly an optimization.
+type snapshotWriter struct {
+	dataDir string
+	mu      sync.Mutex
+	pending *snapshotJob
+	closed  bool
+	kick    chan struct{} // capacity 1: "pending changed" signal
+	done    chan struct{}
 }
 
-// Close stops sealing and flushes and closes the durable store (no-op
-// for in-memory nodes). The clean-shutdown path for durable nodes.
+func startSnapshotWriter(dataDir string) *snapshotWriter {
+	w := &snapshotWriter{
+		dataDir: dataDir,
+		kick:    make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+	go w.run()
+	return w
+}
+
+func (w *snapshotWriter) run() {
+	defer close(w.done)
+	for {
+		w.mu.Lock()
+		job := w.pending
+		w.pending = nil
+		closed := w.closed
+		w.mu.Unlock()
+		if job != nil {
+			w.write(job)
+			continue // a newer job may have arrived during the write
+		}
+		if closed {
+			return
+		}
+		<-w.kick
+	}
+}
+
+func (w *snapshotWriter) write(job *snapshotJob) {
+	payload := encodeChainSnapshot(job.height, job.state)
+	if err := store.WriteSnapshot(w.dataDir, job.height, payload); err != nil {
+		// A failed snapshot must not surface as a commit failure: the
+		// block is already durable in the WAL, and recovery without
+		// this snapshot merely replays a longer diff tail.
+		log.Printf("chain: snapshot at height %d skipped: %v", job.height, err)
+		return
+	}
+	if _, err := store.PruneSnapshots(w.dataDir, snapshotsKept); err != nil {
+		log.Printf("chain: prune snapshots: %v", err)
+	}
+}
+
+// enqueue hands a snapshot job to the writer without ever blocking the
+// committing goroutine. A job the writer has not yet started is
+// replaced (the newer snapshot subsumes it).
+func (w *snapshotWriter) enqueue(height uint64, state map[string][]byte) {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.pending = &snapshotJob{height: height, state: state}
+	w.mu.Unlock()
+	select {
+	case w.kick <- struct{}{}:
+	default:
+	}
+}
+
+// stop writes any still-pending job and waits for the writer to exit.
+// Idempotent.
+func (w *snapshotWriter) stop() {
+	w.mu.Lock()
+	w.closed = true
+	w.mu.Unlock()
+	select {
+	case w.kick <- struct{}{}:
+	default:
+	}
+	<-w.done
+}
+
+// Close stops sealing, drains the snapshot writer, and flushes and
+// closes the durable store (no-op for in-memory nodes). The
+// clean-shutdown path for durable nodes.
 func (n *Node) Close() error {
 	n.StopSealing()
+	if n.snap != nil {
+		n.snap.stop()
+	}
 	if n.wal != nil {
 		return n.wal.Close()
 	}
@@ -327,9 +396,15 @@ func (n *Node) Close() error {
 
 // Crash stops sealing and abandons the durable store WITHOUT the final
 // flush, modelling a process crash for fault injection. Pair with
-// OpenNode to exercise crash-restart recovery.
+// OpenNode to exercise crash-restart recovery. The snapshot writer is
+// still stopped (and any queued job written) so test runs stay
+// deterministic; atomic temp-and-rename writes mean a real crash can
+// only ever lose a whole snapshot, which recovery treats as absent.
 func (n *Node) Crash() error {
 	n.StopSealing()
+	if n.snap != nil {
+		n.snap.stop()
+	}
 	if n.wal != nil {
 		return n.wal.Abandon()
 	}

@@ -68,6 +68,18 @@ func (s *State) Get(key string) ([]byte, bool) {
 	return out, true
 }
 
+// view returns the stored slice for key WITHOUT copying. Stored value
+// slices are immutable — every write path installs a fresh slice and
+// nothing mutates one in place — so the result is safe to read or hash
+// indefinitely, but callers must never write through it. The overlay and
+// the commit fold use it to keep the hot path allocation-free.
+func (s *State) view(key string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.data[key]
+	return v, ok
+}
+
 // Set stores a copy of value under key.
 func (s *State) Set(key string, value []byte) {
 	s.mu.Lock()
@@ -169,10 +181,19 @@ type Delta struct {
 // Diff returns the net effect of every mutation journaled since the
 // last commit — one Delta per touched key, sorted by key for a
 // deterministic encoding. The journal is left in place, so the caller
-// can still RevertTo if persisting the diff fails.
+// can still RevertTo if persisting the diff fails. Values are copied;
+// the commit hot path uses TakeDiff's move semantics instead.
 func (s *State) Diff() []Delta {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	return s.diffLocked(true)
+}
+
+// diffLocked builds the journal's net diff. With copyValues false the
+// deltas alias the stored slices — safe to retain because stored values
+// are immutable (every write installs a fresh slice), but only TakeDiff,
+// which simultaneously retires the journal, may use it.
+func (s *State) diffLocked(copyValues bool) []Delta {
 	touched := make(map[string]struct{}, len(s.journal))
 	for _, e := range s.journal {
 		touched[e.key] = struct{}{}
@@ -180,9 +201,12 @@ func (s *State) Diff() []Delta {
 	diff := make([]Delta, 0, len(touched))
 	for k := range touched {
 		if v, ok := s.data[k]; ok {
-			cp := make([]byte, len(v))
-			copy(cp, v)
-			diff = append(diff, Delta{K: k, V: cp})
+			if copyValues {
+				cp := make([]byte, len(v))
+				copy(cp, v)
+				v = cp
+			}
+			diff = append(diff, Delta{K: k, V: v})
 		} else {
 			diff = append(diff, Delta{K: k, Del: true})
 		}
@@ -192,10 +216,17 @@ func (s *State) Diff() []Delta {
 }
 
 // TakeDiff is Diff followed by DiscardJournal: the mutations become
-// permanent and their net effect is returned for persistence.
+// permanent and their net effect is returned for persistence. Because
+// the journal is retired in the same critical section, the returned
+// deltas safely alias the stored (immutable) value slices instead of
+// copying every touched value — the move-semantics path used on the
+// commit hot path. Later writes to the same keys replace the stored
+// slices rather than mutating them, so the returned diff stays stable.
 func (s *State) TakeDiff() []Delta {
-	diff := s.Diff()
-	s.DiscardJournal()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	diff := s.diffLocked(false)
+	s.journal = s.journal[:0]
 	return diff
 }
 
@@ -225,6 +256,49 @@ func (s *State) Export() map[string][]byte {
 		out[k] = cp
 	}
 	return out
+}
+
+// ExportShared returns the full key-value content in a fresh map that
+// SHARES the stored value slices instead of copying them — a
+// copy-on-write export costing O(keys) map work and zero byte copying.
+// It is safe because stored values are immutable: every subsequent Set
+// installs a fresh slice, leaving the shared ones untouched. The
+// background snapshot writer serializes from such an export so commits
+// never pay for, and readers never wait on, snapshot serialization.
+func (s *State) ExportShared() map[string][]byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string][]byte, len(s.data))
+	for k, v := range s.data {
+		out[k] = v
+	}
+	return out
+}
+
+// applyDeltas folds a committed block's net diff into the state: no
+// journaling (the block is final) and no value copying (the deltas'
+// values are moved in — callers hand over ownership, e.g. an overlay's
+// drained layer or freshly decoded WAL records). The root is maintained
+// incrementally, so folding costs O(touched keys).
+func (s *State) applyDeltas(deltas []Delta) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, d := range deltas {
+		prior, existed := s.data[d.K]
+		if d.Del {
+			if !existed {
+				continue
+			}
+			xorHash(&s.root, leafHash(d.K, prior))
+			delete(s.data, d.K)
+			continue
+		}
+		if existed {
+			xorHash(&s.root, leafHash(d.K, prior))
+		}
+		s.data[d.K] = d.V
+		xorHash(&s.root, leafHash(d.K, d.V))
+	}
 }
 
 // Root returns the deterministic state commitment (see the root field for

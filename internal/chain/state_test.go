@@ -276,3 +276,120 @@ func TestMerkleRoot(t *testing.T) {
 func hashOfByte(b byte) cryptoutil.Hash {
 	return cryptoutil.HashOf([]byte{b})
 }
+
+// TestTakeDiffMoveSemanticsNoAliasing: TakeDiff returns deltas that
+// alias the stored (immutable) value slices instead of copying them.
+// That is only sound if later mutations REPLACE stored slices rather
+// than writing through old ones — this regression test pins exactly
+// that: a taken diff must be unaffected by subsequent Set/Delete on the
+// same keys, and by mutation of the caller-owned buffer that was Set.
+func TestTakeDiffMoveSemanticsNoAliasing(t *testing.T) {
+	st := NewState()
+	buf := []byte("original")
+	st.Set("k", buf)
+	st.Set("gone", []byte("doomed"))
+	st.Delete("gone")
+	diff := st.TakeDiff()
+	if len(diff) != 2 {
+		t.Fatalf("diff = %+v", diff)
+	}
+
+	// Mutating the buffer the caller handed to Set must not reach the
+	// diff (Set stored a copy).
+	for i := range buf {
+		buf[i] = 'X'
+	}
+	// Overwriting and deleting the key afterwards must not reach the
+	// already-taken diff either (stored slices are replaced, never
+	// mutated in place).
+	st.Set("k", []byte("overwritten"))
+	st.Delete("k")
+	st.Set("gone", []byte("resurrected"))
+
+	byKey := map[string]Delta{}
+	for _, d := range diff {
+		byKey[d.K] = d
+	}
+	if got := byKey["k"]; string(got.V) != "original" || got.Del {
+		t.Fatalf("k delta mutated: %+v", got)
+	}
+	if got := byKey["gone"]; !got.Del {
+		t.Fatalf("gone delta mutated: %+v", got)
+	}
+
+	// Same property for the overlay's moved deltas.
+	ov := NewOverlay(st)
+	ovBuf := []byte("layer-value")
+	ov.Set("ok", ovBuf)
+	deltas := ov.TakeDeltas()
+	for i := range ovBuf {
+		ovBuf[i] = 'Y'
+	}
+	if len(deltas) != 1 || string(deltas[0].V) != "layer-value" {
+		t.Fatalf("overlay delta mutated: %+v", deltas)
+	}
+}
+
+// TestDiffIsNonConsumingAndCopies: Diff (unlike TakeDiff) leaves the
+// journal intact — the caller can still revert — and returns copies
+// that later state mutations cannot reach.
+func TestDiffIsNonConsumingAndCopies(t *testing.T) {
+	st := NewState()
+	st.Set("a", []byte("1"))
+	st.DiscardJournal()
+	st.Set("a", []byte("2"))
+	st.Set("b", []byte("3"))
+
+	diff := st.Diff()
+	if len(diff) != 2 {
+		t.Fatalf("diff = %+v", diff)
+	}
+	// Mutating the returned values must not reach the state.
+	for i := range diff {
+		for j := range diff[i].V {
+			diff[i].V[j] = 'X'
+		}
+	}
+	if v, _ := st.Get("a"); string(v) != "2" {
+		t.Fatalf("state mutated through Diff copy: %q", v)
+	}
+	// The journal survived: a revert still works.
+	st.RevertTo(0)
+	if v, _ := st.Get("a"); string(v) != "1" {
+		t.Fatalf("revert after Diff = %q", v)
+	}
+	if _, ok := st.Get("b"); ok {
+		t.Fatal("b survived revert")
+	}
+}
+
+// TestExportDeepVsShared: Export returns deep copies; ExportShared
+// shares the stored slices but still isolates the map itself.
+func TestExportDeepVsShared(t *testing.T) {
+	st := NewState()
+	st.Set("k", []byte("value"))
+	st.DiscardJournal()
+
+	deep := st.Export()
+	deep["k"][0] = 'X'
+	if v, _ := st.Get("k"); string(v) != "value" {
+		t.Fatalf("Export aliases storage: %q", v)
+	}
+
+	shared := st.ExportShared()
+	if string(shared["k"]) != "value" {
+		t.Fatalf("shared export = %q", shared["k"])
+	}
+	// Overwriting the key replaces the stored slice: the shared export
+	// keeps observing the old (immutable) value.
+	st.Set("k", []byte("fresh"))
+	st.DiscardJournal()
+	if string(shared["k"]) != "value" {
+		t.Fatalf("shared export changed under mutation: %q", shared["k"])
+	}
+	// And deleting from the export map is invisible to the state.
+	delete(shared, "k")
+	if _, ok := st.Get("k"); !ok {
+		t.Fatal("state lost a key through the shared export map")
+	}
+}

@@ -52,7 +52,7 @@ type Env struct {
 	// Block exposes the block number and timestamp.
 	Block chain.BlockContext
 
-	state  *chain.State
+	state  chain.StateRW
 	meter  *chain.GasMeter
 	events []chain.Event
 }
@@ -131,7 +131,7 @@ type ReadEnv struct {
 	// Block exposes the block number and timestamp at the head.
 	Block chain.BlockContext
 
-	state *chain.State
+	state chain.StateRW
 }
 
 // Get reads a storage key.
@@ -187,7 +187,7 @@ func (r *Runtime) Deploy(name string, c Contract) cryptoutil.Address {
 }
 
 // ExecuteTx implements chain.Executor.
-func (r *Runtime) ExecuteTx(st *chain.State, tx *chain.Tx, bctx chain.BlockContext) *chain.Receipt {
+func (r *Runtime) ExecuteTx(st chain.StateRW, tx *chain.Tx, bctx chain.BlockContext) *chain.Receipt {
 	meter := chain.NewGasMeter(tx.GasLimit)
 	receipt := &chain.Receipt{Status: chain.StatusOK}
 
@@ -224,7 +224,7 @@ func (r *Runtime) ExecuteTx(st *chain.State, tx *chain.Tx, bctx chain.BlockConte
 }
 
 // Query implements chain.Executor.
-func (r *Runtime) Query(st *chain.State, contractAddr cryptoutil.Address, method string, args []byte, bctx chain.BlockContext) ([]byte, error) {
+func (r *Runtime) Query(st chain.StateRW, contractAddr cryptoutil.Address, method string, args []byte, bctx chain.BlockContext) ([]byte, error) {
 	c, ok := r.contracts[contractAddr]
 	if !ok {
 		return nil, fmt.Errorf("contract: no contract at %s", contractAddr)

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestAblationCommitPathTable: the commit-path ablation produces one row
+// per swept ledger size with positive latencies for both paths, and its
+// machine-readable projection preserves every row.
+func TestAblationCommitPathTable(t *testing.T) {
+	h := &Harness{Quick: true}
+	tbl := h.AblationCommitPath()
+	if len(tbl.Rows) == 0 {
+		t.Fatal("empty table")
+	}
+	for i, row := range tbl.Rows {
+		if len(row) != len(tbl.Header) {
+			t.Fatalf("row %d has %d cells, header %d", i, len(row), len(tbl.Header))
+		}
+		ledger, err := strconv.Atoi(row[0])
+		if err != nil || ledger <= 0 {
+			t.Fatalf("row %d ledger = %q", i, row[0])
+		}
+		overlayUs, err := strconv.ParseFloat(row[2], 64)
+		if err != nil || overlayUs <= 0 {
+			t.Fatalf("row %d overlay_us = %q", i, row[2])
+		}
+		cloneUs, err := strconv.ParseFloat(row[3], 64)
+		if err != nil || cloneUs <= 0 {
+			t.Fatalf("row %d clone_us = %q", i, row[3])
+		}
+	}
+
+	rows := tbl.BenchRows("commitpath")
+	if len(rows) != len(tbl.Rows) {
+		t.Fatalf("%d bench rows for %d table rows", len(rows), len(tbl.Rows))
+	}
+	for i, r := range rows {
+		if r.Exp != "commitpath" || r.Case == "" {
+			t.Fatalf("bench row = %+v", r)
+		}
+		if r.NsOp <= 0 {
+			t.Fatalf("bench row lost its latency: %+v", r)
+		}
+		// The tracked ns_op must be the LIVE overlay path (column 2),
+		// not the deprecated clone baseline: a commit-latency regression
+		// has to show in the perf trajectory.
+		overlayUs, err := strconv.ParseFloat(tbl.Rows[i][2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.NsOp != overlayUs*1e3 {
+			t.Fatalf("ns_op = %v, want overlay_us %v in ns", r.NsOp, overlayUs*1e3)
+		}
+	}
+}
+
+// TestTableBenchRows pins the header-driven projection rules: unit
+// tokens convert to nanoseconds, benchmark-standard alloc/bytes columns
+// map to their fields, derived columns (rates, ratios) stay out of the
+// case label, and non-numeric cells carry no measurement.
+func TestTableBenchRows(t *testing.T) {
+	tbl := &Table{
+		Header: []string{"mode", "n", "ingest_ms", "read_us", "allocs_op", "bytes_op", "speedup", "steps_per_sec"},
+	}
+	tbl.Add("wal", 512, 12.5, 3.0, 42, 1024, 7.7, 99.0)
+	tbl.Add("memory", 512, "-", "-", "-", "-", "-", "-")
+
+	rows := tbl.BenchRows("durability")
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	r := rows[0]
+	if r.Exp != "durability" || r.Case != "wal/512" {
+		t.Fatalf("row 0 = %+v", r)
+	}
+	if r.NsOp != 12.5*1e6 { // first latency column (ingest_ms) wins, in ns
+		t.Fatalf("ns_op = %v", r.NsOp)
+	}
+	if r.AllocsOp != 42 || r.BytesOp != 1024 {
+		t.Fatalf("alloc/bytes = %v/%v", r.AllocsOp, r.BytesOp)
+	}
+	r = rows[1]
+	if r.Case != "memory/512" || r.NsOp != 0 || r.AllocsOp != 0 || r.BytesOp != 0 {
+		t.Fatalf("dash row = %+v", r)
+	}
+
+	// A table with no latency column still covers every row (ns_op 0).
+	plain := &Table{Header: []string{"metric", "value"}}
+	plain.Add("height", 7)
+	rows = plain.BenchRows("stats")
+	if len(rows) != 1 || rows[0].Case != "height/7" || rows[0].NsOp != 0 {
+		t.Fatalf("plain rows = %+v", rows)
+	}
+
+	// E4-shaped: a workload-size label with a unit-like name stays a
+	// label — it must key the case, never masquerade as bytes_op.
+	e4 := &Table{Header: []string{"size_bytes", "access_latency_ms", "fetch_only_ms"}}
+	e4.Add(4096, 1.5, 1.0)
+	rows = e4.BenchRows("e4")
+	if rows[0].Case != "4096" || rows[0].NsOp != 1.5*1e6 || rows[0].BytesOp != 0 {
+		t.Fatalf("e4 row = %+v", rows[0])
+	}
+
+	// E10-shaped: mid-name unit tokens convert, and the overhead ratio
+	// is derived (kept out of the run-to-run case key).
+	e10 := &Table{Header: []string{"accesses", "baseline_us_per_op", "usage_control_us_per_op", "overhead_x"}}
+	e10.Add(100, 12.34, 15.67, 1.27)
+	rows = e10.BenchRows("e10")
+	if rows[0].Case != "100" || rows[0].NsOp != 12.34*1e3 {
+		t.Fatalf("e10 row = %+v", rows[0])
+	}
+
+	// Blockinterval-shaped: a swept interval input keeps labelling the
+	// case; the simulated propagation time is the measurement.
+	bi := &Table{Header: []string{"interval_ms", "propagation_sim_ms"}}
+	bi.Add(200, 300.0)
+	rows = bi.BenchRows("blockinterval")
+	if rows[0].Case != "200" || rows[0].NsOp != 300.0*1e6 {
+		t.Fatalf("blockinterval row = %+v", rows[0])
+	}
+}

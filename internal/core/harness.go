@@ -803,6 +803,61 @@ func (h *Harness) AblationDurability() *Table {
 	return t
 }
 
+// AblationCommitPath quantifies the commit-path overhaul: per-block
+// validation cost on the historical Clone() replay versus the
+// copy-on-write overlay replay as the ledger grows. Clone cost is
+// O(ledger) — it deep-copies every key before executing — while the
+// overlay only pays for the keys the block touches, so its column stays
+// flat and the speedup column grows with ledger size.
+// BenchmarkOverlayApplyBlock, BenchmarkCodecEncodeBlock, and
+// BenchmarkCommitLatency cover the same ground under `go test -bench`.
+func (h *Harness) AblationCommitPath() *Table {
+	// overlay_us leads the latency columns deliberately: BenchRows takes
+	// the first one as ns_op, so the tracked perf-trajectory number is
+	// the live overlay path, with the clone baseline printed beside it.
+	t := &Table{
+		Title:  "Ablation: commit path (copy-on-write overlay vs Clone() block validation)",
+		Header: []string{"ledger_keys", "touched_keys", "overlay_us", "clone_us", "speedup"},
+	}
+	const touched = 64
+	reps := 20
+	if h.Quick {
+		reps = 5
+	}
+	for _, ledger := range h.sweep([]int{1_000, 10_000, 100_000}) {
+		st := chain.NewState()
+		for i := range ledger {
+			st.Set(fmt.Sprintf("seed/%07d", i), []byte(fmt.Sprintf("value-%d", i)))
+		}
+		st.DiscardJournal()
+		workload := func(rw chain.StateRW, rep int) {
+			for i := range touched {
+				rw.Set(fmt.Sprintf("seed/%07d", (rep*touched+i)%ledger), []byte("updated"))
+			}
+		}
+		start := time.Now()
+		for rep := range reps {
+			replica := st.Clone()
+			workload(replica, rep)
+			_ = replica.TakeDiff()
+		}
+		cloneUs := float64(time.Since(start).Microseconds()) / float64(reps)
+		start = time.Now()
+		for rep := range reps {
+			overlay := chain.NewOverlay(st)
+			workload(overlay, rep)
+			_ = overlay.TakeDeltas()
+		}
+		overlayUs := float64(time.Since(start).Microseconds()) / float64(reps)
+		speedup := cloneUs
+		if overlayUs > 0 {
+			speedup = cloneUs / overlayUs
+		}
+		t.Add(ledger, touched, overlayUs, cloneUs, speedup)
+	}
+	return t
+}
+
 // ScenarioThroughputFn is installed by internal/scenario's init (the
 // scenario engine drives core.Deployment, so a direct call here would be
 // an import cycle). Importing repro/internal/scenario — as cmd/ucbench

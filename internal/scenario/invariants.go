@@ -38,6 +38,13 @@ func DefaultInvariants() []Invariant {
 // stands at the live cluster's head with an identical state root. A
 // recovery that dropped, duplicated, or reordered as much as one state
 // delta shows up here as a root mismatch.
+//
+// Because scenario worlds are always durable, every step drives the
+// overlay commit path (copy-on-write execution, off-lock binary WAL
+// append, background snapshots), so this invariant doubles as the
+// system-wide differential check that the overlay replay and the
+// recovered replay agree; chain.TestDifferentialOverlayVsCloneReplay
+// pins the same property against the historical Clone() path directly.
 func checkRecoveryEquivalence(w *World) error {
 	ref := w.d.LiveNode()
 	if ref == nil {

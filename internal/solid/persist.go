@@ -1,7 +1,6 @@
 package solid
 
 import (
-	"encoding/json"
 	"fmt"
 	"log"
 	"os"
@@ -95,8 +94,7 @@ func OpenPod(owner WebID, baseURL, dir string, opts PodStoreOptions) (*Pod, erro
 
 	start := uint64(0)
 	if seq, payload, ok := store.LatestSnapshot(dir, uint64(len(records))); ok {
-		var snap podSnapshot
-		if err := json.Unmarshal(payload, &snap); err == nil && snap.Ops == seq {
+		if snap, err := decodePodSnapshot(payload); err == nil && snap.Ops == seq {
 			for _, r := range snap.Resources {
 				p.resources[r.Path] = r
 			}
@@ -116,8 +114,8 @@ func OpenPod(owner WebID, baseURL, dir string, opts PodStoreOptions) (*Pod, erro
 	}
 	applied := uint64(0)
 	for _, rec := range records[start:] {
-		var op podOp
-		if err := json.Unmarshal(rec.Payload, &op); err != nil {
+		op, err := decodePodOp(rec.Payload)
+		if err != nil {
 			// A record that passes the CRC but not the schema is damage
 			// the frame cannot see; treat it as the torn tail.
 			break
@@ -180,7 +178,7 @@ func (p *Pod) logOpLocked(op podOp) error {
 		return nil
 	}
 	op.PostSeq = p.postSeq
-	buf, err := json.Marshal(op)
+	buf, err := encodePodOp(&op)
 	if err != nil {
 		return fmt.Errorf("solid: encode pod op: %w", err)
 	}
@@ -223,7 +221,7 @@ func (p *Pod) writeSnapshotLocked() error {
 	for path, acl := range p.acls {
 		snap.ACLs[path] = acl
 	}
-	buf, err := json.Marshal(snap)
+	buf, err := encodePodSnapshot(&snap)
 	if err != nil {
 		return fmt.Errorf("solid: encode pod snapshot: %w", err)
 	}

@@ -2,9 +2,11 @@ package solid
 
 import (
 	"bytes"
+	"encoding/json"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 	"time"
 
@@ -389,4 +391,185 @@ func TestPodMutationInvisibleOnLogFailure(t *testing.T) {
 	if p2.ACLGeneration() != genBefore {
 		t.Fatalf("restored generation %d != %d", p2.ACLGeneration(), genBefore)
 	}
+}
+
+// TestPodOpCodecRoundTrip: binary pod op and snapshot records decode
+// back to equivalent structures, and the legacy JSON forms (what PR 4
+// wrote with json.Marshal) decode through the same entry points.
+func TestPodOpCodecRoundTrip(t *testing.T) {
+	acl := NewACL(persistOwner, "/notes/")
+	acl.Grant("reader", []WebID{persistReader}, "/notes/", true, ModeRead)
+	ops := []podOp{
+		{Kind: "put", Path: "/a.bin", ContentType: "application/octet-stream",
+			Data: []byte{0, 1, 2, 0xfe, 0xff}, Modified: persistEpoch, PostSeq: 3},
+		{Kind: "del", Path: "/a.bin", PostSeq: 4},
+		{Kind: "acl", Path: "/notes/", ACL: acl, PostSeq: 4},
+	}
+	for i, want := range ops {
+		payload, err := encodePodOp(&want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := decodePodOp(payload)
+		if err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		requireSamePodOp(t, got, want)
+
+		legacy, err := json.Marshal(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err = decodePodOp(legacy)
+		if err != nil {
+			t.Fatalf("op %d legacy: %v", i, err)
+		}
+		requireSamePodOp(t, got, want)
+	}
+	if _, err := encodePodOp(&podOp{Kind: "bogus"}); err == nil {
+		t.Fatal("unknown kind encoded")
+	}
+	if _, err := decodePodOp([]byte{tagPodOp, 99}); err == nil {
+		t.Fatal("unknown kind byte decoded")
+	}
+
+	snap := &podSnapshot{
+		Ops: 9, PostSeq: 2, ACLGen: 7,
+		Resources: []*Resource{
+			{Path: "/z.bin", ContentType: "application/octet-stream",
+				Data: bytes.Repeat([]byte{0xAB}, 1000), Modified: persistEpoch, ETag: ETagFor(bytes.Repeat([]byte{0xAB}, 1000))},
+			{Path: "/a.txt", ContentType: "text/plain", Data: []byte("hi"),
+				Modified: persistEpoch.Add(time.Hour), ETag: ETagFor([]byte("hi"))},
+		},
+		ACLs: map[string]*ACL{"/notes/": acl},
+	}
+	payload, err := encodePodSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again, _ := encodePodSnapshot(snap); !bytes.Equal(payload, again) {
+		t.Fatal("pod snapshot encoding is not deterministic")
+	}
+	got, err := decodePodSnapshot(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Ops != 9 || got.PostSeq != 2 || got.ACLGen != 7 {
+		t.Fatalf("snapshot counters = %+v", got)
+	}
+	if len(got.Resources) != 2 || len(got.ACLs) != 1 {
+		t.Fatalf("snapshot shape = %+v", got)
+	}
+	for _, want := range snap.Resources {
+		var found *Resource
+		for _, r := range got.Resources {
+			if r.Path == want.Path {
+				found = r
+			}
+		}
+		if found == nil || !bytes.Equal(found.Data, want.Data) || found.ETag != want.ETag ||
+			found.ContentType != want.ContentType || !found.Modified.Equal(want.Modified) {
+			t.Fatalf("resource %s = %+v, want %+v", want.Path, found, want)
+		}
+	}
+	legacySnap, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err = decodePodSnapshot(legacySnap); err != nil || got.Ops != 9 {
+		t.Fatalf("legacy snapshot: %+v, %v", got, err)
+	}
+}
+
+func requireSamePodOp(t *testing.T, got, want podOp) {
+	t.Helper()
+	if got.Kind != want.Kind || got.Path != want.Path || got.ContentType != want.ContentType ||
+		!bytes.Equal(got.Data, want.Data) || !got.Modified.Equal(want.Modified) || got.PostSeq != want.PostSeq {
+		t.Fatalf("op = %+v, want %+v", got, want)
+	}
+	if (got.ACL == nil) != (want.ACL == nil) {
+		t.Fatalf("op ACL presence differs: %+v vs %+v", got.ACL, want.ACL)
+	}
+	if got.ACL != nil && !reflect.DeepEqual(got.ACL, want.ACL) {
+		t.Fatalf("op ACL = %+v, want %+v", got.ACL, want.ACL)
+	}
+}
+
+// TestPodLegacyJSONStoreRecovers: a pod dir written entirely in the
+// PR 4 JSON op-log format (reproduced by transcoding a binary-era log)
+// restores identical content, keeps journaling in the binary format,
+// and the resulting mixed-format log survives another restart.
+func TestPodLegacyJSONStoreRecovers(t *testing.T) {
+	binDir := t.TempDir()
+	clk := simclock.NewSim(persistEpoch)
+	opts := PodStoreOptions{WAL: store.Options{Sync: store.SyncNever}}
+	p, err := OpenPod(persistOwner, "https://alice.pod", binDir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	put := func(pd *Pod, path, body string) {
+		t.Helper()
+		clk.Advance(time.Second)
+		if err := pd.Put(persistOwner, path, "text/plain", []byte(body), clk.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put(p, "/notes/a.txt", "alpha")
+	put(p, "/notes/b.txt", "beta")
+	acl := NewACL(persistOwner, "/notes/")
+	acl.Grant("reader", []WebID{persistReader}, "/notes/", true, ModeRead)
+	if err := p.SetACL(persistOwner, "/notes/", acl); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Delete(persistOwner, "/notes/b.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CloseStore(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Transcode the op log into the legacy JSON format.
+	legacyDir := t.TempDir()
+	wal, records, err := store.OpenWAL(filepath.Join(binDir, podLogName), store.Options{Sync: store.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := store.OpenWAL(filepath.Join(legacyDir, podLogName), store.Options{Sync: store.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range records {
+		op, err := decodePodOp(rec.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		legacy, err := json.Marshal(op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := out.Append(legacy); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := out.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := OpenPod(persistOwner, "https://alice.pod", legacyDir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSamePod(t, p2, p, "/notes/a.txt", "/notes/b.txt")
+	if err := p2.Authorize(persistReader, "/notes/a.txt", ModeRead); err != nil {
+		t.Fatalf("granted reader denied after legacy recovery: %v", err)
+	}
+
+	// New mutations append binary records after the JSON prefix; the
+	// mixed-format log must restore once more.
+	put(p2, "/notes/c.txt", "gamma")
+	p3 := restartPod(t, p2, legacyDir, opts)
+	requireSamePod(t, p3, p2, "/notes/a.txt", "/notes/c.txt")
 }

@@ -1,0 +1,226 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// This file holds the primitive layer of the binary record codec shared
+// by the chain and pod persistence formats: length-prefixed byte strings
+// with varint lengths and raw (never base64-inflated) payload bytes.
+// Record schemas live with their owning packages; this file only knows
+// how to frame primitives and how to tell a binary record from a
+// legacy JSON one.
+//
+// Framing rules:
+//
+//   - unsigned integers are encoding/binary uvarints
+//   - byte strings are a uvarint length followed by the raw bytes
+//   - strings are byte strings of their UTF-8 bytes
+//   - booleans are one byte (0 or 1)
+//   - timestamps are the byte string of time.Time.MarshalBinary, which
+//     round-trips the wall clock (zero value included) exactly
+//   - fixed-width fields (hashes, addresses) are raw bytes with no
+//     length prefix; the schema fixes their width
+//
+// Every durable record's first byte is a format tag. Legacy JSON records
+// (the PR 4 on-disk format) always start with '{', so decoders route on
+// IsLegacyJSON and old data dirs keep recovering.
+
+// ErrCodec reports a malformed binary record payload (truncated field,
+// impossible length, or trailing garbage).
+var ErrCodec = errors.New("store: malformed binary record")
+
+// IsLegacyJSON reports whether a record payload is a legacy JSON
+// document rather than a tagged binary record. The binary format never
+// assigns '{' as a tag byte.
+func IsLegacyJSON(payload []byte) bool {
+	return len(payload) > 0 && payload[0] == '{'
+}
+
+// AppendUvarint appends v as a uvarint.
+func AppendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+// AppendBytes appends b as a uvarint length followed by the raw bytes.
+func AppendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// AppendString appends s as a length-prefixed byte string.
+func AppendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// AppendBool appends b as one byte.
+func AppendBool(dst []byte, b bool) []byte {
+	if b {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// AppendTime appends t's binary marshalling as a byte string.
+func AppendTime(dst []byte, t time.Time) ([]byte, error) {
+	b, err := t.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("store: encode time: %w", err)
+	}
+	return AppendBytes(dst, b), nil
+}
+
+// Dec decodes the primitives appended by the Append helpers with a
+// sticky error: after the first malformed field every further read
+// returns a zero value, so schema decoders can run straight-line and
+// check Err once at the end.
+type Dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewDec returns a decoder over b. The decoder never mutates b; Bytes
+// and String results are copies, safe to retain.
+func NewDec(b []byte) *Dec { return &Dec{b: b} }
+
+// Err returns the first decode error, or nil.
+func (d *Dec) Err() error { return d.err }
+
+// Done reports whether the input is fully consumed without error.
+func (d *Dec) Done() bool { return d.err == nil && d.off == len(d.b) }
+
+// Finish returns ErrCodec-wrapped context if decoding failed or left
+// trailing bytes.
+func (d *Dec) Finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCodec, len(d.b)-d.off)
+	}
+	return nil
+}
+
+func (d *Dec) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s at offset %d", ErrCodec, what, d.off)
+	}
+}
+
+// DecodeCapHint bounds the slice/map capacity record schemas
+// pre-allocate from a decoded element count: even a count that passes
+// its bound is a corrupt record's claim, so decoders grow past this
+// hint instead of trusting it.
+const DecodeCapHint = 4096
+
+// Count reads a uvarint element count and fails the decode when it
+// exceeds bound — the most elements any valid encoding of the record
+// could hold (typically the payload length, since every element costs
+// at least one byte). On over-claim it returns 0, so a following
+// `for range` loop is a no-op and Finish reports the poisoned decode.
+// Pre-allocate with min(count, DecodeCapHint).
+func (d *Dec) Count(what string, bound uint64) uint64 {
+	n := d.Uvarint()
+	if d.err == nil && n > bound {
+		d.fail(fmt.Sprintf("claimed %d %s, bound %d", n, what, bound))
+		return 0
+	}
+	return n
+}
+
+// Byte reads one raw byte.
+func (d *Dec) Byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.b) {
+		d.fail("truncated byte")
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+// Bool reads one boolean byte.
+func (d *Dec) Bool() bool {
+	switch d.Byte() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.fail("invalid bool")
+		return false
+	}
+}
+
+// Uvarint reads a uvarint.
+func (d *Dec) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("bad uvarint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Bytes reads a length-prefixed byte string, returning a copy (nil for a
+// zero length, matching the omitempty behaviour of the JSON era).
+func (d *Dec) Bytes() []byte {
+	n := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.b)-d.off) {
+		d.fail(fmt.Sprintf("byte string length %d exceeds remaining %d", n, len(d.b)-d.off))
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, d.b[d.off:])
+	d.off += int(n)
+	return out
+}
+
+// String reads a length-prefixed string.
+func (d *Dec) String() string { return string(d.Bytes()) }
+
+// Raw reads exactly n raw bytes into dst (fixed-width fields: hashes,
+// addresses).
+func (d *Dec) Raw(dst []byte) {
+	if d.err != nil {
+		return
+	}
+	if len(dst) > len(d.b)-d.off {
+		d.fail(fmt.Sprintf("truncated fixed field of %d bytes", len(dst)))
+		return
+	}
+	copy(dst, d.b[d.off:])
+	d.off += len(dst)
+}
+
+// Time reads a timestamp written by AppendTime.
+func (d *Dec) Time() time.Time {
+	b := d.Bytes()
+	if d.err != nil {
+		return time.Time{}
+	}
+	var t time.Time
+	if err := t.UnmarshalBinary(b); err != nil {
+		d.fail("bad timestamp")
+		return time.Time{}
+	}
+	return t
+}
