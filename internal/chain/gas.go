@@ -29,8 +29,21 @@ const (
 	GasEventPerByte uint64 = 8
 )
 
+// MaxTxGasLimit caps a single transaction's declared gas limit. Without
+// it a byzantine proposer could stuff a block with transactions whose
+// limits dwarf the block gas budget, forcing every validator to meter
+// arbitrarily expensive replays. Admission (Node.Submit) and block
+// validation (ApplyBlock) both enforce the cap, so an over-gas
+// transaction is rejected whether it arrives by gossip or inside a
+// sealed block.
+const MaxTxGasLimit uint64 = 8_000_000
+
 // ErrOutOfGas reverts a transaction whose gas limit is exhausted.
 var ErrOutOfGas = errors.New("chain: out of gas")
+
+// ErrGasTooLarge rejects a transaction whose declared gas limit exceeds
+// MaxTxGasLimit.
+var ErrGasTooLarge = errors.New("chain: tx gas limit above cap")
 
 // GasMeter tracks gas consumption against a limit.
 type GasMeter struct {

@@ -45,6 +45,12 @@ func (n *Node) ApplyBlock(block *Block, proposerKey []byte) error {
 	n.mu.RUnlock()
 
 	h := block.Header
+	if h.Number <= parent.Header.Number {
+		// At-or-below-head deliveries split three ways: rebroadcast of a
+		// committed block, equivocation by its proposer, or a plain stale
+		// block. See handleStaleDelivery.
+		return n.handleStaleDelivery(block, proposerKey)
+	}
 	if h.Number != parent.Header.Number+1 {
 		return fmt.Errorf("%w: got %d, want %d", ErrBadNumber, h.Number, parent.Header.Number+1)
 	}
@@ -69,6 +75,17 @@ func (n *Node) ApplyBlock(block *Block, proposerKey []byte) error {
 	}
 	if got := txRoot(block.Txs); got != h.TxRoot {
 		return ErrBadTxRoot
+	}
+	// The per-tx gas cap is enforced here as well as at admission: a
+	// byzantine proposer writes over-cap transactions straight into a
+	// block, bypassing Submit. Checked separately from VerifyTxSignatures
+	// so the rejection carries its own sentinel (ErrBadTxInBlock wraps the
+	// cause as text, which would hide errors.Is(ErrGasTooLarge)).
+	for _, tx := range block.Txs {
+		if tx.GasLimit > MaxTxGasLimit {
+			return fmt.Errorf("%w: tx %s declares %d, cap %d",
+				ErrGasTooLarge, tx.Hash().Short(), tx.GasLimit, MaxTxGasLimit)
+		}
 	}
 
 	// Re-execute on an overlay and compare roots before touching real
@@ -152,7 +169,43 @@ type Network struct {
 	keys          map[cryptoutil.Address][]byte // authority address -> public key bytes
 	down          map[cryptoutil.Address]bool
 	verifyWorkers int
+
+	// Partition state. When cells is non-nil the cluster is split: each
+	// member belongs to a cell, only the quorum cell (the one holding a
+	// strict majority of members) makes progress, and cross-cell traffic
+	// is buffered until Heal drops it. A nil cells map means fully
+	// connected.
+	cells      map[cryptoutil.Address]int
+	quorumCell int
+	// buffered holds cross-cell deliveries queued while partitioned; Heal
+	// discards them (the partition "eventually drops" in-flight traffic)
+	// and re-syncs minority nodes from a live peer instead.
+	buffered []bufferedDelivery
+	// droppedDeliveries counts buffered deliveries discarded by heals, plus
+	// deliveries dropped on the floor once the buffer cap was hit.
+	droppedDeliveries int
 }
+
+// bufferedDelivery is one block broadcast held back by a partition.
+type bufferedDelivery struct {
+	to          cryptoutil.Address
+	block       *Block
+	proposerKey []byte
+}
+
+// maxBufferedDeliveries caps the cross-cell buffer; a long-lived
+// partition eventually drops traffic rather than queueing unboundedly.
+const maxBufferedDeliveries = 1024
+
+// Partition errors.
+var (
+	// ErrPartitioned reports an operation refused because the cluster is
+	// currently split.
+	ErrPartitioned = errors.New("chain: network is partitioned")
+	// ErrNoQuorum reports a requested split in which no cell holds a
+	// strict majority of members, so no cell could safely make progress.
+	ErrNoQuorum = errors.New("chain: no partition cell holds a quorum")
+)
 
 // NewNetwork groups nodes into a cluster. All nodes must share the same
 // authority set and genesis. The cluster-level signature verification
@@ -191,17 +244,172 @@ func (net *Network) SetDown(addr cryptoutil.Address, down bool) {
 	net.down[addr] = down
 }
 
-// liveView snapshots the cluster membership and liveness under the
-// network lock.
-func (net *Network) liveView() ([]*Node, map[cryptoutil.Address]bool) {
+// netView is a consistent snapshot of membership, liveness, and
+// partition state, taken under the network lock.
+type netView struct {
+	nodes      []*Node
+	down       map[cryptoutil.Address]bool
+	cells      map[cryptoutil.Address]int
+	quorumCell int
+}
+
+// reachable reports whether addr is live and on the quorum side of any
+// active partition — i.e. whether the cluster's progress path (sealing,
+// submission, reads) may use it.
+func (v *netView) reachable(addr cryptoutil.Address) bool {
+	if v.down[addr] {
+		return false
+	}
+	if v.cells == nil {
+		return true
+	}
+	return v.cells[addr] == v.quorumCell
+}
+
+// liveView snapshots the cluster membership, liveness, and partition
+// state under the network lock.
+func (net *Network) liveView() *netView {
 	net.mu.Lock()
 	defer net.mu.Unlock()
-	nodes := append([]*Node(nil), net.nodes...)
-	down := make(map[cryptoutil.Address]bool, len(net.down))
-	for k, v := range net.down {
-		down[k] = v
+	v := &netView{
+		nodes:      append([]*Node(nil), net.nodes...),
+		down:       make(map[cryptoutil.Address]bool, len(net.down)),
+		quorumCell: net.quorumCell,
 	}
-	return nodes, down
+	for k, d := range net.down {
+		v.down[k] = d
+	}
+	if net.cells != nil {
+		v.cells = make(map[cryptoutil.Address]int, len(net.cells))
+		for k, c := range net.cells {
+			v.cells[k] = c
+		}
+	}
+	return v
+}
+
+// Partition splits the cluster into isolated cells. Every current member
+// must be assigned a cell, and exactly one cell must hold a strict
+// majority of members — that quorum cell keeps sealing while the others
+// stall with their traffic buffered (and eventually dropped). Refuses to
+// stack partitions: Heal first.
+func (net *Network) Partition(cells map[cryptoutil.Address]int) error {
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	if net.cells != nil {
+		return ErrPartitioned
+	}
+	sizes := make(map[int]int)
+	for _, n := range net.nodes {
+		cell, ok := cells[n.Address()]
+		if !ok {
+			return fmt.Errorf("chain: partition omits member %s", n.Address().Short())
+		}
+		sizes[cell]++
+	}
+	quorum := -1
+	for cell, size := range sizes {
+		if 2*size > len(net.nodes) {
+			quorum = cell
+			break
+		}
+	}
+	if quorum == -1 {
+		return ErrNoQuorum
+	}
+	net.cells = make(map[cryptoutil.Address]int, len(net.nodes))
+	for _, n := range net.nodes {
+		net.cells[n.Address()] = cells[n.Address()]
+	}
+	net.quorumCell = quorum
+	return nil
+}
+
+// Heal reconnects a partitioned cluster: the cross-cell delivery buffer
+// is dropped (those broadcasts are long gone — minority nodes re-sync
+// instead, re-validating every block, so a heal cannot smuggle in
+// unvalidated state), and every lagging live node catches up from the
+// most advanced live peer. Returns the number of blocks synced across
+// all nodes and the number of buffered deliveries dropped.
+func (net *Network) Heal() (synced int, dropped int, err error) {
+	net.mu.Lock()
+	if net.cells == nil {
+		net.mu.Unlock()
+		return 0, 0, errors.New("chain: network is not partitioned")
+	}
+	net.cells = nil
+	dropped = len(net.buffered)
+	net.buffered = nil
+	net.droppedDeliveries += dropped
+	net.mu.Unlock()
+
+	v := net.liveView()
+	var donor *Node
+	for _, n := range v.nodes {
+		if v.down[n.Address()] {
+			continue
+		}
+		if donor == nil || n.Height() > donor.Height() {
+			donor = n
+		}
+	}
+	if donor == nil {
+		return 0, dropped, nil // every node down: nothing to converge
+	}
+	keys := net.AuthorityKeys()
+	for _, n := range v.nodes {
+		if v.down[n.Address()] || n == donor {
+			continue
+		}
+		applied, serr := n.SyncFrom(donor, keys)
+		synced += applied
+		if serr != nil {
+			return synced, dropped, fmt.Errorf("chain: heal sync of %s: %w", n.Address().Short(), serr)
+		}
+	}
+	return synced, dropped, nil
+}
+
+// IsPartitioned reports whether addr is currently cut off from the
+// quorum cell (always false when the cluster is whole).
+func (net *Network) IsPartitioned(addr cryptoutil.Address) bool {
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	if net.cells == nil {
+		return false
+	}
+	return net.cells[addr] != net.quorumCell
+}
+
+// Partitioned reports whether any partition is active.
+func (net *Network) Partitioned() bool {
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	return net.cells != nil
+}
+
+// DroppedDeliveries reports the cumulative count of cross-cell block
+// deliveries dropped by partitions (buffer overflow plus heal-time
+// discards).
+func (net *Network) DroppedDeliveries() int {
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	return net.droppedDeliveries
+}
+
+// bufferDelivery queues a cross-cell broadcast while partitioned,
+// dropping it outright once the buffer cap is reached.
+func (net *Network) bufferDelivery(to cryptoutil.Address, block *Block, proposerKey []byte) {
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	if net.cells == nil {
+		return // healed concurrently: the node will re-sync anyway
+	}
+	if len(net.buffered) >= maxBufferedDeliveries {
+		net.droppedDeliveries++
+		return
+	}
+	net.buffered = append(net.buffered, bufferedDelivery{to: to, block: block, proposerKey: proposerKey})
 }
 
 // SealNext asks the in-turn authority to seal the next block and
@@ -210,15 +418,18 @@ func (net *Network) liveView() ([]*Node, map[cryptoutil.Address]bool) {
 // (clique-style), so the cluster stays live as long as one authority
 // remains — the paper's availability property.
 func (net *Network) SealNext() (*Block, error) {
-	nodes, down := net.liveView()
+	v := net.liveView()
 
-	if len(nodes) == 0 {
+	if len(v.nodes) == 0 {
 		return nil, errors.New("chain: empty network")
 	}
-	// Pick a live reference node to read the current height.
+	// Pick a reachable reference node to read the current height. Under a
+	// partition only the quorum cell seals — the minority stalls at its
+	// pre-split height, which is what keeps committed blocks rollback-free
+	// across heals (the minority chain stays a strict prefix).
 	var ref *Node
-	for _, n := range nodes {
-		if !down[n.Address()] {
+	for _, n := range v.nodes {
+		if v.reachable(n.Address()) {
 			ref = n
 			break
 		}
@@ -229,9 +440,9 @@ func (net *Network) SealNext() (*Block, error) {
 	height := ref.Height() + 1
 	inTurn := ref.proposerFor(height)
 
-	byAddr := make(map[cryptoutil.Address]*Node, len(nodes))
-	order := make([]cryptoutil.Address, 0, len(nodes))
-	for _, n := range nodes {
+	byAddr := make(map[cryptoutil.Address]*Node, len(v.nodes))
+	order := make([]cryptoutil.Address, 0, len(v.nodes))
+	for _, n := range v.nodes {
 		byAddr[n.Address()] = n
 		order = append(order, n.Address())
 	}
@@ -249,7 +460,7 @@ func (net *Network) SealNext() (*Block, error) {
 	for i := range order {
 		addr := order[(start+i)%len(order)]
 		node := byAddr[addr]
-		if down[addr] {
+		if !v.reachable(addr) {
 			continue
 		}
 		var err error
@@ -269,12 +480,19 @@ func (net *Network) SealNext() (*Block, error) {
 	}
 
 	proposerKey := net.keys[proposerAddr]
-	for _, n := range nodes {
-		if n.Address() == proposerAddr || down[n.Address()] {
+	for _, n := range v.nodes {
+		addr := n.Address()
+		if addr == proposerAddr || v.down[addr] {
+			continue
+		}
+		if !v.reachable(addr) {
+			// Live but on the wrong side of the split: the broadcast is
+			// buffered (and eventually dropped) instead of delivered.
+			net.bufferDelivery(addr, block, proposerKey)
 			continue
 		}
 		if err := n.ApplyBlock(block, proposerKey); err != nil {
-			return nil, fmt.Errorf("chain: node %s rejected block %d: %w", n.Address().Short(), block.Header.Number, err)
+			return nil, fmt.Errorf("chain: node %s rejected block %d: %w", addr.Short(), block.Header.Number, err)
 		}
 	}
 	return block, nil
@@ -343,11 +561,20 @@ func (net *Network) Recover(addr cryptoutil.Address) (int, error) {
 	net.down[addr] = false
 	var target, donor *Node
 	for _, n := range net.nodes {
-		if n.Address() == addr {
+		a := n.Address()
+		if a == addr {
 			target = n
-		} else if !net.down[n.Address()] && donor == nil {
-			donor = n
+			continue
 		}
+		if net.down[a] || donor != nil {
+			continue
+		}
+		// Under a partition a recovering node can only sync from a peer in
+		// its own cell — cross-cell traffic is cut.
+		if net.cells != nil && net.cells[a] != net.cells[addr] {
+			continue
+		}
+		donor = n
 	}
 	net.mu.Unlock()
 	if target == nil {
@@ -388,13 +615,16 @@ func (net *Network) SubmitEverywhereBatch(txs []*Tx) ([]cryptoutil.Hash, error) 
 	if err := VerifyTxSignatures(txs, net.verifyWorkers); err != nil {
 		return nil, err
 	}
-	nodes, down := net.liveView()
+	v := net.liveView()
 
 	var hashes []cryptoutil.Hash
 	var accepted []*Node
 	var acceptedAdded [][]cryptoutil.Hash
-	for _, n := range nodes {
-		if down[n.Address()] {
+	for _, n := range v.nodes {
+		// Submission rides the quorum side only: a minority node's mempool
+		// would hold the tx invisibly until heal, breaking the "no live
+		// mempool still queues the batch" error contract.
+		if !v.reachable(n.Address()) {
 			continue
 		}
 		h, added, err := n.submitVerifiedBatch(txs)
@@ -428,9 +658,9 @@ func (net *Network) IsDown(addr cryptoutil.Address) bool {
 // queries, nonce reads) must use a live node: a failed node's ledger is
 // frozen until it recovers and syncs.
 func (net *Network) LiveNode() *Node {
-	nodes, down := net.liveView()
-	for _, n := range nodes {
-		if !down[n.Address()] {
+	v := net.liveView()
+	for _, n := range v.nodes {
+		if v.reachable(n.Address()) {
 			return n
 		}
 	}
@@ -440,10 +670,10 @@ func (net *Network) LiveNode() *Node {
 // PendingTxs reports the largest mempool backlog among live nodes — the
 // number of consensus-round transactions still to seal cluster-wide.
 func (net *Network) PendingTxs() int {
-	nodes, down := net.liveView()
+	v := net.liveView()
 	maxPending := 0
-	for _, n := range nodes {
-		if down[n.Address()] {
+	for _, n := range v.nodes {
+		if !v.reachable(n.Address()) {
 			continue
 		}
 		if p := n.PendingTxs(); p > maxPending {

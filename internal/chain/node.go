@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cryptoutil"
@@ -115,6 +116,13 @@ type Node struct {
 
 	sealMu      sync.Mutex
 	stopSealing func()
+
+	// Byzantine-fault bookkeeping (see byzantine.go): evMu guards the
+	// collected double-seal evidence; equivGuardOff disables the
+	// equivocation rejection path (fault-injection hook only).
+	evMu          sync.Mutex
+	evidence      []EquivocationEvidence
+	equivGuardOff atomic.Bool
 }
 
 // Node construction and submission errors.
@@ -295,6 +303,10 @@ func (n *Node) enqueueLocked(tx *Tx) (cryptoutil.Hash, error) {
 	committed := n.nonces[tx.From]
 	if tx.Nonce < committed {
 		return h, fmt.Errorf("%w: got %d, committed %d", ErrTxStale, tx.Nonce, committed)
+	}
+	if tx.GasLimit > MaxTxGasLimit {
+		return cryptoutil.Hash{}, fmt.Errorf("%w: declares %d, cap %d",
+			ErrGasTooLarge, tx.GasLimit, MaxTxGasLimit)
 	}
 	expected := committed + n.mempool.PendingFrom(tx.From)
 	if tx.Nonce != expected {

@@ -178,6 +178,14 @@ func recoverNode(cfg Config, wal *store.WAL, records []store.Record) (*Node, err
 		}
 		b := &Block{Header: wr.Block.Header, Txs: wr.Block.Txs, Receipts: wr.Block.Receipts}
 		if b.Header.Number != prev.Header.Number+1 || b.Header.ParentHash != prev.Hash() {
+			// Before discarding the tail, check whether this record is a
+			// second block at an already-recovered height from the same
+			// proposer — a double-seal that made it into the log. Recovery
+			// surfaces it as evidence so an equivocation is not silently
+			// laundered through a crash-restart cycle.
+			if ev, ok := equivocalRecord(blocks, b); ok {
+				n.recordEquivocation(ev)
+			}
 			break
 		}
 		blocks = append(blocks, b)
@@ -209,6 +217,29 @@ func recoverNode(cfg Config, wal *store.WAL, records []store.Record) (*Node, err
 	n.state = st
 	n.attachStore(cfg, wal)
 	return n, nil
+}
+
+// equivocalRecord classifies a WAL record that failed linkage during
+// recovery: it is equivocation evidence when it holds a block at an
+// already-recovered height, from that height's committed proposer, with a
+// different hash. The record's signature was verified before it was ever
+// appended (the WAL only logs committed blocks), so no re-verification is
+// needed — the log is this node's own trust domain.
+func equivocalRecord(recovered []*Block, b *Block) (EquivocationEvidence, bool) {
+	num := b.Header.Number
+	if num == 0 || num > uint64(len(recovered)) {
+		return EquivocationEvidence{}, false
+	}
+	committed := recovered[num-1] // recovered[0] is height 1
+	if committed.Header.Proposer != b.Header.Proposer || committed.Hash() == b.Hash() {
+		return EquivocationEvidence{}, false
+	}
+	return EquivocationEvidence{
+		Height:        num,
+		Proposer:      b.Header.Proposer,
+		CommittedHash: committed.Hash(),
+		OfferedHash:   b.Hash(),
+	}, true
 }
 
 // rebuildState reconstitutes the post-head state: it prefers the newest

@@ -122,7 +122,13 @@ func (d *Deployment) RestartValidatorFromDisk(i int) (int, error) {
 	d.Nodes[i] = node
 	d.mu.Lock()
 	delete(d.crashed, i)
+	guardOff := d.equivGuardOff
 	d.mu.Unlock()
+	if guardOff {
+		// The deployment-wide sabotage (SetEquivocationGuard(false)) must
+		// survive the restart, or a crash would quietly re-arm the guard.
+		node.SetEquivocationGuard(false)
+	}
 	return d.Network.Recover(d.addrs[i])
 }
 

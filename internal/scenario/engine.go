@@ -108,6 +108,11 @@ type Config struct {
 	// MaxShrinkRuns bounds the replays RunShrunk spends minimizing a
 	// failing plan (default 120).
 	MaxShrinkRuns int
+	// DisableEquivocationGuard boots the deployment with equivocation
+	// rejection sabotaged on every validator (test hook: the soak must
+	// catch the resulting silent double-seal acceptance through the
+	// no-equivocation-accepted invariant, in a shrunk trace).
+	DisableEquivocationGuard bool
 	// Invariants overrides the invariant suite (default
 	// DefaultInvariants).
 	Invariants []Invariant
@@ -219,7 +224,12 @@ func (e *Engine) RunPlan(plan []Step) *RunResult {
 // failing run found; its ShrinkRuns field records the replay budget
 // spent.
 func (e *Engine) RunShrunk() *RunResult {
-	first := e.Run()
+	return e.shrinkResult(e.Run())
+}
+
+// shrinkResult minimizes the failing plan of an already-executed run
+// (no-op for clean runs and boot errors).
+func (e *Engine) shrinkResult(first *RunResult) *RunResult {
 	if first.Failure == nil || first.Failure.Kind == FailError {
 		return first
 	}
@@ -241,15 +251,15 @@ func (e *Engine) RunShrunk() *RunResult {
 		return first
 	}
 
+	partners := pairPartners(cur)
 	for chunk := len(cur) / 2; chunk >= 1; {
 		removedAny := false
 		for start := 0; start+chunk <= len(cur) && runs < e.cfg.MaxShrinkRuns; {
-			cand := make([]Step, 0, len(cur)-chunk)
-			cand = append(cand, cur[:start]...)
-			cand = append(cand, cur[start+chunk:]...)
+			cand := removeChunk(cur, partners, start, chunk)
 			r := tryPlan(cand)
 			if sameFailure(r.Failure, target) {
 				cur = cand
+				partners = pairPartners(cur)
 				best = r
 				removedAny = true
 				// keep start: the next chunk slid into place
@@ -269,4 +279,61 @@ func (e *Engine) RunShrunk() *RunResult {
 	}
 	best.ShrinkRuns = runs
 	return best
+}
+
+// pairPartners maps each step index to the index of its paired
+// counterpart, or -1 when unpaired: an OpHeal closes the nearest open
+// OpPartition before it; an OpRecoverNode the nearest open OpFailNode.
+// Pairing is at the op level — selectors resolve modulo the live
+// population at execution time, so "which validator" is a property of
+// the run, not the plan text; what shrinking must preserve is the
+// structural balance (no heal without a split, no stranded partition or
+// failure whose repair was deleted out from under it).
+func pairPartners(plan []Step) []int {
+	partners := make([]int, len(plan))
+	for i := range partners {
+		partners[i] = -1
+	}
+	var partitions, fails []int
+	for i, st := range plan {
+		switch st.Op {
+		case OpPartition:
+			partitions = append(partitions, i)
+		case OpHeal:
+			if n := len(partitions); n > 0 {
+				j := partitions[n-1]
+				partitions = partitions[:n-1]
+				partners[i], partners[j] = j, i
+			}
+		case OpFailNode:
+			fails = append(fails, i)
+		case OpRecoverNode:
+			if n := len(fails); n > 0 {
+				j := fails[n-1]
+				fails = fails[:n-1]
+				partners[i], partners[j] = j, i
+			}
+		}
+	}
+	return partners
+}
+
+// removeChunk builds the shrink candidate that drops plan[start:start+chunk]
+// along with the out-of-range pair partner of every dropped step, so
+// paired ops leave or stay together and shrunk traces remain well-formed.
+func removeChunk(plan []Step, partners []int, start, chunk int) []Step {
+	drop := make([]bool, len(plan))
+	for i := start; i < start+chunk && i < len(plan); i++ {
+		drop[i] = true
+		if p := partners[i]; p >= 0 {
+			drop[p] = true
+		}
+	}
+	out := make([]Step, 0, len(plan))
+	for i, st := range plan {
+		if !drop[i] {
+			out = append(out, st)
+		}
+	}
+	return out
 }

@@ -37,6 +37,28 @@ func FuzzScenarioSteps(f *testing.F) {
 		byte(OpReorderTxs), 0, 0, 0, 0,
 		byte(OpReplayRequest), 0, 0, 0, 0,
 	})
+	// Byzantine repertoire: equivocation to a peer subset, each
+	// invalid-block dimension, a partition bracketing sealing, and both
+	// hostile pod clients.
+	f.Add([]byte{
+		byte(OpAddOwner), 0, 0, 0, 0,
+		byte(OpEquivocate), 0, 1, 0, 0,
+		byte(OpInvalidBlock), 0, 0, 0, 0,
+		byte(OpInvalidBlock), 1, 0, 0, 1,
+		byte(OpInvalidBlock), 0, 0, 0, 2,
+		byte(OpNonceFlood), 0, 0, 0, 3,
+	})
+	f.Add([]byte{
+		byte(OpAddOwner), 0, 0, 0, 0,
+		byte(OpAddConsumer), 0, 0, 0, 0,
+		byte(OpPublish), 0, 0, 0, 2,
+		byte(OpGrant), 0, 0, 0, 0,
+		byte(OpPartition), 0, 0, 0, 0,
+		byte(OpSealEmpty), 0, 0, 0, 0,
+		byte(OpHeal), 0, 0, 0, 0,
+		byte(OpCredentialReplay), 0, 0, 0, 0,
+		byte(OpEquivocate), 0, 0, 0, 0,
+	})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		plan := DecodePlan(data, 24)

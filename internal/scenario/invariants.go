@@ -29,7 +29,95 @@ func DefaultInvariants() []Invariant {
 		{"retention-enforcement", checkRetentionEnforcement},
 		{"honest-compliance", checkHonestCompliance},
 		{"recovery-equivalence", checkRecoveryEquivalence},
+		// The two adversarial invariants stay last so DefaultInvariants()[:10]
+		// remains the honest-path suite (the adversarial-throughput guard
+		// compares against exactly that prefix).
+		{"no-equivocation-accepted", checkNoEquivocationAccepted},
+		{"partition-convergence", checkPartitionConvergence},
 	}
+}
+
+// checkNoEquivocationAccepted: no honest node ever commits an
+// equivocator's second block — for every injected double-seal, each live
+// validator's chain holds the honestly committed block at the contested
+// height (never the forged sibling), and every targeted validator
+// surfaces matching evidence of the attack. A crash-restarted target is
+// excused from the evidence obligation (its RAM is legitimately gone;
+// the world prunes it) but never from the chain-content obligation.
+func checkNoEquivocationAccepted(w *World) error {
+	for ai, att := range w.equivAttempts {
+		for i, n := range w.d.Nodes {
+			if n == nil || w.d.ValidatorDown(i) {
+				continue
+			}
+			b := n.BlockByNumber(att.height)
+			if b == nil {
+				continue // lagging behind the contested height (partition minority)
+			}
+			switch h := b.Hash(); {
+			case h == att.forged:
+				return fmt.Errorf("attempt %d: validator %d committed the forged block at height %d",
+					ai, i, att.height)
+			case h != att.committed:
+				return fmt.Errorf("attempt %d: validator %d holds unexpected block %s at height %d",
+					ai, i, h.Short(), att.height)
+			}
+		}
+		for t := range att.targets {
+			n := w.d.Nodes[t]
+			if n == nil || w.d.ValidatorDown(t) {
+				continue // frozen or gone; re-judged once it is back
+			}
+			found := false
+			for _, ev := range n.EquivocationEvidence() {
+				if ev.Height == att.height && ev.OfferedHash == att.forged {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("attempt %d: validator %d holds no evidence for the double-seal at height %d",
+					ai, t, att.height)
+			}
+		}
+	}
+	return nil
+}
+
+// checkPartitionConvergence: partitions never cost committed blocks.
+// While split, every isolated validator's chain is a strict prefix of
+// the quorum chain (the minority cannot seal, so it can never fork);
+// and across every heal, each validator's pre-heal head remains
+// canonical forever — convergence only ever extends chains, it never
+// rolls one back.
+func checkPartitionConvergence(w *World) error {
+	ref := w.d.LiveNode()
+	if ref == nil {
+		return errors.New("no live node")
+	}
+	for i, n := range w.d.Nodes {
+		if n == nil || w.d.ValidatorDown(i) || !w.d.ValidatorPartitioned(i) {
+			continue
+		}
+		head := n.Head()
+		qb := ref.BlockByNumber(head.Header.Number)
+		if qb == nil || qb.Hash() != head.Hash() {
+			return fmt.Errorf("partitioned validator %d head (height %d) is not on the quorum chain",
+				i, head.Header.Number)
+		}
+	}
+	for _, mark := range w.healedHeads {
+		b := ref.BlockByNumber(mark.height)
+		if b == nil {
+			return fmt.Errorf("pre-heal head at height %d rolled back (chain now at %d)",
+				mark.height, ref.Height())
+		}
+		if b.Hash() != mark.hash {
+			return fmt.Errorf("pre-heal head at height %d replaced: %s != %s",
+				mark.height, b.Hash().Short(), mark.hash.Short())
+		}
+	}
+	return nil
 }
 
 // checkRecoveryEquivalence: durability is lossless — every live
@@ -63,8 +151,8 @@ func checkRecoveryEquivalence(w *World) error {
 	}
 	for i := range w.restarted {
 		n := w.d.Nodes[i]
-		if n == nil || w.d.ValidatorDown(i) {
-			continue // re-crashed or re-failed since: frozen by design
+		if n == nil || w.d.ValidatorDown(i) || w.d.ValidatorPartitioned(i) {
+			continue // re-crashed, re-failed, or cut off since: frozen by design
 		}
 		if got := n.Head().Hash(); got != refHead.Hash() {
 			return fmt.Errorf("restarted validator %d head %s diverges from live head %s",
@@ -121,12 +209,16 @@ func checkNonceMonotonicity(w *World) error {
 }
 
 // checkHeadAgreement: every live validator agrees on the chain tip.
+// Partitioned minority validators are exempt while the split lasts —
+// they stall at their pre-split head by design (partition-convergence
+// separately holds that stalled head to be a quorum-chain prefix), and
+// rejoin this check the moment the partition heals.
 func checkHeadAgreement(w *World) error {
 	var refIdx = -1
 	var ref cryptoutil.Hash
 	var refHeight uint64
 	for i, n := range w.d.Nodes {
-		if w.d.ValidatorDown(i) {
+		if w.d.ValidatorDown(i) || w.d.ValidatorPartitioned(i) {
 			continue
 		}
 		head := n.Head()

@@ -1,0 +1,188 @@
+package scenario
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestPairPartners pins the shrinker's structural pairing: each heal
+// closes the nearest open partition, each recover the nearest open node
+// failure, and unmatched ops stay unpaired.
+func TestPairPartners(t *testing.T) {
+	cases := []struct {
+		name string
+		plan []Step
+		want []int
+	}{
+		{
+			name: "partition-heal",
+			plan: []Step{{Op: OpPartition}, {Op: OpSealEmpty}, {Op: OpHeal}},
+			want: []int{2, -1, 0},
+		},
+		{
+			name: "fail-recover",
+			plan: []Step{{Op: OpFailNode}, {Op: OpAccess}, {Op: OpRecoverNode}},
+			want: []int{2, -1, 0},
+		},
+		{
+			name: "nested-partitions-close-innermost-first",
+			plan: []Step{{Op: OpPartition}, {Op: OpPartition}, {Op: OpHeal}, {Op: OpHeal}},
+			want: []int{3, 2, 1, 0},
+		},
+		{
+			name: "nested-failures-close-innermost-first",
+			plan: []Step{{Op: OpFailNode}, {Op: OpFailNode}, {Op: OpRecoverNode}, {Op: OpRecoverNode}},
+			want: []int{3, 2, 1, 0},
+		},
+		{
+			name: "unmatched-ends-stay-unpaired",
+			plan: []Step{{Op: OpHeal}, {Op: OpPartition}, {Op: OpRecoverNode}, {Op: OpFailNode}},
+			want: []int{-1, -1, -1, -1},
+		},
+		{
+			name: "kinds-do-not-cross-pair",
+			plan: []Step{{Op: OpPartition}, {Op: OpFailNode}, {Op: OpRecoverNode}, {Op: OpHeal}},
+			want: []int{3, 2, 1, 0},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := pairPartners(tc.plan)
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("partner[%d] = %d, want %d (full: %v)", i, got[i], tc.want[i], got)
+				}
+			}
+		})
+	}
+}
+
+// TestRemoveChunkKeepsPairsTogether pins the candidate builder: dropping
+// a chunk drags along the out-of-range partner of every dropped step, so
+// a shrink candidate never contains a heal without its partition or a
+// recover without its failure (and vice versa).
+func TestRemoveChunkKeepsPairsTogether(t *testing.T) {
+	balanced := func(t *testing.T, plan []Step) {
+		t.Helper()
+		openPartitions, openFails := 0, 0
+		for _, st := range plan {
+			switch st.Op {
+			case OpPartition:
+				openPartitions++
+			case OpHeal:
+				if openPartitions == 0 {
+					t.Fatalf("candidate has a heal with no open partition: %v", plan)
+				}
+				openPartitions--
+			case OpFailNode:
+				openFails++
+			case OpRecoverNode:
+				if openFails == 0 {
+					t.Fatalf("candidate has a recover with no open failure: %v", plan)
+				}
+				openFails--
+			}
+		}
+	}
+
+	t.Run("partition-heal", func(t *testing.T) {
+		plan := []Step{
+			{Op: OpAddOwner}, {Op: OpPartition}, {Op: OpSealEmpty},
+			{Op: OpHeal}, {Op: OpAccess},
+		}
+		partners := pairPartners(plan)
+		// Dropping the partition must drop its heal too.
+		cand := removeChunk(plan, partners, 1, 1)
+		balanced(t, cand)
+		if len(cand) != 3 {
+			t.Fatalf("dropping the partition kept %d steps, want 3 (heal must leave with it): %v", len(cand), cand)
+		}
+		// Dropping the heal must drop its partition.
+		cand = removeChunk(plan, partners, 3, 1)
+		balanced(t, cand)
+		if len(cand) != 3 {
+			t.Fatalf("dropping the heal kept %d steps, want 3 (partition must leave with it): %v", len(cand), cand)
+		}
+		// Dropping an unpaired step in between leaves the pair intact.
+		cand = removeChunk(plan, partners, 2, 1)
+		balanced(t, cand)
+		if len(cand) != 4 {
+			t.Fatalf("dropping a bystander removed %d steps: %v", len(plan)-len(cand), cand)
+		}
+		// Dropping a chunk that covers both endpoints removes exactly them.
+		cand = removeChunk(plan, partners, 1, 3)
+		balanced(t, cand)
+		if len(cand) != 2 {
+			t.Fatalf("dropping the whole pair span kept %d steps, want 2: %v", len(cand), cand)
+		}
+	})
+
+	t.Run("fail-recover", func(t *testing.T) {
+		plan := []Step{
+			{Op: OpFailNode}, {Op: OpDuplicateTx}, {Op: OpRecoverNode}, {Op: OpMonitor},
+		}
+		partners := pairPartners(plan)
+		cand := removeChunk(plan, partners, 0, 1)
+		balanced(t, cand)
+		if len(cand) != 2 {
+			t.Fatalf("dropping the failure kept %d steps, want 2 (recover must leave with it): %v", len(cand), cand)
+		}
+		cand = removeChunk(plan, partners, 2, 1)
+		balanced(t, cand)
+		if len(cand) != 2 {
+			t.Fatalf("dropping the recover kept %d steps, want 2 (failure must leave with it): %v", len(cand), cand)
+		}
+	})
+}
+
+// TestShrinkPreservesPairingEndToEnd drives RunShrunk over a plan whose
+// failure (a custom invariant tripping on resource count) coexists with
+// an open partition: the shrunk plan must stay structurally balanced —
+// no heal surviving without its partition — while still reproducing the
+// violation.
+func TestShrinkPreservesPairingEndToEnd(t *testing.T) {
+	broken := append(DefaultInvariants(), Invariant{
+		Name: "no-resources-ever",
+		Check: func(w *World) error {
+			if _, _, res := w.Populations(); res > 0 {
+				return errOneResource
+			}
+			return nil
+		},
+	})
+	plan := []Step{
+		{Op: OpAddOwner},
+		{Op: OpPartition, Arg: 0},
+		{Op: OpSealEmpty},
+		{Op: OpHeal},
+		{Op: OpAddConsumer},
+		{Op: OpPublish, Arg: 2}, // trips no-resources-ever
+	}
+	eng := New(Config{Seed: 8, Validators: 5, Invariants: broken, MaxShrinkRuns: 60})
+	res := eng.shrinkResult(eng.RunPlan(plan))
+	if res.Failure == nil || res.Failure.Name != "no-resources-ever" {
+		t.Fatalf("want no-resources-ever failure, got %v", res.Failure)
+	}
+	// The minimal repro is add-owner + publish; the partition pair must
+	// have been removed together, never leaving a dangling heal.
+	open := 0
+	for _, st := range res.Plan {
+		switch st.Op {
+		case OpPartition:
+			open++
+		case OpHeal:
+			if open == 0 {
+				t.Fatalf("shrunk plan has a dangling heal:\n%s", res.Trace())
+			}
+			open--
+		}
+	}
+	if len(res.Plan) > 2 {
+		t.Fatalf("shrunk plan has %d steps, want <= 2:\n%s", len(res.Plan), res.Trace())
+	}
+}
+
+var errOneResource = errors.New("a resource exists")

@@ -1,0 +1,178 @@
+package scenario
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var (
+	soakFor   = flag.Duration("soak", 0, "wall-clock budget for TestScenarioSoak (0 skips)")
+	soakSteps = flag.Int("soak.steps", 60, "plan length per soak run")
+	soakSeed  = flag.Int64("soak.seed", 0, "first soak seed (0 derives one from the clock)")
+	soakOut   = flag.String("soak.out", "repros", "directory receiving shrunk failure repros")
+)
+
+// TestScenarioSoak is the nightly CI entry point: it explores fresh
+// seeds for the given wall-clock budget, shrinks any failure to a
+// minimal trace, and writes that trace as a committable repro file.
+//
+//	go test -race -run TestScenarioSoak ./internal/scenario/ -soak 60s
+//
+// A clean soak proves nothing forever — it spends a budget. A failing
+// soak leaves an artifact: the repro file replays the violation without
+// the soak, and belongs in repros/ next to the fix.
+func TestScenarioSoak(t *testing.T) {
+	if *soakFor <= 0 {
+		t.Skip("soak disabled; enable with -soak 60s")
+	}
+	seed := *soakSeed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	deadline := time.Now().Add(*soakFor)
+	runs := 0
+	for time.Now().Before(deadline) {
+		cfg := Config{Seed: seed, Steps: *soakSteps}
+		res := New(cfg).RunShrunk()
+		runs++
+		if res.Failure != nil {
+			path, werr := WriteRepro(*soakOut, fmt.Sprintf("soak-seed%d", seed), cfg, res)
+			if werr != nil {
+				t.Errorf("writing repro: %v", werr)
+			} else {
+				t.Errorf("repro written to %s", path)
+			}
+			t.Fatalf("soak seed %d failed: %s\nshrunk trace (%d replays):\n%s",
+				seed, res.Failure, res.ShrinkRuns, res.Trace())
+		}
+		seed++
+	}
+	t.Logf("soak: %d seeds clean in %s (last seed %d)", runs, *soakFor, seed-1)
+}
+
+// TestScenarioSoakCatchesDisabledGuard is the soak's acceptance test:
+// with equivocation rejection sabotaged on every validator, a short
+// seed sweep must catch the silent double-seal acceptance through the
+// no-equivocation-accepted invariant, shrink it to at most 3 steps, and
+// produce a repro file that round-trips and replays to the same
+// failure.
+func TestScenarioSoakCatchesDisabledGuard(t *testing.T) {
+	var caught *RunResult
+	var caughtCfg Config
+	for seed := int64(1); seed <= 10 && caught == nil; seed++ {
+		cfg := Config{Seed: seed, Steps: 60, DisableEquivocationGuard: true}
+		res := New(cfg).RunShrunk()
+		if res.Failure != nil {
+			caught, caughtCfg = res, cfg
+		}
+	}
+	if caught == nil {
+		t.Fatal("10 sabotaged seeds ran clean: the soak cannot catch a disabled equivocation guard")
+	}
+	if caught.Failure.Kind != FailInvariant || caught.Failure.Name != "no-equivocation-accepted" {
+		t.Fatalf("want no-equivocation-accepted invariant failure, got %s", caught.Failure)
+	}
+	if len(caught.Plan) > 3 {
+		t.Fatalf("shrunk trace has %d steps, want <= 3:\n%s", len(caught.Plan), caught.Trace())
+	}
+	t.Logf("caught in %d steps after %d shrink replays:\n%s", len(caught.Plan), caught.ShrinkRuns, caught.Trace())
+
+	// The written repro must decode back and replay to the same violation.
+	dir := t.TempDir()
+	path, err := WriteRepro(dir, "disabled-guard", caughtCfg, caught)
+	if err != nil {
+		t.Fatalf("write repro: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read repro back: %v", err)
+	}
+	replay, err := ReplayRepro(data)
+	if err != nil {
+		t.Fatalf("replay repro: %v", err)
+	}
+	if !sameFailure(replay.Failure, caught.Failure) {
+		t.Fatalf("repro replay diverged: want %s, got %v", caught.Failure, replay.Failure)
+	}
+}
+
+// TestScenarioRepros replays every committed repro file. Files under
+// repros/ are regression plans: each pinned a violation once (or was
+// written by hand as the minimal exercise of an adversarial op) and
+// must PASS forever after.
+func TestScenarioRepros(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("repros", "*.repro"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no committed repro files under repros/")
+	}
+	for _, path := range paths {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := ReplayRepro(data)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if res.Failure != nil {
+				t.Fatalf("committed repro regressed: %s\ntrace:\n%s", res.Failure, res.Trace())
+			}
+		})
+	}
+}
+
+// TestReproRoundTrip pins the repro codec: encode → decode is lossless
+// for the plan and the replay-shaping config facets, and malformed
+// inputs are rejected with errors rather than silently skipped.
+func TestReproRoundTrip(t *testing.T) {
+	cfg := Config{Validators: 5, DisableEquivocationGuard: true}
+	res := &RunResult{
+		Seed: 42,
+		Plan: []Step{
+			{Op: OpAddOwner, A: 1, B: 2, C: 3, Arg: 4},
+			{Op: OpPartition, Arg: 1},
+			{Op: OpEquivocate, B: 5},
+			{Op: OpHeal},
+		},
+		Failure: &Failure{Step: 3, Kind: FailInvariant, Name: "partition-convergence"},
+	}
+	gotCfg, gotPlan, err := DecodeRepro(EncodeRepro(cfg, res))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if gotCfg.Validators != 5 || !gotCfg.DisableEquivocationGuard {
+		t.Fatalf("config facets lost: %+v", gotCfg)
+	}
+	if len(gotPlan) != len(res.Plan) {
+		t.Fatalf("plan length %d, want %d", len(gotPlan), len(res.Plan))
+	}
+	for i := range gotPlan {
+		if gotPlan[i] != res.Plan[i] {
+			t.Fatalf("step %d: got %v, want %v", i, gotPlan[i], res.Plan[i])
+		}
+	}
+
+	bad := []struct{ name, text string }{
+		{"unknown-op", "validators=3\nstep frobnicate 0 0 0 0\n"},
+		{"unknown-key", "frobs=3\nstep access 0 0 0 0\n"},
+		{"bad-operand", "validators=3\nstep access 0 x 0 0\n"},
+		{"short-step", "validators=3\nstep access 0 0\n"},
+		{"bad-validators", "validators=one\nstep access 0 0 0 0\n"},
+		{"bad-guard", "equivocation-guard=maybe\nstep access 0 0 0 0\n"},
+		{"sabotage-excluded", "validators=3\nstep sabotage 0 0 0 0\n"},
+		{"empty", "# nothing\n"},
+	}
+	for _, tc := range bad {
+		if _, _, err := DecodeRepro([]byte(tc.text)); err == nil {
+			t.Errorf("%s: decode accepted malformed input", tc.name)
+		}
+	}
+}

@@ -63,6 +63,34 @@ const (
 	// node must rejoin and converge — the recovery-equivalence invariant
 	// checks it after every subsequent step.
 	OpCrashRestart
+	// OpEquivocate makes the next block's proposer seal twice: the honest
+	// block commits cluster-wide, then a validly signed sibling at the
+	// same height is gossiped to a subset of peers (selected by B as a
+	// bitmask). Every target must reject it with equivocation evidence —
+	// the no-equivocation-accepted invariant holds them to it.
+	OpEquivocate
+	// OpInvalidBlock forges a block invalid in one dimension — bad state
+	// root, bad proposer signature, or an over-gas transaction (Arg%3) —
+	// and injects it into live validators via the byzantine delivery
+	// hook. Each must reject with the dimension's distinct error.
+	OpInvalidBlock
+	// OpPartition splits the validators into a quorum cell (always
+	// holding validator 0 and the pod hosts) and an isolated minority;
+	// cross-cell traffic is buffered then dropped. Only the quorum seals.
+	OpPartition
+	// OpHeal reconnects a partitioned cluster and re-syncs the minority;
+	// the partition-convergence invariant demands full head agreement
+	// with no committed-block rollback.
+	OpHeal
+	// OpCredentialReplay plays a malicious pod client splicing captured
+	// credentials: a verbatim replay of a signed+paid request (must 401),
+	// a stolen market certificate presented by another consumer (must
+	// 403), and a certificate presented for a different resource (403).
+	OpCredentialReplay
+	// OpNonceFlood burns many fresh nonces from a hostile agent; per-agent
+	// eviction means other agents' replay protection must be unaffected
+	// and the flooder itself is never starved.
+	OpNonceFlood
 
 	// numOps counts the fuzz-decodable ops; everything below is excluded
 	// from DecodePlan so fuzzing can only find genuine violations.
@@ -115,6 +143,18 @@ func (o Op) String() string {
 		return "seal-empty"
 	case OpCrashRestart:
 		return "crash-restart"
+	case OpEquivocate:
+		return "equivocate"
+	case OpInvalidBlock:
+		return "invalid-block"
+	case OpPartition:
+		return "partition"
+	case OpHeal:
+		return "heal"
+	case OpCredentialReplay:
+		return "credential-replay"
+	case OpNonceFlood:
+		return "nonce-flood"
 	case OpSabotage:
 		return "sabotage"
 	}
@@ -150,6 +190,8 @@ var opWeights = []struct {
 	{OpMonitor, 5}, {OpSettle, 2}, {OpReplayRequest, 3}, {OpDropRequest, 2},
 	{OpDuplicateTx, 3}, {OpReorderTxs, 2}, {OpFailNode, 2}, {OpRecoverNode, 3},
 	{OpClockSkip, 5}, {OpSealEmpty, 2}, {OpCrashRestart, 3},
+	{OpEquivocate, 3}, {OpInvalidBlock, 3}, {OpPartition, 3}, {OpHeal, 4},
+	{OpCredentialReplay, 3}, {OpNonceFlood, 2},
 }
 
 // GeneratePlan derives a step plan deterministically from the seed. The

@@ -4,12 +4,9 @@ import (
 	"bytes"
 	"context"
 	"crypto/sha256"
-	"encoding/base64"
-	"encoding/hex"
 	"errors"
 	"fmt"
 	"net/http"
-	"net/url"
 	"os"
 	"time"
 
@@ -17,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cryptoutil"
 	"repro/internal/distexchange"
+	"repro/internal/podmanager"
 	"repro/internal/policy"
 	"repro/internal/solid"
 	"repro/internal/store"
@@ -104,6 +102,39 @@ type World struct {
 	// dupNonce tracks its committed nonce sequence.
 	dupKey   *cryptoutil.KeyPair
 	dupNonce uint64
+
+	// partitioned mirrors the active partition's minority membership;
+	// healedHeads records every live validator's head at each heal
+	// instant, which partition-convergence holds to "still canonical
+	// forever" (no committed-block rollback).
+	partitioned map[int]bool
+	healedHeads []headMark
+
+	// equivAttempts records every injected double-seal; the
+	// no-equivocation-accepted invariant re-judges each one after every
+	// step. Crash-restarting a target prunes it from the attempt: its
+	// in-memory evidence is legitimately gone.
+	equivAttempts []*equivAttempt
+
+	// malloryID/malloryKey is the hostile agent driving nonce floods,
+	// provisioned lazily on first use.
+	malloryID  solid.WebID
+	malloryKey *cryptoutil.KeyPair
+}
+
+// headMark pins a (height, hash) observed as some validator's head at a
+// heal instant.
+type headMark struct {
+	height uint64
+	hash   cryptoutil.Hash
+}
+
+// equivAttempt is the model record of one injected double-seal.
+type equivAttempt struct {
+	height            uint64
+	committed, forged cryptoutil.Hash
+	// targets maps validator index -> still expected to hold evidence.
+	targets map[int]bool
 }
 
 func newWorld(cfg Config) (*World, error) {
@@ -126,10 +157,14 @@ func newWorld(cfg Config) (*World, error) {
 		os.RemoveAll(dataDir)
 		return nil, err
 	}
+	if cfg.DisableEquivocationGuard {
+		d.SetEquivocationGuard(false)
+	}
 	return &World{
 		cfg: cfg, d: d, dataDir: dataDir,
-		restarted: make(map[int]bool),
-		dupKey:    cryptoutil.MustGenerateKey(),
+		restarted:   make(map[int]bool),
+		dupKey:      cryptoutil.MustGenerateKey(),
+		partitioned: make(map[int]bool),
 	}, nil
 }
 
@@ -501,7 +536,7 @@ func (w *World) apply(stepIdx int, st Step) (string, *Failure) {
 		if oi < 0 {
 			return "skip-no-owner", nil
 		}
-		return w.replayRequest(ctx, stepIdx, oi)
+		return w.replayRequest(stepIdx, oi)
 
 	case OpDropRequest:
 		oi := sel(st.A, len(w.owners))
@@ -564,6 +599,12 @@ func (w *World) apply(stepIdx int, st Step) (string, *Failure) {
 		return "reorder-rejected", nil
 
 	case OpFailNode:
+		if w.d.Partitioned() {
+			// Layering liveness faults over a partition would make the
+			// heal's convergence obligation ill-defined; the generator may
+			// still draw the combination, so it degrades to a no-op.
+			return "skip-partition-active", nil
+		}
 		var candidates []int
 		for i := 1; i < len(w.d.Nodes); i++ {
 			if !w.d.ValidatorDown(i) {
@@ -580,6 +621,9 @@ func (w *World) apply(stepIdx int, st Step) (string, *Failure) {
 		return fmt.Sprintf("failed-%d", candidates[ni]), nil
 
 	case OpRecoverNode:
+		if w.d.Partitioned() {
+			return "skip-partition-active", nil
+		}
 		var candidates []int
 		for i := 1; i < len(w.d.Nodes); i++ {
 			// Crashed validators have no RAM state to recover; they come
@@ -611,6 +655,9 @@ func (w *World) apply(stepIdx int, st Step) (string, *Failure) {
 		return "ok", nil
 
 	case OpCrashRestart:
+		if w.d.Partitioned() {
+			return "skip-partition-active", nil
+		}
 		var candidates []int
 		for i := 1; i < len(w.d.Nodes); i++ {
 			if !w.d.ValidatorDown(i) {
@@ -650,7 +697,154 @@ func (w *World) apply(stepIdx int, st Step) (string, *Failure) {
 			return "err", expectation(st.Op, "restart validator %d from disk: %v", vi, err)
 		}
 		w.restarted[vi] = true
+		// The restart wiped the node's in-memory equivocation evidence;
+		// stop holding it to attempts it can no longer remember.
+		for _, att := range w.equivAttempts {
+			delete(att.targets, vi)
+		}
 		return fmt.Sprintf("restarted-%d torn=%t synced=%d", vi, torn, synced), nil
+
+	case OpEquivocate:
+		if w.d.Partitioned() {
+			// The forged sibling must contend with every target's current
+			// head; minority nodes lag by construction.
+			return "skip-partition-active", nil
+		}
+		live := w.liveValidators()
+		if len(live) < 2 {
+			return "skip-too-few-live", nil
+		}
+		// B selects the gossip subset as a bitmask over the live set —
+		// "each block to a different peer subset"; an empty draw targets
+		// everyone.
+		var targets []int
+		for k, vi := range live {
+			if st.B&(1<<uint(k)) != 0 {
+				targets = append(targets, vi)
+			}
+		}
+		if len(targets) == 0 {
+			targets = live
+		}
+		rep, err := w.d.Equivocate(targets)
+		if err != nil {
+			return "err", expectation(st.Op, "equivocate: %v", err)
+		}
+		att := &equivAttempt{
+			height: rep.Height, committed: rep.Committed, forged: rep.Forged,
+			targets: make(map[int]bool, len(targets)),
+		}
+		for _, t := range targets {
+			att.targets[t] = true
+		}
+		w.equivAttempts = append(w.equivAttempts, att)
+		if w.cfg.DisableEquivocationGuard {
+			// Sabotaged guard: injection succeeds silently; the
+			// no-equivocation-accepted invariant must catch it at check
+			// time.
+			return fmt.Sprintf("equivocation-injected h=%d targets=%d", rep.Height, len(targets)), nil
+		}
+		for t, verr := range rep.Rejections {
+			if !errors.Is(verr, chain.ErrEquivocation) {
+				return "accepted", expectation(st.Op,
+					"validator %d verdict on forged sibling at height %d: want equivocation, got %v", t, rep.Height, verr)
+			}
+		}
+		return fmt.Sprintf("equivocation-rejected h=%d targets=%d", rep.Height, len(targets)), nil
+
+	case OpInvalidBlock:
+		if w.d.Partitioned() {
+			return "skip-partition-active", nil
+		}
+		live := w.liveValidators()
+		if len(live) == 0 {
+			return "skip-no-live", nil
+		}
+		kind := chain.InvalidBlockKind(st.Arg % 3)
+		proposer := live[st.A%len(live)]
+		before := w.liveHeight()
+		verdicts, err := w.d.InjectInvalidBlock(kind, proposer, live)
+		if err != nil {
+			return "err", expectation(st.Op, "inject %s block: %v", kind, err)
+		}
+		var want error
+		switch kind {
+		case chain.InvalidStateRoot:
+			want = chain.ErrBadStateRoot
+		case chain.InvalidSignature:
+			want = chain.ErrBadHeaderSig
+		case chain.InvalidGas:
+			want = chain.ErrGasTooLarge
+		}
+		for t, verr := range verdicts {
+			if !errors.Is(verr, want) {
+				return "accepted", expectation(st.Op,
+					"validator %d verdict on %s block: want %v, got %v", t, kind, want, verr)
+			}
+		}
+		if after := w.liveHeight(); after != before {
+			return "height-moved", expectation(st.Op,
+				"invalid %s block moved the head %d -> %d", kind, before, after)
+		}
+		return fmt.Sprintf("invalid-%s-rejected", kind), nil
+
+	case OpPartition:
+		if w.d.Partitioned() {
+			return "skip-partition-active", nil
+		}
+		n := len(w.d.Nodes)
+		if n < 3 {
+			return "skip-too-few-validators", nil
+		}
+		for i := range w.d.Nodes {
+			if w.d.ValidatorDown(i) {
+				// A split over a down node would conflate two fault kinds;
+				// partitions only cut healthy links.
+				return "skip-node-down", nil
+			}
+		}
+		// Carve a minority of 1..⌊(n-1)/2⌋ from validators 1..n-1
+		// (validator 0 hosts the oracles and rides with the quorum, as do
+		// the pod hosts — they all sit behind one HTTP server observing
+		// node 0).
+		size := 1 + st.Arg%((n-1)/2)
+		minority := make([]int, 0, size)
+		for k := 0; k < size; k++ {
+			minority = append(minority, 1+(st.A+k)%(n-1))
+		}
+		if err := w.d.PartitionValidators(minority...); err != nil {
+			return "err", expectation(st.Op, "partition %v: %v", minority, err)
+		}
+		for _, vi := range minority {
+			w.partitioned[vi] = true
+		}
+		return fmt.Sprintf("partitioned minority=%d", len(minority)), nil
+
+	case OpHeal:
+		if !w.d.Partitioned() {
+			return "skip-not-partitioned", nil
+		}
+		// Pin every live validator's pre-heal head: convergence must only
+		// ever extend them, never roll one back.
+		for i, n := range w.d.Nodes {
+			if n == nil || w.d.ValidatorDown(i) {
+				continue
+			}
+			head := n.Head()
+			w.healedHeads = append(w.healedHeads, headMark{height: head.Header.Number, hash: head.Hash()})
+		}
+		synced, dropped, err := w.d.HealPartition()
+		if err != nil {
+			return "err", expectation(st.Op, "heal: %v", err)
+		}
+		w.partitioned = make(map[int]bool)
+		return fmt.Sprintf("healed synced=%d dropped=%d", synced, dropped), nil
+
+	case OpCredentialReplay:
+		return w.credentialReplay(stepIdx, st)
+
+	case OpNonceFlood:
+		return w.nonceFlood(stepIdx, st)
 
 	case OpSabotage:
 		pubs := w.publishedResources()
@@ -698,48 +892,27 @@ func (w *World) readablePath(ownerIdx int) string {
 	return "/profile"
 }
 
-// replayRequest sends one signed request twice: the original must
-// succeed, the verbatim replay must be rejected (single-use nonce). All
-// requests carry the step context so a hung server surfaces as a step
-// failure rather than stalling the engine.
-func (w *World) replayRequest(ctx context.Context, stepIdx, ownerIdx int) (string, *Failure) {
+// replayRequest sends one signed request twice via the hostile-client
+// capture helper: the original must succeed, the verbatim replay must be
+// rejected (single-use nonce). The explicit nonce keeps the capture
+// deterministic for the seed.
+func (w *World) replayRequest(stepIdx, ownerIdx int) (string, *Failure) {
 	owner := w.owners[ownerIdx]
 	target := owner.o.URL() + w.readablePath(ownerIdx)
-	u, err := url.Parse(target)
+	cr, err := solid.Capture(owner.o.WebID, owner.o.Key, w.d.Clock, http.MethodGet, target,
+		fmt.Sprintf("replay-%d", stepIdx))
 	if err != nil {
-		return "err", expectation(OpReplayRequest, "parse %s: %v", target, err)
+		return "err", expectation(OpReplayRequest, "capture: %v", err)
 	}
-	date := w.now().UTC().Format(time.RFC3339Nano)
-	nonce := fmt.Sprintf("replay-%d", stepIdx)
-	sig, err := owner.o.Key.Sign([]byte(http.MethodGet + "|" + u.Path + "|" + date + "|" + nonce))
-	if err != nil {
-		return "err", expectation(OpReplayRequest, "sign: %v", err)
-	}
-	send := func() (int, error) {
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, target, nil)
-		if err != nil {
-			return 0, err
-		}
-		req.Header.Set(solid.HeaderAgent, string(owner.o.WebID))
-		req.Header.Set(solid.HeaderAgentKey, hex.EncodeToString(owner.o.Key.PublicBytes()))
-		req.Header.Set(solid.HeaderDate, date)
-		req.Header.Set(solid.HeaderNonce, nonce)
-		req.Header.Set(solid.HeaderSignature, base64.StdEncoding.EncodeToString(sig))
-		resp, err := http.DefaultClient.Do(req)
-		if err != nil {
-			return 0, err
-		}
-		resp.Body.Close()
-		return resp.StatusCode, nil
-	}
-	first, err := send()
+	hc := &http.Client{Timeout: stepTimeout}
+	first, err := cr.Send(hc)
 	if err != nil {
 		return "err", expectation(OpReplayRequest, "original request: %v", err)
 	}
 	if first != http.StatusOK {
 		return fmt.Sprintf("http-%d", first), expectation(OpReplayRequest, "original request got HTTP %d", first)
 	}
-	replayed, err := send()
+	replayed, err := cr.Send(hc)
 	if err != nil {
 		return "err", expectation(OpReplayRequest, "replayed request: %v", err)
 	}
@@ -747,6 +920,200 @@ func (w *World) replayRequest(ctx context.Context, stepIdx, ownerIdx int) (strin
 		return fmt.Sprintf("http-%d", replayed), expectation(OpReplayRequest, "verbatim replay accepted with HTTP %d", replayed)
 	}
 	return "replay-rejected", nil
+}
+
+// liveValidators lists indices of validators that are up and hold an
+// in-memory node.
+func (w *World) liveValidators() []int {
+	var out []int
+	for i, n := range w.d.Nodes {
+		if n != nil && !w.d.ValidatorDown(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// otherConsumer returns a consumer different from ci (the "thief" in
+// stolen-credential scenarios), or nil when the population is too small.
+func (w *World) otherConsumer(ci int) *consumerSt {
+	for i, c := range w.consumers {
+		if i != ci {
+			return c
+		}
+	}
+	return nil
+}
+
+// otherPublished returns a published resource index different from ri,
+// or -1.
+func (w *World) otherPublished(ri int) int {
+	for i, r := range w.resources {
+		if i != ri && r.published {
+			return i
+		}
+	}
+	return -1
+}
+
+// credentialReplay plays a malicious pod client splicing captured
+// credentials three ways: a verbatim replay of a paid, signed request
+// (single-use nonce: 401); a stolen market certificate presented by a
+// different consumer under its own valid signature (cert is bound to the
+// payer's key: 403); and the rightful payer presenting the certificate
+// for a different resource (cert is bound to one IRI: 403).
+func (w *World) credentialReplay(stepIdx int, st Step) (string, *Failure) {
+	op := OpCredentialReplay
+	type pair struct{ ri, ci int }
+	var pairs []pair
+	for ri, r := range w.resources {
+		if !r.published {
+			continue
+		}
+		for _, ci := range r.granted {
+			pairs = append(pairs, pair{ri, ci})
+		}
+	}
+	pi := sel(st.B, len(pairs))
+	if pi < 0 {
+		return "skip-no-grant", nil
+	}
+	res := w.resources[pairs[pi].ri]
+	consumer := w.consumers[pairs[pi].ci]
+	owner := w.owners[res.ownerIdx]
+	target := owner.o.URL() + res.path
+
+	cert, err := w.d.Market.PayFee(string(consumer.c.WebID), res.iri)
+	if err != nil {
+		return classify(err), expectation(op, "pay fee for %s: %v", res.iri, err)
+	}
+	attach, err := podmanager.AttachCertificate(cert)
+	if err != nil {
+		return "err", expectation(op, "encode certificate: %v", err)
+	}
+	hc := &http.Client{Timeout: stepTimeout}
+
+	cr, err := solid.Capture(consumer.c.WebID, consumer.c.Key, w.d.Clock, http.MethodGet, target,
+		fmt.Sprintf("credreplay-%d", stepIdx))
+	if err != nil {
+		return "err", expectation(op, "capture: %v", err)
+	}
+	cr.Decorate(attach)
+	first, err := cr.Send(hc)
+	if err != nil {
+		return "err", expectation(op, "original paid request: %v", err)
+	}
+	if first != http.StatusOK {
+		return fmt.Sprintf("http-%d", first), expectation(op, "original paid request got HTTP %d", first)
+	}
+	if replayed, err := cr.Send(hc); err != nil {
+		return "err", expectation(op, "replayed paid request: %v", err)
+	} else if replayed != http.StatusUnauthorized {
+		return fmt.Sprintf("http-%d", replayed),
+			expectation(op, "verbatim paid replay got HTTP %d, want 401", replayed)
+	}
+
+	if thief := w.otherConsumer(pairs[pi].ci); thief != nil {
+		scr, err := solid.Capture(thief.c.WebID, thief.c.Key, w.d.Clock, http.MethodGet, target,
+			fmt.Sprintf("credsteal-%d", stepIdx))
+		if err != nil {
+			return "err", expectation(op, "capture stolen-cert request: %v", err)
+		}
+		scr.Decorate(attach)
+		status, err := scr.Send(hc)
+		if err != nil {
+			return "err", expectation(op, "stolen-cert request: %v", err)
+		}
+		if status != http.StatusForbidden {
+			return fmt.Sprintf("http-%d", status),
+				expectation(op, "stolen certificate got HTTP %d, want 403", status)
+		}
+	}
+
+	if cri := w.otherPublished(pairs[pi].ri); cri >= 0 {
+		other := w.resources[cri]
+		otherTarget := w.owners[other.ownerIdx].o.URL() + other.path
+		xcr, err := solid.Capture(consumer.c.WebID, consumer.c.Key, w.d.Clock, http.MethodGet, otherTarget,
+			fmt.Sprintf("credcross-%d", stepIdx))
+		if err != nil {
+			return "err", expectation(op, "capture cross-resource request: %v", err)
+		}
+		xcr.Decorate(attach)
+		status, err := xcr.Send(hc)
+		if err != nil {
+			return "err", expectation(op, "cross-resource request: %v", err)
+		}
+		if status != http.StatusForbidden {
+			return fmt.Sprintf("http-%d", status),
+				expectation(op, "cross-resource certificate got HTTP %d, want 403", status)
+		}
+	}
+	return "cred-replay-rejected", nil
+}
+
+// nonceFlood burns a burst of fresh nonces from a hostile agent and
+// verifies the replay guard's per-agent isolation: every flood request
+// still authenticates (the flooder starves nobody, itself included), an
+// honest agent's earlier nonce is still remembered (its replay 401s),
+// and a fresh honest request still lands.
+func (w *World) nonceFlood(stepIdx int, st Step) (string, *Failure) {
+	op := OpNonceFlood
+	oi := sel(st.A, len(w.owners))
+	if oi < 0 {
+		return "skip-no-owner", nil
+	}
+	if w.malloryKey == nil {
+		// Mallory is directory-registered like any agent — the attack is
+		// resource exhaustion, not identity forgery.
+		w.malloryKey = cryptoutil.MustGenerateKey()
+		w.malloryID = solid.WebID("https://mallory.example/profile#me")
+		w.d.Directory.Register(w.malloryID, w.malloryKey.PublicBytes())
+	}
+	owner := w.owners[oi]
+	target := owner.o.URL() + w.readablePath(oi)
+	hc := &http.Client{Timeout: stepTimeout}
+
+	honest, err := solid.Capture(owner.o.WebID, owner.o.Key, w.d.Clock, http.MethodGet, target,
+		fmt.Sprintf("nfhonest-%d", stepIdx))
+	if err != nil {
+		return "err", expectation(op, "capture honest request: %v", err)
+	}
+	status, err := honest.Send(hc)
+	if err != nil {
+		return "err", expectation(op, "honest request: %v", err)
+	}
+	if status != http.StatusOK {
+		return fmt.Sprintf("http-%d", status), expectation(op, "honest request got HTTP %d", status)
+	}
+
+	n := 24 + st.Arg%17
+	authenticated, err := solid.FloodNonces(hc, w.malloryID, w.malloryKey, w.d.Clock, target, n,
+		fmt.Sprintf("nf%d", stepIdx))
+	if err != nil {
+		return "err", expectation(op, "flood: %v", err)
+	}
+	if authenticated != n {
+		return "starved", expectation(op, "only %d/%d flood requests authenticated", authenticated, n)
+	}
+
+	if status, err := honest.Send(hc); err != nil {
+		return "err", expectation(op, "honest replay: %v", err)
+	} else if status != http.StatusUnauthorized {
+		return fmt.Sprintf("http-%d", status),
+			expectation(op, "honest nonce forgotten during flood: replay got HTTP %d, want 401", status)
+	}
+	fresh, err := solid.Capture(owner.o.WebID, owner.o.Key, w.d.Clock, http.MethodGet, target,
+		fmt.Sprintf("nffresh-%d", stepIdx))
+	if err != nil {
+		return "err", expectation(op, "capture fresh honest request: %v", err)
+	}
+	if status, err := fresh.Send(hc); err != nil {
+		return "err", expectation(op, "fresh honest request: %v", err)
+	} else if status != http.StatusOK {
+		return fmt.Sprintf("http-%d", status),
+			expectation(op, "fresh honest request after flood got HTTP %d", status)
+	}
+	return fmt.Sprintf("nonce-flood-contained n=%d", n), nil
 }
 
 // dupTx builds the next registerPod transaction of the synthetic fault
@@ -774,13 +1141,14 @@ func (w *World) quiesceChain() {
 	}
 }
 
-// chainSettled reports whether every live validator agrees on the head
-// and no mempool holds queued transactions.
+// chainSettled reports whether every live, reachable validator agrees on
+// the head and no mempool holds queued transactions. Partitioned
+// minority validators are excluded: they lag by design until the heal.
 func (w *World) chainSettled() bool {
 	var ref cryptoutil.Hash
 	first := true
 	for i, n := range w.d.Nodes {
-		if n == nil || w.d.ValidatorDown(i) {
+		if n == nil || w.d.ValidatorDown(i) || w.d.ValidatorPartitioned(i) {
 			continue
 		}
 		h := n.Head().Hash()
