@@ -1,0 +1,137 @@
+// Command benchdiff compares two ucbench -json snapshots and fails when
+// any gated table regresses beyond a percentage threshold. CI runs it
+// over the committed BENCH_<n>.json artifacts so a PR that slows the
+// commit or durability path by more than the budget fails visibly
+// instead of drifting.
+//
+// Usage:
+//
+//	benchdiff -old BENCH_6.json -new BENCH_7.json [-max-pct 15] [-tables commitpath,durability]
+//
+// Rows are matched by (exp, case). A row of a gated table that exists
+// in the old snapshot but not the new one fails the gate too: silently
+// dropping a benchmarked case is how regressions hide. Ungated tables
+// are reported for context but never fail. Exit status: 0 pass, 1
+// regression, 2 usage/IO error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+type row struct {
+	Exp      string  `json:"exp"`
+	Case     string  `json:"case"`
+	NsOp     float64 `json:"ns_op"`
+	AllocsOp float64 `json:"allocs_op"`
+	BytesOp  float64 `json:"bytes_op"`
+}
+
+func main() {
+	os.Exit(run(os.Stdout, os.Stderr, os.Args[1:]))
+}
+
+func run(stdout, stderr io.Writer, args []string) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	oldPath := fs.String("old", "", "baseline ucbench -json snapshot")
+	newPath := fs.String("new", "", "candidate ucbench -json snapshot")
+	maxPct := fs.Float64("max-pct", 15, "max allowed ns/op regression, percent")
+	tables := fs.String("tables", "commitpath,durability", "comma-separated gated tables")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(stderr, "benchdiff: -old and -new are required")
+		return 2
+	}
+	oldRows, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	newRows, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	gated := make(map[string]bool)
+	for _, t := range strings.Split(*tables, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			gated[t] = true
+		}
+	}
+
+	type key struct{ exp, cse string }
+	newBy := make(map[key]row, len(newRows))
+	for _, r := range newRows {
+		newBy[key{r.Exp, r.Case}] = r
+	}
+
+	var keys []key
+	for _, r := range oldRows {
+		keys = append(keys, key{r.Exp, r.Case})
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].exp != keys[j].exp {
+			return keys[i].exp < keys[j].exp
+		}
+		return keys[i].cse < keys[j].cse
+	})
+	oldBy := make(map[key]row, len(oldRows))
+	for _, r := range oldRows {
+		oldBy[key{r.Exp, r.Case}] = r
+	}
+
+	failures := 0
+	for _, k := range keys {
+		o := oldBy[k]
+		if !gated[k.exp] {
+			continue
+		}
+		n, ok := newBy[k]
+		if !ok {
+			fmt.Fprintf(stdout, "FAIL %s/%s: present in %s, missing from %s\n", k.exp, k.cse, *oldPath, *newPath)
+			failures++
+			continue
+		}
+		if o.NsOp <= 0 {
+			continue
+		}
+		pct := (n.NsOp - o.NsOp) / o.NsOp * 100
+		status := "ok  "
+		if pct > *maxPct {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Fprintf(stdout, "%s %s/%s: %.0f -> %.0f ns/op (%+.1f%%, budget %+.1f%%)\n",
+			status, k.exp, k.cse, o.NsOp, n.NsOp, pct, *maxPct)
+	}
+	if failures > 0 {
+		fmt.Fprintf(stdout, "benchdiff: %d regression(s) beyond %.1f%%\n", failures, *maxPct)
+		return 1
+	}
+	fmt.Fprintln(stdout, "benchdiff: gated tables within budget")
+	return 0
+}
+
+func load(path string) ([]row, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []row
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark rows", path)
+	}
+	return rows, nil
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeSnapshot(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baseline = `[
+  {"exp":"commitpath","case":"1000/64","ns_op":100000,"allocs_op":10,"bytes_op":100},
+  {"exp":"durability","case":"wal-always","ns_op":200000,"allocs_op":10,"bytes_op":100},
+  {"exp":"e1","case":"1/1/1","ns_op":1000,"allocs_op":1,"bytes_op":1}
+]`
+
+func runDiff(t *testing.T, oldJSON, newJSON string, extra ...string) (int, string) {
+	t.Helper()
+	oldPath := writeSnapshot(t, "old.json", oldJSON)
+	newPath := writeSnapshot(t, "new.json", newJSON)
+	var stdout, stderr bytes.Buffer
+	args := append([]string{"-old", oldPath, "-new", newPath}, extra...)
+	code := run(&stdout, &stderr, args)
+	return code, stdout.String() + stderr.String()
+}
+
+func TestWithinBudgetPasses(t *testing.T) {
+	newJSON := strings.ReplaceAll(baseline, "100000", "110000") // +10% < 15%
+	code, out := runDiff(t, baseline, newJSON)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, out)
+	}
+}
+
+func TestRegressionBeyondBudgetFails(t *testing.T) {
+	newJSON := strings.ReplaceAll(baseline, "200000", "250000") // +25% > 15%
+	code, out := runDiff(t, baseline, newJSON)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "FAIL durability/wal-always") {
+		t.Fatalf("output does not name the regressing row:\n%s", out)
+	}
+}
+
+func TestUngatedTableNeverFails(t *testing.T) {
+	newJSON := strings.ReplaceAll(baseline, `"ns_op":1000,`, `"ns_op":9000,`) // e1 +800%
+	code, out := runDiff(t, baseline, newJSON)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (e1 is not gated)\n%s", code, out)
+	}
+}
+
+func TestMissingGatedRowFails(t *testing.T) {
+	newJSON := `[
+	  {"exp":"commitpath","case":"1000/64","ns_op":100000,"allocs_op":10,"bytes_op":100}
+	]`
+	code, out := runDiff(t, baseline, newJSON)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 for a dropped durability row\n%s", code, out)
+	}
+	if !strings.Contains(out, "missing from") {
+		t.Fatalf("output does not report the dropped row:\n%s", out)
+	}
+}
+
+// TestCommittedSnapshotsPass is the CI gate itself: the committed
+// BENCH_7.json must stay within the regression budget of BENCH_6.json.
+func TestCommittedSnapshotsPass(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(&stdout, &stderr, []string{"-old", "../../BENCH_6.json", "-new", "../../BENCH_7.json"})
+	if code != 0 {
+		t.Fatalf("committed snapshots exceed the regression budget (exit %d):\n%s%s",
+			code, stdout.String(), stderr.String())
+	}
+}

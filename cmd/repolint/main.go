@@ -1,0 +1,78 @@
+// Command repolint runs the repository's own static analyzers
+// (internal/lint) over Go packages and reports every finding that is
+// not covered by a reasoned //repolint:ignore waiver.
+//
+// Usage:
+//
+//	repolint [-C dir] [-only analyzer,...] [packages]
+//
+// Packages default to ./... resolved in -C (default: the current
+// directory). The exit status is 0 when there are no findings, 1 when
+// there are, 2 on a usage or load error. CI runs `repolint ./...` at
+// the repository root and fails the build on any nonzero exit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Stdout, os.Stderr, os.Args[1:]))
+}
+
+func run(stdout, stderr io.Writer, args []string) int {
+	fs := flag.NewFlagSet("repolint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("C", ".", "directory to resolve package patterns in")
+	only := fs.String("only", "", "comma-separated analyzer subset (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(stderr, "repolint:", err)
+		return 2
+	}
+	pkgs, err := lint.Load(*dir, fs.Args()...)
+	if err != nil {
+		fmt.Fprintln(stderr, "repolint:", err)
+		return 2
+	}
+	findings := lint.Run(pkgs, analyzers)
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if n := len(findings); n > 0 {
+		fmt.Fprintf(stdout, "repolint: %d finding(s)\n", n)
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers resolves the -only flag against the default set.
+func selectAnalyzers(only string) ([]*lint.Analyzer, error) {
+	all := lint.Default()
+	if only == "" {
+		return all, nil
+	}
+	byName := make(map[string]*lint.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (have lockcheck, determinism, codecsafe, errflow)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRepoIsClean is the gate CI enforces: repolint over the whole
+// repository exits zero. Any unwaived finding — or any waiver without a
+// reason — fails this test before it fails the CI job.
+func TestRepoIsClean(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(&stdout, &stderr, []string{"-C", "../..", "./..."})
+	if code != 0 {
+		t.Fatalf("repolint ./... exited %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if out := stdout.String(); out != "" {
+		t.Fatalf("repolint reported findings on a zero exit:\n%s", out)
+	}
+}
+
+func TestUnknownAnalyzerRejected(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(&stdout, &stderr, []string{"-only", "nonsense", "./..."})
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2 for an unknown -only analyzer", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown analyzer") {
+		t.Fatalf("stderr does not explain the bad flag: %s", stderr.String())
+	}
+}
+
+func TestOnlySubsetRuns(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(&stdout, &stderr, []string{"-C", "../..", "-only", "codecsafe,errflow", "./internal/store/"})
+	if code != 0 {
+		t.Fatalf("repolint -only codecsafe,errflow ./internal/store exited %d\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+}

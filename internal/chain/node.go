@@ -94,13 +94,13 @@ type Node struct {
 	verifyWorkers int
 
 	mu      sync.RWMutex
-	state   *State
-	blocks  []*Block
-	waiters map[cryptoutil.Hash][]chan *Receipt
+	state   *State                              // guarded by mu
+	blocks  []*Block                            // guarded by mu
+	waiters map[cryptoutil.Hash][]chan *Receipt // guarded by mu
 
 	mpMu    sync.Mutex
-	mempool *mempool
-	nonces  map[cryptoutil.Address]uint64
+	mempool *mempool                      // guarded by mpMu
+	nonces  map[cryptoutil.Address]uint64 // guarded by mpMu
 
 	feed  *eventFeed
 	costs *CostLedger
@@ -115,13 +115,13 @@ type Node struct {
 	snap      *snapshotWriter
 
 	sealMu      sync.Mutex
-	stopSealing func()
+	stopSealing func() // guarded by sealMu
 
 	// Byzantine-fault bookkeeping (see byzantine.go): evMu guards the
 	// collected double-seal evidence; equivGuardOff disables the
 	// equivocation rejection path (fault-injection hook only).
 	evMu          sync.Mutex
-	evidence      []EquivocationEvidence
+	evidence      []EquivocationEvidence // guarded by evMu
 	equivGuardOff atomic.Bool
 }
 

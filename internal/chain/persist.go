@@ -99,8 +99,7 @@ func OpenNode(cfg Config) (*Node, error) {
 	}
 	n, err := recoverNode(cfg, wal, records)
 	if err != nil {
-		wal.Close()
-		return nil, err
+		return nil, errors.Join(err, wal.Close())
 	}
 	return n, nil
 }
@@ -332,8 +331,8 @@ type snapshotJob struct {
 type snapshotWriter struct {
 	dataDir string
 	mu      sync.Mutex
-	pending *snapshotJob
-	closed  bool
+	pending *snapshotJob  // guarded by mu
+	closed  bool          // guarded by mu
 	kick    chan struct{} // capacity 1: "pending changed" signal
 	done    chan struct{}
 }

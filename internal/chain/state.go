@@ -17,8 +17,8 @@ import (
 // production, but the internal lock keeps direct use safe too.
 type State struct {
 	mu      sync.RWMutex
-	data    map[string][]byte
-	journal []journalEntry
+	data    map[string][]byte // guarded by mu
+	journal []journalEntry    // guarded by mu
 	// root is the incrementally maintained state commitment: the XOR of
 	// H(key, value) over all entries (a multiset hash). Because map keys
 	// are unique, every leaf appears at most once, so any single
@@ -27,7 +27,7 @@ type State struct {
 	// sealing linear as the ledger grows; the trade-off (weaker
 	// collision resistance than a Merkle trie against adversarially
 	// crafted key/value sets) is acceptable for this simulator and is
-	// called out in DESIGN.md.
+	// called out in DESIGN.md. Guarded by mu.
 	root cryptoutil.Hash
 }
 

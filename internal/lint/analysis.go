@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named static check. The shape mirrors
+// golang.org/x/tools/go/analysis so the analyzers would port to the real
+// framework mechanically if it ever becomes available to the build.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and waiver directives.
+	Name string
+	// Doc is a one-line description (shown by repolint -list).
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	report   func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one raw finding, positioned by token.Pos (resolved
+// against the package's FileSet when rendered).
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// Finding is a resolved diagnostic: a diagnostic that survived waiver
+// matching, with its position rendered.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Package is one loaded, parsed, type-checked package.
+type Package struct {
+	// Path is the import path.
+	Path string
+	// Fset positions every file of this load.
+	Fset *token.FileSet
+	// Files are the parsed non-test Go files, with comments.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info holds the type-checker's use/def/type maps.
+	Info *types.Info
+}
+
+// sortFindings orders findings by file, line, column, analyzer for
+// stable output.
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// walkStack traverses the AST depth-first, calling fn with every node
+// and the stack of its ancestors (outermost first, not including the
+// node itself). Returning false prunes the subtree. It is the parent
+// tracking the x/tools inspector would otherwise provide.
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := fn(n, stack)
+		if descend {
+			stack = append(stack, n)
+		}
+		return descend
+	})
+}
+
+// enclosingFunc returns the innermost function declaration or literal in
+// the stack, or nil when the node sits outside any function body.
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// Default returns the full analyzer suite in the order repolint runs it.
+func Default() []*Analyzer {
+	return []*Analyzer{
+		Lockcheck(),
+		Determinism(DeterministicPackages...),
+		Codecsafe(),
+		Errflow(ErrflowPackages...),
+	}
+}

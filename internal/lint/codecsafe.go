@@ -1,0 +1,297 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// tagConstRe matches the repo's record-tag constant naming convention
+// (tagChainMeta, tagPodOp, ...).
+var tagConstRe = regexp.MustCompile(`^tag[A-Z]`)
+
+// encodeFuncRe / decodeFuncRe classify which side of the codec a
+// function implements, by the repo's naming convention.
+var (
+	encodeFuncRe = regexp.MustCompile(`(?i)^(encode|append)`)
+	decodeFuncRe = regexp.MustCompile(`(?i)^(decode)`)
+)
+
+// Codecsafe enforces the binary record codec's structural contracts:
+//
+//   - Every record tag constant (const tagXxx byte = 0xNN) must be used
+//     on both sides of the codec: written by an encode/append function
+//     AND matched by a decode function. A tag that is encoded but never
+//     decoded is an unreadable record; decoded but never encoded is
+//     dead protocol surface; two tags with the same value are a framing
+//     ambiguity.
+//   - Decoders must read element counts through the bounds-checked
+//     store.Dec.Count, never a raw Uvarint that then drives a loop or
+//     an allocation — a corrupt record's claimed count would otherwise
+//     size a make() or spin a loop unboundedly.
+//   - A make() sized from a decoded count must clamp its capacity with
+//     min(count, store.DecodeCapHint): even a count that passes its
+//     bound is still a corrupt record's claim.
+func Codecsafe() *Analyzer {
+	a := &Analyzer{
+		Name: "codecsafe",
+		Doc:  "record tags are encoded AND decoded; decoded counts are bounds-checked and capacity-clamped",
+	}
+	a.Run = func(pass *Pass) {
+		checkTagPairing(pass)
+		checkDecoderCounts(pass)
+	}
+	return a
+}
+
+// checkTagPairing verifies every tag constant appears on both codec
+// sides and that no two tags share a value.
+func checkTagPairing(pass *Pass) {
+	info := pass.Pkg.Info
+
+	type tagConst struct {
+		obj     *types.Const
+		pos     ast.Node
+		encoded bool
+		decoded bool
+	}
+	var tags []*tagConst
+	byObj := make(map[types.Object]*tagConst)
+	byValue := make(map[string]*tagConst)
+
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if !tagConstRe.MatchString(name.Name) {
+						continue
+					}
+					c, ok := info.Defs[name].(*types.Const)
+					if !ok {
+						continue
+					}
+					tc := &tagConst{obj: c, pos: name}
+					tags = append(tags, tc)
+					byObj[c] = tc
+					val := c.Val().ExactString()
+					if prev, dup := byValue[val]; dup {
+						pass.Reportf(name.Pos(), "record tag %s duplicates the value of %s (%s): framing ambiguity",
+							name.Name, prev.obj.Name(), constant.Val(c.Val()))
+					} else {
+						byValue[val] = tc
+					}
+				}
+			}
+		}
+	}
+	if len(tags) == 0 {
+		return
+	}
+
+	// Classify every use by the codec side of its enclosing function.
+	for _, f := range pass.Pkg.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			tc, ok := byObj[info.Uses[id]]
+			if !ok {
+				return true
+			}
+			fn := enclosingFunc(stack)
+			fd, ok := fn.(*ast.FuncDecl)
+			if !ok {
+				return true
+			}
+			switch {
+			case encodeFuncRe.MatchString(fd.Name.Name):
+				tc.encoded = true
+			case decodeFuncRe.MatchString(fd.Name.Name):
+				tc.decoded = true
+			}
+			return true
+		})
+	}
+
+	for _, tc := range tags {
+		switch {
+		case !tc.encoded && !tc.decoded:
+			pass.Reportf(tc.pos.Pos(), "record tag %s is neither encoded nor decoded: dead protocol surface", tc.obj.Name())
+		case !tc.decoded:
+			pass.Reportf(tc.pos.Pos(), "record tag %s is encoded but has no decode case: records written with it are unreadable", tc.obj.Name())
+		case !tc.encoded:
+			pass.Reportf(tc.pos.Pos(), "record tag %s is decoded but never encoded: dead decode surface", tc.obj.Name())
+		}
+	}
+}
+
+// checkDecoderCounts flags raw Uvarint results driving loops or
+// allocations, and unclamped make() capacities fed by decoded counts.
+func checkDecoderCounts(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncDecoderCounts(pass, fd)
+		}
+	}
+	_ = info
+}
+
+func checkFuncDecoderCounts(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+
+	// Objects holding the result of a Dec method call, by method name.
+	uvarintVars := make(map[types.Object]bool)
+	countVars := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if len(assign.Rhs) != 1 {
+			return true
+		}
+		method := decMethodCall(info, assign.Rhs[0])
+		if method == "" {
+			return true
+		}
+		for _, lhs := range assign.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			switch method {
+			case "Uvarint":
+				uvarintVars[obj] = true
+			case "Count":
+				countVars[obj] = true
+			}
+		}
+		return true
+	})
+
+	usesObj := func(e ast.Expr, set map[types.Object]bool) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && set[info.Uses[id]] {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			// for range d.Uvarint() — direct or via a variable.
+			if decMethodCall(info, n.X) == "Uvarint" || usesObj(n.X, uvarintVars) {
+				pass.Reportf(n.Pos(), "loop bounded by a raw Uvarint count; use Dec.Count with an element bound")
+			}
+		case *ast.CallExpr:
+			id, ok := n.Fun.(*ast.Ident)
+			if !ok || id.Name != "make" {
+				return true
+			}
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			for _, arg := range n.Args[1:] {
+				if decMethodCall(info, arg) == "Uvarint" || usesObj(arg, uvarintVars) {
+					pass.Reportf(arg.Pos(), "allocation sized by a raw Uvarint count; use Dec.Count and clamp with min(count, store.DecodeCapHint)")
+					continue
+				}
+				if !usesObj(arg, countVars) {
+					continue
+				}
+				// A Count-derived size must be clamped by min(...,
+				// DecodeCapHint).
+				if !isClampedByCapHint(info, arg) {
+					pass.Reportf(arg.Pos(), "allocation sized by a decoded count without min(count, store.DecodeCapHint): a corrupt record's claim sizes this make")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// decMethodCall returns the method name when e is a call to a method on
+// store.Dec (or *store.Dec), else "".
+func decMethodCall(info *types.Info, e ast.Expr) string {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	recv := sig.Recv().Type()
+	if ptr, isPtr := recv.(*types.Pointer); isPtr {
+		recv = ptr.Elem()
+	}
+	name := types.TypeString(recv, nil)
+	if !strings.HasSuffix(name, "/store.Dec") && name != "store.Dec" {
+		return ""
+	}
+	return fn.Name()
+}
+
+// isClampedByCapHint reports whether the expression is (or contains) a
+// min(..., DecodeCapHint) clamp.
+func isClampedByCapHint(info *types.Info, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "min" {
+		return false
+	}
+	for _, arg := range call.Args {
+		found := false
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "DecodeCapHint" {
+				found = true
+			}
+			if id, ok := n.(*ast.Ident); ok && id.Name == "DecodeCapHint" {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"slices"
+)
+
+// ErrflowPackages are the durability-critical packages: a discarded
+// error from a WAL append, an fsync, a snapshot write, or a store close
+// in any of them silently breaks the "memory never ahead of
+// disk-acknowledged state" invariant.
+var ErrflowPackages = []string{
+	"repro/internal/store",
+	"repro/internal/chain",
+	"repro/internal/solid",
+}
+
+// storePkgPath is the package whose error returns must always be
+// consumed by callers in the scoped packages.
+const storePkgPath = "repro/internal/store"
+
+// criticalLocalRe matches durability-relevant methods defined inside
+// the scoped packages themselves (podStore.appendOp, Node.Close, ...).
+var criticalLocalRe = regexp.MustCompile(`(?i)^(append|sync|flush|close|crash|writesnapshot|snapshot)`)
+
+// criticalOSFile matches the os.File methods the store package's own
+// durability rests on.
+var criticalOSFile = map[string]bool{
+	"Write": true, "Sync": true, "Close": true, "Truncate": true, "Seek": true,
+}
+
+// Errflow forbids discarding errors from durability-critical calls in
+// the scoped packages. A call is durability-critical when its callee is
+//
+//   - any error-returning function or method of internal/store,
+//   - an error-returning method defined in the scoped package whose
+//     name matches append/sync/flush/close/crash/snapshot, or
+//   - (inside internal/store itself) an os.File Write/Sync/Close/
+//     Truncate/Seek.
+//
+// "Discarded" means: used as a bare expression statement, assigned to
+// the blank identifier, or deferred/spawned with `defer`/`go` (which
+// throws the result away). Errors in already-failing paths must still
+// be joined or logged — or carry a reasoned //repolint:ignore waiver.
+func Errflow(pkgs ...string) *Analyzer {
+	a := &Analyzer{
+		Name: "errflow",
+		Doc:  "errors from WAL appends, fsync, snapshot writes, and store closes must not be discarded",
+	}
+	a.Run = func(pass *Pass) {
+		if !slices.Contains(pkgs, pass.Pkg.Path) {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				label := criticalCall(pass, call)
+				if label == "" {
+					return true
+				}
+				if how := discardedError(pass, call, stack); how != "" {
+					pass.Reportf(call.Pos(), "error from %s discarded (%s); handle, join, or waive it", label, how)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// criticalCall reports whether the call is durability-critical,
+// returning a human-readable callee label ("" when not).
+func criticalCall(pass *Pass, call *ast.CallExpr) string {
+	info := pass.Pkg.Info
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return ""
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || !returnsError(sig) {
+		return ""
+	}
+	recvType := receiverTypeString(sig)
+	label := fn.Name()
+	if recvType != "" {
+		label = recvType + "." + fn.Name()
+	}
+	switch fn.Pkg().Path() {
+	case storePkgPath:
+		return label
+	case pass.Pkg.Path:
+		if sig.Recv() != nil && criticalLocalRe.MatchString(fn.Name()) {
+			return label
+		}
+	case "os":
+		if pass.Pkg.Path == storePkgPath && recvType == "File" && criticalOSFile[fn.Name()] {
+			return "os.File." + fn.Name()
+		}
+	}
+	return ""
+}
+
+// returnsError reports whether the signature's last result is error.
+func returnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	return types.TypeString(res.At(res.Len()-1).Type(), nil) == "error"
+}
+
+// receiverTypeString renders the receiver's base type name ("" for
+// package-level functions).
+func receiverTypeString(sig *types.Signature) string {
+	recv := sig.Recv()
+	if recv == nil {
+		return ""
+	}
+	t := recv.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// discardedError classifies how the call's error result is thrown away;
+// "" means it is consumed.
+func discardedError(pass *Pass, call *ast.CallExpr, stack []ast.Node) string {
+	if len(stack) == 0 {
+		return ""
+	}
+	parent := stack[len(stack)-1]
+	switch parent := parent.(type) {
+	case *ast.ExprStmt:
+		return "bare call"
+	case *ast.DeferStmt:
+		if parent.Call == call {
+			return "defer discards the result"
+		}
+	case *ast.GoStmt:
+		if parent.Call == call {
+			return "go discards the result"
+		}
+	case *ast.AssignStmt:
+		// Find which result index is the error (the last one) and check
+		// the identifier it lands in.
+		if !slices.Contains(parent.Rhs, ast.Expr(call)) {
+			return ""
+		}
+		if len(parent.Rhs) == 1 && len(parent.Lhs) > 1 {
+			// x, err := f() — error is the last LHS.
+			if isBlank(parent.Lhs[len(parent.Lhs)-1]) {
+				return "assigned to _"
+			}
+			return ""
+		}
+		// err := f() (single value) or aligned multi-assign.
+		for i, rhs := range parent.Rhs {
+			if rhs == ast.Expr(call) && i < len(parent.Lhs) && isBlank(parent.Lhs[i]) {
+				return "assigned to _"
+			}
+		}
+	}
+	return ""
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,187 @@
+package lint
+
+// Fixture harness: analysistest-style expectation checking over small
+// synthetic packages in testdata/. Each fixture directory is one
+// package; a `// want "regexp"` comment expects a finding on its own
+// line, `// want-below "regexp"` on the line beneath it (used where the
+// expected finding lands on a comment line, e.g. waiver hygiene).
+//
+// Fixtures are parsed and type-checked directly — not via `go list` —
+// so they can carry deliberate contract violations without ever being
+// part of a build. The import path each fixture is checked AS is chosen
+// per test: scoped analyzers (determinism, errflow) only fire when the
+// path is in their package scope, which the scope tests exploit by
+// re-checking the same sources under a neutral path.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var fixtureExports struct {
+	once sync.Once
+	m    map[string]string
+	err  error
+}
+
+// loadFixture parses every .go file in dir and type-checks them as the
+// package at asPath. Export data for the repo and the standard library
+// is loaded once per test binary.
+func loadFixture(t *testing.T, dir, asPath string) *Package {
+	t.Helper()
+	fixtureExports.once.Do(func() {
+		fixtureExports.m, fixtureExports.err = ExportsFor("../..", "./...", "std")
+	})
+	if fixtureExports.err != nil {
+		t.Fatalf("loading export data: %v", fixtureExports.err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir %s: %v", dir, err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture %s: %v", e.Name(), err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("fixture dir %s has no .go files", dir)
+	}
+	pkg, err := TypeCheck(fset, asPath, files, NewExportImporter(fset, fixtureExports.m))
+	if err != nil {
+		t.Fatalf("type-checking fixture %s as %s: %v", dir, asPath, err)
+	}
+	return pkg
+}
+
+// expectation is one want comment: a finding must appear at (file,
+// line) whose message matches re.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`want(-below)?((?:\s+"(?:[^"\\]|\\.)*")+)`)
+var wantArgRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// parseExpectations extracts want comments from the fixture's files.
+func parseExpectations(t *testing.T, pkg *Package) []*expectation {
+	t.Helper()
+	var exps []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				line := pos.Line
+				if m[1] == "-below" {
+					line++
+				}
+				for _, arg := range wantArgRe.FindAllStringSubmatch(m[2], -1) {
+					re, err := regexp.Compile(arg[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, arg[1], err)
+					}
+					exps = append(exps, &expectation{file: pos.Filename, line: line, re: re})
+				}
+			}
+		}
+	}
+	return exps
+}
+
+// checkFixture runs the analyzers (through Run, so waivers apply) and
+// matches findings against the fixture's want comments exactly: every
+// finding needs a want, every want needs a finding.
+func checkFixture(t *testing.T, pkg *Package, analyzers []*Analyzer) {
+	t.Helper()
+	findings := Run([]*Package{pkg}, analyzers)
+	exps := parseExpectations(t, pkg)
+findings:
+	for _, f := range findings {
+		for _, e := range exps {
+			if !e.matched && e.file == f.Pos.Filename && e.line == f.Pos.Line && e.re.MatchString(f.Message) {
+				e.matched = true
+				continue findings
+			}
+		}
+		t.Errorf("unexpected finding: %s", f)
+	}
+	for _, e := range exps {
+		if !e.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", e.file, e.line, e.re)
+		}
+	}
+}
+
+// checkFixtureClean asserts the analyzers produce no findings at all —
+// used to pin package-scope boundaries by re-checking a violating
+// fixture under a path outside the analyzer's scope.
+func checkFixtureClean(t *testing.T, pkg *Package, analyzers []*Analyzer) {
+	t.Helper()
+	for _, f := range Run(pkgs1(pkg), analyzers) {
+		t.Errorf("finding outside analyzer scope: %s", f)
+	}
+}
+
+func pkgs1(p *Package) []*Package { return []*Package{p} }
+
+func TestLockcheckFixture(t *testing.T) {
+	pkg := loadFixture(t, "testdata/lockcheck", "repro/internal/lintfixture/lockcheck")
+	checkFixture(t, pkg, []*Analyzer{Lockcheck()})
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	// Checked as a replay-path package: every banned construct fires.
+	pkg := loadFixture(t, "testdata/determinism", "repro/internal/chain")
+	checkFixture(t, pkg, []*Analyzer{Determinism(DeterministicPackages...)})
+}
+
+func TestDeterminismScopeExcludesOtherPackages(t *testing.T) {
+	// The same sources under a non-replay path produce nothing: the
+	// analyzer is scoped, not global.
+	pkg := loadFixture(t, "testdata/determinism", "repro/internal/lintfixture/neutral")
+	checkFixtureClean(t, pkg, []*Analyzer{Determinism(DeterministicPackages...)})
+}
+
+func TestCodecsafeFixture(t *testing.T) {
+	pkg := loadFixture(t, "testdata/codecsafe", "repro/internal/lintfixture/codec")
+	checkFixture(t, pkg, []*Analyzer{Codecsafe()})
+}
+
+func TestErrflowFixture(t *testing.T) {
+	// Checked as internal/solid: store callees and critical-named local
+	// methods are in scope, plain local calls are not.
+	pkg := loadFixture(t, "testdata/errflow", "repro/internal/solid")
+	checkFixture(t, pkg, []*Analyzer{Errflow(ErrflowPackages...)})
+}
+
+func TestErrflowStoreFixture(t *testing.T) {
+	// Checked as internal/store itself: the os.File rules apply.
+	pkg := loadFixture(t, "testdata/errflow_store", "repro/internal/store")
+	checkFixture(t, pkg, []*Analyzer{Errflow(ErrflowPackages...)})
+}
+
+func TestErrflowScopeExcludesOtherPackages(t *testing.T) {
+	pkg := loadFixture(t, "testdata/errflow", "repro/internal/lintfixture/neutral")
+	checkFixtureClean(t, pkg, []*Analyzer{Errflow(ErrflowPackages...)})
+}

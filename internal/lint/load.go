@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// listPackage mirrors the subset of `go list -json` output the loader
+// consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Load lists, parses, and type-checks the packages matching patterns,
+// resolving imports through the compiler's export data (via
+// `go list -export`), so no source outside the requested packages is
+// re-parsed. dir is the directory the patterns are resolved in (the
+// module root, typically). Test files are not loaded: the contracts the
+// analyzers enforce are production-code contracts.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	targets, err := goList(dir, patterns, false)
+	if err != nil {
+		return nil, err
+	}
+	universe, err := goList(dir, patterns, true)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(universe))
+	for _, p := range universe {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := NewExportImporter(fset, exports)
+	pkgs := make([]*Package, 0, len(targets))
+	for _, lp := range targets {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("lint: list %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		files := make([]*ast.File, 0, len(lp.GoFiles))
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("lint: parse %s: %w", name, err)
+			}
+			files = append(files, f)
+		}
+		pkg, err := TypeCheck(fset, lp.ImportPath, files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("lint: typecheck %s: %w", lp.ImportPath, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// goList runs `go list -json` (optionally with -export -deps) and
+// decodes the package stream.
+func goList(dir string, patterns []string, deps bool) ([]listPackage, error) {
+	args := []string{"list", "-json"}
+	if deps {
+		args = []string{"list", "-export", "-deps", "-json"}
+	}
+	cmd := exec.Command("go", append(args, patterns...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decode go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// TypeCheck type-checks parsed files as the package at path, resolving
+// imports through imp. It is exposed separately from Load so tests can
+// re-check a package with a deliberately mutated file (the pinning tests
+// inject a wall-clock call into chain/state.go this way).
+func TypeCheck(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// NewExportImporter returns a types.Importer that resolves import paths
+// through compiler export data files (the paths `go list -export`
+// reports), the same mechanism `go vet` hands its analyzers.
+func NewExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// ExportsFor returns the export-data map for patterns plus their
+// dependencies, for callers (fixture tests) that type-check synthetic
+// sources importing real packages.
+func ExportsFor(dir string, patterns ...string) (map[string]string, error) {
+	universe, err := goList(dir, patterns, true)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(universe))
+	for _, p := range universe {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}

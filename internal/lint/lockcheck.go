@@ -1,0 +1,443 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// guardedByRe extracts the mutex name from a "// guarded by <mu>" field
+// comment.
+var guardedByRe = regexp.MustCompile(`(?i)guarded by (\w+)`)
+
+// Lockcheck enforces the repository's lock-discipline annotations:
+//
+//   - A struct field whose doc or line comment says "guarded by <mu>"
+//     may only be read or written while <mu> (a sync.Mutex or RWMutex
+//     field of the same struct) is held on the same receiver value.
+//     "Held" is judged syntactically: a <base>.<mu>.Lock() — or, for
+//     reads, RLock() — call textually precedes the access inside the
+//     same function, or the enclosing function's name ends in "Locked"
+//     (the repo's caller-must-hold convention), or the base variable was
+//     just built in the same function — from a composite literal, new(),
+//     or a same-package New* constructor — and is therefore unpublished
+//     (no other goroutine can reach it, so no locking is needed; the
+//     repo's constructors never memoize or return shared values).
+//   - sync.Mutex and sync.RWMutex values must never be copied: not
+//     passed, returned, or assigned by value.
+//
+// The positional judgment is an approximation (it cannot see an Unlock
+// between the Lock and the access), but every violation it reports is a
+// real one to a human reader too; the annotations plus this check turn
+// the package doc's locking contracts into compile-time findings.
+func Lockcheck() *Analyzer {
+	a := &Analyzer{
+		Name: "lockcheck",
+		Doc:  "fields annotated 'guarded by <mu>' are only touched with the mutex held; mutexes are never copied",
+	}
+	a.Run = func(pass *Pass) {
+		guards := collectGuards(pass)
+		for _, f := range pass.Pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkFuncGuards(pass, fd, guards)
+			}
+		}
+		checkMutexCopies(pass)
+	}
+	return a
+}
+
+// guardInfo records one annotated field and the mutex that guards it.
+type guardInfo struct {
+	structName string
+	fieldName  string
+	mutexName  string
+}
+
+// LockGuards returns the package's guarded-field annotations as a
+// "Struct.field" → mutex-name map. The pinning tests assert the
+// documented guards of chain.Node, chain.State, solid.Pod, store.WAL
+// (and friends) stay annotated: deleting an annotation fails them.
+func LockGuards(pkg *Package) map[string]string {
+	pass := &Pass{Analyzer: &Analyzer{Name: "lockcheck"}, Pkg: pkg, report: func(Diagnostic) {}}
+	out := make(map[string]string)
+	for _, g := range collectGuards(pass) {
+		out[g.structName+"."+g.fieldName] = g.mutexName
+	}
+	return out
+}
+
+// collectGuards scans struct declarations for "guarded by <mu>" field
+// annotations, validating that the named mutex is a sync.Mutex or
+// sync.RWMutex field of the same struct.
+func collectGuards(pass *Pass) map[*types.Var]guardInfo {
+	guards := make(map[*types.Var]guardInfo)
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			mutexFields := make(map[string]bool)
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					if obj, ok := pass.Pkg.Info.Defs[name].(*types.Var); ok && isMutexType(obj.Type()) {
+						mutexFields[name.Name] = true
+					}
+				}
+			}
+			for _, field := range st.Fields.List {
+				mu := guardAnnotation(field)
+				if mu == "" {
+					continue
+				}
+				if !mutexFields[mu] {
+					pass.Reportf(field.Pos(),
+						"field %s.%s is annotated 'guarded by %s', but %s is not a mutex field of %s",
+						ts.Name.Name, fieldNames(field), mu, mu, ts.Name.Name)
+					continue
+				}
+				for _, name := range field.Names {
+					obj, ok := pass.Pkg.Info.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					guards[obj] = guardInfo{structName: ts.Name.Name, fieldName: name.Name, mutexName: mu}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// guardAnnotation returns the mutex name a field's comments claim guards
+// it, or "".
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+func fieldNames(field *ast.Field) string {
+	names := make([]string, 0, len(field.Names))
+	for _, n := range field.Names {
+		names = append(names, n.Name)
+	}
+	return strings.Join(names, ",")
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex (by
+// value; pointers are not lockable copies).
+func isMutexType(t types.Type) bool {
+	s := types.TypeString(t, nil)
+	return s == "sync.Mutex" || s == "sync.RWMutex"
+}
+
+// lockEvent is one <base>.<mu>.Lock() / RLock() call inside a function
+// body.
+type lockEvent struct {
+	base  string // rendered base expression, e.g. "n" or "h.shards[i]"
+	mutex string
+	read  bool // RLock (shared) rather than Lock (exclusive)
+	pos   token.Pos
+}
+
+// checkFuncGuards enforces guarded-field access rules inside one
+// function declaration.
+func checkFuncGuards(pass *Pass, fd *ast.FuncDecl, guards map[*types.Var]guardInfo) {
+	if len(guards) == 0 {
+		return
+	}
+	callerHolds := strings.HasSuffix(fd.Name.Name, "Locked")
+
+	// Pass 1: lock acquisitions and locally constructed (unpublished)
+	// values.
+	var locks []lockEvent
+	fresh := make(map[types.Object]bool) // vars initialized from composite literals
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if base, mu, read, ok := lockCall(n); ok {
+				locks = append(locks, lockEvent{base: base, mutex: mu, read: read, pos: n.Pos()})
+			}
+		case *ast.AssignStmt:
+			// n, err := NewNode(cfg): one constructor call, multiple LHS —
+			// the constructed value is always the first.
+			if len(n.Rhs) == 1 && len(n.Lhs) >= 1 && isConstructorCall(pass, n.Rhs[0]) {
+				if id, ok := n.Lhs[0].(*ast.Ident); ok {
+					if obj := pass.Pkg.Info.Defs[id]; obj != nil {
+						fresh[obj] = true
+					}
+				}
+			}
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				if !isCompositeConstruction(rhs) {
+					continue
+				}
+				if id, ok := n.Lhs[i].(*ast.Ident); ok {
+					if obj := pass.Pkg.Info.Defs[id]; obj != nil {
+						fresh[obj] = true
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, rhs := range n.Values {
+				if i >= len(n.Names) || !isCompositeConstruction(rhs) {
+					continue
+				}
+				if obj := pass.Pkg.Info.Defs[n.Names[i]]; obj != nil {
+					fresh[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 2: guarded-field accesses.
+	walkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pass.Pkg.Info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		field, ok := selection.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		g, guarded := guards[field]
+		if !guarded {
+			return true
+		}
+		if callerHolds {
+			return true
+		}
+		if rootIsFresh(pass, sel.X, fresh) {
+			return true
+		}
+		write := isWriteAccess(sel, stack)
+		base := types.ExprString(sel.X)
+		for _, le := range locks {
+			if le.base != base || le.mutex != g.mutexName || le.pos >= sel.Pos() {
+				continue
+			}
+			if write && le.read {
+				continue // RLock does not license a write; keep looking
+			}
+			return true
+		}
+		verb := "read of"
+		hint := g.mutexName + ".Lock() or " + g.mutexName + ".RLock()"
+		if write {
+			verb = "write to"
+			hint = g.mutexName + ".Lock()"
+		}
+		pass.Reportf(sel.Pos(),
+			"%s %s.%s (guarded by %s) without %s.%s held: no preceding %s in %s",
+			verb, g.structName, g.fieldName, g.mutexName, base, g.mutexName, hint, fd.Name.Name)
+		return true
+	})
+}
+
+// lockCall decomposes a call of the form <base>.<mu>.Lock() or
+// <base>.<mu>.RLock().
+func lockCall(call *ast.CallExpr) (base, mutex string, read, ok bool) {
+	fn, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false, false
+	}
+	switch fn.Sel.Name {
+	case "Lock":
+	case "RLock":
+		read = true
+	default:
+		return "", "", false, false
+	}
+	muSel, isSel := fn.X.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false, false
+	}
+	return types.ExprString(muSel.X), muSel.Sel.Name, read, true
+}
+
+// isConstructorCall reports whether an expression calls a same-package
+// New* constructor: the returned value is unpublished (the repo's
+// constructors build and return fresh values, never shared ones).
+func isConstructorCall(pass *Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || !strings.HasPrefix(id.Name, "New") {
+		return false
+	}
+	fn, ok := pass.Pkg.Info.Uses[id].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == pass.Pkg.Path
+}
+
+// isCompositeConstruction reports whether an expression builds a struct
+// value directly: T{...}, &T{...}, or new(T).
+func isCompositeConstruction(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, ok := e.X.(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "new" {
+			return true
+		}
+	}
+	return false
+}
+
+// rootIsFresh reports whether the access base bottoms out in a variable
+// the current function constructed from a composite literal (an
+// unpublished value, safe to touch without its lock).
+func rootIsFresh(pass *Pass, e ast.Expr, fresh map[types.Object]bool) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return fresh[pass.Pkg.Info.Uses[x]]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// isWriteAccess classifies a guarded-field selector as a write: it (or
+// an index/deref of it) is assigned, incremented, address-taken, or
+// passed to the delete builtin.
+func isWriteAccess(sel *ast.SelectorExpr, stack []ast.Node) bool {
+	var child ast.Node = sel
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.IndexExpr, *ast.StarExpr, *ast.ParenExpr:
+			child = parent
+			continue
+		case *ast.AssignStmt:
+			for _, lhs := range parent.Lhs {
+				if lhs == child {
+					return true
+				}
+			}
+			return false
+		case *ast.IncDecStmt:
+			return parent.X == child
+		case *ast.UnaryExpr:
+			return parent.Op == token.AND && parent.X == child
+		case *ast.CallExpr:
+			if id, ok := parent.Fun.(*ast.Ident); ok && id.Name == "delete" {
+				return len(parent.Args) > 0 && parent.Args[0] == child
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// checkMutexCopies flags mutex values crossing a copy boundary:
+// parameters, results, return values, assignments, and call arguments
+// of type sync.Mutex / sync.RWMutex (by value).
+func checkMutexCopies(pass *Pass) {
+	info := pass.Pkg.Info
+	exprIsMutexValue := func(e ast.Expr) bool {
+		if e == nil {
+			return false
+		}
+		if _, isLit := e.(*ast.CompositeLit); isLit {
+			return false // sync.Mutex{} zero literal is a fresh value, not a copy
+		}
+		tv, ok := info.Types[e]
+		return ok && isMutexType(tv.Type)
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncType:
+				for _, field := range fieldTypes(n.Params) {
+					if isMutexFieldType(info, field) {
+						pass.Reportf(field.Pos(), "mutex passed by value; use a pointer")
+					}
+				}
+				for _, field := range fieldTypes(n.Results) {
+					if isMutexFieldType(info, field) {
+						pass.Reportf(field.Pos(), "mutex returned by value; use a pointer")
+					}
+				}
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					if exprIsMutexValue(rhs) {
+						pass.Reportf(rhs.Pos(), "mutex copied by assignment; use a pointer")
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, res := range n.Results {
+					if exprIsMutexValue(res) {
+						pass.Reportf(res.Pos(), "mutex returned by value; use a pointer")
+					}
+				}
+			case *ast.CallExpr:
+				for _, arg := range n.Args {
+					if exprIsMutexValue(arg) {
+						pass.Reportf(arg.Pos(), "mutex passed by value; use a pointer")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func fieldTypes(fl *ast.FieldList) []*ast.Field {
+	if fl == nil {
+		return nil
+	}
+	return fl.List
+}
+
+// isMutexFieldType reports whether a parameter/result field's type is a
+// bare (non-pointer) mutex.
+func isMutexFieldType(info *types.Info, field *ast.Field) bool {
+	tv, ok := info.Types[field.Type]
+	if !ok {
+		return false
+	}
+	return isMutexType(tv.Type)
+}

@@ -1,0 +1,137 @@
+package lint
+
+// Pinning tests for the acceptance contracts: the guard annotations on
+// the repo's concurrency-critical structs must stay present (deleting
+// one fails TestGuardAnnotationsPinned), and a wall-clock call slipped
+// into the replay path must be detected (TestWallClockInjectionDetected
+// proves it by injecting one into a copy of chain/state.go).
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// requiredGuards pins the documented lock contracts: package path →
+// "Struct.field" → guarding mutex. Removing a "guarded by" annotation
+// from any of these fields fails this list before it silently stops
+// being checked.
+var requiredGuards = map[string]map[string]string{
+	"repro/internal/chain": {
+		"Node.state":             "mu",
+		"Node.blocks":            "mu",
+		"Node.waiters":           "mu",
+		"Node.mempool":           "mpMu",
+		"Node.nonces":            "mpMu",
+		"Node.stopSealing":       "sealMu",
+		"Node.evidence":          "evMu",
+		"State.data":             "mu",
+		"State.journal":          "mu",
+		"State.root":             "mu",
+		"snapshotWriter.pending": "mu",
+		"snapshotWriter.closed":  "mu",
+	},
+	"repro/internal/solid": {
+		"Pod.resources":  "mu",
+		"Pod.acls":       "mu",
+		"Pod.postSeq":    "mu",
+		"Pod.persist":    "mu",
+		"Pod.authCache":  "authMu",
+		"hostShard.pods": "mu",
+	},
+	"repro/internal/store": {
+		"WAL.f":       "mu",
+		"WAL.size":    "mu",
+		"WAL.pending": "mu",
+		"WAL.closed":  "mu",
+	},
+}
+
+func TestGuardAnnotationsPinned(t *testing.T) {
+	pkgs, err := Load("../..", "./internal/chain", "./internal/solid", "./internal/store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	for path, want := range requiredGuards {
+		pkg, ok := byPath[path]
+		if !ok {
+			t.Fatalf("package %s not loaded", path)
+		}
+		got := LockGuards(pkg)
+		for field, mu := range want {
+			if got[field] != mu {
+				t.Errorf("%s: field %s must carry a \"// guarded by %s\" annotation (got %q); "+
+					"the lock contract is load-bearing — restore the comment rather than relaxing this test",
+					path, field, mu, got[field])
+			}
+		}
+	}
+}
+
+// TestWallClockInjectionDetected re-type-checks internal/chain with a
+// time.Now() call appended to state.go and requires the determinism
+// analyzer to flag it: the acceptance criterion that adding wall-clock
+// reads to the replay path fails repolint.
+func TestWallClockInjectionDetected(t *testing.T) {
+	const chainDir = "../../internal/chain"
+	names, err := filepath.Glob(filepath.Join(chainDir, "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixtureExports.once.Do(func() {
+		fixtureExports.m, fixtureExports.err = ExportsFor("../..", "./...", "std")
+	})
+	if fixtureExports.err != nil {
+		t.Fatalf("loading export data: %v", fixtureExports.err)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	mutated := false
+	for _, name := range names {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := string(src)
+		if filepath.Base(name) == "state.go" {
+			// state.go imports no wall-clock today; splice "time" into its
+			// import block and append a probe that reads the clock.
+			if !strings.Contains(text, "import (") {
+				t.Fatalf("state.go has no import block to splice %q into", "time")
+			}
+			text = strings.Replace(text, "import (", "import (\n\t\"time\"", 1)
+			text += "\n\nfunc lintMutationProbe() int64 { return time.Now().UnixNano() }\n"
+			mutated = true
+		}
+		f, err := parser.ParseFile(fset, name, text, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	if !mutated {
+		t.Fatal("state.go not found under internal/chain")
+	}
+	pkg, err := TypeCheck(fset, "repro/internal/chain", files, NewExportImporter(fset, fixtureExports.m))
+	if err != nil {
+		t.Fatalf("type-checking mutated chain package: %v", err)
+	}
+	for _, f := range Run([]*Package{pkg}, []*Analyzer{Determinism(DeterministicPackages...)}) {
+		if filepath.Base(f.Pos.Filename) == "state.go" && strings.Contains(f.Message, "time.Now") {
+			return // detected, as required
+		}
+	}
+	t.Fatal("determinism analyzer did not flag the injected time.Now() in state.go")
+}

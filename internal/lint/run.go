@@ -1,0 +1,73 @@
+package lint
+
+// knownAnalyzers is the registry of valid waiver targets; a waiver
+// naming anything else is itself a finding, whichever subset runs.
+var knownAnalyzers = map[string]bool{
+	"lockcheck":   true,
+	"determinism": true,
+	"codecsafe":   true,
+	"errflow":     true,
+}
+
+// Run executes the analyzers over the packages, applies waiver
+// directives, and returns the surviving findings plus the waiver
+// hygiene findings (missing reason, unknown analyzer, unused waiver),
+// sorted by position. An empty result is the gate CI enforces.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	running := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		running[a.Name] = true
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		waivers := parseWaivers(pkg)
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Pkg:      pkg,
+				report:   func(d Diagnostic) { diags = append(diags, d) },
+			}
+			a.Run(pass)
+		}
+	diagnostics:
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			for _, w := range waivers {
+				if w.reason != "" && w.matches(d.Analyzer, pos) {
+					w.used = true
+					continue diagnostics
+				}
+			}
+			findings = append(findings, Finding{Analyzer: d.Analyzer, Pos: pos, Message: d.Message})
+		}
+		for _, w := range waivers {
+			switch {
+			case w.analyzer == "" || !knownAnalyzers[w.analyzer]:
+				findings = append(findings, Finding{
+					Analyzer: "repolint", Pos: w.pos,
+					Message: "waiver names unknown analyzer " + quoteName(w.analyzer),
+				})
+			case w.reason == "":
+				findings = append(findings, Finding{
+					Analyzer: "repolint", Pos: w.pos,
+					Message: "waiver for " + w.analyzer + " has no reason; write //repolint:ignore " + w.analyzer + " <reason>",
+				})
+			case !w.used && running[w.analyzer]:
+				findings = append(findings, Finding{
+					Analyzer: "repolint", Pos: w.pos,
+					Message: "unused waiver: no " + w.analyzer + " finding on this or the next line",
+				})
+			}
+		}
+	}
+	sortFindings(findings)
+	return findings
+}
+
+func quoteName(s string) string {
+	if s == "" {
+		return "(none)"
+	}
+	return "\"" + s + "\""
+}

@@ -1,0 +1,87 @@
+// Package fixture exercises the determinism analyzer: wall-clock and
+// timer calls, global vs seeded rand, crypto/rand, and map-iteration
+// order leaking into appends and write-like sinks. The fixture test
+// checks it twice — once as a replay-path package (everything fires)
+// and once under a neutral import path (nothing fires).
+package fixture
+
+import (
+	crand "crypto/rand"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want "time.Now on the deterministic replay path"
+}
+
+func sleepy() {
+	time.Sleep(time.Millisecond) // want "time.Sleep on the deterministic replay path"
+}
+
+func timer() {
+	t := time.NewTimer(time.Second) // want "time.NewTimer on the deterministic replay path"
+	t.Stop()
+}
+
+// seeded constructs an explicit source: allowed.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want "math/rand.Intn samples the global rand source"
+}
+
+func cryptoRand(buf []byte) {
+	crand.Read(buf) // want "crypto/rand.Read on the deterministic replay path"
+}
+
+func cryptoReader() any {
+	return crand.Reader // want "crypto/rand.Reader on the deterministic replay path"
+}
+
+// leak appends map keys and never sorts them: iteration order escapes.
+func leak(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to keys inside map iteration without a later sort"
+	}
+	return keys
+}
+
+// sortedKeys is the sanctioned pattern: collect, then sort.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// digest feeds map iteration straight into a hash: order-sensitive.
+func digest(m map[string]int) uint64 {
+	h := fnv.New64a()
+	for k := range m {
+		h.Write([]byte(k)) // want "call to Write inside map iteration"
+	}
+	return h.Sum64()
+}
+
+type item struct{ id uint64 }
+
+// Hash is a pure zero-argument getter: nothing is sunk.
+func (it *item) Hash() uint64 { return it.id }
+
+func anyZero(m map[string]*item) bool {
+	for _, it := range m {
+		if it.Hash() == 0 {
+			return true
+		}
+	}
+	return false
+}

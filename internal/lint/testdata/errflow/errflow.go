@@ -1,0 +1,47 @@
+// Package fixture exercises the errflow analyzer checked as a scoped
+// package (internal/solid): errors from internal/store callees and from
+// critical-named local methods must not be discarded; plain local calls
+// are out of scope.
+package fixture
+
+import "repro/internal/store"
+
+type journal struct{ wal *store.WAL }
+
+// appendOp matches the critical local-method naming convention.
+func (j *journal) appendOp(b []byte) error { return j.wal.Append(b) }
+
+func bareCall(w *store.WAL, b []byte) {
+	w.Append(b) // want "error from WAL.Append discarded .bare call."
+}
+
+func deferred(w *store.WAL) {
+	defer w.Close() // want "error from WAL.Close discarded .defer discards the result."
+}
+
+func spawned(w *store.WAL) {
+	go w.Close() // want "error from WAL.Close discarded .go discards the result."
+}
+
+func blanked(w *store.WAL, b []byte) {
+	_ = w.Append(b) // want "error from WAL.Append discarded .assigned to _."
+}
+
+func localCritical(j *journal, b []byte) {
+	j.appendOp(b) // want "error from journal.appendOp discarded .bare call."
+}
+
+func handled(w *store.WAL, b []byte) error {
+	if err := w.Append(b); err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+// localPlain is an error-returning local function with a non-critical
+// name: discarding it is someone else's lint problem, not errflow's.
+func localPlain() error { return nil }
+
+func outOfScope() {
+	localPlain()
+}

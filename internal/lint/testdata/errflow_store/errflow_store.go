@@ -1,0 +1,30 @@
+// Package fixture exercises errflow checked as internal/store itself:
+// the os.File durability methods (Write, Sync, Close, Truncate, Seek)
+// are critical there, while non-durability methods like Read are not.
+package fixture
+
+import "os"
+
+func closeDiscarded(f *os.File) {
+	f.Close() // want "error from os.File.Close discarded .bare call."
+}
+
+func syncDeferred(f *os.File) {
+	defer f.Sync() // want "error from os.File.Sync discarded .defer discards the result."
+}
+
+func readIsFine(f *os.File, b []byte) {
+	f.Read(b)
+}
+
+func handled(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func waived(f *os.File) {
+	//repolint:ignore errflow fixture exercises the errflow waiver path
+	defer f.Close()
+}

@@ -1,0 +1,88 @@
+// Package fixture exercises the lockcheck analyzer: guarded-field
+// access with and without the named mutex held, the Locked-suffix
+// caller-must-hold convention, unpublished (freshly constructed)
+// values, annotation validation, and mutex copies.
+package fixture
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// NewCounter is a same-package constructor: its result is unpublished.
+func NewCounter() *counter { return &counter{} }
+
+func (c *counter) Good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) Bad() int {
+	return c.n // want "read of counter.n .guarded by mu. without c.mu held"
+}
+
+func (c *counter) BadWrite() {
+	c.n = 1 // want "write to counter.n .guarded by mu. without c.mu held"
+}
+
+// bumpLocked's suffix promises the caller holds mu: no finding.
+func (c *counter) bumpLocked() { c.n++ }
+
+// fresh builds the value it touches: unpublished, no lock needed.
+func fresh() *counter {
+	c := &counter{}
+	c.n = 7
+	return c
+}
+
+// constructed gets its value from a same-package New*: also unpublished.
+func constructed() *counter {
+	c := NewCounter()
+	c.n = 9
+	return c
+}
+
+type table struct {
+	mu sync.RWMutex
+	m  map[string]int // guarded by mu
+}
+
+func (t *table) Get(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+// BadPut holds only the read lock: RLock does not license a write.
+func (t *table) BadPut(k string) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.m[k] = 1 // want "write to table.m .guarded by mu. without t.mu held"
+}
+
+func (t *table) GoodPut(k string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.m[k] = 1
+}
+
+func (t *table) GoodDelete(k string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.m, k)
+}
+
+type wrong struct {
+	x int // guarded by lock want "annotated 'guarded by lock', but lock is not a mutex field"
+}
+
+func useWrong(w *wrong) int { return w.x }
+
+func copyMutex(mu sync.Mutex) {} // want "mutex passed by value"
+
+func (c *counter) Expose() sync.Mutex { // want "mutex returned by value"
+	return c.mu // want "mutex returned by value"
+}

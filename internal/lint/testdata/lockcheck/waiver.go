@@ -1,0 +1,27 @@
+// Waiver-directive cases: a reasoned waiver suppresses its finding, a
+// reasonless one is itself a finding and suppresses nothing, an unused
+// waiver is a finding, and so is one naming an unknown analyzer.
+package fixture
+
+func (c *counter) waivedRead() int {
+	//repolint:ignore lockcheck fixture exercises waiver suppression
+	return c.n
+}
+
+func (c *counter) reasonlessWaiver() int {
+	// want-below "waiver for lockcheck has no reason"
+	//repolint:ignore lockcheck
+	return c.n // want "read of counter.n .guarded by mu. without c.mu held"
+}
+
+func unusedWaiver() int {
+	// want-below "unused waiver: no lockcheck finding"
+	//repolint:ignore lockcheck nothing to suppress here
+	return 0
+}
+
+func unknownAnalyzer() int {
+	// want-below "waiver names unknown analyzer"
+	//repolint:ignore nosuchanalyzer some reason text
+	return 0
+}

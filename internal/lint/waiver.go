@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// waiverPrefix opens a waiver directive comment.
+const waiverPrefix = "repolint:ignore"
+
+// waiver is one parsed //repolint:ignore directive. A waiver suppresses
+// findings of the named analyzer on its own line and on the line
+// directly below it (so it works both as a trailing comment and as a
+// comment above the offending statement).
+type waiver struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	used     bool
+}
+
+// parseWaivers extracts the waiver directives of a package.
+func parseWaivers(pkg *Package) []*waiver {
+	var out []*waiver
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(text, "/*")
+				text = strings.TrimSuffix(text, "*/")
+				if !strings.HasPrefix(text, waiverPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, waiverPrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				out = append(out, &waiver{
+					pos:      pkg.Fset.Position(c.Pos()),
+					analyzer: name,
+					reason:   strings.TrimSpace(reason),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// matches reports whether the waiver covers a finding of analyzer at
+// pos.
+func (w *waiver) matches(analyzer string, pos token.Position) bool {
+	return w.analyzer == analyzer &&
+		w.pos.Filename == pos.Filename &&
+		(w.pos.Line == pos.Line || w.pos.Line+1 == pos.Line)
+}

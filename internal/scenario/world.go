@@ -1135,8 +1135,11 @@ func (w *World) dupTx(tag string) (*chain.Tx, error) {
 // settled state. The spin uses the wall clock and leaves no mark on the
 // trace.
 func (w *World) quiesceChain() {
+	//repolint:ignore determinism wall-clock settle spin; bounds real goroutines and leaves no mark on the trace
 	deadline := time.Now().Add(5 * time.Second)
+	//repolint:ignore determinism wall-clock settle spin; bounds real goroutines and leaves no mark on the trace
 	for !w.chainSettled() && time.Now().Before(deadline) {
+		//repolint:ignore determinism wall-clock settle spin; bounds real goroutines and leaves no mark on the trace
 		time.Sleep(200 * time.Microsecond)
 	}
 }

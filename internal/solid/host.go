@@ -48,7 +48,7 @@ type Host struct {
 
 type hostShard struct {
 	mu   sync.RWMutex
-	pods map[string]*mountedPod
+	pods map[string]*mountedPod // guarded by mu
 }
 
 type mountedPod struct {
@@ -122,8 +122,7 @@ func (h *Host) CreatePod(name string, owner WebID, hostBaseURL string, hook Acce
 		pod = NewPod(owner, baseURL)
 	}
 	if err := h.Mount(name, pod, NewServer(pod, h.dir, h.clock, hook)); err != nil {
-		pod.CloseStore()
-		return nil, err
+		return nil, errors.Join(err, pod.CloseStore())
 	}
 	return pod, nil
 }

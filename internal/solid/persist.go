@@ -1,6 +1,7 @@
 package solid
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"os"
@@ -91,6 +92,12 @@ func OpenPod(owner WebID, baseURL, dir string, opts PodStoreOptions) (*Pod, erro
 		return nil, err
 	}
 	p := NewPod(owner, baseURL)
+	// The pod is not yet published, so no other goroutine can race the
+	// replay — but holding mu anyway costs nothing (one uncontended
+	// acquisition per open) and keeps the lock discipline uniform for
+	// every path that touches guarded fields.
+	p.mu.Lock()
+	defer p.mu.Unlock()
 
 	start := uint64(0)
 	if seq, payload, ok := store.LatestSnapshot(dir, uint64(len(records))); ok {
@@ -120,14 +127,13 @@ func OpenPod(owner WebID, baseURL, dir string, opts PodStoreOptions) (*Pod, erro
 			// the frame cannot see; treat it as the torn tail.
 			break
 		}
-		p.applyOp(op)
+		p.applyOpLocked(op)
 		applied++
 		lastGoodEnd = rec.End
 	}
 	if lastGoodEnd < wal.Size() {
 		if err := wal.TruncateTo(lastGoodEnd); err != nil {
-			wal.Close()
-			return nil, err
+			return nil, errors.Join(err, wal.Close())
 		}
 	}
 	every := opts.SnapshotEvery
@@ -141,10 +147,10 @@ func OpenPod(owner WebID, baseURL, dir string, opts PodStoreOptions) (*Pod, erro
 	return p, nil
 }
 
-// applyOp replays one logged effect (open-time only: no locking, no
-// logging). Each op bumps the ACL generation exactly once, mirroring the
-// original mutation.
-func (p *Pod) applyOp(op podOp) {
+// applyOpLocked replays one logged effect (open-time only, no logging;
+// callers hold p.mu). Each op bumps the ACL generation exactly once,
+// mirroring the original mutation.
+func (p *Pod) applyOpLocked(op podOp) {
 	switch op.Kind {
 	case "put":
 		p.resources[op.Path] = &Resource{

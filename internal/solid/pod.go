@@ -69,14 +69,14 @@ type Pod struct {
 	baseURL string
 
 	mu        sync.RWMutex
-	resources map[string]*Resource
-	acls      map[string]*ACL // keyed by the path the ACL document governs
-	postSeq   uint64          // server-assigned POST child names
+	resources map[string]*Resource // guarded by mu
+	acls      map[string]*ACL      // keyed by the path the ACL document governs; guarded by mu
+	postSeq   uint64               // server-assigned POST child names; guarded by mu
 
 	aclGen       atomic.Uint64 // bumped on every mutation
 	authMu       sync.RWMutex
-	authCache    map[authCacheKey]authDecision
-	authCacheOff atomic.Bool // benchmarks compare cached vs uncached
+	authCache    map[authCacheKey]authDecision // guarded by authMu
+	authCacheOff atomic.Bool                   // benchmarks compare cached vs uncached
 
 	// persist journals mutation effects to a per-pod op log (nil for
 	// in-memory pods); see OpenPod. Guarded by mu.

@@ -188,6 +188,7 @@ func (d *Dec) Bytes() []byte {
 	if n == 0 {
 		return nil
 	}
+	//repolint:ignore codecsafe length is validated against the remaining input above; this is the primitive Count-style reads build on
 	out := make([]byte, n)
 	copy(out, d.b[d.off:])
 	d.off += int(n)

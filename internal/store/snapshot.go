@@ -1,6 +1,7 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -35,12 +36,10 @@ func WriteSnapshot(dir string, seq uint64, payload []byte) error {
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
 	framed := AppendRecord(make([]byte, 0, recordHeaderSize+len(payload)), payload)
 	if _, err := tmp.Write(framed); err != nil {
-		tmp.Close()
-		return fmt.Errorf("store: snapshot write: %w", err)
+		return errors.Join(fmt.Errorf("store: snapshot write: %w", err), tmp.Close())
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("store: snapshot sync: %w", err)
+		return errors.Join(fmt.Errorf("store: snapshot sync: %w", err), tmp.Close())
 	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("store: snapshot close: %w", err)

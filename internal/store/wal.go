@@ -81,12 +81,12 @@ var ErrClosed = errors.New("store: wal closed")
 // concurrent use.
 type WAL struct {
 	mu      sync.Mutex
-	f       *os.File
+	f       *os.File // guarded by mu
 	path    string
-	size    int64
+	size    int64 // guarded by mu
 	opts    Options
-	pending int // appends since the last fsync
-	closed  bool
+	pending int  // appends since the last fsync; guarded by mu
+	closed  bool // guarded by mu
 }
 
 // OpenWAL opens (creating if needed) the log at path, decodes every
@@ -99,8 +99,7 @@ func OpenWAL(path string, opts Options) (*WAL, []Record, error) {
 	}
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("store: read wal: %w", err)
+		return nil, nil, errors.Join(fmt.Errorf("store: read wal: %w", err), f.Close())
 	}
 
 	var records []Record
@@ -117,13 +116,11 @@ func OpenWAL(path string, opts Options) (*WAL, []Record, error) {
 	}
 	if int(offset) < len(raw) {
 		if err := f.Truncate(offset); err != nil {
-			f.Close()
-			return nil, nil, fmt.Errorf("store: truncate torn tail: %w", err)
+			return nil, nil, errors.Join(fmt.Errorf("store: truncate torn tail: %w", err), f.Close())
 		}
 	}
 	if _, err := f.Seek(offset, 0); err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("store: seek wal: %w", err)
+		return nil, nil, errors.Join(fmt.Errorf("store: seek wal: %w", err), f.Close())
 	}
 	return &WAL{f: f, path: path, size: offset, opts: opts.withDefaults()}, records, nil
 }
