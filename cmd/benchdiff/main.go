@@ -89,13 +89,30 @@ func run(stdout, stderr io.Writer, args []string) int {
 		oldBy[key{r.Exp, r.Case}] = r
 	}
 
+	// improvement tracks the biggest ns/op wins across ALL tables (gated
+	// or not) so a perf PR's headline numbers surface in the CI log
+	// without anyone re-running the sweep locally.
+	type improvement struct {
+		exp, cse string
+		oldNs    float64
+		newNs    float64
+		pct      float64
+	}
+	var improvements []improvement
+
 	failures := 0
 	for _, k := range keys {
 		o := oldBy[k]
+		n, ok := newBy[k]
+		if ok && o.NsOp > 0 && n.NsOp < o.NsOp {
+			improvements = append(improvements, improvement{
+				exp: k.exp, cse: k.cse, oldNs: o.NsOp, newNs: n.NsOp,
+				pct: (n.NsOp - o.NsOp) / o.NsOp * 100,
+			})
+		}
 		if !gated[k.exp] {
 			continue
 		}
-		n, ok := newBy[k]
 		if !ok {
 			fmt.Fprintf(stdout, "FAIL %s/%s: present in %s, missing from %s\n", k.exp, k.cse, *oldPath, *newPath)
 			failures++
@@ -112,6 +129,17 @@ func run(stdout, stderr io.Writer, args []string) int {
 		}
 		fmt.Fprintf(stdout, "%s %s/%s: %.0f -> %.0f ns/op (%+.1f%%, budget %+.1f%%)\n",
 			status, k.exp, k.cse, o.NsOp, n.NsOp, pct, *maxPct)
+	}
+	if len(improvements) > 0 {
+		sort.Slice(improvements, func(i, j int) bool { return improvements[i].pct < improvements[j].pct })
+		fmt.Fprintln(stdout, "top improvements:")
+		for i, imp := range improvements {
+			if i >= 3 {
+				break
+			}
+			fmt.Fprintf(stdout, "  %s/%s: %.0f -> %.0f ns/op (%.1f%%)\n",
+				imp.exp, imp.cse, imp.oldNs, imp.newNs, imp.pct)
+		}
 	}
 	if failures > 0 {
 		fmt.Fprintf(stdout, "benchdiff: %d regression(s) beyond %.1f%%\n", failures, *maxPct)

@@ -73,11 +73,66 @@ func TestMissingGatedRowFails(t *testing.T) {
 	}
 }
 
+func TestTopImprovementsReported(t *testing.T) {
+	// e1 improves most (-50%), durability -25%, commitpath -10%: the
+	// summary must list all three, biggest win first, ungated included.
+	newJSON := strings.ReplaceAll(baseline, `"ns_op":1000,`, `"ns_op":500,`)
+	newJSON = strings.ReplaceAll(newJSON, "200000", "150000")
+	newJSON = strings.ReplaceAll(newJSON, "100000", "90000")
+	code, out := runDiff(t, baseline, newJSON)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, out)
+	}
+	idx := strings.Index(out, "top improvements:")
+	if idx < 0 {
+		t.Fatalf("no top-improvements summary:\n%s", out)
+	}
+	summary := out[idx:]
+	e1 := strings.Index(summary, "e1/1/1")
+	dur := strings.Index(summary, "durability/wal-always")
+	cp := strings.Index(summary, "commitpath/1000/64")
+	if e1 < 0 || dur < 0 || cp < 0 {
+		t.Fatalf("summary missing rows (e1=%d dur=%d cp=%d):\n%s", e1, dur, cp, summary)
+	}
+	if !(e1 < dur && dur < cp) {
+		t.Fatalf("summary not ordered biggest-win-first:\n%s", summary)
+	}
+}
+
+func TestTopImprovementsCappedAtThree(t *testing.T) {
+	oldJSON := `[
+	  {"exp":"e1","case":"a","ns_op":1000},
+	  {"exp":"e1","case":"b","ns_op":1000},
+	  {"exp":"e1","case":"c","ns_op":1000},
+	  {"exp":"e1","case":"d","ns_op":1000}
+	]`
+	newJSON := `[
+	  {"exp":"e1","case":"a","ns_op":900},
+	  {"exp":"e1","case":"b","ns_op":800},
+	  {"exp":"e1","case":"c","ns_op":700},
+	  {"exp":"e1","case":"d","ns_op":600}
+	]`
+	code, out := runDiff(t, oldJSON, newJSON)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, out)
+	}
+	if strings.Contains(out, "e1/a") {
+		t.Fatalf("fourth-best improvement should be dropped from a top-3 list:\n%s", out)
+	}
+	for _, want := range []string{"e1/d", "e1/c", "e1/b"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %s:\n%s", want, out)
+		}
+	}
+}
+
 // TestCommittedSnapshotsPass is the CI gate itself: the committed
-// BENCH_7.json must stay within the regression budget of BENCH_6.json.
+// BENCH_8.json must stay within the regression budget of BENCH_7.json.
 func TestCommittedSnapshotsPass(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	code := run(&stdout, &stderr, []string{"-old", "../../BENCH_6.json", "-new", "../../BENCH_7.json"})
+	code := run(&stdout, &stderr, []string{
+		"-old", "../../BENCH_7.json", "-new", "../../BENCH_8.json",
+		"-tables", "commitpath,durability,parexec"})
 	if code != 0 {
 		t.Fatalf("committed snapshots exceed the regression budget (exit %d):\n%s%s",
 			code, stdout.String(), stderr.String())

@@ -61,6 +61,7 @@ func run(args []string) error {
 	dataDir := fs.String("data-dir", "", "durable storage root (empty = in-memory; WAL + snapshots + keys under <dir>/node-<i>/)")
 	fsync := fs.String("fsync", "interval", "WAL fsync policy: always, interval, never")
 	snapshotEvery := fs.Int("snapshot-every", 0, "state snapshot cadence in blocks (0 = package default)")
+	execWorkers := fs.Int("exec-workers", 0, "parallel transaction execution workers per node (0 = GOMAXPROCS, 1 = serial; blocks are bit-identical at any setting)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -72,7 +73,7 @@ func run(args []string) error {
 		return err
 	}
 
-	nodes, network, deAddr, err := buildCluster(*validators, *dataDir, syncPolicy, *snapshotEvery)
+	nodes, network, deAddr, err := buildCluster(*validators, *dataDir, syncPolicy, *snapshotEvery, *execWorkers)
 	if err != nil {
 		return err
 	}
@@ -152,7 +153,7 @@ func run(args []string) error {
 // with the DE App, one node per validator (reopened from its durable
 // store when dataDir is set, with the authority key persisted alongside
 // it), and the broadcast network.
-func buildCluster(validators int, dataDir string, syncPolicy store.SyncPolicy, snapshotEvery int) ([]*chain.Node, *chain.Network, cryptoutil.Address, error) {
+func buildCluster(validators int, dataDir string, syncPolicy store.SyncPolicy, snapshotEvery, execWorkers int) ([]*chain.Node, *chain.Network, cryptoutil.Address, error) {
 	manufacturer, err := tee.NewManufacturer("tee-manufacturer")
 	if err != nil {
 		return nil, nil, cryptoutil.Address{}, err
@@ -180,6 +181,7 @@ func buildCluster(validators int, dataDir string, syncPolicy store.SyncPolicy, s
 			Authorities: auths,
 			Executor:    runtime,
 			GenesisTime: genesis,
+			ExecWorkers: execWorkers,
 		}
 		if dataDir != "" {
 			cfg.DataDir = nodeDir(dataDir, i)

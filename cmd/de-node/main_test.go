@@ -32,7 +32,7 @@ func TestRunRejectsBadFlag(t *testing.T) {
 // newTestCluster builds the cluster exactly as run() does (in-memory).
 func newTestCluster(t *testing.T, validators int) ([]*chain.Node, *chain.Network, cryptoutil.Address) {
 	t.Helper()
-	nodes, network, deAddr, err := buildCluster(validators, "", store.SyncNever, 0)
+	nodes, network, deAddr, err := buildCluster(validators, "", store.SyncNever, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +44,7 @@ func newTestCluster(t *testing.T, validators int) ([]*chain.Node, *chain.Network
 // boot resumes at the first boot's height with the same head.
 func TestBuildClusterDurableRestart(t *testing.T) {
 	dir := t.TempDir()
-	nodes, network, deAddr, err := buildCluster(2, dir, store.SyncNever, 0)
+	nodes, network, deAddr, err := buildCluster(2, dir, store.SyncNever, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +71,7 @@ func TestBuildClusterDurableRestart(t *testing.T) {
 		}
 	}
 
-	nodes2, _, _, err := buildCluster(2, dir, store.SyncNever, 0)
+	nodes2, _, _, err := buildCluster(2, dir, store.SyncNever, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestRunGracefulShutdown(t *testing.T) {
 				t.Fatalf("run returned %v on SIGTERM", err)
 			}
 			// The flushed store must reopen as a consistent chain.
-			nodes, _, _, err := buildCluster(2, dir, store.SyncNever, 0)
+			nodes, _, _, err := buildCluster(2, dir, store.SyncNever, 0, 0)
 			if err != nil {
 				t.Fatalf("reopen after shutdown: %v", err)
 			}

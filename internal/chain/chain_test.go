@@ -3,6 +3,7 @@ package chain
 import (
 	"encoding/json"
 	"fmt"
+	"strconv"
 	"strings"
 	"time"
 
@@ -13,6 +14,8 @@ import (
 // testExecutor is a minimal Executor for chain tests. It supports:
 //
 //	"set"   {key, value}: writes value under "<contract>/<key>", emits "Set".
+//	"incr"  {key}       : read-modify-write counter at "<contract>/<key>"
+//	                      (every incr of one key conflicts with the last).
 //	"fail"  {}          : reverts with GasTxBase consumed.
 //	"burn"  {amount}    : charges amount gas (tests out-of-gas handling).
 //	"get"   {key}       : query-only read returning {"value": ...}.
@@ -57,6 +60,27 @@ func (testExecutor) ExecuteTx(st StateRW, tx *Tx, bctx BlockContext) *Receipt {
 		st.Set(tx.Contract.String()+"/"+args.Key, []byte(args.Value))
 		r.Events = append(r.Events, Event{
 			Contract: tx.Contract, Topic: "Set", Key: args.Key, Data: []byte(args.Value),
+		})
+	case "incr":
+		var args setArgs
+		if err := json.Unmarshal(tx.Args, &args); err != nil {
+			r.Status = StatusReverted
+			r.Err = err.Error()
+			r.GasUsed = meter.Used()
+			return r
+		}
+		if !charge(GasStorageSet) {
+			return r
+		}
+		k := tx.Contract.String() + "/" + args.Key
+		count := 0
+		if v, ok := st.Get(k); ok {
+			count, _ = strconv.Atoi(string(v))
+		}
+		next := []byte(strconv.Itoa(count + 1))
+		st.Set(k, next)
+		r.Events = append(r.Events, Event{
+			Contract: tx.Contract, Topic: "Incr", Key: args.Key, Data: next,
 		})
 	case "fail":
 		r.Status = StatusReverted

@@ -96,7 +96,7 @@ func (n *Node) ApplyBlock(block *Block, proposerKey []byte) error {
 	n.mu.RUnlock()
 	overlay := NewOverlay(st)
 	bctx := BlockContext{Number: h.Number, Time: h.Time}
-	receipts := replayTxs(n.executor, overlay, block.Txs, bctx)
+	receipts := n.executeBlock(overlay, block.Txs, bctx)
 	if got := receiptRoot(receipts); got != h.ReceiptRoot {
 		return ErrBadReceiptRoot
 	}

@@ -60,6 +60,12 @@ type Config struct {
 	// GOMAXPROCS; 1 forces sequential verification (the ablation
 	// baseline).
 	VerifyWorkers int
+	// ExecWorkers bounds the parallel transaction scheduler used by block
+	// sealing and validation (see parallel.go). 0 (the default) uses
+	// GOMAXPROCS; 1 forces the exact legacy serial execution path. Every
+	// worker count produces bit-identical blocks — this only trades
+	// latency for cores.
+	ExecWorkers int
 	// DataDir, when non-empty, makes the node durable: sealed and applied
 	// blocks are appended to a write-ahead log under this directory and
 	// state snapshots bound recovery replay. Empty keeps the node fully
@@ -92,11 +98,13 @@ type Node struct {
 	clock         simclock.Clock
 	maxTxs        int
 	verifyWorkers int
+	execWorkers   int
 
-	mu      sync.RWMutex
-	state   *State                              // guarded by mu
-	blocks  []*Block                            // guarded by mu
-	waiters map[cryptoutil.Hash][]chan *Receipt // guarded by mu
+	mu       sync.RWMutex
+	state    *State                              // guarded by mu
+	blocks   []*Block                            // guarded by mu
+	waiters  map[cryptoutil.Hash][]chan *Receipt // guarded by mu
+	receipts map[cryptoutil.Hash]*Receipt        // guarded by mu; hash → receipt index over blocks
 
 	mpMu    sync.Mutex
 	mempool *mempool                      // guarded by mpMu
@@ -163,10 +171,12 @@ func NewNode(cfg Config) (*Node, error) {
 		clock:         clk,
 		maxTxs:        maxTxs,
 		verifyWorkers: cfg.VerifyWorkers,
+		execWorkers:   cfg.ExecWorkers,
 		state:         NewState(),
 		mempool:       newMempool(),
 		nonces:        make(map[cryptoutil.Address]uint64),
 		waiters:       make(map[cryptoutil.Hash][]chan *Receipt),
+		receipts:      make(map[cryptoutil.Hash]*Receipt),
 		feed:          newEventFeed(),
 		costs:         NewCostLedger(),
 	}
@@ -389,7 +399,7 @@ func (n *Node) seal(force bool) (*Block, error) {
 	st := n.state
 	n.mu.RUnlock()
 	overlay := NewOverlay(st)
-	receipts := replayTxs(n.executor, overlay, txs, bctx)
+	receipts := n.executeBlock(overlay, txs, bctx)
 	header := Header{
 		Number:      number,
 		ParentHash:  parent.Hash(),
@@ -415,6 +425,19 @@ func (n *Node) seal(force bool) (*Block, error) {
 		n.costs.Record(tx.From, tx.Method, receipts[i].GasUsed)
 	}
 	return block, nil
+}
+
+// executeBlock runs one block's transactions against a fresh overlay,
+// with the parallel scheduler when ExecWorkers allows it and the exact
+// legacy serial path when ExecWorkers is 1 (or the block is too small to
+// be worth splitting). Both sealing and validation funnel through here,
+// so proposers and validators always agree on the execution semantics —
+// which are identical anyway (see parallel.go's determinism argument).
+func (n *Node) executeBlock(overlay *Overlay, txs []*Tx, bctx BlockContext) []*Receipt {
+	if n.execWorkers == 1 {
+		return replayTxs(n.executor, overlay, txs, bctx)
+	}
+	return replayTxsParallel(n.executor, overlay, txs, bctx, n.execWorkers)
 }
 
 // commitBlock persists and applies a fully formed block whose execution
@@ -450,6 +473,7 @@ func (n *Node) commitBlock(block *Block, deltas []Delta) error {
 	n.state.applyDeltas(deltas)
 	n.blocks = append(n.blocks, block)
 	for _, r := range block.Receipts {
+		n.receipts[r.TxHash] = r
 		events = append(events, r.Events...)
 		if chans, ok := n.waiters[r.TxHash]; ok {
 			for _, ch := range chans {
@@ -503,6 +527,29 @@ func (n *Node) WaitForReceipt(ctx context.Context, txHash cryptoutil.Hash) (*Rec
 	case r := <-ch:
 		return r, nil
 	case <-ctx.Done():
+		// Deregister so abandoned waits don't grow the waiters map for
+		// transactions that never commit. A commit may have raced the
+		// cancellation and already delivered into the buffered channel —
+		// prefer the receipt in that case.
+		n.mu.Lock()
+		chans := n.waiters[txHash]
+		for i, c := range chans {
+			if c == ch {
+				n.waiters[txHash] = append(chans[:i:i], chans[i+1:]...)
+				break
+			}
+		}
+		if len(n.waiters[txHash]) == 0 {
+			delete(n.waiters, txHash)
+		}
+		n.mu.Unlock()
+		select {
+		case r, ok := <-ch:
+			if ok && r != nil {
+				return r, nil
+			}
+		default:
+		}
 		return nil, ctx.Err()
 	}
 }
@@ -514,15 +561,12 @@ func (n *Node) Receipt(txHash cryptoutil.Hash) *Receipt {
 	return n.findReceiptLocked(txHash)
 }
 
+// findReceiptLocked resolves a transaction's receipt through the
+// hash → receipt index (maintained by commitBlock, rebuilt on recovery),
+// replacing the historical O(blocks × receipts) ledger scan that made
+// every Receipt/WaitForReceipt call linear in chain length.
 func (n *Node) findReceiptLocked(txHash cryptoutil.Hash) *Receipt {
-	for i := len(n.blocks) - 1; i >= 0; i-- {
-		for _, r := range n.blocks[i].Receipts {
-			if r.TxHash == txHash {
-				return r
-			}
-		}
-	}
-	return nil
+	return n.receipts[txHash]
 }
 
 // Query serves a read-only contract call against the current state. This

@@ -35,6 +35,23 @@ var (
 	_ StateRW = (*Overlay)(nil)
 )
 
+// stateView is the read surface an Overlay layers over: the committed
+// *State for a block overlay, or a parent *Overlay for the per-transaction
+// child overlays the parallel scheduler executes against (parallel.go).
+// view returns the stored slice WITHOUT copying; the result is immutable
+// by the same contract State.view documents.
+type stateView interface {
+	view(key string) ([]byte, bool)
+	Keys(prefix string) []string
+	Len() int
+	Root() cryptoutil.Hash
+}
+
+var (
+	_ stateView = (*State)(nil)
+	_ stateView = (*Overlay)(nil)
+)
+
 // overlayEntry is one key's pending effect in an overlay: a replacement
 // value or a deletion marker.
 type overlayEntry struct {
@@ -64,10 +81,20 @@ type overlayJournal struct {
 // An Overlay is safe for concurrent use, mirroring State's contract.
 type Overlay struct {
 	mu      sync.RWMutex
-	base    *State
+	base    stateView
 	layer   map[string]overlayEntry
 	journal []overlayJournal
 	root    cryptoutil.Hash
+
+	// Read-set tracking, enabled only on the child overlays the parallel
+	// scheduler hands each transaction (newChildOverlay). reads records
+	// every key whose value or existence the transaction observed (Get
+	// and Delete — a delete's no-op decision is itself a read);
+	// prefixReads records every Keys listing. Both feed touched-key
+	// conflict detection; block overlays skip the bookkeeping entirely.
+	recordReads bool
+	reads       map[string]struct{} // guarded by mu
+	prefixReads map[string]struct{} // guarded by mu
 }
 
 // NewOverlay returns an empty overlay over base.
@@ -77,6 +104,33 @@ func NewOverlay(base *State) *Overlay {
 		layer: make(map[string]overlayEntry),
 		root:  base.Root(),
 	}
+}
+
+// newChildOverlay returns an empty read-recording overlay layered over a
+// parent overlay. The parallel scheduler executes each transaction of a
+// block against its own child: reads fall through the (quiescent) parent
+// to the committed state, writes land in the child's layer, and the
+// recorded read set is what conflict detection intersects with earlier
+// transactions' write sets. The parent must not be mutated while children
+// execute (the scheduler's phase barrier guarantees this).
+func newChildOverlay(parent *Overlay) *Overlay {
+	return &Overlay{
+		base:        parent,
+		layer:       make(map[string]overlayEntry),
+		root:        parent.Root(),
+		recordReads: true,
+		reads:       make(map[string]struct{}),
+		prefixReads: make(map[string]struct{}),
+	}
+}
+
+// view returns the key's value as seen through the overlay without
+// copying, satisfying stateView so child overlays can layer over this
+// one. The returned slice is immutable (see effectiveLocked).
+func (o *Overlay) view(key string) ([]byte, bool) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.effectiveLocked(key)
 }
 
 // effectiveLocked returns the key's current value as seen through the
@@ -94,11 +148,26 @@ func (o *Overlay) effectiveLocked(key string) ([]byte, bool) {
 }
 
 // Get returns the value for key and whether it exists. The returned
-// slice is a copy.
+// slice is a copy. A read-recording child overlay also notes the key in
+// its read set (misses included: observing absence is a read too).
 func (o *Overlay) Get(key string) ([]byte, bool) {
+	if o.recordReads {
+		// Recording mutates the read set, so the read path needs the
+		// write lock on a child (children are effectively single-owner,
+		// so this costs nothing in practice).
+		o.mu.Lock()
+		defer o.mu.Unlock()
+		o.reads[key] = struct{}{}
+		return copyValue(o.effectiveLocked(key))
+	}
 	o.mu.RLock()
 	defer o.mu.RUnlock()
-	v, ok := o.effectiveLocked(key)
+	return copyValue(o.effectiveLocked(key))
+}
+
+// copyValue copies an effectiveLocked result for return to a caller that
+// may write through it.
+func copyValue(v []byte, ok bool) ([]byte, bool) {
 	if !ok {
 		return nil, false
 	}
@@ -123,10 +192,15 @@ func (o *Overlay) Set(key string, value []byte) {
 }
 
 // Delete removes key. Deleting an absent key is a no-op (and is not
-// journaled), matching State.Delete.
+// journaled), matching State.Delete. On a read-recording child the key
+// joins the read set either way: whether the delete takes effect depends
+// on the key's existence, which is an observation of state.
 func (o *Overlay) Delete(key string) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	if o.recordReads {
+		o.reads[key] = struct{}{}
+	}
 	cur, ok := o.effectiveLocked(key)
 	if !ok {
 		return
@@ -138,8 +212,15 @@ func (o *Overlay) Delete(key string) {
 }
 
 // Keys returns the keys with the given prefix, sorted: the base's keys
-// minus overlay deletions, plus overlay additions.
+// minus overlay deletions, plus overlay additions. A read-recording
+// child notes the prefix: a listing observes the existence of every key
+// under it, so any earlier write under the prefix is a conflict.
 func (o *Overlay) Keys(prefix string) []string {
+	if o.recordReads {
+		o.mu.Lock()
+		o.prefixReads[prefix] = struct{}{}
+		o.mu.Unlock()
+	}
 	o.mu.RLock()
 	defer o.mu.RUnlock()
 	out := make([]string, 0, len(o.layer))
@@ -238,4 +319,73 @@ func (o *Overlay) TakeDeltas() []Delta {
 	o.layer = make(map[string]overlayEntry)
 	o.journal = nil
 	return diff
+}
+
+// conflictsWith reports whether the child overlay's recorded read set
+// (keys plus Keys-listing prefixes) intersects written — the union of
+// the write sets of the transactions merged ahead of it. A hit means the
+// optimistic execution observed state an earlier transaction changes, so
+// its result cannot be trusted and the scheduler re-executes serially.
+func (o *Overlay) conflictsWith(written map[string]struct{}) bool {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	for k := range o.reads {
+		if _, ok := written[k]; ok {
+			return true
+		}
+	}
+	for p := range o.prefixReads {
+		for k := range written {
+			if strings.HasPrefix(k, p) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// addWriteKeys folds the overlay's write set (layer keys, deletions
+// included) into written, for conflict checks against later transactions.
+func (o *Overlay) addWriteKeys(written map[string]struct{}) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	for k := range o.layer {
+		written[k] = struct{}{}
+	}
+}
+
+// mergeChild folds a non-conflicting child's layer into this overlay,
+// entry for entry — NOT through Set/Delete. The distinction matters for
+// bit-identical block diffs: a transaction that creates and then deletes
+// a base-absent key leaves a deletion marker in its layer, and the serial
+// path's single overlay would carry that marker into TakeDeltas, so the
+// merge must preserve it verbatim rather than letting Delete's absent-key
+// no-op drop it. Values are moved, not copied (the child is discarded
+// afterwards and its slices are immutable). The root is maintained
+// incrementally exactly as Set/Delete would.
+func (o *Overlay) mergeChild(child *Overlay) {
+	child.mu.RLock()
+	keys := make([]string, 0, len(child.layer))
+	for k := range child.layer {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	entries := make([]overlayEntry, len(keys))
+	for i, k := range keys {
+		entries[i] = child.layer[k]
+	}
+	child.mu.RUnlock()
+
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for i, k := range keys {
+		e := entries[i]
+		if cur, ok := o.effectiveLocked(k); ok {
+			xorHash(&o.root, leafHash(k, cur))
+		}
+		if !e.del {
+			xorHash(&o.root, leafHash(k, e.value))
+		}
+		o.layer[k] = e
+	}
 }

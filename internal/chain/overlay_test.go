@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"sync"
 	"testing"
 )
 
@@ -189,5 +190,95 @@ func TestOverlayDeleteOfFreshKey(t *testing.T) {
 	st.applyDeltas(deltas)
 	if st.Root() != before {
 		t.Fatal("no-op delete delta changed the base root")
+	}
+}
+
+// TestOverlayRevertCheckpointUnderConcurrentReaders: a writer cycling
+// Checkpoint / Set / Delete / RevertTo must never expose readers (Get,
+// Keys, Root, Len) to a torn view — the -race proof that the journal
+// rollback path and the read paths share the overlay lock correctly.
+func TestOverlayRevertCheckpointUnderConcurrentReaders(t *testing.T) {
+	st := referenceState(16)
+	ov := NewOverlay(st)
+	baseRoot := st.Root()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := range 4 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch (i + r) % 4 {
+				case 0:
+					if v, ok := ov.Get(fmt.Sprintf("a/%04d", i%16)); ok && len(v) == 0 {
+						t.Error("read a present key with empty value")
+						return
+					}
+				case 1:
+					_ = ov.Keys("a/")
+				case 2:
+					_ = ov.Root()
+				case 3:
+					_ = ov.Len()
+				}
+			}
+		}()
+	}
+
+	for i := range 500 {
+		cp := ov.Checkpoint()
+		ov.Set(fmt.Sprintf("a/%04d", i%16), []byte(fmt.Sprintf("w%d", i)))
+		ov.Set(fmt.Sprintf("new/%d", i%8), []byte("x"))
+		ov.Delete(fmt.Sprintf("a/%04d", (i+1)%16))
+		if i%2 == 0 {
+			ov.RevertTo(cp)
+		}
+	}
+	ov.RevertTo(0)
+	close(stop)
+	wg.Wait()
+
+	// Fully reverted: the overlay must be transparent again.
+	if ov.Root() != baseRoot {
+		t.Fatalf("root after RevertTo(0) = %s, want base %s", ov.Root().Short(), baseRoot.Short())
+	}
+	if deltas := ov.TakeDeltas(); len(deltas) != 0 {
+		t.Fatalf("reverted overlay drained %d deltas, want 0", len(deltas))
+	}
+}
+
+// TestTakeDeltasOnRevertedEmptyOverlay: RevertTo(0) must leave nothing
+// for TakeDeltas to drain — no phantom deltas, an unchanged root, and a
+// still-usable overlay afterwards.
+func TestTakeDeltasOnRevertedEmptyOverlay(t *testing.T) {
+	st := referenceState(4)
+	ov := NewOverlay(st)
+	cpEmpty := ov.Checkpoint()
+	if cpEmpty != 0 {
+		t.Fatalf("fresh overlay checkpoint = %d, want 0", cpEmpty)
+	}
+	ov.Set("a/0001", []byte("changed"))
+	ov.Delete("a/0002")
+	ov.Set("fresh", []byte("new"))
+	ov.RevertTo(0)
+
+	if got := ov.TakeDeltas(); len(got) != 0 {
+		t.Fatalf("TakeDeltas after full revert = %+v, want empty", got)
+	}
+	if ov.Root() != st.Root() {
+		t.Fatal("root diverged from base after revert+drain")
+	}
+	// The drained overlay is reusable: new writes produce exactly their
+	// own deltas.
+	ov.Set("later", []byte("y"))
+	deltas := ov.TakeDeltas()
+	if len(deltas) != 1 || deltas[0].K != "later" || string(deltas[0].V) != "y" {
+		t.Fatalf("post-revert write drained %+v", deltas)
 	}
 }

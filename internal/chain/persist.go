@@ -211,6 +211,12 @@ func recoverNode(cfg Config, wal *store.WAL, records []store.Record) (*Node, err
 			n.nonces[tx.From] = tx.Nonce + 1
 			n.costs.Record(tx.From, tx.Method, b.Receipts[i].GasUsed)
 		}
+		// The hash → receipt index is likewise a pure function of the
+		// blocks; rebuilding it here keeps Receipt/WaitForReceipt O(1)
+		// across a restart.
+		for _, r := range b.Receipts {
+			n.receipts[r.TxHash] = r
+		}
 	}
 	n.blocks = append(n.blocks, blocks...)
 	n.state = st

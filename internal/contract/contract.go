@@ -20,6 +20,13 @@ import (
 
 // Contract is a deployed application. Implementations dispatch on the
 // method name.
+//
+// Concurrency contract: the chain's parallel transaction scheduler may
+// run Call concurrently from multiple goroutines — each invocation with
+// its own Env over a distinct StateRW — so implementations must keep ALL
+// mutable state in contract storage (via env.Get/Set/Delete), never in
+// fields on the Contract value. Fields set at construction and read-only
+// thereafter (configuration) are fine.
 type Contract interface {
 	// Call executes a state-mutating method. Returning a non-nil error
 	// reverts the transaction (all storage effects are rolled back).
@@ -161,6 +168,17 @@ func Revertf(format string, args ...any) error {
 }
 
 // Runtime is the chain.Executor that hosts deployed contracts.
+//
+// Re-entrancy and concurrency (audited for the parallel scheduler): the
+// two maps are written only by Deploy and read by ExecuteTx/Query, so
+// the runtime is safe for any number of concurrent executions PROVIDED
+// all Deploy calls happen before execution starts — the deployment
+// pattern every binary and the core.Deployment wiring follow. Each
+// ExecuteTx builds a fresh Env (meter, event buffer) on its own stack;
+// nothing is shared between concurrent calls except the caller-supplied
+// StateRW, which is the scheduler's per-transaction overlay and
+// internally synchronized. Contracts themselves must honour the
+// Contract interface's statelessness contract.
 type Runtime struct {
 	contracts map[cryptoutil.Address]Contract
 	names     map[cryptoutil.Address]string

@@ -3,7 +3,9 @@ package contract
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -313,4 +315,65 @@ func TestRevertfWrapsErrRevert(t *testing.T) {
 	if !strings.Contains(err.Error(), "reason 42") {
 		t.Fatalf("message = %q", err.Error())
 	}
+}
+
+// TestRuntimeConcurrentExecution pins the re-entrancy audit for the
+// chain's parallel scheduler: many goroutines driving ExecuteTx (and
+// queries) through one Runtime concurrently, each against its own state,
+// must neither race (-race) nor cross-contaminate results — the runtime
+// shares nothing between calls except the registry maps, which are
+// read-only after Deploy.
+func TestRuntimeConcurrentExecution(t *testing.T) {
+	rt := NewRuntime()
+	addr := rt.Deploy("kv", kvContract{})
+	bctx := chain.BlockContext{Number: 1, Time: testGenesis}
+
+	const workers = 8
+	const txsPerWorker = 50
+	var wg sync.WaitGroup
+	for w := range workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			key := cryptoutil.MustGenerateKey()
+			st := chain.NewState()
+			for i := range txsPerWorker {
+				k := fmt.Sprintf("w%d-%d", w, i)
+				tx, err := chain.NewTx(key, uint64(i), addr, "put", kvArgs{Key: k, Value: k}, 500_000)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				r := rt.ExecuteTx(st, tx, bctx)
+				if r.Status != chain.StatusOK {
+					t.Errorf("worker %d tx %d reverted: %s", w, i, r.Err)
+					return
+				}
+				if len(r.Events) != 1 || r.Events[0].Key != k {
+					t.Errorf("worker %d tx %d events cross-contaminated: %+v", w, i, r.Events)
+					return
+				}
+				got, err := rt.Query(st, addr, "get", mustJSON(t, kvArgs{Key: k}), bctx)
+				if err != nil || string(got) != k {
+					t.Errorf("worker %d query %q = %q, %v", w, k, got, err)
+					return
+				}
+			}
+			// Every write this worker made, and only those, landed in its
+			// own state.
+			if n := len(st.Keys(addr.String() + "/kv/")); n != txsPerWorker {
+				t.Errorf("worker %d state holds %d keys, want %d", w, n, txsPerWorker)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	buf, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
 }

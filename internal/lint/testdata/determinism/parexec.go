@@ -1,0 +1,52 @@
+package fixture
+
+// The parallel-scheduler shape used by internal/chain's transaction
+// executor, distilled: a worker pool claiming indices off an atomic
+// counter, per-worker result slots addressed by index, and a merge that
+// collects map keys and sorts before applying. All of it is
+// order-insensitive by construction and must produce NO findings — this
+// file pins that the determinism analyzer accepts the sanctioned
+// worker-pool + sorted-merge idiom rather than flagging every goroutine
+// on the replay path.
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// executeIndexed fans work out over workers goroutines. Each result
+// lands in its own index slot, so assembly order is scheduling-free.
+func executeIndexed(inputs []string, workers int) []string {
+	results := make([]string, len(inputs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(inputs) {
+					return
+				}
+				results[i] = inputs[i] + "!"
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// mergeSorted folds one overlay layer into another in sorted key order:
+// the collect-then-sort pattern the analyzer sanctions.
+func mergeSorted(dst, src map[string]string) {
+	keys := make([]string, 0, len(src))
+	for k := range src {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		dst[k] = src[k]
+	}
+}

@@ -1,0 +1,68 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestScenarioDifferentialExecWorkers runs the same honest plans under
+// the serial legacy executor (ExecWorkers=1) and the parallel scheduler
+// (ExecWorkers=4) and requires bit-identical traces: same per-step
+// outcomes, same invariant-check count, no failure either way. This is
+// the end-to-end half of the parallel scheduler's determinism proof —
+// the chain-level differential tests compare receipts and roots, this
+// one compares everything the scenario model can observe through the
+// full deployment (contracts, oracles, monitoring, remuneration).
+func TestScenarioDifferentialExecWorkers(t *testing.T) {
+	for _, seed := range []int64{3, 11} {
+		serial := New(Config{Seed: seed, Steps: 25, ExecWorkers: 1}).Run()
+		if serial.Failure != nil {
+			t.Fatalf("seed %d serial run failed: %s\ntrace:\n%s", seed, serial.Failure, serial.Trace())
+		}
+		parallel := New(Config{Seed: seed, Steps: 25, ExecWorkers: 4}).Run()
+		if parallel.Failure != nil {
+			t.Fatalf("seed %d parallel run failed: %s\ntrace:\n%s", seed, parallel.Failure, parallel.Trace())
+		}
+		if st, pt := serial.Trace(), parallel.Trace(); st != pt {
+			t.Fatalf("seed %d: ExecWorkers=1 and ExecWorkers=4 traces diverge\nserial:\n%s\nparallel:\n%s", seed, st, pt)
+		}
+	}
+}
+
+// TestScenarioDifferentialExecWorkersAdversarial replays every committed
+// repro plan — the adversarial repertoire: equivocation, invalid blocks,
+// credential replay, nonce floods, partitions — under both executor
+// settings and requires identical traces. Fault handling must not
+// depend on how blocks were executed.
+func TestScenarioDifferentialExecWorkersAdversarial(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("repros", "*.repro"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no committed repro files under repros/")
+	}
+	for _, path := range paths {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg, plan, err := DecodeRepro(data)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			cfg.ExecWorkers = 1
+			serial := New(cfg).RunPlan(plan)
+			cfg.ExecWorkers = 4
+			parallel := New(cfg).RunPlan(plan)
+			if serial.Failure != nil || parallel.Failure != nil {
+				t.Fatalf("repro regressed: serial=%v parallel=%v", serial.Failure, parallel.Failure)
+			}
+			if st, pt := serial.Trace(), parallel.Trace(); st != pt {
+				t.Fatalf("ExecWorkers=1 and ExecWorkers=4 traces diverge\nserial:\n%s\nparallel:\n%s", st, pt)
+			}
+		})
+	}
+}

@@ -152,6 +152,7 @@ func newWorld(cfg Config) (*World, error) {
 		MonitoringGrace: cfg.MonitorGrace,
 		DataDir:         dataDir,
 		WALSync:         store.SyncNever,
+		ExecWorkers:     cfg.ExecWorkers,
 	})
 	if err != nil {
 		os.RemoveAll(dataDir)
