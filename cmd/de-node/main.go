@@ -6,6 +6,14 @@
 //
 //	de-node [-validators 3] [-interval 1s] [-http :8545]
 //	        [-data-dir DIR] [-fsync interval] [-snapshot-every 32]
+//	        [-debug-addr :6060]
+//
+// -debug-addr starts a second, private HTTP server with the
+// observability endpoints: GET /metrics (Prometheus text exposition of
+// validator 0's chain and WAL instruments), /debug/vars,
+// /debug/traces (recent tx-lifecycle traces), and the /debug/pprof/
+// suite. Without the flag no instrument is live: every hot-path hook
+// stays on the no-op path and nothing listens.
 //
 // With -data-dir each validator journals sealed blocks to a write-ahead
 // log and periodic state snapshots under DIR/node-<i>/, and persists its
@@ -42,6 +50,7 @@ import (
 	"repro/internal/contract"
 	"repro/internal/cryptoutil"
 	"repro/internal/distexchange"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/tee"
 )
@@ -62,6 +71,7 @@ func run(args []string) error {
 	fsync := fs.String("fsync", "interval", "WAL fsync policy: always, interval, never")
 	snapshotEvery := fs.Int("snapshot-every", 0, "state snapshot cadence in blocks (0 = package default)")
 	execWorkers := fs.Int("exec-workers", 0, "parallel transaction execution workers per node (0 = GOMAXPROCS, 1 = serial; blocks are bit-identical at any setting)")
+	debugAddr := fs.String("debug-addr", "", "observability listen address (empty = disabled; GET /metrics, /debug/vars, /debug/traces, /debug/pprof/)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -73,7 +83,16 @@ func run(args []string) error {
 		return err
 	}
 
-	nodes, network, deAddr, err := buildCluster(*validators, *dataDir, syncPolicy, *snapshotEvery, *execWorkers)
+	// Instruments are live only when something can scrape them; with the
+	// flag unset every hot-path hook stays no-op.
+	var reg *obs.Registry
+	var metrics *chain.Metrics
+	if *debugAddr != "" {
+		reg = obs.NewRegistry()
+		metrics = chain.NewMetrics(reg)
+	}
+
+	nodes, network, deAddr, err := buildCluster(*validators, *dataDir, syncPolicy, *snapshotEvery, *execWorkers, reg, metrics)
 	if err != nil {
 		return err
 	}
@@ -125,6 +144,31 @@ func run(args []string) error {
 	go func() { errCh <- srv.ListenAndServe() }()
 	log.Printf("HTTP API on %s (GET /status, /resources, /violations?iri=...; POST /txs)", *httpAddr)
 
+	// The observability server is separate from the API server: pprof and
+	// metrics bind to a private address and never ride on the public mux.
+	var debugSrv *http.Server
+	if reg != nil {
+		debugSrv = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           obs.DebugMux(reg, metrics.Tracer),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("debug server: %v", err)
+			}
+		}()
+		log.Printf("observability on %s (GET /metrics, /debug/vars, /debug/traces, /debug/pprof/)", *debugAddr)
+	}
+	shutdownDebug := func(ctx context.Context) {
+		if debugSrv == nil {
+			return
+		}
+		if err := debugSrv.Shutdown(ctx); err != nil {
+			log.Printf("debug shutdown: %v", err)
+		}
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
@@ -139,11 +183,15 @@ func run(args []string) error {
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Printf("http shutdown: %v", err)
 		}
+		shutdownDebug(ctx)
 		closeNodes()
 		return nil
 	case err := <-errCh:
 		close(stop)
 		<-sealerDone
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownDebug(ctx)
 		closeNodes()
 		return err
 	}
@@ -153,7 +201,7 @@ func run(args []string) error {
 // with the DE App, one node per validator (reopened from its durable
 // store when dataDir is set, with the authority key persisted alongside
 // it), and the broadcast network.
-func buildCluster(validators int, dataDir string, syncPolicy store.SyncPolicy, snapshotEvery, execWorkers int) ([]*chain.Node, *chain.Network, cryptoutil.Address, error) {
+func buildCluster(validators int, dataDir string, syncPolicy store.SyncPolicy, snapshotEvery, execWorkers int, reg *obs.Registry, metrics *chain.Metrics) ([]*chain.Node, *chain.Network, cryptoutil.Address, error) {
 	manufacturer, err := tee.NewManufacturer("tee-manufacturer")
 	if err != nil {
 		return nil, nil, cryptoutil.Address{}, err
@@ -183,10 +231,18 @@ func buildCluster(validators int, dataDir string, syncPolicy store.SyncPolicy, s
 			GenesisTime: genesis,
 			ExecWorkers: execWorkers,
 		}
+		if i == 0 {
+			// Validator 0 is the observed node — the same one the API
+			// serves reads from.
+			cfg.Metrics = metrics
+		}
 		if dataDir != "" {
 			cfg.DataDir = nodeDir(dataDir, i)
 			cfg.SnapshotInterval = snapshotEvery
 			cfg.Persist = store.Options{Sync: syncPolicy}
+			if reg != nil && i == 0 {
+				cfg.Persist.Metrics = store.NewMetrics(reg)
+			}
 		}
 		nodes[i], err = chain.OpenNode(cfg)
 		if err != nil {

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
+	"strings"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -14,6 +16,7 @@ import (
 	"repro/internal/chain"
 	"repro/internal/cryptoutil"
 	"repro/internal/distexchange"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -32,7 +35,7 @@ func TestRunRejectsBadFlag(t *testing.T) {
 // newTestCluster builds the cluster exactly as run() does (in-memory).
 func newTestCluster(t *testing.T, validators int) ([]*chain.Node, *chain.Network, cryptoutil.Address) {
 	t.Helper()
-	nodes, network, deAddr, err := buildCluster(validators, "", store.SyncNever, 0, 0)
+	nodes, network, deAddr, err := buildCluster(validators, "", store.SyncNever, 0, 0, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +47,7 @@ func newTestCluster(t *testing.T, validators int) ([]*chain.Node, *chain.Network
 // boot resumes at the first boot's height with the same head.
 func TestBuildClusterDurableRestart(t *testing.T) {
 	dir := t.TempDir()
-	nodes, network, deAddr, err := buildCluster(2, dir, store.SyncNever, 0, 0)
+	nodes, network, deAddr, err := buildCluster(2, dir, store.SyncNever, 0, 0, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +74,7 @@ func TestBuildClusterDurableRestart(t *testing.T) {
 		}
 	}
 
-	nodes2, _, _, err := buildCluster(2, dir, store.SyncNever, 0, 0)
+	nodes2, _, _, err := buildCluster(2, dir, store.SyncNever, 0, 0, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +127,7 @@ func TestRunGracefulShutdown(t *testing.T) {
 				t.Fatalf("run returned %v on SIGTERM", err)
 			}
 			// The flushed store must reopen as a consistent chain.
-			nodes, _, _, err := buildCluster(2, dir, store.SyncNever, 0, 0)
+			nodes, _, _, err := buildCluster(2, dir, store.SyncNever, 0, 0, nil, nil)
 			if err != nil {
 				t.Fatalf("reopen after shutdown: %v", err)
 			}
@@ -201,5 +204,90 @@ func TestPostTxsBatchEndpoint(t *testing.T) {
 	defer resp2.Body.Close()
 	if resp2.StatusCode != http.StatusBadRequest {
 		t.Fatalf("tampered batch status = %d, want 400", resp2.StatusCode)
+	}
+}
+
+// TestDebugMetricsEndpoint wires the cluster the way -debug-addr does
+// and scrapes the observability surface: /metrics must be valid
+// Prometheus exposition with enough series for a dashboard, and the
+// committed block must be visible in the counters.
+func TestDebugMetricsEndpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	metrics := chain.NewMetrics(reg)
+	nodes, network, deAddr, err := buildCluster(2, "", store.SyncNever, 0, 0, reg, metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+
+	sender := cryptoutil.MustGenerateKey()
+	args := distexchange.RegisterPodArgs{
+		OwnerWebID: "https://metrics.example/profile#me",
+		Location:   "https://metrics.example/",
+	}
+	tx, err := chain.NewTx(sender, 0, deAddr, "registerPod", args, distexchange.DefaultGasLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := network.SubmitEverywhere(tx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := network.SealNext(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(obs.DebugMux(reg, metrics.Tracer))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := 0
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		series++
+		if !strings.Contains(line, " ") {
+			t.Fatalf("malformed sample line %q", line)
+		}
+	}
+	if series < 25 {
+		t.Fatalf("/metrics renders %d series, want >= 25:\n%s", series, body)
+	}
+	if !strings.Contains(string(body), "chain_blocks_committed_total 1") {
+		t.Fatalf("committed block not visible in exposition:\n%s", body)
+	}
+
+	for _, path := range []string{"/debug/vars", "/debug/traces"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v any
+		err = json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("GET %s is not valid JSON: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
 	}
 }

@@ -7,6 +7,13 @@
 //
 //	solid-server [-addr :8080] [-base http://localhost:8080]
 //	             [-owners alice,bob] [-data-dir DIR] [-fsync interval]
+//	             [-debug-addr :6061]
+//
+// -debug-addr starts a second, private HTTP server with the
+// observability endpoints: GET /metrics (Prometheus text exposition of
+// the host's request-latency, auth-cache, and replay instruments),
+// /debug/vars, and the /debug/pprof/ suite. Without the flag no
+// instrument is live and nothing listens.
 //
 // For every name in -owners the server provisions a pod whose root ACL
 // grants that owner full control, registers the owner's signing key in
@@ -37,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/cryptoutil"
+	"repro/internal/obs"
 	"repro/internal/simclock"
 	"repro/internal/solid"
 	"repro/internal/store"
@@ -56,6 +64,7 @@ func run(args []string) error {
 	owners := fs.String("owners", "alice", "comma-separated pod owner names, one pod each")
 	dataDir := fs.String("data-dir", "", "durable storage root (empty = in-memory; pod op logs under <dir>/pods/, owner keys under <dir>/keys/)")
 	fsync := fs.String("fsync", "interval", "pod op-log fsync policy: always, interval, never")
+	debugAddr := fs.String("debug-addr", "", "observability listen address (empty = disabled; GET /metrics, /debug/vars, /debug/pprof/)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -75,6 +84,14 @@ func run(args []string) error {
 	clock := simclock.Real{}
 	dir := solid.NewMapDirectory()
 	host := solid.NewHost(dir, clock)
+	// Wire instruments before any pod is mounted: pods capture the
+	// metrics handle at creation. With the flag unset every hook stays
+	// no-op.
+	var reg *obs.Registry
+	if *debugAddr != "" {
+		reg = obs.NewRegistry()
+		host.SetMetrics(solid.NewMetrics(reg))
+	}
 	if *dataDir != "" {
 		host.EnablePersistence(filepath.Join(*dataDir, "pods"),
 			solid.PodStoreOptions{WAL: store.Options{Sync: syncPolicy}})
@@ -100,6 +117,31 @@ func run(args []string) error {
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 
+	// Observability rides on its own private server, never on the pod
+	// handler's address.
+	var debugSrv *http.Server
+	if reg != nil {
+		debugSrv = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           obs.DebugMux(reg, nil),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("debug server: %v", err)
+			}
+		}()
+		log.Printf("observability on %s (GET /metrics, /debug/vars, /debug/pprof/)", *debugAddr)
+	}
+	shutdownDebug := func(ctx context.Context) {
+		if debugSrv == nil {
+			return
+		}
+		if err := debugSrv.Shutdown(ctx); err != nil {
+			log.Printf("debug shutdown: %v", err)
+		}
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
@@ -110,8 +152,12 @@ func run(args []string) error {
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Printf("http shutdown: %v", err)
 		}
+		shutdownDebug(ctx)
 		return host.Close()
 	case err := <-errCh:
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownDebug(ctx)
 		host.Close()
 		if errors.Is(err, http.ErrServerClosed) {
 			return nil

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/cryptoutil"
+	"repro/internal/obs"
 	"repro/internal/simclock"
 	"repro/internal/solid"
 	"repro/internal/store"
@@ -183,6 +184,50 @@ func TestRunGracefulShutdown(t *testing.T) {
 		case <-deadline:
 			t.Fatal("run did not exit within 5s of SIGTERM")
 		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// TestDebugMetricsEndpoint provisions pods with live instruments the
+// way -debug-addr does, drives a public fetch, and scrapes /metrics.
+func TestDebugMetricsEndpoint(t *testing.T) {
+	clock := simclock.Real{}
+	dir := solid.NewMapDirectory()
+	host := solid.NewHost(dir, clock)
+	reg := obs.NewRegistry()
+	host.SetMetrics(solid.NewMetrics(reg))
+	srv := httptest.NewServer(host)
+	defer srv.Close()
+	if _, _, err := provisionPods(host, dir, srv.URL, []string{"alice"}, clock, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(srv.URL + solid.PodRoutePrefix + "alice/public/hello.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("public GET = %d", resp.StatusCode)
+	}
+
+	debug := httptest.NewServer(obs.DebugMux(reg, nil))
+	defer debug.Close()
+	mresp, err := http.Get(debug.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`solid_request_latency_ns_count{class="resource",mode="read"} 1`,
+		`solid_auth_cache_total{outcome="miss"}`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("exposition missing %q:\n%s", want, body)
 		}
 	}
 }

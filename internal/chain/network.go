@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/cryptoutil"
+	"repro/internal/obs"
 )
 
 // Block validation errors.
@@ -612,10 +613,21 @@ func (net *Network) SubmitEverywhereBatch(txs []*Tx) ([]cryptoutil.Hash, error) 
 	if len(txs) == 0 {
 		return nil, nil
 	}
-	if err := VerifyTxSignatures(txs, net.verifyWorkers); err != nil {
+	v := net.liveView()
+	// The cluster verifies once, so node-level SubmitBatch timers never
+	// see this path; record the pool latency on every node's instruments
+	// (no-ops everywhere except the metered validator).
+	tms := make([]obs.Timer, len(v.nodes))
+	for i, n := range v.nodes {
+		tms[i] = n.metrics.VerifyLatency.Start()
+	}
+	err := VerifyTxSignatures(txs, net.verifyWorkers)
+	for _, tm := range tms {
+		tm.Stop()
+	}
+	if err != nil {
 		return nil, err
 	}
-	v := net.liveView()
 
 	var hashes []cryptoutil.Hash
 	var accepted []*Node

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/cryptoutil"
+	"repro/internal/obs"
 	"repro/internal/simclock"
 	"repro/internal/store"
 )
@@ -78,6 +79,10 @@ type Config struct {
 	// Persist configures the write-ahead log (fsync policy). Ignored
 	// without DataDir.
 	Persist store.Options
+	// Metrics receives the node's observability instruments (see
+	// metrics.go). nil (the default) records nothing — every recording
+	// site degenerates to a nil-receiver branch.
+	Metrics *Metrics
 }
 
 // Node is a proof-of-authority blockchain node: it holds the ledger and
@@ -112,6 +117,10 @@ type Node struct {
 
 	feed  *eventFeed
 	costs *CostLedger
+
+	// metrics is never nil (normalized from Config.Metrics); its
+	// instruments are nil-safe no-ops when no registry was supplied.
+	metrics *Metrics
 
 	// wal is the durable block log (nil for in-memory nodes). It is
 	// written by commitBlock OUTSIDE mu (sealMu already serializes
@@ -179,6 +188,7 @@ func NewNode(cfg Config) (*Node, error) {
 		receipts:      make(map[cryptoutil.Hash]*Receipt),
 		feed:          newEventFeed(),
 		costs:         NewCostLedger(),
+		metrics:       cfg.Metrics.orNoop(),
 	}
 	genesis := &Block{Header: Header{
 		Number:      0,
@@ -238,7 +248,10 @@ func (n *Node) CommittedNonce(addr cryptoutil.Address) uint64 {
 // Resubmitting a transaction already queued returns its hash alongside
 // ErrTxKnown.
 func (n *Node) SubmitTx(tx *Tx) (cryptoutil.Hash, error) {
-	if err := tx.VerifySignature(); err != nil {
+	tm := n.metrics.VerifyLatency.Start()
+	err := tx.VerifySignature()
+	tm.Stop()
+	if err != nil {
 		return cryptoutil.Hash{}, err
 	}
 	n.mpMu.Lock()
@@ -255,7 +268,10 @@ func (n *Node) SubmitTx(tx *Tx) (cryptoutil.Hash, error) {
 // Within the batch, transactions from the same sender must appear in
 // nonce order, exactly as if submitted back-to-back via SubmitTx.
 func (n *Node) SubmitBatch(txs []*Tx) ([]cryptoutil.Hash, error) {
-	if err := VerifyTxSignatures(txs, n.verifyWorkers); err != nil {
+	tm := n.metrics.VerifyLatency.Start()
+	err := VerifyTxSignatures(txs, n.verifyWorkers)
+	tm.Stop()
+	if err != nil {
 		return nil, err
 	}
 	hashes, _, err := n.submitVerifiedBatch(txs)
@@ -306,23 +322,35 @@ func (n *Node) removeFromMempool(hashes []cryptoutil.Hash) {
 // enqueueLocked admits one signature-checked transaction; mpMu must be
 // held. The nonce must continue the sender's committed+pending sequence.
 func (n *Node) enqueueLocked(tx *Tx) (cryptoutil.Hash, error) {
+	m := n.metrics
 	h := tx.Hash()
 	if n.mempool.Contains(h) {
+		m.Duplicates.Inc()
 		return h, ErrTxKnown
 	}
 	committed := n.nonces[tx.From]
 	if tx.Nonce < committed {
+		m.Stale.Inc()
 		return h, fmt.Errorf("%w: got %d, committed %d", ErrTxStale, tx.Nonce, committed)
 	}
 	if tx.GasLimit > MaxTxGasLimit {
+		m.RejectedGas.Inc()
 		return cryptoutil.Hash{}, fmt.Errorf("%w: declares %d, cap %d",
 			ErrGasTooLarge, tx.GasLimit, MaxTxGasLimit)
 	}
 	expected := committed + n.mempool.PendingFrom(tx.From)
 	if tx.Nonce != expected {
+		m.RejectedNonce.Inc()
 		return cryptoutil.Hash{}, fmt.Errorf("%w: got %d, want %d", ErrBadNonce, tx.Nonce, expected)
 	}
 	n.mempool.Add(h, tx)
+	m.Admitted.Inc()
+	m.MempoolDepth.Set(int64(n.mempool.Len()))
+	if tr := m.Tracer; tr != nil {
+		id := h.String()
+		tr.Begin(id, obs.StageSubmit)
+		tr.Mark(id, obs.StageAdmit)
+	}
 	return h, nil
 }
 
@@ -371,6 +399,8 @@ func (n *Node) seal(force bool) (*Block, error) {
 	if !force && n.proposerFor(number) != n.key.Address() {
 		return nil, fmt.Errorf("%w: height %d belongs to %s", ErrNotOurTurn, number, n.proposerFor(number))
 	}
+	sealTm := n.metrics.SealDuration.Start()
+	defer sealTm.Stop()
 
 	// Drain the mempool and advance nonces in the same critical section,
 	// so a submission racing with sealing always sees a consistent
@@ -381,6 +411,7 @@ func (n *Node) seal(force bool) (*Block, error) {
 	for _, tx := range txs {
 		n.nonces[tx.From] = tx.Nonce + 1
 	}
+	n.metrics.MempoolDepth.Set(int64(n.mempool.Len()))
 	n.mpMu.Unlock()
 
 	bctx := BlockContext{Number: number, Time: n.clock.Now()}
@@ -435,9 +466,10 @@ func (n *Node) seal(force bool) (*Block, error) {
 // which are identical anyway (see parallel.go's determinism argument).
 func (n *Node) executeBlock(overlay *Overlay, txs []*Tx, bctx BlockContext) []*Receipt {
 	if n.execWorkers == 1 {
+		n.metrics.SerialBlocks.Inc()
 		return replayTxs(n.executor, overlay, txs, bctx)
 	}
-	return replayTxsParallel(n.executor, overlay, txs, bctx, n.execWorkers)
+	return replayTxsParallelObs(n.executor, overlay, txs, bctx, n.execWorkers, n.metrics)
 }
 
 // commitBlock persists and applies a fully formed block whose execution
@@ -469,8 +501,11 @@ func (n *Node) commitBlock(block *Block, deltas []Delta) error {
 	}
 	var events []Event
 	var snapState map[string][]byte
+	tr := n.metrics.Tracer
 	n.mu.Lock()
+	foldTm := n.metrics.FoldLatency.Start()
 	n.state.applyDeltas(deltas)
+	foldTm.Stop()
 	n.blocks = append(n.blocks, block)
 	for _, r := range block.Receipts {
 		n.receipts[r.TxHash] = r
@@ -489,6 +524,13 @@ func (n *Node) commitBlock(block *Block, deltas []Delta) error {
 				close(ch)
 			}
 			delete(n.waiters, r.TxHash)
+			if tr != nil {
+				id := r.TxHash.String()
+				tr.Mark(id, obs.StageCommit)
+				tr.Finish(id, obs.StageReceipt)
+			}
+		} else if tr != nil {
+			tr.Finish(r.TxHash.String(), obs.StageCommit)
 		}
 	}
 	if n.snap != nil && n.snapEvery > 0 && block.Header.Number%uint64(n.snapEvery) == 0 {
@@ -504,6 +546,8 @@ func (n *Node) commitBlock(block *Block, deltas []Delta) error {
 	if snapState != nil {
 		n.snap.enqueue(block.Header.Number, snapState)
 	}
+	n.metrics.BlocksCommitted.Inc()
+	n.metrics.BlockTxs.Observe(int64(len(block.Txs)))
 	return nil
 }
 
@@ -511,6 +555,8 @@ func (n *Node) commitBlock(block *Block, deltas []Delta) error {
 // the context is done. If the receipt is already available it returns
 // immediately.
 func (n *Node) WaitForReceipt(ctx context.Context, txHash cryptoutil.Hash) (*Receipt, error) {
+	tm := n.metrics.ReceiptWait.Start()
+	defer tm.Stop()
 	n.mu.Lock()
 	if r := n.findReceiptLocked(txHash); r != nil {
 		n.mu.Unlock()

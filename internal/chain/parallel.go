@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Parallel intra-block execution (Block-STM-style optimistic concurrency
@@ -56,13 +58,25 @@ func execWorkerCount(workers int) int {
 // path. The parent overlay must be quiescent (sealMu excludes all other
 // state writers, exactly as on the serial path).
 func replayTxsParallel(ex Executor, parent *Overlay, txs []*Tx, bctx BlockContext, workers int) []*Receipt {
+	return replayTxsParallelObs(ex, parent, txs, bctx, workers, noopMetrics)
+}
+
+// replayTxsParallelObs is replayTxsParallel with scheduler stats
+// recorded into m (never nil): workers used, blocks by path, conflict
+// count, and serial-tail length. Metrics are observers only — they
+// never influence the schedule, so instrumented and bare runs produce
+// bit-identical blocks.
+func replayTxsParallelObs(ex Executor, parent *Overlay, txs []*Tx, bctx BlockContext, workers int, m *Metrics) []*Receipt {
 	workers = execWorkerCount(workers)
 	if workers > len(txs) {
 		workers = len(txs)
 	}
 	if workers <= 1 || len(txs) < minParallelTxs {
+		m.SerialBlocks.Inc()
 		return replayTxs(ex, parent, txs, bctx)
 	}
+	m.ParallelBlocks.Inc()
+	m.ExecWorkers.Set(int64(workers))
 
 	// Phase 1: optimistic execution, every transaction against its own
 	// read-recording child overlay. Workers pull indexes from an atomic
@@ -110,6 +124,20 @@ func replayTxsParallel(ex Executor, parent *Overlay, txs []*Tx, bctx BlockContex
 		parent.mergeChild(child)
 		child.addWriteKeys(written)
 		children[i] = nil // drop the child's maps eagerly
+	}
+
+	if conflictAt < len(txs) {
+		m.ExecConflicts.Inc()
+		m.SerialTailTxs.Add(uint64(len(txs) - conflictAt))
+	}
+	if tr := m.Tracer; tr != nil {
+		for i, tx := range txs {
+			if i < conflictAt {
+				tr.Mark(tx.Hash().String(), obs.StageMerge)
+			} else {
+				tr.Mark(tx.Hash().String(), obs.StageSerialTail)
+			}
+		}
 	}
 
 	// Phase 3: the conflicting tail re-executes serially against the

@@ -97,7 +97,9 @@ func OpenNode(cfg Config) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	tm := cfg.Metrics.orNoop().RecoveryReplay.Start()
 	n, err := recoverNode(cfg, wal, records)
+	tm.Stop()
 	if err != nil {
 		return nil, errors.Join(err, wal.Close())
 	}
@@ -113,7 +115,7 @@ func (n *Node) attachStore(cfg Config, wal *store.WAL) {
 	if n.snapEvery <= 0 {
 		n.snapEvery = defaultSnapshotInterval
 	}
-	n.snap = startSnapshotWriter(cfg.DataDir)
+	n.snap = startSnapshotWriter(cfg.DataDir, n.metrics)
 }
 
 // recoverNode rebuilds a node from a decoded log.
@@ -336,6 +338,7 @@ type snapshotJob struct {
 // treats as a longer diff tail; they are strictly an optimization.
 type snapshotWriter struct {
 	dataDir string
+	m       *Metrics // never nil
 	mu      sync.Mutex
 	pending *snapshotJob  // guarded by mu
 	closed  bool          // guarded by mu
@@ -343,9 +346,10 @@ type snapshotWriter struct {
 	done    chan struct{}
 }
 
-func startSnapshotWriter(dataDir string) *snapshotWriter {
+func startSnapshotWriter(dataDir string, m *Metrics) *snapshotWriter {
 	w := &snapshotWriter{
 		dataDir: dataDir,
+		m:       m.orNoop(),
 		kick:    make(chan struct{}, 1),
 		done:    make(chan struct{}),
 	}
@@ -373,6 +377,8 @@ func (w *snapshotWriter) run() {
 }
 
 func (w *snapshotWriter) write(job *snapshotJob) {
+	tm := w.m.SnapshotWrite.Start()
+	defer tm.Stop()
 	payload := encodeChainSnapshot(job.height, job.state)
 	if err := store.WriteSnapshot(w.dataDir, job.height, payload); err != nil {
 		// A failed snapshot must not surface as a commit failure: the

@@ -14,6 +14,7 @@ import (
 	"repro/internal/contract"
 	"repro/internal/cryptoutil"
 	"repro/internal/distexchange"
+	"repro/internal/obs"
 	"repro/internal/podmanager"
 	"repro/internal/policy"
 	"repro/internal/simclock"
@@ -960,6 +961,119 @@ func (h *Harness) AblationParExec() *Table {
 			t.Add(wl.name, workers, txCount, par, serial, speedup)
 		}
 	}
+	return t
+}
+
+// AblationObs quantifies the observability subsystem's footprint. The
+// per-instrument rows time each hot-path hook in its live and no-op
+// (nil-handle) states — the no-op column is what every deployment
+// without -debug-addr pays, the live column what a scraped one does.
+// The seal-pipeline row is the end-to-end check: the full
+// submit→seal→commit path on a metered node versus a bare one, where
+// instrument cost must disappear into execution noise. The
+// differential tests in internal/chain pin the stronger property that
+// metering never changes the blocks themselves.
+func (h *Harness) AblationObs() *Table {
+	// live_ns leads the latency columns: BenchRows tracks the live
+	// instrument cost, with the no-op baseline printed beside it.
+	t := &Table{
+		Title:  "Ablation: observability (live vs no-op instruments on the hot path)",
+		Header: []string{"path", "ops", "live_ns", "noop_ns", "overhead_ns"},
+	}
+	ops := 2_000_000
+	if h.Quick {
+		ops = 200_000
+	}
+	reg := obs.NewRegistry()
+	liveCounter := reg.Counter("obs_ablation_counter_total", "ablation workload counter")
+	liveHist := reg.Histogram("obs_ablation_hist_ns", "ablation workload histogram")
+	var nilCounter *obs.Counter
+	var nilHist *obs.Histogram
+
+	perOp := func(f func()) float64 {
+		start := time.Now()
+		f()
+		return float64(time.Since(start).Nanoseconds()) / float64(ops)
+	}
+	addRow := func(path string, live, noop float64) {
+		t.Add(path, ops, live, noop, live-noop)
+	}
+	addRow("counter-inc",
+		perOp(func() {
+			for range ops {
+				liveCounter.Inc()
+			}
+		}),
+		perOp(func() {
+			for range ops {
+				nilCounter.Inc()
+			}
+		}))
+	addRow("histogram-observe",
+		perOp(func() {
+			for i := range ops {
+				liveHist.Observe(int64(i))
+			}
+		}),
+		perOp(func() {
+			for i := range ops {
+				nilHist.Observe(int64(i))
+			}
+		}))
+	addRow("timer-start-stop",
+		perOp(func() {
+			for range ops {
+				tm := liveHist.Start()
+				tm.Stop()
+			}
+		}),
+		perOp(func() {
+			for range ops {
+				tm := nilHist.Start()
+				tm.Stop()
+			}
+		}))
+
+	// End to end: identical workloads through the full node pipeline,
+	// metered vs bare, reported as per-transaction cost.
+	blocks, txsPerBlock := 10, 200
+	if h.Quick {
+		blocks, txsPerBlock = 4, 50
+	}
+	sealRun := func(m *chain.Metrics) float64 {
+		key := cryptoutil.MustGenerateKey()
+		clk := simclock.NewSim(defaultGenesis)
+		node := must(chain.NewNode(chain.Config{
+			Key:         key,
+			Authorities: []cryptoutil.Address{key.Address()},
+			Executor:    parexecExecutor{rounds: 4},
+			Clock:       clk,
+			GenesisTime: defaultGenesis,
+			Metrics:     m,
+		}))
+		addr := contract.AddressFor("obs-ablation")
+		nonce := uint64(0)
+		plan := make([][]*chain.Tx, blocks)
+		for b := range plan {
+			txs := make([]*chain.Tx, txsPerBlock)
+			for i := range txs {
+				txs[i] = must(chain.NewTx(key, nonce, addr, "rmw",
+					parexecArgs{Key: fmt.Sprintf("k%04d", i)}, 200_000))
+				nonce++
+			}
+			plan[b] = txs
+		}
+		start := time.Now()
+		for _, txs := range plan {
+			must(node.SubmitBatch(txs))
+			clk.Advance(time.Second)
+			must(node.Seal())
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(blocks*txsPerBlock)
+	}
+	metered := sealRun(chain.NewMetrics(obs.NewRegistry()))
+	bare := sealRun(nil)
+	t.Add("seal-pipeline-per-tx", blocks*txsPerBlock, metered, bare, metered-bare)
 	return t
 }
 

@@ -12,6 +12,7 @@ import (
 	"go/token"
 	"os"
 	"path/filepath"
+	"slices"
 	"strings"
 	"testing"
 )
@@ -134,4 +135,38 @@ func TestWallClockInjectionDetected(t *testing.T) {
 		}
 	}
 	t.Fatal("determinism analyzer did not flag the injected time.Now() in state.go")
+}
+
+// TestObsWallClockConfinement pins the observability boundary: internal/obs
+// is the one package allowed to read the wall clock (latency histograms and
+// span timestamps are measurements, not replayed state), and it stays OUT of
+// the determinism analyzer's replay-path set. The second half proves the
+// exclusion is load-bearing rather than vacuous: re-running the analyzer
+// with obs added to the deterministic set must flag its time.Now calls — so
+// if obs ever migrates onto the replay path, flipping the list is enough to
+// catch every wall-clock read it carries.
+func TestObsWallClockConfinement(t *testing.T) {
+	const obsPath = "repro/internal/obs"
+	if slices.Contains(DeterministicPackages, obsPath) {
+		t.Fatalf("%s is in DeterministicPackages; obs owns the wall clock by design — "+
+			"instrumented replay-path packages call obs timers instead of time.Now directly", obsPath)
+	}
+	for _, replayPkg := range []string{"repro/internal/chain", "repro/internal/store", "repro/internal/scenario"} {
+		if !slices.Contains(DeterministicPackages, replayPkg) {
+			t.Fatalf("%s missing from DeterministicPackages; the instrumented replay path must stay audited", replayPkg)
+		}
+	}
+
+	pkgs, err := Load("../..", "./internal/obs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run(pkgs, []*Analyzer{Determinism(append(slices.Clone(DeterministicPackages), obsPath)...)})
+	for _, f := range findings {
+		if strings.Contains(f.Message, "time.Now") {
+			return // obs does read the clock, and the analyzer sees it
+		}
+	}
+	t.Fatalf("determinism analyzer found no time.Now in internal/obs when auditing it; "+
+		"the confinement test is vacuous (findings: %d)", len(findings))
 }

@@ -1,0 +1,39 @@
+// Package obs is the repo's zero-dependency observability layer:
+// lock-free counters and gauges, log-bucketed latency histograms with
+// p50/p99/p999 quantile extraction, a labeled registry with Prometheus
+// text exposition and JSON dumps, a bounded tx-lifecycle span recorder,
+// and an HTTP debug mux bundling /metrics, /debug/vars, /debug/traces,
+// and net/http/pprof.
+//
+// # No-op by default
+//
+// Every instrument is safe to use as a nil pointer: a nil *Counter,
+// *Gauge, *Histogram, or *Tracer records nothing and costs a single
+// branch. A component therefore holds plain instrument fields and
+// records unconditionally; whether anything is measured is decided
+// once, at wiring time, by whether a *Registry was supplied. This is
+// what keeps recording off the table for determinism arguments — a
+// deployment without a registry executes exactly the instructions it
+// executed before this package existed, minus a few nil checks.
+//
+// # Determinism contract
+//
+// obs is the ONLY non-test package allowed to read the wall clock on
+// behalf of replay-path code (internal/lint's determinism analyzer pins
+// the replay packages; internal/lint's obs confinement test pins that
+// this package would be flagged if it were ever added to them).
+// Instrumented packages never call time.Now themselves: they obtain a
+// Timer from a histogram (h.Start()/t.Stop()), and the clock read
+// happens here — or not at all when the histogram is nil. Recorded
+// values flow only into metrics, never into state, hashes, or codec
+// output, so traces and blocks stay bit-identical with metrics on.
+//
+// # Concurrency
+//
+// Counters, gauges, and histogram buckets are single atomic words;
+// recording never takes a lock. Histogram snapshots (quantiles, sums)
+// are taken without synchronization against writers and are therefore
+// weakly consistent — fine for monitoring, not for accounting. The
+// registry locks only on instrument registration and on export, and the
+// tracer takes one short mutex per recorded stage.
+package obs

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBucketGeometry(t *testing.T) {
+	// Every value must land in a bucket whose max is >= the value and
+	// within the promised 12.5% relative error.
+	for _, v := range []uint64{0, 1, 7, 8, 9, 15, 16, 17, 100, 1000, 4095, 4096, 1 << 20, 1<<30 + 12345, HistogramMax - 1} {
+		i := bucketIndex(v)
+		maxv := bucketMax(i)
+		if maxv < v {
+			t.Fatalf("bucketMax(%d)=%d < value %d", i, maxv, v)
+		}
+		if v >= histSubCount && float64(maxv-v) > float64(v)/float64(histSubCount)+1 {
+			t.Fatalf("value %d: bucket max %d exceeds relative error bound", v, maxv)
+		}
+	}
+	// Bucket maxes must be strictly increasing (buckets partition the range).
+	prev := bucketMax(0)
+	for i := 1; i < histBuckets; i++ {
+		m := bucketMax(i)
+		if m <= prev {
+			t.Fatalf("bucketMax not increasing at %d: %d <= %d", i, m, prev)
+		}
+		prev = m
+	}
+	if bucketIndex(HistogramMax) != histBuckets-1 {
+		t.Fatal("HistogramMax not in overflow bucket")
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	var h Histogram
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty histogram Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+}
+
+func TestQuantileSingleSample(t *testing.T) {
+	var h Histogram
+	h.Observe(1000)
+	// Every quantile of a single sample is that sample (up to bucket
+	// resolution: 1000 lands in [961, 1023]).
+	want := float64(bucketMax(bucketIndex(1000)))
+	for _, q := range []float64{0, 0.001, 0.5, 0.999, 1} {
+		if got := h.Quantile(q); got != want {
+			t.Fatalf("Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+	if h.Count() != 1 || h.Sum() != 1000 {
+		t.Fatalf("count/sum = %d/%d", h.Count(), h.Sum())
+	}
+}
+
+func TestQuantileOverflowBucket(t *testing.T) {
+	var h Histogram
+	h.Observe(int64(HistogramMax))     // exactly 2^40: overflow
+	h.Observe(int64(HistogramMax * 8)) // way past
+	if got := h.Quantile(0.5); got != float64(HistogramMax) {
+		t.Fatalf("overflow quantile = %v, want %v", got, float64(HistogramMax))
+	}
+}
+
+func TestQuantileAccuracy(t *testing.T) {
+	var h Histogram
+	for v := int64(1); v <= 10000; v++ {
+		h.Observe(v)
+	}
+	// p50 should be ~5000, within the 12.5% bucket error (erring high).
+	p50 := h.Quantile(0.5)
+	if p50 < 5000 || p50 > 5000*1.125+1 {
+		t.Fatalf("p50 = %v, want within [5000, 5626]", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 9900 || p99 > 9900*1.125+1 {
+		t.Fatalf("p99 = %v, want within [9900, 11138]", p99)
+	}
+	if h.Quantile(1) < 10000 {
+		t.Fatalf("p100 = %v < max sample", h.Quantile(1))
+	}
+	// Out-of-range q clamps instead of misbehaving.
+	if h.Quantile(-1) != h.Quantile(0) || h.Quantile(2) != h.Quantile(1) {
+		t.Fatal("quantile clamping broken")
+	}
+}
+
+func TestObserveNegativeClamps(t *testing.T) {
+	var h Histogram
+	h.Observe(-5)
+	if h.Count() != 1 || h.Sum() != 0 {
+		t.Fatalf("negative observation: count=%d sum=%d", h.Count(), h.Sum())
+	}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("quantile after clamped negative = %v", got)
+	}
+}
+
+func TestTimerRecords(t *testing.T) {
+	var h Histogram
+	tm := h.Start()
+	time.Sleep(time.Millisecond)
+	tm.Stop()
+	if h.Count() != 1 {
+		t.Fatalf("timer did not record: count=%d", h.Count())
+	}
+	if h.Sum() < uint64(time.Millisecond) {
+		t.Fatalf("timer recorded %dns, want >= 1ms", h.Sum())
+	}
+}

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"encoding/json"
+	"log"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugMux bundles the runtime-introspection endpoints both binaries
+// mount behind their -debug-addr flag:
+//
+//	GET /metrics       Prometheus text exposition of the registry
+//	GET /debug/vars    expvar-style JSON (cmdline, memstats, metrics)
+//	GET /debug/traces  recent tx-lifecycle traces, newest first (JSON)
+//	    /debug/pprof/  the net/http/pprof suite (profile, heap, trace...)
+//
+// The pprof handlers are mounted explicitly on this private mux, never
+// on http.DefaultServeMux, so the main API server exposes none of
+// them. tracer may be nil (the traces endpoint then serves []).
+func DebugMux(reg *Registry, tracer *Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			log.Printf("obs: /metrics write: %v", err)
+		}
+	})
+	mux.HandleFunc("GET /debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := reg.WriteVars(w); err != nil {
+			log.Printf("obs: /debug/vars write: %v", err)
+		}
+	})
+	mux.HandleFunc("GET /debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		traces := tracer.Recent()
+		if traces == nil {
+			traces = []TxTrace{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(traces); err != nil {
+			log.Printf("obs: /debug/traces write: %v", err)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

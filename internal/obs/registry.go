@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Label is one name=value dimension on a metric.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for building a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Kind discriminates instrument types in exports.
+type Kind int
+
+// Instrument kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// entry is one registered instrument.
+type entry struct {
+	name   string
+	help   string
+	labels []Label
+	kind   Kind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// key renders the entry's identity (name plus labels in given order).
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte('\xff')
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// Registry holds named instruments and renders them for export. A nil
+// *Registry hands out nil instruments, which record nothing — the
+// default no-op wiring.
+type Registry struct {
+	mu      sync.Mutex
+	entries []*entry          // guarded by mu
+	index   map[string]*entry // guarded by mu
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: make(map[string]*entry)}
+}
+
+// register resolves or creates the entry for a series. Registering the
+// same (name, labels) twice returns the same instrument; re-registering
+// under a different kind panics (it is a programming error, not a
+// runtime condition).
+func (r *Registry) register(name, help string, kind Kind, labels []Label) *entry {
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.index[key]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("obs: series %s registered as %s and %s", name, e.kind, kind))
+		}
+		return e
+	}
+	e := &entry{name: name, help: help, labels: append([]Label(nil), labels...), kind: kind}
+	switch kind {
+	case KindCounter:
+		e.counter = new(Counter)
+	case KindGauge:
+		e.gauge = new(Gauge)
+	case KindHistogram:
+		e.hist = new(Histogram)
+	}
+	r.entries = append(r.entries, e)
+	r.index[key] = e
+	return e
+}
+
+// Counter registers (or resolves) a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, KindCounter, labels).counter
+}
+
+// Gauge registers (or resolves) a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, KindGauge, labels).gauge
+}
+
+// Histogram registers (or resolves) a latency histogram series.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, KindHistogram, labels).hist
+}
+
+// Len reports the number of registered series (0 for nil).
+func (r *Registry) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}
+
+// sortedEntries snapshots the entry list ordered by name then labels,
+// the stable order every export format uses.
+func (r *Registry) sortedEntries() []*entry {
+	r.mu.Lock()
+	out := append([]*entry(nil), r.entries...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return seriesKey("", out[i].labels) < seriesKey("", out[j].labels)
+	})
+	return out
+}

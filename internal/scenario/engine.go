@@ -60,6 +60,13 @@ type RunResult struct {
 	// ShrinkRuns counts the replays spent shrinking (0 when the run was
 	// clean or shrinking was not requested).
 	ShrinkRuns int
+	// MetricsDump is a Prometheus-exposition snapshot of the failing
+	// world's instruments, captured at the failure instant (empty for
+	// clean runs and boot errors). Like Failure.Detail it embeds
+	// run-specific values — latencies, counts — and is excluded from
+	// reproducibility comparisons; WriteRepro persists it as a sibling
+	// <name>.metrics.txt artifact.
+	MetricsDump string
 }
 
 // Trace renders the run as a reproducible text trace: same seed, same
@@ -204,6 +211,7 @@ func (e *Engine) RunPlan(plan []Step) *RunResult {
 		if fail != nil {
 			fail.Step = i
 			res.Failure = fail
+			res.MetricsDump = w.metricsDump()
 			return res
 		}
 		// Flush any timers the step armed at an already-passed deadline,
@@ -213,12 +221,14 @@ func (e *Engine) RunPlan(plan []Step) *RunResult {
 		if (i+1)%e.cfg.CheckEvery == 0 {
 			if f := check(i); f != nil {
 				res.Failure = f
+				res.MetricsDump = w.metricsDump()
 				return res
 			}
 		}
 	}
 	if f := check(len(plan) - 1); f != nil {
 		res.Failure = f
+		res.MetricsDump = w.metricsDump()
 	}
 	return res
 }

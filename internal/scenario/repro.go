@@ -123,7 +123,11 @@ func DecodeRepro(data []byte) (Config, []Step, error) {
 
 // WriteRepro persists a run as <dir>/<name>.repro (creating dir) and
 // returns the path. The soak harness calls it for every shrunk failure
-// so the artifact survives the test process.
+// so the artifact survives the test process. When the run carries a
+// metrics snapshot, it lands beside the repro as <name>.metrics.txt —
+// the system's instrument readings at the failure instant, for the
+// human triaging the artifact (the repro file itself stays replayable
+// and diffable, so diagnostics never go in it).
 func WriteRepro(dir, name string, cfg Config, res *RunResult) (string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", err
@@ -131,6 +135,12 @@ func WriteRepro(dir, name string, cfg Config, res *RunResult) (string, error) {
 	path := filepath.Join(dir, name+".repro")
 	if err := os.WriteFile(path, EncodeRepro(cfg, res), 0o644); err != nil {
 		return "", err
+	}
+	if res.MetricsDump != "" {
+		metricsPath := filepath.Join(dir, name+".metrics.txt")
+		if err := os.WriteFile(metricsPath, []byte(res.MetricsDump), 0o644); err != nil {
+			return "", err
+		}
 	}
 	return path, nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 )
@@ -81,11 +82,27 @@ func TestScenarioSoakCatchesDisabledGuard(t *testing.T) {
 	}
 	t.Logf("caught in %d steps after %d shrink replays:\n%s", len(caught.Plan), caught.ShrinkRuns, caught.Trace())
 
+	// A failing run carries the world's instrument readings.
+	if caught.MetricsDump == "" {
+		t.Fatal("failing run has no metrics dump")
+	}
+
 	// The written repro must decode back and replay to the same violation.
 	dir := t.TempDir()
 	path, err := WriteRepro(dir, "disabled-guard", caughtCfg, caught)
 	if err != nil {
 		t.Fatalf("write repro: %v", err)
+	}
+	// The metrics snapshot lands beside it, as valid exposition text
+	// with the chain's instruments present.
+	dump, err := os.ReadFile(filepath.Join(dir, "disabled-guard.metrics.txt"))
+	if err != nil {
+		t.Fatalf("metrics artifact missing: %v", err)
+	}
+	for _, want := range []string{"chain_blocks_committed_total", "chain_mempool_admitted_total"} {
+		if !strings.Contains(string(dump), want) {
+			t.Fatalf("metrics artifact missing series %s:\n%s", want, dump)
+		}
 	}
 	data, err := os.ReadFile(path)
 	if err != nil {

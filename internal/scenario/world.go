@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cryptoutil"
 	"repro/internal/distexchange"
+	"repro/internal/obs"
 	"repro/internal/podmanager"
 	"repro/internal/policy"
 	"repro/internal/solid"
@@ -89,6 +90,7 @@ type World struct {
 	cfg       Config
 	d         *core.Deployment
 	dataDir   string
+	reg       *obs.Registry
 	owners    []*ownerSt
 	consumers []*consumerSt
 	resources []*resourceSt
@@ -147,12 +149,18 @@ func newWorld(cfg Config) (*World, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Every run carries live instruments: when an invariant fires, the
+	// failure report includes a metrics snapshot of the system that
+	// produced it. The differential scenario tests pin that metering
+	// never perturbs traces, so this costs nothing but the counters.
+	reg := obs.NewRegistry()
 	d, err := core.NewDeployment(core.Config{
 		Validators:      cfg.Validators,
 		MonitoringGrace: cfg.MonitorGrace,
 		DataDir:         dataDir,
 		WALSync:         store.SyncNever,
 		ExecWorkers:     cfg.ExecWorkers,
+		Obs:             reg,
 	})
 	if err != nil {
 		os.RemoveAll(dataDir)
@@ -162,11 +170,21 @@ func newWorld(cfg Config) (*World, error) {
 		d.SetEquivocationGuard(false)
 	}
 	return &World{
-		cfg: cfg, d: d, dataDir: dataDir,
+		cfg: cfg, d: d, dataDir: dataDir, reg: reg,
 		restarted:   make(map[int]bool),
 		dupKey:      cryptoutil.MustGenerateKey(),
 		partitioned: make(map[int]bool),
 	}, nil
+}
+
+// metricsDump renders the world's registry as Prometheus exposition
+// text — the observability snapshot attached to failing runs.
+func (w *World) metricsDump() string {
+	var b bytes.Buffer
+	if err := w.reg.WritePrometheus(&b); err != nil {
+		return "# metrics dump failed: " + err.Error() + "\n"
+	}
+	return b.String()
 }
 
 func (w *World) close() {

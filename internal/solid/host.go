@@ -44,6 +44,10 @@ type Host struct {
 	// predecessor.
 	dataDir     string
 	persistOpts PodStoreOptions
+
+	// metrics is never nil (defaults to the no-op handle); set it with
+	// SetMetrics before mounting pods.
+	metrics *Metrics
 }
 
 type hostShard struct {
@@ -63,12 +67,17 @@ func NewHost(dir AgentDirectory, clock simclock.Clock) *Host {
 	if clock == nil {
 		clock = simclock.Real{}
 	}
-	h := &Host{dir: dir, clock: clock}
+	h := &Host{dir: dir, clock: clock, metrics: noopMetrics}
 	for i := range h.shards {
 		h.shards[i].pods = make(map[string]*mountedPod)
 	}
 	return h
 }
+
+// SetMetrics wires the host's observability instruments. Call before
+// mounting pods (pods and servers created by CreatePod capture the
+// handle at creation); a nil m restores the no-op default.
+func (h *Host) SetMetrics(m *Metrics) { h.metrics = m.orNoop() }
 
 func (h *Host) shardFor(name string) *hostShard {
 	f := fnv.New32a()
@@ -121,7 +130,10 @@ func (h *Host) CreatePod(name string, owner WebID, hostBaseURL string, hook Acce
 	} else {
 		pod = NewPod(owner, baseURL)
 	}
-	if err := h.Mount(name, pod, NewServer(pod, h.dir, h.clock, hook)); err != nil {
+	pod.setMetrics(h.metrics)
+	srv := NewServer(pod, h.dir, h.clock, hook)
+	srv.SetMetrics(h.metrics)
+	if err := h.Mount(name, pod, srv); err != nil {
 		return nil, errors.Join(err, pod.CloseStore())
 	}
 	return pod, nil
@@ -216,6 +228,7 @@ func (h *Host) Names() []string {
 func (h *Host) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	rest, ok := strings.CutPrefix(r.URL.Path, PodRoutePrefix)
 	if !ok {
+		h.metrics.UnroutedReqs.Inc()
 		http.Error(w, "not found (pods live under "+PodRoutePrefix+")", http.StatusNotFound)
 		return
 	}
@@ -230,10 +243,13 @@ func (h *Host) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	m, mounted := s.pods[name]
 	s.mu.RUnlock()
 	if !mounted {
+		h.metrics.UnroutedReqs.Inc()
 		http.Error(w, "unknown pod "+name, http.StatusNotFound)
 		return
 	}
 
+	tm := h.metrics.requestLatency(podPath, r.Method).Start()
+	defer tm.Stop()
 	r2 := r.Clone(context.WithValue(r.Context(), signingPathKey{}, signingPath(r)))
 	r2.URL.Path = podPath
 	m.handler.ServeHTTP(w, r2)

@@ -1,0 +1,75 @@
+package solid
+
+import (
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// Metrics bundles the Solid layer's instruments. All fields are
+// nil-safe obs instruments, so a host without a registry (the default)
+// records nothing. Wire with Host.SetMetrics before mounting pods.
+type Metrics struct {
+	// Request latency per route class and method mode, recorded by the
+	// Host front handler around the whole pod dispatch.
+	ContainerRead  *obs.Histogram
+	ContainerWrite *obs.Histogram
+	ResourceRead   *obs.Histogram
+	ResourceWrite  *obs.Histogram
+	UnroutedReqs   *obs.Counter // requests outside /pods/ or to unknown pods
+
+	// Authentication and authorization.
+	AuthCacheHits   *obs.Counter // ACL decisions served from the generation-stamped cache
+	AuthCacheMisses *obs.Counter // full ancestor-walk evaluations
+	NonceReplays    *obs.Counter // verified requests rejected for a reused nonce
+	AuthFailures    *obs.Counter // authentication failures of any other kind
+}
+
+// NewMetrics registers the solid series on reg. A nil reg yields
+// all-nil (no-op) instruments.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	h := func(class, mode string) *obs.Histogram {
+		return reg.Histogram("solid_request_latency_ns", "pod request latency by route class and mode",
+			obs.L("class", class), obs.L("mode", mode))
+	}
+	return &Metrics{
+		ContainerRead:  h("container", "read"),
+		ContainerWrite: h("container", "write"),
+		ResourceRead:   h("resource", "read"),
+		ResourceWrite:  h("resource", "write"),
+		UnroutedReqs:   reg.Counter("solid_unrouted_requests_total", "requests outside /pods/ or to unmounted pods"),
+
+		AuthCacheHits:   reg.Counter("solid_auth_cache_total", "ACL decision cache outcomes", obs.L("outcome", "hit")),
+		AuthCacheMisses: reg.Counter("solid_auth_cache_total", "ACL decision cache outcomes", obs.L("outcome", "miss")),
+		NonceReplays:    reg.Counter("solid_nonce_replays_total", "verified requests rejected for a reused nonce"),
+		AuthFailures:    reg.Counter("solid_auth_failures_total", "authentication failures other than nonce replays"),
+	}
+}
+
+// noopMetrics is the shared all-nil handle unmetered hosts use.
+var noopMetrics = &Metrics{}
+
+// orNoop normalizes a possibly-nil *Metrics.
+func (m *Metrics) orNoop() *Metrics {
+	if m == nil {
+		return noopMetrics
+	}
+	return m
+}
+
+// requestLatency selects the histogram for one request: containers are
+// trailing-slash paths, reads are GET/HEAD, everything else (PUT, POST,
+// DELETE, and unknown methods) counts as a write.
+func (m *Metrics) requestLatency(podPath, method string) *obs.Histogram {
+	read := method == "GET" || method == "HEAD"
+	if strings.HasSuffix(podPath, "/") {
+		if read {
+			return m.ContainerRead
+		}
+		return m.ContainerWrite
+	}
+	if read {
+		return m.ResourceRead
+	}
+	return m.ResourceWrite
+}

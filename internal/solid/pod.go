@@ -81,6 +81,10 @@ type Pod struct {
 	// persist journals mutation effects to a per-pod op log (nil for
 	// in-memory pods); see OpenPod. Guarded by mu.
 	persist *podStore
+
+	// metrics is never nil (defaults to the no-op handle); set via
+	// setMetrics before the pod serves requests.
+	metrics *Metrics
 }
 
 // Pod errors.
@@ -99,10 +103,16 @@ func NewPod(owner WebID, baseURL string) *Pod {
 		resources: make(map[string]*Resource),
 		acls:      make(map[string]*ACL),
 		authCache: make(map[authCacheKey]authDecision),
+		metrics:   noopMetrics,
 	}
 	p.acls["/"] = NewACL(owner, "/")
 	return p
 }
+
+// setMetrics wires the pod's observability instruments (hosts call it
+// from CreatePod, before the pod serves). A nil m restores the no-op
+// default.
+func (p *Pod) setMetrics(m *Metrics) { p.metrics = m.orNoop() }
 
 // SetAuthCacheEnabled toggles the ACL decision cache (on by default).
 // Disabling exists for benchmarking the uncached path; correctness does
@@ -425,10 +435,12 @@ func (p *Pod) Authorize(agent WebID, resPath string, mode AccessMode) error {
 		dec, ok := p.authCache[key]
 		p.authMu.RUnlock()
 		if ok && dec.gen == gen {
+			p.metrics.AuthCacheHits.Inc()
 			return dec.err
 		}
 	}
 
+	p.metrics.AuthCacheMisses.Inc()
 	decision := p.authorizeUncached(agent, clean, mode)
 	if useCache {
 		p.authMu.Lock()

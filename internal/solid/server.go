@@ -38,6 +38,10 @@ const MaxClockSkew = 5 * time.Minute
 // with 413 rather than silently truncated.
 const MaxBodyBytes = 64 << 20
 
+// ErrNonceReplayed reports a verified request whose (agent, nonce) pair
+// was already consumed within the skew window — a verbatim replay.
+var ErrNonceReplayed = errors.New("solid: nonce already used")
+
 // maxNoncesPerAgent bounds replay-guard memory per agent. Capacity
 // eviction is strictly per agent — an agent past its quota loses its own
 // oldest nonce — so a flood of signed requests can only ever weaken the
@@ -94,7 +98,7 @@ func (g *replayGuard) check(agent WebID, nonce string, ts, now time.Time) error 
 		a.order = append(a.order[:0], a.order[i:]...)
 	}
 	if _, dup := a.seen[nonce]; dup {
-		return fmt.Errorf("solid: nonce %s already used by %s", nonce, agent)
+		return fmt.Errorf("%w: nonce %s by %s", ErrNonceReplayed, nonce, agent)
 	}
 	if len(a.order) >= maxNoncesPerAgent {
 		oldest := a.order[0]
@@ -150,11 +154,12 @@ type AccessHook func(r *http.Request, agent WebID, path string, mode AccessMode)
 
 // Server serves a pod over the Solid communication rules.
 type Server struct {
-	pod    *Pod
-	dir    AgentDirectory
-	clock  simclock.Clock
-	hook   AccessHook
-	replay *replayGuard
+	pod     *Pod
+	dir     AgentDirectory
+	clock   simclock.Clock
+	hook    AccessHook
+	replay  *replayGuard
+	metrics *Metrics // never nil; see SetMetrics
 }
 
 // NewServer builds a pod server. clock defaults to the real clock; hook
@@ -163,8 +168,12 @@ func NewServer(pod *Pod, dir AgentDirectory, clock simclock.Clock, hook AccessHo
 	if clock == nil {
 		clock = simclock.Real{}
 	}
-	return &Server{pod: pod, dir: dir, clock: clock, hook: hook, replay: newReplayGuard()}
+	return &Server{pod: pod, dir: dir, clock: clock, hook: hook, replay: newReplayGuard(), metrics: noopMetrics}
 }
+
+// SetMetrics wires the server's observability instruments. Call before
+// serving; a nil m restores the no-op default.
+func (s *Server) SetMetrics(m *Metrics) { s.metrics = m.orNoop() }
 
 // Pod returns the served pod.
 func (s *Server) Pod() *Pod { return s.pod }
@@ -235,6 +244,7 @@ func (s *Server) authenticate(r *http.Request) (WebID, error) {
 	// nonce, so an attacker cannot burn a victim's nonce with a bad
 	// signature.
 	if err := s.replay.check(agent, nonce, ts, now); err != nil {
+		s.metrics.NonceReplays.Inc()
 		return "", err
 	}
 	return agent, nil
@@ -244,6 +254,10 @@ func (s *Server) authenticate(r *http.Request) (WebID, error) {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	agent, err := s.authenticate(r)
 	if err != nil {
+		if !errors.Is(err, ErrNonceReplayed) {
+			// Replays are counted at the guard; everything else here.
+			s.metrics.AuthFailures.Inc()
+		}
 		http.Error(w, err.Error(), http.StatusUnauthorized)
 		return
 	}

@@ -1,0 +1,37 @@
+package store
+
+import "repro/internal/obs"
+
+// Metrics bundles the store layer's instruments. Fields are nil-safe
+// obs instruments: a WAL opened without metrics (the default) records
+// nothing, at the cost of a branch per call. The store package is
+// replay-deterministic, so latencies use the obs Timer idiom — no wall
+// clock is read here.
+type Metrics struct {
+	AppendLatency *obs.Histogram // WAL append incl. the policy-driven fsync
+	AppendedBytes *obs.Counter   // bytes appended (record framing included)
+	FsyncLatency  *obs.Histogram // fsync call latency
+	Fsyncs        *obs.Counter   // fsync calls issued
+}
+
+// NewMetrics registers the store series on reg. A nil reg yields
+// all-nil (no-op) instruments.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		AppendLatency: reg.Histogram("store_wal_append_ns", "WAL append latency including the policy-driven fsync"),
+		AppendedBytes: reg.Counter("store_wal_appended_bytes_total", "bytes appended to the WAL, record framing included"),
+		FsyncLatency:  reg.Histogram("store_wal_fsync_ns", "WAL fsync latency"),
+		Fsyncs:        reg.Counter("store_wal_fsync_total", "WAL fsync calls issued"),
+	}
+}
+
+// noopMetrics is the shared all-nil handle for WALs without a registry.
+var noopMetrics = &Metrics{}
+
+// orNoop normalizes a possibly-nil Options.Metrics.
+func (m *Metrics) orNoop() *Metrics {
+	if m == nil {
+		return noopMetrics
+	}
+	return m
+}

@@ -55,6 +55,9 @@ type Options struct {
 	// SyncEvery is the append count between fsyncs under SyncInterval
 	// (default 64).
 	SyncEvery int
+	// Metrics receives append/fsync latency and byte counts; nil (the
+	// default) records nothing.
+	Metrics *Metrics
 }
 
 func (o Options) withDefaults() Options {
@@ -85,8 +88,9 @@ type WAL struct {
 	path    string
 	size    int64 // guarded by mu
 	opts    Options
-	pending int  // appends since the last fsync; guarded by mu
-	closed  bool // guarded by mu
+	m       *Metrics // never nil (normalized from opts.Metrics)
+	pending int      // appends since the last fsync; guarded by mu
+	closed  bool     // guarded by mu
 }
 
 // OpenWAL opens (creating if needed) the log at path, decodes every
@@ -122,7 +126,9 @@ func OpenWAL(path string, opts Options) (*WAL, []Record, error) {
 	if _, err := f.Seek(offset, 0); err != nil {
 		return nil, nil, errors.Join(fmt.Errorf("store: seek wal: %w", err), f.Close())
 	}
-	return &WAL{f: f, path: path, size: offset, opts: opts.withDefaults()}, records, nil
+	w := &WAL{f: f, path: path, size: offset, opts: opts.withDefaults()}
+	w.m = opts.Metrics.orNoop()
+	return w, records, nil
 }
 
 // Path returns the log's file path.
@@ -144,11 +150,14 @@ func (w *WAL) Append(payload []byte) error {
 	if w.closed {
 		return ErrClosed
 	}
+	tm := w.m.AppendLatency.Start()
+	defer tm.Stop()
 	buf := AppendRecord(make([]byte, 0, recordHeaderSize+len(payload)), payload)
 	if _, err := w.f.Write(buf); err != nil {
 		return fmt.Errorf("store: append: %w", err)
 	}
 	w.size += int64(len(buf))
+	w.m.AppendedBytes.Add(uint64(len(buf)))
 	w.pending++
 	switch w.opts.Sync {
 	case SyncAlways:
@@ -172,9 +181,13 @@ func (w *WAL) Sync() error {
 }
 
 func (w *WAL) syncLocked() error {
-	if err := w.f.Sync(); err != nil {
+	tm := w.m.FsyncLatency.Start()
+	err := w.f.Sync()
+	tm.Stop()
+	if err != nil {
 		return fmt.Errorf("store: sync: %w", err)
 	}
+	w.m.Fsyncs.Inc()
 	w.pending = 0
 	return nil
 }
