@@ -6,6 +6,7 @@
 //
 //	de-node [-validators 3] [-interval 1s] [-http :8545]
 //	        [-data-dir DIR] [-fsync interval] [-snapshot-every 32]
+//	        [-mempool-cap 8192] [-sender-quota 1024] [-price-bump 10]
 //	        [-debug-addr :6060]
 //
 // -debug-addr starts a second, private HTTP server with the
@@ -30,24 +31,37 @@
 //	GET  /violations?iri=...  violations recorded for a resource
 //	POST /txs                 submit a JSON array of signed transactions
 //	                          as one batch (verified concurrently,
-//	                          broadcast to every validator)
+//	                          broadcast to every validator); answers
+//	                          429 + Retry-After when the mempool is
+//	                          full or the sender's quota is exhausted
+//	POST /txs/stream          streaming ingestion: a sequence of JSON
+//	                          transactions in, one NDJSON verdict line
+//	                          out per transaction — what fits is
+//	                          admitted, the rest is reported with a
+//	                          retryable flag instead of failing the
+//	                          whole upload
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"math"
 	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"syscall"
 	"time"
 
 	"repro/internal/chain"
 	"repro/internal/contract"
+	"repro/internal/core"
 	"repro/internal/cryptoutil"
 	"repro/internal/distexchange"
 	"repro/internal/obs"
@@ -71,6 +85,9 @@ func run(args []string) error {
 	fsync := fs.String("fsync", "interval", "WAL fsync policy: always, interval, never")
 	snapshotEvery := fs.Int("snapshot-every", 0, "state snapshot cadence in blocks (0 = package default)")
 	execWorkers := fs.Int("exec-workers", 0, "parallel transaction execution workers per node (0 = GOMAXPROCS, 1 = serial; blocks are bit-identical at any setting)")
+	mempoolCap := fs.Int("mempool-cap", 0, "mempool capacity in transactions (0 = package default; full pool evicts the cheapest tail or answers 429)")
+	senderQuota := fs.Int("sender-quota", 0, "max pending transactions per sender (0 = package default)")
+	priceBump := fs.Int("price-bump", 0, "minimum replace-by-fee gas-price bump in percent (0 = package default)")
 	debugAddr := fs.String("debug-addr", "", "observability listen address (empty = disabled; GET /metrics, /debug/vars, /debug/traces, /debug/pprof/)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,7 +109,18 @@ func run(args []string) error {
 		metrics = chain.NewMetrics(reg)
 	}
 
-	nodes, network, deAddr, err := buildCluster(*validators, *dataDir, syncPolicy, *snapshotEvery, *execWorkers, reg, metrics)
+	nodes, network, deAddr, err := buildCluster(clusterConfig{
+		Validators:    *validators,
+		DataDir:       *dataDir,
+		Sync:          syncPolicy,
+		SnapshotEvery: *snapshotEvery,
+		ExecWorkers:   *execWorkers,
+		MempoolCap:    *mempoolCap,
+		SenderQuota:   *senderQuota,
+		PriceBump:     *priceBump,
+		Registry:      reg,
+		Metrics:       metrics,
+	})
 	if err != nil {
 		return err
 	}
@@ -137,12 +165,12 @@ func run(args []string) error {
 		}
 	}()
 
-	mux := newAPIMux(nodes, network, deAddr)
+	mux := newAPIMux(nodes, network, deAddr, *interval)
 
 	srv := &http.Server{Addr: *httpAddr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("HTTP API on %s (GET /status, /resources, /violations?iri=...; POST /txs)", *httpAddr)
+	log.Printf("HTTP API on %s (GET /status, /resources, /violations?iri=...; POST /txs, /txs/stream)", *httpAddr)
 
 	// The observability server is separate from the API server: pprof and
 	// metrics bind to a private address and never ride on the public mux.
@@ -197,11 +225,28 @@ func run(args []string) error {
 	}
 }
 
+// clusterConfig collects the knobs run() threads into buildCluster —
+// one struct instead of a nine-positional-argument signature.
+type clusterConfig struct {
+	Validators    int
+	DataDir       string
+	Sync          store.SyncPolicy
+	SnapshotEvery int
+	ExecWorkers   int
+	MempoolCap    int
+	SenderQuota   int
+	PriceBump     int
+	Registry      *obs.Registry
+	Metrics       *chain.Metrics
+}
+
 // buildCluster constructs the validator cluster: the contract runtime
 // with the DE App, one node per validator (reopened from its durable
-// store when dataDir is set, with the authority key persisted alongside
-// it), and the broadcast network.
-func buildCluster(validators int, dataDir string, syncPolicy store.SyncPolicy, snapshotEvery, execWorkers int, reg *obs.Registry, metrics *chain.Metrics) ([]*chain.Node, *chain.Network, cryptoutil.Address, error) {
+// store when cfg.DataDir is set, with the authority key persisted
+// alongside it), and the broadcast network.
+func buildCluster(cc clusterConfig) ([]*chain.Node, *chain.Network, cryptoutil.Address, error) {
+	validators := cc.Validators
+	dataDir := cc.DataDir
 	manufacturer, err := tee.NewManufacturer("tee-manufacturer")
 	if err != nil {
 		return nil, nil, cryptoutil.Address{}, err
@@ -225,23 +270,26 @@ func buildCluster(validators int, dataDir string, syncPolicy store.SyncPolicy, s
 	nodes := make([]*chain.Node, validators)
 	for i := range validators {
 		cfg := chain.Config{
-			Key:         keys[i],
-			Authorities: auths,
-			Executor:    runtime,
-			GenesisTime: genesis,
-			ExecWorkers: execWorkers,
+			Key:                 keys[i],
+			Authorities:         auths,
+			Executor:            runtime,
+			GenesisTime:         genesis,
+			ExecWorkers:         cc.ExecWorkers,
+			MempoolCapacity:     cc.MempoolCap,
+			MaxPendingPerSender: cc.SenderQuota,
+			PriceBumpPercent:    cc.PriceBump,
 		}
 		if i == 0 {
 			// Validator 0 is the observed node — the same one the API
 			// serves reads from.
-			cfg.Metrics = metrics
+			cfg.Metrics = cc.Metrics
 		}
 		if dataDir != "" {
 			cfg.DataDir = nodeDir(dataDir, i)
-			cfg.SnapshotInterval = snapshotEvery
-			cfg.Persist = store.Options{Sync: syncPolicy}
-			if reg != nil && i == 0 {
-				cfg.Persist.Metrics = store.NewMetrics(reg)
+			cfg.SnapshotInterval = cc.SnapshotEvery
+			cfg.Persist = store.Options{Sync: cc.Sync}
+			if cc.Registry != nil && i == 0 {
+				cfg.Persist.Metrics = store.NewMetrics(cc.Registry)
 			}
 		}
 		nodes[i], err = chain.OpenNode(cfg)
@@ -275,8 +323,33 @@ func loadOrCreateKey(dataDir string, i int) (*cryptoutil.KeyPair, error) {
 	return cryptoutil.LoadOrCreateKeyFile(filepath.Join(nodeDir(dataDir, i), "key.der"))
 }
 
-// newAPIMux builds the node's HTTP status/query/submission API.
-func newAPIMux(nodes []*chain.Node, network *chain.Network, deAddr cryptoutil.Address) *http.ServeMux {
+// retryAfterSeconds turns the block interval into a Retry-After hint:
+// one block drains pool headroom, so a backpressured client should wait
+// about that long (whole seconds, at least 1 — the header has no finer
+// granularity).
+func retryAfterSeconds(interval time.Duration) string {
+	secs := int(math.Ceil(interval.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// backpressured reports whether err is transient admission pressure
+// (full pool, exhausted sender quota) that maps to 429 + Retry-After
+// rather than a 400-class deterministic rejection.
+func backpressured(err error) bool {
+	return errors.Is(err, chain.ErrPoolFull) || errors.Is(err, chain.ErrQuotaExceeded)
+}
+
+// streamChunkSize bounds how many decoded transactions /txs/stream
+// verifies and broadcasts per round trip to the network layer.
+const streamChunkSize = 256
+
+// newAPIMux builds the node's HTTP status/query/submission API. The
+// block interval sizes the Retry-After hint on 429 responses.
+func newAPIMux(nodes []*chain.Node, network *chain.Network, deAddr cryptoutil.Address, interval time.Duration) *http.ServeMux {
+	retryAfter := retryAfterSeconds(interval)
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
 		head := nodes[0].Head()
@@ -311,7 +384,14 @@ func newAPIMux(nodes []*chain.Node, network *chain.Network, deAddr cryptoutil.Ad
 		}
 		hashes, err := network.SubmitEverywhereBatch(txs)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			status := http.StatusBadRequest
+			if backpressured(err) {
+				// Transient pressure, not a malformed batch: tell the
+				// client when the pool is likely to have drained.
+				w.Header().Set("Retry-After", retryAfter)
+				status = http.StatusTooManyRequests
+			}
+			http.Error(w, err.Error(), status)
 			return
 		}
 		out := make([]string, len(hashes))
@@ -319,6 +399,57 @@ func newAPIMux(nodes []*chain.Node, network *chain.Network, deAddr cryptoutil.Ad
 			out[i] = h.String()
 		}
 		writeJSON(w, map[string]any{"accepted": len(out), "hashes": out})
+	})
+	mux.HandleFunc("POST /txs/stream", func(w http.ResponseWriter, r *http.Request) {
+		// Streaming ingestion: decode transactions as they arrive, admit
+		// them in bounded chunks, and answer one NDJSON verdict line per
+		// transaction. A full pool fails individual transactions (marked
+		// retryable), never the whole upload.
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Header().Set("Retry-After", retryAfter)
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		emit := func(chunk []*chain.Tx) {
+			for _, v := range network.SubmitEverywhereVerdicts(chunk) {
+				line := core.TxVerdictWire{Hash: v.Hash.String(), Ok: v.Admitted()}
+				if v.Err != nil {
+					line.Error = v.Err.Error()
+					line.Retryable = backpressured(v.Err)
+				}
+				_ = enc.Encode(line)
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		dec := json.NewDecoder(r.Body)
+		chunk := make([]*chain.Tx, 0, streamChunkSize)
+		for {
+			var tx *chain.Tx
+			if err := dec.Decode(&tx); err == io.EOF {
+				break
+			} else if err != nil {
+				if len(chunk) > 0 {
+					emit(chunk)
+				}
+				// Mid-stream garbage: report what we can and stop. The
+				// status line already went out with the first verdict, so
+				// the error rides the stream as a final pseudo-verdict.
+				_ = enc.Encode(core.TxVerdictWire{Error: "bad transaction stream: " + err.Error()})
+				return
+			}
+			if tx == nil {
+				continue
+			}
+			chunk = append(chunk, tx)
+			if len(chunk) == streamChunkSize {
+				emit(chunk)
+				chunk = chunk[:0]
+			}
+		}
+		if len(chunk) > 0 {
+			emit(chunk)
+		}
 	})
 	mux.HandleFunc("GET /violations", func(w http.ResponseWriter, r *http.Request) {
 		iri := r.URL.Query().Get("iri")

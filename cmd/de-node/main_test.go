@@ -1,19 +1,22 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
-	"strings"
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
 
 	"repro/internal/chain"
+	"repro/internal/core"
 	"repro/internal/cryptoutil"
 	"repro/internal/distexchange"
 	"repro/internal/obs"
@@ -35,7 +38,7 @@ func TestRunRejectsBadFlag(t *testing.T) {
 // newTestCluster builds the cluster exactly as run() does (in-memory).
 func newTestCluster(t *testing.T, validators int) ([]*chain.Node, *chain.Network, cryptoutil.Address) {
 	t.Helper()
-	nodes, network, deAddr, err := buildCluster(validators, "", store.SyncNever, 0, 0, nil, nil)
+	nodes, network, deAddr, err := buildCluster(clusterConfig{Validators: validators, Sync: store.SyncNever})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +50,7 @@ func newTestCluster(t *testing.T, validators int) ([]*chain.Node, *chain.Network
 // boot resumes at the first boot's height with the same head.
 func TestBuildClusterDurableRestart(t *testing.T) {
 	dir := t.TempDir()
-	nodes, network, deAddr, err := buildCluster(2, dir, store.SyncNever, 0, 0, nil, nil)
+	nodes, network, deAddr, err := buildCluster(clusterConfig{Validators: 2, DataDir: dir, Sync: store.SyncNever})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +77,7 @@ func TestBuildClusterDurableRestart(t *testing.T) {
 		}
 	}
 
-	nodes2, _, _, err := buildCluster(2, dir, store.SyncNever, 0, 0, nil, nil)
+	nodes2, _, _, err := buildCluster(clusterConfig{Validators: 2, DataDir: dir, Sync: store.SyncNever})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +130,7 @@ func TestRunGracefulShutdown(t *testing.T) {
 				t.Fatalf("run returned %v on SIGTERM", err)
 			}
 			// The flushed store must reopen as a consistent chain.
-			nodes, _, _, err := buildCluster(2, dir, store.SyncNever, 0, 0, nil, nil)
+			nodes, _, _, err := buildCluster(clusterConfig{Validators: 2, DataDir: dir, Sync: store.SyncNever})
 			if err != nil {
 				t.Fatalf("reopen after shutdown: %v", err)
 			}
@@ -144,7 +147,7 @@ func TestRunGracefulShutdown(t *testing.T) {
 
 func TestPostTxsBatchEndpoint(t *testing.T) {
 	nodes, network, deAddr := newTestCluster(t, 2)
-	srv := httptest.NewServer(newAPIMux(nodes, network, deAddr))
+	srv := httptest.NewServer(newAPIMux(nodes, network, deAddr, time.Second))
 	defer srv.Close()
 
 	sender := cryptoutil.MustGenerateKey()
@@ -207,6 +210,208 @@ func TestPostTxsBatchEndpoint(t *testing.T) {
 	}
 }
 
+// registerPodTx builds a signed registerPod transaction at the default
+// gas price with a unique owner derived from (label, nonce).
+func registerPodTx(t *testing.T, key *cryptoutil.KeyPair, nonce uint64, deAddr cryptoutil.Address, label string) *chain.Tx {
+	t.Helper()
+	args := distexchange.RegisterPodArgs{
+		OwnerWebID: fmt.Sprintf("https://%s-%d.example/profile#me", label, nonce),
+		Location:   fmt.Sprintf("https://%s-%d.example/", label, nonce),
+	}
+	tx, err := chain.NewTx(key, nonce, deAddr, "registerPod", args, distexchange.DefaultGasLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tx
+}
+
+// newOverloadCluster builds a deliberately tiny cluster: a 4-slot
+// mempool so overload behaviour is reachable with a handful of txs.
+func newOverloadCluster(t *testing.T) ([]*chain.Node, *chain.Network, cryptoutil.Address, *httptest.Server) {
+	t.Helper()
+	nodes, network, deAddr, err := buildCluster(clusterConfig{
+		Validators: 1, Sync: store.SyncNever, MempoolCap: 4, SenderQuota: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	})
+	srv := httptest.NewServer(newAPIMux(nodes, network, deAddr, time.Second))
+	t.Cleanup(srv.Close)
+	return nodes, network, deAddr, srv
+}
+
+// TestPostTxsBackpressure429: a full mempool answers POST /txs with 429
+// and a Retry-After hint, and the same batch is accepted verbatim once
+// a sealed block drains the pool.
+func TestPostTxsBackpressure429(t *testing.T) {
+	_, network, deAddr, srv := newOverloadCluster(t)
+
+	filler := cryptoutil.MustGenerateKey()
+	fill := make([]*chain.Tx, 4)
+	for i := range fill {
+		fill[i] = registerPodTx(t, filler, uint64(i), deAddr, "filler")
+	}
+	body, _ := json.Marshal(fill)
+	resp, err := http.Post(srv.URL+"/txs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("filling batch status = %d", resp.StatusCode)
+	}
+
+	// An equally-priced newcomer cannot displace anything: 429, not 400.
+	late := cryptoutil.MustGenerateKey()
+	lateBody, _ := json.Marshal([]*chain.Tx{registerPodTx(t, late, 0, deAddr, "late")})
+	resp, err = http.Post(srv.URL+"/txs", "application/json", bytes.NewReader(lateBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overload status = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\"", ra)
+	}
+
+	// Sealing drains the pool; the retried batch now fits.
+	if _, err := network.SealNext(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(srv.URL+"/txs", "application/json", bytes.NewReader(lateBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retry after seal status = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestTxClientRetriesBackpressure drives the core.TxClient against a
+// full pool: every early attempt gets 429, a concurrent seal frees the
+// pool, and the client's capped backoff lands the batch without the
+// caller seeing the backpressure.
+func TestTxClientRetriesBackpressure(t *testing.T) {
+	_, network, deAddr, srv := newOverloadCluster(t)
+
+	filler := cryptoutil.MustGenerateKey()
+	fill := make([]*chain.Tx, 4)
+	for i := range fill {
+		fill[i] = registerPodTx(t, filler, uint64(i), deAddr, "filler")
+	}
+	if _, err := network.SubmitEverywhereBatch(fill); err != nil {
+		t.Fatal(err)
+	}
+
+	sealed := make(chan error, 1)
+	go func() {
+		time.Sleep(40 * time.Millisecond)
+		_, err := network.SealNext()
+		sealed <- err
+	}()
+
+	client := &core.TxClient{
+		BaseURL: srv.URL,
+		// MaxDelay caps the server's 1s Retry-After hint so the test
+		// stays fast while still exercising the hint-parsing path.
+		Policy: core.RetryPolicy{MaxAttempts: 50, BaseDelay: 5 * time.Millisecond, MaxDelay: 20 * time.Millisecond},
+	}
+	late := cryptoutil.MustGenerateKey()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	accepted, err := client.Submit(ctx, []*chain.Tx{registerPodTx(t, late, 0, deAddr, "late")})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if accepted != 1 {
+		t.Fatalf("accepted = %d, want 1", accepted)
+	}
+	if err := <-sealed; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTxStreamEndpoint exercises POST /txs/stream: an overlong upload
+// is admitted up to capacity with per-transaction verdicts — admitted
+// txs report ok, priced-out txs report a retryable error, and a
+// forged signature reports a terminal one — instead of the all-or-
+// nothing rejection of POST /txs.
+func TestTxStreamEndpoint(t *testing.T) {
+	nodes, network, deAddr, srv := newOverloadCluster(t)
+
+	sender := cryptoutil.MustGenerateKey()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for nonce := range uint64(6) {
+		if err := enc.Encode(registerPodTx(t, sender, nonce, deAddr, "stream")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	forged := registerPodTx(t, cryptoutil.MustGenerateKey(), 0, deAddr, "forged")
+	forged.Args = []byte(`{"ownerWebID":"evil"}`)
+	if err := enc.Encode(forged); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Post(srv.URL+"/txs/stream", "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /txs/stream status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	var ok, retryable, terminal int
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var v core.TxVerdictWire
+		if err := json.Unmarshal(sc.Bytes(), &v); err != nil {
+			t.Fatalf("bad verdict line %q: %v", sc.Text(), err)
+		}
+		switch {
+		case v.Ok:
+			ok++
+		case v.Retryable:
+			retryable++
+		default:
+			terminal++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// 4 fit the pool; nonce 4 is priced out (retryable); nonce 5 then
+	// fails its nonce check — the cascading verdict for a gapped sender
+	// queue — and the forgery fails verification, both terminal.
+	if ok != 4 || retryable != 1 || terminal != 2 {
+		t.Fatalf("verdicts ok=%d retryable=%d terminal=%d, want 4/1/2", ok, retryable, terminal)
+	}
+	if got := nodes[0].PendingTxs(); got != 4 {
+		t.Fatalf("pending = %d, want 4", got)
+	}
+	block, err := network.SealNext()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(block.Txs) != 4 {
+		t.Fatalf("sealed %d txs, want 4", len(block.Txs))
+	}
+}
+
 // TestDebugMetricsEndpoint wires the cluster the way -debug-addr does
 // and scrapes the observability surface: /metrics must be valid
 // Prometheus exposition with enough series for a dashboard, and the
@@ -214,7 +419,7 @@ func TestPostTxsBatchEndpoint(t *testing.T) {
 func TestDebugMetricsEndpoint(t *testing.T) {
 	reg := obs.NewRegistry()
 	metrics := chain.NewMetrics(reg)
-	nodes, network, deAddr, err := buildCluster(2, "", store.SyncNever, 0, 0, reg, metrics)
+	nodes, network, deAddr, err := buildCluster(clusterConfig{Validators: 2, Sync: store.SyncNever, Registry: reg, Metrics: metrics})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -66,11 +66,12 @@ func run(args []string) error {
 		"durability":     h.AblationDurability,
 		"commitpath":     h.AblationCommitPath,
 		"parexec":        h.AblationParExec,
+		"mempool":        h.AblationMempool,
 		"obs":            h.AblationObs,
 		"ablations":      nil, // expanded below
 	}
-	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "scenario", "durability", "commitpath", "parexec", "obs", "ablations"}
-	ablationNames := []string{"blockinterval", "oraclefanout", "batchsubmit", "parallelverify", "hostscaleout", "authcache", "scenario", "durability", "commitpath", "parexec", "obs"}
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "scenario", "durability", "commitpath", "parexec", "mempool", "obs", "ablations"}
+	ablationNames := []string{"blockinterval", "oraclefanout", "batchsubmit", "parallelverify", "hostscaleout", "authcache", "scenario", "durability", "commitpath", "parexec", "mempool", "obs"}
 
 	// Validate the whole selection up front: an unknown table name is a
 	// hard error naming the valid set — never a silent skip that would

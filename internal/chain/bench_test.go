@@ -3,6 +3,7 @@ package chain
 import (
 	"crypto/sha256"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"testing"
@@ -183,6 +184,119 @@ func BenchmarkCommitLatency(b *testing.B) {
 			}
 		})
 	}
+}
+
+// benchFloodPool builds a mempool filled with senders×perSender
+// equally-priced transactions (quota = perSender), returning the pool
+// and the signing keys in sender order.
+func benchFloodPool(b *testing.B, capacity, senders, perSender int, price uint64) (*mempool, []*cryptoutil.KeyPair) {
+	b.Helper()
+	mp := newMempool(capacity, perSender, 10)
+	keys := make([]*cryptoutil.KeyPair, senders)
+	for s := range senders {
+		keys[s] = cryptoutil.MustGenerateKey()
+		for n := range perSender {
+			tx, err := NewTxPriced(keys[s], uint64(n), testContractAddr(), "set",
+				setArgs{Key: fmt.Sprintf("s%03d-n%03d", s, n), Value: "v"}, 200_000, price)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := mp.Add(tx.Hash(), tx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return mp, keys
+}
+
+// BenchmarkFloodIngestion measures the admission machinery's per-verdict
+// cost under flood conditions: a plain admit with headroom, the two
+// rejection paths a flood rides (price floor and sender quota — both
+// must stay cheap, they are the pool's self-defense), and the
+// evict-and-admit cycle a priced transaction pays at a full pool. Pools
+// are pre-filled outside the timed loop; admit paths restore the pool
+// each iteration so every pass measures the same state. Node-level flood
+// behavior (signatures, sealing, settlement under sustained overload) is
+// covered by the mempool ablation in internal/core and `ucbench -exp
+// mempool`.
+func BenchmarkFloodIngestion(b *testing.B) {
+	const (
+		capacity  = 1024
+		senders   = 128
+		perSender = 8
+	)
+	b.Run("verdict=admit", func(b *testing.B) {
+		mp, _ := benchFloodPool(b, 2*capacity, senders, perSender, DefaultGasPrice)
+		key := cryptoutil.MustGenerateKey()
+		tx, err := NewTxPriced(key, 0, testContractAddr(), "set",
+			setArgs{Key: "probe", Value: "v"}, 200_000, DefaultGasPrice)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h := tx.Hash()
+		b.ReportAllocs()
+		for b.Loop() {
+			if _, err := mp.Add(h, tx); err != nil {
+				b.Fatal(err)
+			}
+			mp.Remove(h)
+		}
+	})
+	b.Run("verdict=reject-underpriced", func(b *testing.B) {
+		mp, _ := benchFloodPool(b, capacity, senders, perSender, DefaultGasPrice)
+		key := cryptoutil.MustGenerateKey()
+		flood, err := NewTxPriced(key, 0, testContractAddr(), "set",
+			setArgs{Key: "flood", Value: "v"}, 200_000, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h := flood.Hash()
+		b.ReportAllocs()
+		for b.Loop() {
+			if _, err := mp.Add(h, flood); !errors.Is(err, ErrUnderpriced) {
+				b.Fatalf("want ErrUnderpriced, got %v", err)
+			}
+		}
+	})
+	b.Run("verdict=reject-quota", func(b *testing.B) {
+		mp, keys := benchFloodPool(b, capacity, senders, perSender, DefaultGasPrice)
+		over, err := NewTxPriced(keys[0], perSender, testContractAddr(), "set",
+			setArgs{Key: "over", Value: "v"}, 200_000, DefaultGasPrice)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h := over.Hash()
+		b.ReportAllocs()
+		for b.Loop() {
+			if _, err := mp.Add(h, over); !errors.Is(err, ErrQuotaExceeded) {
+				b.Fatalf("want ErrQuotaExceeded, got %v", err)
+			}
+		}
+	})
+	b.Run("verdict=admit-evict", func(b *testing.B) {
+		mp, _ := benchFloodPool(b, capacity, senders, perSender, DefaultGasPrice)
+		key := cryptoutil.MustGenerateKey()
+		probe, err := NewTxPriced(key, 0, testContractAddr(), "set",
+			setArgs{Key: "probe", Value: "v"}, 200_000, 2*DefaultGasPrice)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h := probe.Hash()
+		b.ReportAllocs()
+		for b.Loop() {
+			evicted, err := mp.Add(h, probe)
+			if err != nil || evicted == nil {
+				b.Fatalf("want eviction, got evicted=%v err=%v", evicted, err)
+			}
+			mp.Remove(h)
+			// Re-queue the victim: the pool returns to its exact
+			// pre-iteration occupancy (the victim was its sender's tail, so
+			// re-adding it is contiguous).
+			if _, err := mp.Add(evicted.hash, evicted.tx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // parexecBenchExecutor is the parallel-execution benchmark workload: per

@@ -142,6 +142,37 @@ func mustTx(tb interface{ Fatal(...any) }, key *cryptoutil.KeyPair, nonce uint64
 	return tx
 }
 
+// mustTxPriced builds a signed "set" transaction with an explicit
+// gas-price bid.
+func mustTxPriced(tb interface{ Fatal(...any) }, key *cryptoutil.KeyPair, nonce uint64, contract cryptoutil.Address, k, v string, price uint64) *Tx {
+	tx, err := NewTxPriced(key, nonce, contract, "set", setArgs{Key: k, Value: v}, 200_000, price)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return tx
+}
+
+// newPoolNode builds a single-authority node with explicit mempool
+// admission knobs.
+func newPoolNode(tb interface{ Fatal(...any) }, capacity, quota, bump int) (*Node, *cryptoutil.KeyPair, *simclock.Sim) {
+	key := cryptoutil.MustGenerateKey()
+	clk := simclock.NewSim(chainEpoch)
+	node, err := NewNode(Config{
+		Key:                 key,
+		Authorities:         []cryptoutil.Address{key.Address()},
+		Executor:            testExecutor{},
+		Clock:               clk,
+		GenesisTime:         chainEpoch,
+		MempoolCapacity:     capacity,
+		MaxPendingPerSender: quota,
+		PriceBumpPercent:    bump,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return node, key, clk
+}
+
 // testContractAddr is an arbitrary contract address for tests.
 func testContractAddr() cryptoutil.Address {
 	var a cryptoutil.Address

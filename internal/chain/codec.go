@@ -220,6 +220,7 @@ func appendTx(dst []byte, tx *Tx) []byte {
 	dst = store.AppendString(dst, tx.Method)
 	dst = store.AppendBytes(dst, tx.Args)
 	dst = store.AppendUvarint(dst, tx.GasLimit)
+	dst = store.AppendUvarint(dst, tx.GasPrice)
 	dst = store.AppendBytes(dst, tx.Signature)
 	return dst
 }
@@ -238,6 +239,7 @@ func decodeTxs(d *store.Dec, bound int) []*Tx {
 		tx.Method = d.String()
 		tx.Args = d.Bytes()
 		tx.GasLimit = d.Uvarint()
+		tx.GasPrice = d.Uvarint()
 		tx.Signature = d.Bytes()
 		if d.Err() != nil {
 			return nil

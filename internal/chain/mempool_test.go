@@ -2,22 +2,27 @@ package chain
 
 import (
 	"errors"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/cryptoutil"
 )
 
+// testPool builds a bare mempool with roomy defaults for direct
+// structure tests.
+func testPool() *mempool { return newMempool(64, 32, 10) }
+
 func TestMempoolIndexedOperations(t *testing.T) {
-	mp := newMempool()
+	mp := testPool()
 	key := cryptoutil.MustGenerateKey()
 	contract := testContractAddr()
 
 	txs := make([]*Tx, 5)
 	for i := range txs {
 		txs[i] = mustTx(t, key, uint64(i), contract, "k", "v")
-		if !mp.Add(txs[i].Hash(), txs[i]) {
-			t.Fatalf("Add(%d) reported duplicate", i)
+		if _, err := mp.Add(txs[i].Hash(), txs[i]); err != nil {
+			t.Fatalf("Add(%d): %v", i, err)
 		}
 	}
 	if mp.Len() != 5 {
@@ -26,31 +31,33 @@ func TestMempoolIndexedOperations(t *testing.T) {
 	if mp.PendingFrom(key.Address()) != 5 {
 		t.Fatalf("PendingFrom = %d, want 5", mp.PendingFrom(key.Address()))
 	}
-	if mp.Add(txs[2].Hash(), txs[2]) {
-		t.Fatal("duplicate Add accepted")
-	}
 	if !mp.Contains(txs[2].Hash()) {
 		t.Fatal("Contains missed a queued tx")
 	}
 
-	// Remove from the middle; FIFO order of the rest must survive.
+	// Removing a mid-queue entry truncates it and its successors (the
+	// rollback path withdraws contiguous just-appended runs), so the
+	// sender's nonce sequence never gaps.
 	if !mp.Remove(txs[2].Hash()) {
 		t.Fatal("Remove missed a queued tx")
 	}
 	if mp.Remove(txs[2].Hash()) {
 		t.Fatal("second Remove reported present")
 	}
-	if mp.PendingFrom(key.Address()) != 4 {
-		t.Fatalf("PendingFrom after remove = %d, want 4", mp.PendingFrom(key.Address()))
+	if mp.Contains(txs[3].Hash()) || mp.Contains(txs[4].Hash()) {
+		t.Fatal("suffix removal left successors indexed")
 	}
-	got := mp.Take(10)
-	want := []uint64{0, 1, 3, 4}
+	if mp.PendingFrom(key.Address()) != 2 {
+		t.Fatalf("PendingFrom after remove = %d, want 2", mp.PendingFrom(key.Address()))
+	}
+	got := mp.Take(10, nil)
+	want := []uint64{0, 1}
 	if len(got) != len(want) {
 		t.Fatalf("Take returned %d txs, want %d", len(got), len(want))
 	}
 	for i, tx := range got {
 		if tx.Nonce != want[i] {
-			t.Fatalf("Take[%d].Nonce = %d, want %d (FIFO order broken)", i, tx.Nonce, want[i])
+			t.Fatalf("Take[%d].Nonce = %d, want %d (nonce order broken)", i, tx.Nonce, want[i])
 		}
 	}
 	if mp.Len() != 0 || mp.PendingFrom(key.Address()) != 0 {
@@ -59,19 +66,205 @@ func TestMempoolIndexedOperations(t *testing.T) {
 }
 
 func TestMempoolTakeRespectsLimit(t *testing.T) {
-	mp := newMempool()
+	mp := testPool()
 	key := cryptoutil.MustGenerateKey()
 	contract := testContractAddr()
 	for i := range 8 {
 		tx := mustTx(t, key, uint64(i), contract, "k", "v")
-		mp.Add(tx.Hash(), tx)
+		if _, err := mp.Add(tx.Hash(), tx); err != nil {
+			t.Fatal(err)
+		}
 	}
-	first := mp.Take(3)
+	first := mp.Take(3, nil)
 	if len(first) != 3 || first[0].Nonce != 0 || first[2].Nonce != 2 {
 		t.Fatalf("Take(3) = %d txs starting at nonce %d", len(first), first[0].Nonce)
 	}
 	if mp.Len() != 5 {
 		t.Fatalf("Len after partial Take = %d, want 5", mp.Len())
+	}
+}
+
+// TestMempoolPriceOrderedTake verifies highest-price-first selection
+// with per-sender nonce order preserved: a sender's cheap follow-up
+// rides behind its expensive head, never before it.
+func TestMempoolPriceOrderedTake(t *testing.T) {
+	mp := testPool()
+	contract := testContractAddr()
+	rich := cryptoutil.MustGenerateKey()
+	poor := cryptoutil.MustGenerateKey()
+
+	// rich bids 500 then 5; poor bids 100, 100.
+	seq := []*Tx{
+		mustTxPriced(t, rich, 0, contract, "a", "1", 500),
+		mustTxPriced(t, rich, 1, contract, "b", "2", 5),
+		mustTxPriced(t, poor, 0, contract, "c", "3", 100),
+		mustTxPriced(t, poor, 1, contract, "d", "4", 100),
+	}
+	for _, tx := range seq {
+		if _, err := mp.Add(tx.Hash(), tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := mp.Take(10, nil)
+	if len(got) != 4 {
+		t.Fatalf("Take returned %d txs, want 4", len(got))
+	}
+	if got[0].GasPrice != 500 {
+		t.Fatalf("first selected price = %d, want 500", got[0].GasPrice)
+	}
+	// poor's pair outbids rich's nonce-1 follow-up.
+	if got[1].GasPrice != 100 || got[2].GasPrice != 100 {
+		t.Fatalf("mid selection prices = %d,%d, want 100,100", got[1].GasPrice, got[2].GasPrice)
+	}
+	if got[3].GasPrice != 5 {
+		t.Fatalf("last selected price = %d, want 5", got[3].GasPrice)
+	}
+	// Per-sender nonce monotonicity.
+	last := map[cryptoutil.Address]uint64{}
+	for _, tx := range got {
+		if prev, ok := last[tx.From]; ok && tx.Nonce != prev+1 {
+			t.Fatalf("sender %s nonce order broken: %d after %d", tx.From, tx.Nonce, prev)
+		}
+		last[tx.From] = tx.Nonce
+	}
+}
+
+// TestMempoolTakeDeterministicAcrossInsertionOrders pins the strict
+// total order of selection: the same transaction set taken from pools
+// filled in different interleavings yields the identical sequence, which
+// is what keeps every replica sealing bit-identical blocks.
+func TestMempoolTakeDeterministicAcrossInsertionOrders(t *testing.T) {
+	contract := testContractAddr()
+	keys := make([]*cryptoutil.KeyPair, 6)
+	for i := range keys {
+		keys[i] = cryptoutil.MustGenerateKey()
+	}
+	var txs []*Tx
+	for i, key := range keys {
+		for n := range 3 {
+			// Deliberate price collisions across senders exercise the
+			// hash tie-break.
+			txs = append(txs, mustTxPriced(t, key, uint64(n), contract, "k", "v", uint64(10*(i%3))+1))
+		}
+	}
+
+	fill := func(order []int) []*Tx {
+		mp := testPool()
+		for _, idx := range order {
+			if _, err := mp.Add(txs[idx].Hash(), txs[idx]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return mp.Take(len(txs), nil)
+	}
+
+	// Order A: sender-major. Order B: nonce-major (round-robin).
+	var a, b []int
+	for i := range keys {
+		for n := range 3 {
+			a = append(a, i*3+n)
+		}
+	}
+	for n := range 3 {
+		for i := range keys {
+			b = append(b, i*3+n)
+		}
+	}
+	ta, tb := fill(a), fill(b)
+	if len(ta) != len(txs) || len(tb) != len(txs) {
+		t.Fatalf("full Take returned %d/%d txs, want %d", len(ta), len(tb), len(txs))
+	}
+	for i := range ta {
+		if ta[i].Hash() != tb[i].Hash() {
+			t.Fatalf("selection diverged at %d: %s vs %s", i, ta[i].Hash(), tb[i].Hash())
+		}
+	}
+}
+
+// TestMempoolEvictionUnwindsIndexes is the regression test for the
+// eviction bookkeeping: evicting a tail must decrement the victim's
+// pending count and drop its hash index entry, and the victim must be
+// readmittable afterwards.
+func TestMempoolEvictionUnwindsIndexes(t *testing.T) {
+	mp := newMempool(4, 4, 10)
+	contract := testContractAddr()
+	cheap := cryptoutil.MustGenerateKey()
+	rich := cryptoutil.MustGenerateKey()
+
+	cheapTxs := make([]*Tx, 4)
+	for i := range cheapTxs {
+		cheapTxs[i] = mustTxPriced(t, cheap, uint64(i), contract, "k", "v", 10)
+		if _, err := mp.Add(cheapTxs[i].Hash(), cheapTxs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A pricier arrival at a full pool evicts cheap's tail (nonce 3).
+	bid := mustTxPriced(t, rich, 0, contract, "r", "1", 200)
+	evicted, err := mp.Add(bid.Hash(), bid)
+	if err != nil {
+		t.Fatalf("price-beating Add: %v", err)
+	}
+	if evicted == nil || evicted.tx.Nonce != 3 || evicted.tx.From != cheap.Address() {
+		t.Fatalf("evicted = %+v, want cheap's nonce-3 tail", evicted)
+	}
+	if mp.Len() != 4 {
+		t.Fatalf("Len after eviction = %d, want 4 (bounded)", mp.Len())
+	}
+	if mp.PendingFrom(cheap.Address()) != 3 {
+		t.Fatalf("PendingFrom(cheap) = %d, want 3", mp.PendingFrom(cheap.Address()))
+	}
+	if mp.Contains(cheapTxs[3].Hash()) {
+		t.Fatal("evicted tx still hash-indexed")
+	}
+
+	// Drain one slot and readmit the evicted transaction: its nonce is
+	// cheap's expected tail again, so admission must accept it cleanly.
+	if got := mp.Take(1, nil); len(got) != 1 || got[0].Hash() != bid.Hash() {
+		t.Fatalf("Take(1) = %v, want rich's bid first", got)
+	}
+	if _, err := mp.Add(cheapTxs[3].Hash(), cheapTxs[3]); err != nil {
+		t.Fatalf("readmission after eviction: %v", err)
+	}
+	if mp.PendingFrom(cheap.Address()) != 4 {
+		t.Fatalf("PendingFrom after readmission = %d, want 4", mp.PendingFrom(cheap.Address()))
+	}
+	if !mp.Contains(cheapTxs[3].Hash()) {
+		t.Fatal("readmitted tx not hash-indexed")
+	}
+}
+
+// TestMempoolFullRejectsUnderpriced verifies the backpressure contract
+// at a full pool: bids at or below the cheapest tail are refused with
+// ErrUnderpriced (an ErrPoolFull), and a sender cannot evict its own
+// tail to make room for itself.
+func TestMempoolFullRejectsUnderpriced(t *testing.T) {
+	mp := newMempool(3, 8, 10)
+	contract := testContractAddr()
+	a := cryptoutil.MustGenerateKey()
+	b := cryptoutil.MustGenerateKey()
+
+	for i := range 3 {
+		tx := mustTxPriced(t, a, uint64(i), contract, "k", "v", 50)
+		if _, err := mp.Add(tx.Hash(), tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	equal := mustTxPriced(t, b, 0, contract, "x", "1", 50)
+	if _, err := mp.Add(equal.Hash(), equal); !errors.Is(err, ErrUnderpriced) || !errors.Is(err, ErrPoolFull) {
+		t.Fatalf("equal-price add err = %v, want ErrUnderpriced (ErrPoolFull)", err)
+	}
+	if mp.Contains(equal.Hash()) || mp.Len() != 3 {
+		t.Fatal("rejected tx leaked into the pool")
+	}
+	// Own-tail eviction refused even at a higher price: it would gap a's
+	// queue.
+	own := mustTxPriced(t, a, 3, contract, "y", "2", 500)
+	if _, err := mp.Add(own.Hash(), own); !errors.Is(err, ErrPoolFull) {
+		t.Fatalf("own-tail eviction err = %v, want ErrPoolFull", err)
+	}
+	if mp.PendingFrom(a.Address()) != 3 {
+		t.Fatalf("PendingFrom(a) = %d, want 3", mp.PendingFrom(a.Address()))
 	}
 }
 
@@ -194,5 +387,175 @@ func TestVerifyTxSignaturesDeterministicError(t *testing.T) {
 	}
 	if err := VerifyTxSignatures(txs, 1); !errors.Is(err, ErrGasLimitZero) {
 		t.Fatalf("sequential err = %v, want ErrGasLimitZero", err)
+	}
+}
+
+// TestReplaceByFee covers the replacement happy path through the node:
+// a ≥bump% pricier same-nonce resubmission supersedes the queued
+// transaction without changing the pending count, and the sealed block
+// carries the replacement only.
+func TestReplaceByFee(t *testing.T) {
+	node, key, clk := newPoolNode(t, 16, 8, 10)
+	contract := testContractAddr()
+
+	orig := mustTxPriced(t, key, 0, contract, "k", "old", 100)
+	if _, err := node.SubmitTx(orig); err != nil {
+		t.Fatal(err)
+	}
+	bump := mustTxPriced(t, key, 0, contract, "k", "new", 110) // exactly +10%
+	if _, err := node.SubmitTx(bump); err != nil {
+		t.Fatalf("replacement at the bump threshold: %v", err)
+	}
+	if node.PendingTxs() != 1 {
+		t.Fatalf("PendingTxs after replace = %d, want 1", node.PendingTxs())
+	}
+	node.mpMu.Lock()
+	hasOld, hasNew := node.mempool.Contains(orig.Hash()), node.mempool.Contains(bump.Hash())
+	node.mpMu.Unlock()
+	if hasOld || !hasNew {
+		t.Fatalf("pool after replace: old=%v new=%v, want false/true", hasOld, hasNew)
+	}
+
+	clk.Advance(time.Second)
+	block, err := node.Seal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(block.Txs) != 1 || block.Txs[0].Hash() != bump.Hash() {
+		t.Fatal("sealed block does not carry the replacement exclusively")
+	}
+	if r := node.Receipt(bump.Hash()); r == nil || !r.Succeeded() {
+		t.Fatal("replacement receipt missing or reverted")
+	}
+}
+
+// TestReplaceByFeeEdges pins the replacement policy edges: an equal
+// price and a below-threshold bump are both refused (pool unchanged),
+// and a same-nonce transaction from a different sender is not a
+// replacement at all — both queue independently.
+func TestReplaceByFeeEdges(t *testing.T) {
+	node, key, _ := newPoolNode(t, 16, 8, 10)
+	contract := testContractAddr()
+
+	orig := mustTxPriced(t, key, 0, contract, "k", "old", 100)
+	if _, err := node.SubmitTx(orig); err != nil {
+		t.Fatal(err)
+	}
+	equal := mustTxPriced(t, key, 0, contract, "k", "eq", 100)
+	if _, err := node.SubmitTx(equal); !errors.Is(err, ErrReplaceUnderpriced) {
+		t.Fatalf("equal-price replace err = %v, want ErrReplaceUnderpriced", err)
+	}
+	low := mustTxPriced(t, key, 0, contract, "k", "low", 109) // below +10%
+	if _, err := node.SubmitTx(low); !errors.Is(err, ErrReplaceUnderpriced) {
+		t.Fatalf("below-bump replace err = %v, want ErrReplaceUnderpriced", err)
+	}
+	node.mpMu.Lock()
+	hasOrig := node.mempool.Contains(orig.Hash())
+	node.mpMu.Unlock()
+	if !hasOrig || node.PendingTxs() != 1 {
+		t.Fatal("failed replacements disturbed the queued original")
+	}
+
+	// Same nonce, different sender: two independent queues.
+	other := cryptoutil.MustGenerateKey()
+	cross := mustTxPriced(t, other, 0, contract, "x", "1", 1)
+	if _, err := node.SubmitTx(cross); err != nil {
+		t.Fatalf("cross-sender same-nonce submit: %v", err)
+	}
+	if node.PendingTxs() != 2 {
+		t.Fatalf("PendingTxs = %d, want 2 (cross-sender tx must not replace)", node.PendingTxs())
+	}
+}
+
+// TestSenderQuota verifies per-sender pending quotas at the node
+// surface: the quota-th+1 transaction is refused with ErrQuotaExceeded
+// while other senders keep submitting.
+func TestSenderQuota(t *testing.T) {
+	node, key, _ := newPoolNode(t, 64, 4, 10)
+	contract := testContractAddr()
+
+	for i := range 4 {
+		if _, err := node.SubmitTx(mustTx(t, key, uint64(i), contract, "k", "v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	over := mustTx(t, key, 4, contract, "k", "v")
+	if _, err := node.SubmitTx(over); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("over-quota err = %v, want ErrQuotaExceeded", err)
+	}
+	other := cryptoutil.MustGenerateKey()
+	if _, err := node.SubmitTx(mustTx(t, other, 0, contract, "x", "1")); err != nil {
+		t.Fatalf("other sender blocked by someone else's quota: %v", err)
+	}
+}
+
+// TestConcurrentSubmitBatchQuota hammers one node with concurrent
+// batches from many senders against a small pool and quota, then checks
+// the admission bounds and index consistency survived (run with -race).
+func TestConcurrentSubmitBatchQuota(t *testing.T) {
+	const (
+		capacity = 32
+		quota    = 4
+		senders  = 8
+		perTx    = 8 // submitted per sender, twice the quota
+	)
+	node, _, clk := newPoolNode(t, capacity, quota, 10)
+	contract := testContractAddr()
+
+	keys := make([]*cryptoutil.KeyPair, senders)
+	batches := make([][]*Tx, senders)
+	for i := range keys {
+		keys[i] = cryptoutil.MustGenerateKey()
+		for n := range perTx {
+			batches[i] = append(batches[i], mustTxPriced(t, keys[i], uint64(n), contract, "k", "v", uint64(1+i)))
+		}
+	}
+
+	var wg sync.WaitGroup
+	for i := range senders {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Per-tx submission: quota rejections must not disturb the
+			// transactions admitted before the quota hit.
+			for _, tx := range batches[i] {
+				if _, err := node.SubmitTx(tx); err != nil {
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if got := node.PendingTxs(); got > capacity {
+		t.Fatalf("PendingTxs = %d, exceeds capacity %d", got, capacity)
+	}
+	node.mpMu.Lock()
+	for i, key := range keys {
+		if p := node.mempool.PendingFrom(key.Address()); p > quota {
+			node.mpMu.Unlock()
+			t.Fatalf("sender %d pending = %d, exceeds quota %d", i, p, quota)
+		}
+	}
+	node.mpMu.Unlock()
+
+	// The pool must drain cleanly: every admitted tx seals exactly once.
+	total := 0
+	for range 4 {
+		clk.Advance(time.Second)
+		block, err := node.Seal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(block.Txs)
+		if node.PendingTxs() == 0 {
+			break
+		}
+	}
+	if node.PendingTxs() != 0 {
+		t.Fatalf("pool did not drain: %d left", node.PendingTxs())
+	}
+	if total == 0 {
+		t.Fatal("nothing sealed despite concurrent submissions")
 	}
 }

@@ -13,12 +13,18 @@ import "repro/internal/obs"
 // every clock read inside internal/obs.
 type Metrics struct {
 	// Admission (mempool) counters.
-	Admitted      *obs.Counter // transactions accepted into the mempool
-	Duplicates    *obs.Counter // rebroadcasts of queued transactions
-	Stale         *obs.Counter // nonces below the committed sequence
-	RejectedNonce *obs.Counter // nonce gaps
-	RejectedGas   *obs.Counter // gas limit above the protocol cap
-	MempoolDepth  *obs.Gauge   // queued transactions after the last admission/drain
+	Admitted        *obs.Counter // transactions accepted into the mempool
+	Duplicates      *obs.Counter // rebroadcasts of queued transactions
+	Stale           *obs.Counter // nonces below the committed sequence
+	RejectedNonce   *obs.Counter // nonce gaps
+	RejectedGas     *obs.Counter // gas limit above the protocol cap
+	QuotaRejected   *obs.Counter // per-sender pending quota exceeded
+	RejectedReplace *obs.Counter // replace-by-fee bids below the bump threshold
+	Backpressured   *obs.Counter // full-pool rejections (the HTTP 429 cause)
+	Evicted         *obs.Counter // cheapest tails evicted by better-priced arrivals
+	Replaced        *obs.Counter // queued transactions superseded by fee bumps
+	MempoolDepth    *obs.Gauge   // queued transactions after the last admission/drain
+	PoolOccupancy   *obs.Gauge   // pool fill fraction, permille of capacity
 
 	// Latency histograms (nanoseconds).
 	VerifyLatency *obs.Histogram // signature verification per submit call
@@ -53,12 +59,18 @@ type Metrics struct {
 // no tracer — the zero-overhead default.
 func NewMetrics(reg *obs.Registry) *Metrics {
 	m := &Metrics{
-		Admitted:      reg.Counter("chain_mempool_admitted_total", "transactions accepted into the mempool"),
-		Duplicates:    reg.Counter("chain_mempool_duplicate_total", "rebroadcasts of already-queued transactions"),
-		Stale:         reg.Counter("chain_mempool_stale_total", "submissions with nonces below the committed sequence"),
-		RejectedNonce: reg.Counter("chain_mempool_rejected_total", "rejected submissions by cause", obs.L("cause", "nonce")),
-		RejectedGas:   reg.Counter("chain_mempool_rejected_total", "rejected submissions by cause", obs.L("cause", "gas")),
-		MempoolDepth:  reg.Gauge("chain_mempool_depth", "queued transactions after the last admission or drain"),
+		Admitted:        reg.Counter("chain_mempool_admitted_total", "transactions accepted into the mempool"),
+		Duplicates:      reg.Counter("chain_mempool_duplicate_total", "rebroadcasts of already-queued transactions"),
+		Stale:           reg.Counter("chain_mempool_stale_total", "submissions with nonces below the committed sequence"),
+		RejectedNonce:   reg.Counter("chain_mempool_rejected_total", "rejected submissions by cause", obs.L("cause", "nonce")),
+		RejectedGas:     reg.Counter("chain_mempool_rejected_total", "rejected submissions by cause", obs.L("cause", "gas")),
+		QuotaRejected:   reg.Counter("chain_mempool_rejected_total", "rejected submissions by cause", obs.L("cause", "quota")),
+		RejectedReplace: reg.Counter("chain_mempool_rejected_total", "rejected submissions by cause", obs.L("cause", "replace")),
+		Backpressured:   reg.Counter("chain_mempool_backpressure_total", "full-pool rejections answered with backpressure"),
+		Evicted:         reg.Counter("chain_mempool_evicted_total", "cheapest speculative tails evicted by better-priced arrivals"),
+		Replaced:        reg.Counter("chain_mempool_replaced_total", "queued transactions superseded by replace-by-fee bumps"),
+		MempoolDepth:    reg.Gauge("chain_mempool_depth", "queued transactions after the last admission or drain"),
+		PoolOccupancy:   reg.Gauge("chain_mempool_occupancy_permille", "mempool fill fraction in permille of configured capacity"),
 
 		VerifyLatency: reg.Histogram("chain_verify_latency_ns", "signature verification latency per submit call"),
 		SealDuration:  reg.Histogram("chain_seal_duration_ns", "block seal latency: drain, execute, sign, commit"),

@@ -3,7 +3,9 @@ package chain
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cryptoutil"
 	"repro/internal/obs"
@@ -656,6 +658,118 @@ func (net *Network) SubmitEverywhereBatch(txs []*Tx) ([]cryptoutil.Hash, error) 
 		return nil, errors.New("chain: no live node accepted the transaction")
 	}
 	return hashes, nil
+}
+
+// TxVerdict is the per-transaction outcome of a best-effort batch
+// submission: the transaction's hash plus the admission error, nil when
+// every live node queued it (or already held it).
+type TxVerdict struct {
+	Hash cryptoutil.Hash
+	Err  error
+}
+
+// Admitted reports whether the transaction was accepted cluster-wide.
+func (v TxVerdict) Admitted() bool { return v.Err == nil }
+
+// SubmitEverywhereVerdicts submits a batch best-effort: signatures are
+// verified concurrently once for the cluster, then each transaction is
+// enqueued on every live node independently, admitting what fits and
+// reporting a per-transaction verdict instead of rejecting the whole
+// batch on the first failure. This is the overload-facing ingestion
+// path: under backpressure a caller learns exactly which transactions
+// were priced out (ErrPoolFull/ErrUnderpriced), quota-bounced
+// (ErrQuotaExceeded), or admitted, and can retry selectively.
+//
+// Transactions sharing a sender must appear in nonce order; a rejected
+// transaction makes its same-sender successors fail their nonce check,
+// which is the correct cascading verdict. On a cross-node disagreement
+// the transaction is withdrawn from the nodes that accepted it (best
+// effort, as in SubmitEverywhereBatch).
+func (net *Network) SubmitEverywhereVerdicts(txs []*Tx) []TxVerdict {
+	out := make([]TxVerdict, len(txs))
+	if len(txs) == 0 {
+		return out
+	}
+	v := net.liveView()
+	tms := make([]obs.Timer, len(v.nodes))
+	for i, n := range v.nodes {
+		tms[i] = n.metrics.VerifyLatency.Start()
+	}
+	verrs := verifyTxVerdicts(txs, net.verifyWorkers)
+	for _, tm := range tms {
+		tm.Stop()
+	}
+	for i, tx := range txs {
+		out[i].Hash = tx.Hash()
+		if verrs[i] != nil {
+			out[i].Err = verrs[i]
+			continue
+		}
+		var accepted []*Node
+		var submitErr error
+		for _, n := range v.nodes {
+			if !v.reachable(n.Address()) {
+				continue
+			}
+			if _, err := n.submitVerified(tx); err != nil {
+				if errors.Is(err, ErrTxKnown) || errors.Is(err, ErrTxStale) {
+					// Idempotent rebroadcast; the node effectively holds it.
+					accepted = append(accepted, n)
+					continue
+				}
+				submitErr = err
+				break
+			}
+			accepted = append(accepted, n)
+		}
+		switch {
+		case submitErr != nil:
+			for _, n := range accepted {
+				n.removeFromMempool([]cryptoutil.Hash{out[i].Hash})
+			}
+			out[i].Err = submitErr
+		case len(accepted) == 0:
+			out[i].Err = errors.New("chain: no live node accepted the transaction")
+		}
+	}
+	return out
+}
+
+// verifyTxVerdicts checks every signature with the bounded worker pool,
+// returning a per-index error slice instead of VerifyTxSignatures'
+// first-failure collapse. Each worker writes only its own indexes, so
+// the slice needs no synchronization beyond the WaitGroup.
+func verifyTxVerdicts(txs []*Tx, workers int) []error {
+	errs := make([]error, len(txs))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(txs) {
+		workers = len(txs)
+	}
+	if workers <= 1 {
+		for i, tx := range txs {
+			errs[i] = tx.VerifySignature()
+		}
+		return errs
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for range workers {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(txs) {
+					return
+				}
+				errs[i] = txs[i].VerifySignature()
+			}
+		}()
+	}
+	wg.Wait()
+	return errs
 }
 
 // IsDown reports whether the node at addr is currently marked failed.

@@ -56,6 +56,18 @@ type Config struct {
 	GenesisTime time.Time
 	// MaxTxsPerBlock caps block size; defaults to 1024.
 	MaxTxsPerBlock int
+	// MempoolCapacity bounds the transaction pool; defaults to 8192. At
+	// capacity, admission evicts the cheapest speculative tail when the
+	// incoming transaction strictly price-beats it, and rejects with
+	// ErrPoolFull/ErrUnderpriced (HTTP 429 backpressure) otherwise.
+	MempoolCapacity int
+	// MaxPendingPerSender caps one sender's queued transactions; defaults
+	// to 1024. Beyond it, admission rejects with ErrQuotaExceeded.
+	MaxPendingPerSender int
+	// PriceBumpPercent is the minimum gas-price increase (percent) a
+	// replace-by-fee submission must bid over the queued transaction it
+	// replaces; defaults to 10. A strict increase is required even at 0.
+	PriceBumpPercent int
 	// VerifyWorkers bounds the signature-verification worker pool used by
 	// batch submission and block validation. 0 (the default) uses
 	// GOMAXPROCS; 1 forces sequential verification (the ablation
@@ -173,6 +185,18 @@ func NewNode(cfg Config) (*Node, error) {
 	if maxTxs <= 0 {
 		maxTxs = 1024
 	}
+	poolCap := cfg.MempoolCapacity
+	if poolCap <= 0 {
+		poolCap = 8192
+	}
+	quota := cfg.MaxPendingPerSender
+	if quota <= 0 {
+		quota = 1024
+	}
+	bump := cfg.PriceBumpPercent
+	if bump <= 0 {
+		bump = 10
+	}
 	n := &Node{
 		key:           cfg.Key,
 		authorities:   append([]cryptoutil.Address(nil), cfg.Authorities...),
@@ -182,7 +206,7 @@ func NewNode(cfg Config) (*Node, error) {
 		verifyWorkers: cfg.VerifyWorkers,
 		execWorkers:   cfg.ExecWorkers,
 		state:         NewState(),
-		mempool:       newMempool(),
+		mempool:       newMempool(poolCap, quota, bump),
 		nonces:        make(map[cryptoutil.Address]uint64),
 		waiters:       make(map[cryptoutil.Hash][]chan *Receipt),
 		receipts:      make(map[cryptoutil.Hash]*Receipt),
@@ -308,6 +332,15 @@ func (n *Node) submitVerifiedBatch(txs []*Tx) (hashes, added []cryptoutil.Hash, 
 	return hashes, added, nil
 }
 
+// submitVerified enqueues one transaction whose signature has already
+// been checked (the network layer's per-verdict path verifies once for
+// the whole cluster).
+func (n *Node) submitVerified(tx *Tx) (cryptoutil.Hash, error) {
+	n.mpMu.Lock()
+	defer n.mpMu.Unlock()
+	return n.enqueueLocked(tx)
+}
+
 // removeFromMempool withdraws queued transactions by hash (missing
 // hashes are ignored). The network layer uses it to undo a batch enqueue
 // when a peer rejects the same batch.
@@ -320,7 +353,11 @@ func (n *Node) removeFromMempool(hashes []cryptoutil.Hash) {
 }
 
 // enqueueLocked admits one signature-checked transaction; mpMu must be
-// held. The nonce must continue the sender's committed+pending sequence.
+// held. The nonce must either continue the sender's committed+pending
+// sequence (append) or land on an already-queued slot with a sufficient
+// price bump (replace-by-fee). Appends are subject to the sender quota
+// and the pool capacity; at a full pool the transaction must price-beat
+// the cheapest speculative tail, which is evicted.
 func (n *Node) enqueueLocked(tx *Tx) (cryptoutil.Hash, error) {
 	m := n.metrics
 	h := tx.Hash()
@@ -339,19 +376,57 @@ func (n *Node) enqueueLocked(tx *Tx) (cryptoutil.Hash, error) {
 			ErrGasTooLarge, tx.GasLimit, MaxTxGasLimit)
 	}
 	expected := committed + n.mempool.PendingFrom(tx.From)
-	if tx.Nonce != expected {
+	if tx.Nonce < expected {
+		// The slot is queued: this is a replace-by-fee attempt.
+		old, err := n.mempool.Replace(h, tx)
+		if err != nil {
+			m.RejectedReplace.Inc()
+			return cryptoutil.Hash{}, err
+		}
+		m.Replaced.Inc()
+		if tr := m.Tracer; tr != nil {
+			tr.Finish(old.hash.String(), obs.StageReplace)
+			id := h.String()
+			tr.Begin(id, obs.StageSubmit)
+			tr.Mark(id, obs.StageAdmit)
+		}
+		return h, nil
+	}
+	if tx.Nonce > expected {
 		m.RejectedNonce.Inc()
 		return cryptoutil.Hash{}, fmt.Errorf("%w: got %d, want %d", ErrBadNonce, tx.Nonce, expected)
 	}
-	n.mempool.Add(h, tx)
+	evicted, err := n.mempool.Add(h, tx)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrQuotaExceeded):
+			m.QuotaRejected.Inc()
+		case errors.Is(err, ErrPoolFull):
+			m.Backpressured.Inc()
+		}
+		return cryptoutil.Hash{}, err
+	}
+	if evicted != nil {
+		m.Evicted.Inc()
+		if tr := m.Tracer; tr != nil {
+			tr.Finish(evicted.hash.String(), obs.StageEvict)
+		}
+	}
 	m.Admitted.Inc()
-	m.MempoolDepth.Set(int64(n.mempool.Len()))
+	n.noteOccupancyLocked()
 	if tr := m.Tracer; tr != nil {
 		id := h.String()
 		tr.Begin(id, obs.StageSubmit)
 		tr.Mark(id, obs.StageAdmit)
 	}
 	return h, nil
+}
+
+// noteOccupancyLocked refreshes the mempool depth and occupancy gauges;
+// mpMu must be held.
+func (n *Node) noteOccupancyLocked() {
+	n.metrics.MempoolDepth.Set(int64(n.mempool.Len()))
+	n.metrics.PoolOccupancy.Set(int64(n.mempool.Len()) * 1000 / int64(n.mempool.Capacity()))
 }
 
 // PendingTxs returns the number of mempool transactions.
@@ -407,11 +482,11 @@ func (n *Node) seal(force bool) (*Block, error) {
 	// committed+pending nonce sequence. Execution then proceeds without
 	// blocking admission of the next block's transactions.
 	n.mpMu.Lock()
-	txs := n.mempool.Take(n.maxTxs)
+	txs := n.mempool.Take(n.maxTxs, n.nonces)
 	for _, tx := range txs {
 		n.nonces[tx.From] = tx.Nonce + 1
 	}
-	n.metrics.MempoolDepth.Set(int64(n.mempool.Len()))
+	n.noteOccupancyLocked()
 	n.mpMu.Unlock()
 
 	bctx := BlockContext{Number: number, Time: n.clock.Now()}

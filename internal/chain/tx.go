@@ -26,6 +26,10 @@ type Tx struct {
 	Args []byte `json:"args"`
 	// GasLimit caps the gas this transaction may consume.
 	GasLimit uint64 `json:"gasLimit"`
+	// GasPrice is the price-per-gas bid that orders the transaction in
+	// the mempool. It is economic weight only: execution charges gas
+	// against GasLimit regardless of price.
+	GasPrice uint64 `json:"gasPrice"`
 	// Signature is the ASN.1 ECDSA signature over SigningBytes.
 	Signature []byte `json:"signature"`
 }
@@ -34,8 +38,8 @@ type Tx struct {
 // signature.
 func (tx *Tx) SigningBytes() []byte {
 	var b strings.Builder
-	fmt.Fprintf(&b, "tx|%d|%s|%x|%s|%s|%x|%d",
-		tx.Nonce, tx.From, tx.SenderKey, tx.Contract, tx.Method, tx.Args, tx.GasLimit)
+	fmt.Fprintf(&b, "tx|%d|%s|%x|%s|%s|%x|%d|%d",
+		tx.Nonce, tx.From, tx.SenderKey, tx.Contract, tx.Method, tx.Args, tx.GasLimit, tx.GasPrice)
 	return []byte(b.String())
 }
 
@@ -67,8 +71,20 @@ func (tx *Tx) VerifySignature() error {
 	return nil
 }
 
-// NewTx builds and signs a transaction.
+// DefaultGasPrice is the price NewTx stamps on transactions. Honest
+// clients that never think about fees bid this; adversarial flood
+// traffic typically bids far below it, which is exactly what the priced
+// mempool exploits to keep settlements flowing under overload.
+const DefaultGasPrice uint64 = 100
+
+// NewTx builds and signs a transaction at DefaultGasPrice.
 func NewTx(key *cryptoutil.KeyPair, nonce uint64, contract cryptoutil.Address, method string, args any, gasLimit uint64) (*Tx, error) {
+	return NewTxPriced(key, nonce, contract, method, args, gasLimit, DefaultGasPrice)
+}
+
+// NewTxPriced builds and signs a transaction with an explicit gas-price
+// bid.
+func NewTxPriced(key *cryptoutil.KeyPair, nonce uint64, contract cryptoutil.Address, method string, args any, gasLimit, gasPrice uint64) (*Tx, error) {
 	encoded, err := json.Marshal(args)
 	if err != nil {
 		return nil, fmt.Errorf("chain: encode args: %w", err)
@@ -81,6 +97,7 @@ func NewTx(key *cryptoutil.KeyPair, nonce uint64, contract cryptoutil.Address, m
 		Method:    method,
 		Args:      encoded,
 		GasLimit:  gasLimit,
+		GasPrice:  gasPrice,
 	}
 	sig, err := key.Sign(tx.SigningBytes())
 	if err != nil {

@@ -1,0 +1,74 @@
+package fixture
+
+// The priced-mempool selection shape used by internal/chain's block
+// builder, distilled: candidates live in a slice-backed container/heap
+// with a strict total-order comparator (price, then an id tie-break),
+// seeded by iterating another slice and drained with Init/Fix/Pop. The
+// pop sequence is deterministic regardless of push order, and no map is
+// ranged anywhere on the path — selectPriced must produce NO findings.
+// This file pins that the determinism analyzer accepts the sanctioned
+// slice-backed heap idiom rather than flagging heap use wholesale. The
+// contrast case seeds the same heap by ranging a map without a sort,
+// which leaks iteration order into the backing slice and must still be
+// flagged.
+
+import "container/heap"
+
+type cand struct {
+	price uint64
+	id    string
+}
+
+// candHeap orders by price descending, id ascending: a strict total
+// order, so heap.Pop is deterministic whatever order Push saw.
+type candHeap []cand
+
+func (h candHeap) Len() int { return len(h) }
+
+func (h candHeap) Less(i, j int) bool {
+	if h[i].price != h[j].price {
+		return h[i].price > h[j].price
+	}
+	return h[i].id < h[j].id
+}
+
+func (h candHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *candHeap) Push(x any)   { *h = append(*h, x.(cand)) }
+func (h *candHeap) Pop() any     { old := *h; n := len(old); c := old[n-1]; *h = old[:n-1]; return c }
+
+// selectPriced drains up to max candidates in price order. The heap is
+// seeded from a slice snapshot — never from a map — so the whole
+// selection is map-iteration-free and must lint clean.
+func selectPriced(queued []cand, max int) []string {
+	cands := make(candHeap, 0, len(queued))
+	for _, c := range queued {
+		if c.price > 0 {
+			cands = append(cands, c)
+		}
+	}
+	heap.Init(&cands)
+	out := make([]string, 0, max)
+	for len(out) < max && cands.Len() > 0 {
+		c := cands[0]
+		out = append(out, c.id)
+		heap.Pop(&cands)
+	}
+	return out
+}
+
+// selectFromMap seeds the heap's backing slice straight out of a map
+// range with no later sort: heap.Init imposes only heap order, not a
+// total order, so iteration order leaks into ties and the append must
+// be flagged.
+func selectFromMap(queued map[string]uint64) []string {
+	cands := make(candHeap, 0, len(queued))
+	for id, price := range queued {
+		cands = append(cands, cand{price: price, id: id}) // want "append to cands inside map iteration without a later sort"
+	}
+	heap.Init(&cands)
+	out := make([]string, 0, len(cands))
+	for cands.Len() > 0 {
+		out = append(out, heap.Pop(&cands).(cand).id)
+	}
+	return out
+}

@@ -15,6 +15,8 @@ const (
 	StageSerialTail = "serial-tail" // re-executed on the serial tail
 	StageCommit     = "commit"      // block durably committed
 	StageReceipt    = "receipt"     // receipt delivered to a waiter
+	StageEvict      = "evict"       // evicted from a full mempool by a better-priced tx
+	StageReplace    = "replace"     // superseded by a replace-by-fee bump
 )
 
 // Span is one recorded lifecycle stage: its name and the offset from

@@ -94,6 +94,16 @@ func TestScenarioAdversarialMinimal(t *testing.T) {
 				"nonce-flood-contained n=24",
 			},
 		},
+		{
+			name: "tx-flood-contained",
+			plan: []Step{{Op: OpTxFlood}},
+			outcomes: []string{
+				// 8 senders x 80 cheap txs against a 64-slot pool with a
+				// 16-tx sender quota: exactly the capacity is admitted, the
+				// rest is shed, and the priced probe commits in one block.
+				"tx-flood-contained admitted=64 rejected=576 blocks=1",
+			},
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -115,7 +125,7 @@ func TestScenarioAdversarialMinimal(t *testing.T) {
 
 // TestScenarioAdversarialGenerated: generated plans reach every new
 // adversarial op organically within a handful of seeds, and such runs
-// hold all twelve invariants.
+// hold all thirteen invariants.
 func TestScenarioAdversarialGenerated(t *testing.T) {
 	steps := 120
 	if testing.Short() {
@@ -128,6 +138,7 @@ func TestScenarioAdversarialGenerated(t *testing.T) {
 		"healed synced=":        false,
 		"cred-replay-rejected":  false,
 		"nonce-flood-contained": false,
+		"tx-flood-contained":    false,
 	}
 	for seed := int64(1); seed <= 8; seed++ {
 		res := New(Config{Seed: seed, Steps: steps}).Run()

@@ -47,6 +47,7 @@ func FuzzScenarioSteps(f *testing.F) {
 		byte(OpInvalidBlock), 1, 0, 0, 1,
 		byte(OpInvalidBlock), 0, 0, 0, 2,
 		byte(OpNonceFlood), 0, 0, 0, 3,
+		byte(OpTxFlood), 0, 0, 0, 0,
 	})
 	f.Add([]byte{
 		byte(OpAddOwner), 0, 0, 0, 0,

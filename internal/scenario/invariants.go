@@ -29,12 +29,31 @@ func DefaultInvariants() []Invariant {
 		{"retention-enforcement", checkRetentionEnforcement},
 		{"honest-compliance", checkHonestCompliance},
 		{"recovery-equivalence", checkRecoveryEquivalence},
-		// The two adversarial invariants stay last so DefaultInvariants()[:10]
+		// The adversarial invariants stay last so DefaultInvariants()[:10]
 		// remains the honest-path suite (the adversarial-throughput guard
 		// compares against exactly that prefix).
 		{"no-equivocation-accepted", checkNoEquivocationAccepted},
 		{"partition-convergence", checkPartitionConvergence},
+		{"starvation-freedom", checkStarvationFreedom},
 	}
+}
+
+// checkStarvationFreedom: priced admission never starves honest
+// traffic — for every injected transaction flood, the adequately-priced
+// settlement probe committed within the episode's sealed-block bound,
+// and no live mempool backlog ever exceeds the configured capacity
+// (overload is shed at admission, not absorbed as unbounded growth).
+func checkStarvationFreedom(w *World) error {
+	for _, ep := range w.floodEpisodes {
+		if ep.blocks == 0 || ep.blocks > ep.bound {
+			return fmt.Errorf("flood at step %d: adequately-priced settlement not committed within %d blocks",
+				ep.step, ep.bound)
+		}
+	}
+	if pending := w.d.Network.PendingTxs(); pending > floodPoolCap {
+		return fmt.Errorf("mempool backlog %d exceeds configured capacity %d", pending, floodPoolCap)
+	}
+	return nil
 }
 
 // checkNoEquivocationAccepted: no honest node ever commits an

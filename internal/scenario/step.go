@@ -91,6 +91,12 @@ const (
 	// eviction means other agents' replay protection must be unaffected
 	// and the flooder itself is never starved.
 	OpNonceFlood
+	// OpTxFlood sprays cheap transactions at 10x the mempool capacity
+	// from a squad of hostile senders: the pool must stay within its
+	// bound (quota and price-floor rejections, never unbounded growth)
+	// and an adequately-priced settlement submitted mid-flood must still
+	// commit within the starvation-freedom invariant's block bound.
+	OpTxFlood
 
 	// numOps counts the fuzz-decodable ops; everything below is excluded
 	// from DecodePlan so fuzzing can only find genuine violations.
@@ -155,6 +161,8 @@ func (o Op) String() string {
 		return "credential-replay"
 	case OpNonceFlood:
 		return "nonce-flood"
+	case OpTxFlood:
+		return "tx-flood"
 	case OpSabotage:
 		return "sabotage"
 	}
@@ -191,7 +199,7 @@ var opWeights = []struct {
 	{OpDuplicateTx, 3}, {OpReorderTxs, 2}, {OpFailNode, 2}, {OpRecoverNode, 3},
 	{OpClockSkip, 5}, {OpSealEmpty, 2}, {OpCrashRestart, 3},
 	{OpEquivocate, 3}, {OpInvalidBlock, 3}, {OpPartition, 3}, {OpHeal, 4},
-	{OpCredentialReplay, 3}, {OpNonceFlood, 2},
+	{OpCredentialReplay, 3}, {OpNonceFlood, 2}, {OpTxFlood, 2},
 }
 
 // GeneratePlan derives a step plan deterministically from the seed. The

@@ -122,6 +122,34 @@ type World struct {
 	// provisioned lazily on first use.
 	malloryID  solid.WebID
 	malloryKey *cryptoutil.KeyPair
+
+	// floodKeys is the squad of hostile cheap-tx senders driving
+	// OpTxFlood, provisioned lazily; floodEpisodes records each flood's
+	// settlement latency for the starvation-freedom invariant.
+	floodKeys     []*cryptoutil.KeyPair
+	floodEpisodes []floodEpisode
+}
+
+// Admission bounds every scenario deployment runs under: tight enough
+// that a generated flood overwhelms them in-step, loose enough that
+// honest steps (a handful of transactions, sealed per batch) never
+// notice.
+const (
+	floodPoolCap     = 64
+	floodSenderQuota = 16
+	// floodBlocksBound is K in the starvation-freedom invariant: an
+	// adequately-priced settlement submitted during a flood must commit
+	// within K sealed blocks.
+	floodBlocksBound = 3
+)
+
+// floodEpisode records one OpTxFlood: how many sealed blocks the
+// adequately-priced probe settlement needed to commit (0 = never, the
+// starvation case) and the bound in force at the time.
+type floodEpisode struct {
+	step   int
+	blocks int
+	bound  int
 }
 
 // headMark pins a (height, hash) observed as some validator's head at a
@@ -160,6 +188,12 @@ func newWorld(cfg Config) (*World, error) {
 		DataDir:         dataDir,
 		WALSync:         store.SyncNever,
 		ExecWorkers:     cfg.ExecWorkers,
+		// Deliberately tight admission bounds so the tx-flood fault can
+		// overwhelm them with an in-step burst (the knobs ride the node
+		// configs, so a crash-restarted validator reopens with the same
+		// bounds).
+		MempoolCapacity: floodPoolCap,
+		SenderQuota:     floodSenderQuota,
 		Obs:             reg,
 	})
 	if err != nil {
@@ -865,6 +899,9 @@ func (w *World) apply(stepIdx int, st Step) (string, *Failure) {
 	case OpNonceFlood:
 		return w.nonceFlood(stepIdx, st)
 
+	case OpTxFlood:
+		return w.txFlood(stepIdx, st)
+
 	case OpSabotage:
 		pubs := w.publishedResources()
 		ri := sel(st.C, len(pubs))
@@ -1133,6 +1170,107 @@ func (w *World) nonceFlood(stepIdx int, st Step) (string, *Failure) {
 			expectation(op, "fresh honest request after flood got HTTP %d", status)
 	}
 	return fmt.Sprintf("nonce-flood-contained n=%d", n), nil
+}
+
+// txFlood overwhelms the admission layer: a squad of hostile senders
+// sprays cheap (gas price 1) transactions at 10x the pool capacity,
+// then an honest settlement at the default gas price is submitted into
+// the saturated pool. The pool must stay within its bound — quota and
+// price-floor rejections, never unbounded growth — and price-ordered
+// selection must commit the settlement within floodBlocksBound sealed
+// blocks; each episode is recorded for the starvation-freedom
+// invariant to re-judge after every subsequent step.
+func (w *World) txFlood(stepIdx int, st Step) (string, *Failure) {
+	op := OpTxFlood
+	live := w.d.LiveNode()
+	if live == nil {
+		return "skip-no-live", nil
+	}
+	const nKeys = 8
+	if w.floodKeys == nil {
+		// The flooders are ordinary funded identities — the attack is
+		// resource exhaustion, not forgery.
+		w.floodKeys = make([]*cryptoutil.KeyPair, nKeys)
+		for i := range w.floodKeys {
+			w.floodKeys[i] = cryptoutil.MustGenerateKey()
+		}
+	}
+
+	// Spray sender by sender: each key bursts a contiguous nonce run
+	// far past its quota, so the run exercises quota rejection, the
+	// price floor of a full pool, and the nonce-gap cascade behind a
+	// rejected transaction. Rejected nonces are reused next flood — the
+	// base always re-derives from the committed ledger.
+	total := 10 * floodPoolCap
+	perKey := total / nKeys
+	var admitted, rejected int
+	for k, key := range w.floodKeys {
+		base := live.CommittedNonce(key.Address())
+		batch := make([]*chain.Tx, 0, perKey)
+		for j := range perKey {
+			nonce := base + uint64(j)
+			args := distexchange.RegisterPodArgs{
+				OwnerWebID: fmt.Sprintf("https://flood%d-%d.example/profile#me", k, nonce),
+				Location:   fmt.Sprintf("https://flood%d-%d.example/", k, nonce),
+			}
+			tx, err := chain.NewTxPriced(key, nonce, w.d.DEAddr, "registerPod", args, distexchange.DefaultGasLimit, 1)
+			if err != nil {
+				return "err", expectation(op, "build flood tx: %v", err)
+			}
+			batch = append(batch, tx)
+		}
+		for _, v := range w.d.Network.SubmitEverywhereVerdicts(batch) {
+			if v.Admitted() {
+				admitted++
+			} else {
+				rejected++
+			}
+		}
+	}
+	if rejected == 0 {
+		return "unbounded", expectation(op, "10x-capacity flood fully admitted: admission is unbounded")
+	}
+	if pending := w.d.Network.PendingTxs(); pending > floodPoolCap {
+		return "overflow", expectation(op, "pool holds %d txs after flood, capacity %d", pending, floodPoolCap)
+	}
+
+	// The starvation probe: an honest settlement at the default gas
+	// price must displace cheap flood traffic and commit promptly.
+	probe, err := w.dupTx("floodprobe")
+	if err != nil {
+		return "err", expectation(op, "build probe tx: %v", err)
+	}
+	if vs := w.d.Network.SubmitEverywhereVerdicts([]*chain.Tx{probe}); !vs[0].Admitted() {
+		return "starved", expectation(op, "adequately-priced settlement rejected mid-flood: %v", vs[0].Err)
+	}
+	w.dupNonce++
+	probeHash := probe.Hash()
+	blocks := 0
+	for k := 1; k <= floodBlocksBound && blocks == 0; k++ {
+		b, err := w.d.SealBlock()
+		if err != nil {
+			return "err", expectation(op, "seal mid-flood: %v", err)
+		}
+		for _, tx := range b.Txs {
+			if tx.Hash() == probeHash {
+				blocks = k
+				break
+			}
+		}
+	}
+	w.floodEpisodes = append(w.floodEpisodes, floodEpisode{step: stepIdx, blocks: blocks, bound: floodBlocksBound})
+
+	// Drain the admitted cheap backlog so the world settles (a block
+	// holds far more than the pool capacity, so a couple of seals do).
+	for range 8 {
+		if w.d.Network.PendingTxs() == 0 {
+			break
+		}
+		if _, err := w.d.SealBlock(); err != nil {
+			return "err", expectation(op, "seal draining flood backlog: %v", err)
+		}
+	}
+	return fmt.Sprintf("tx-flood-contained admitted=%d rejected=%d blocks=%d", admitted, rejected, blocks), nil
 }
 
 // dupTx builds the next registerPod transaction of the synthetic fault
